@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The paper's future-work agenda (section 8.1), implemented:
+ *
+ *  1. Hybrids with three components and with differently-sized
+ *     components;
+ *  2. the shared-table hybrid whose entries carry a "chosen"
+ *     counter so seldom-used entries can be recuperated by another
+ *     component;
+ *  3. next-branch prediction: predicting the address of the next
+ *     indirect branch along with the target.
+ */
+
+#include <memory>
+
+#include "core/factory.hh"
+#include "core/next_branch.hh"
+#include "core/shared_hybrid.hh"
+#include "sim/experiment.hh"
+#include "sim/suite_runner.hh"
+
+using namespace ibp;
+
+int
+main(int argc, char **argv)
+{
+    return runExperiment(
+        "ext_future", "Future-work extensions (section 8.1)", argc,
+        argv, [](ExperimentContext &context) {
+            SuiteRunner runner = SuiteRunner::avgSuite();
+            const std::uint64_t total = context.quick() ? 1024 : 4096;
+
+            const std::vector<SweepColumn> columns = {
+                {"2comp",
+                 [total]() {
+                     return std::make_unique<HybridPredictor>(
+                         paperHybrid(3, 1,
+                                     TableSpec::setAssoc(total / 2,
+                                                         4)));
+                 }},
+                {"3comp",
+                 [total]() {
+                     HybridConfig config;
+                     const TableSpec spec = TableSpec::setAssoc(
+                         (total / 4) & ~std::uint64_t{3}, 4);
+                     config.components = {
+                         paperTwoLevel(5, spec),
+                         paperTwoLevel(2, spec),
+                         paperTwoLevel(0, TableSpec::setAssoc(
+                                              total / 2, 4))};
+                     return std::make_unique<HybridPredictor>(config);
+                 }},
+                {"asym",
+                 [total]() {
+                     // Differently-sized components: a small quick
+                     // component plus a large long-path one (3-way
+                     // keeps the set count a power of two).
+                     return std::make_unique<HybridPredictor>(
+                         HybridConfig::twoComponent(
+                             paperTwoLevel(6, TableSpec::setAssoc(
+                                                  total * 3 / 4, 3)),
+                             paperTwoLevel(1, TableSpec::setAssoc(
+                                                  total / 4, 4))));
+                 }},
+                {"shared",
+                 [total]() {
+                     SharedHybridConfig config;
+                     config.pathLengths = {3, 1};
+                     config.entries = total;
+                     config.ways = 4;
+                     return std::make_unique<SharedHybridPredictor>(
+                         config);
+                 }},
+                {"shared-3p",
+                 [total]() {
+                     SharedHybridConfig config;
+                     config.pathLengths = {6, 3, 1};
+                     config.entries = total;
+                     config.ways = 4;
+                     return std::make_unique<SharedHybridPredictor>(
+                         config);
+                 }},
+            };
+
+            const GridResult grid = runner.run(columns);
+            context.emit(runner.groupTable(
+                "Future-work hybrids at " + std::to_string(total) +
+                    " total entries (misprediction %)",
+                grid, columns));
+            context.note(
+                "The shared table lets the component split float "
+                "with usefulness; compare against the fixed "
+                "half/half '2comp' baseline.");
+
+            // Next-branch prediction (run-ahead). Evaluate the joint
+            // (target, next indirect PC) accuracy on the AVG suite.
+            ResultTable next_table(
+                "Next-branch prediction (unconstrained, joint "
+                "target+next-PC accuracy %)",
+                "p");
+            next_table.addColumn("target-hit%");
+            next_table.addColumn("joint-hit%");
+            for (unsigned p : {1u, 3u, 6u}) {
+                double target_hits = 0, joint_hits = 0, total_b = 0;
+                for (const auto &name : runner.benchmarks()) {
+                    const Trace &trace = runner.trace(name);
+                    NextBranchPredictor predictor(p);
+                    const auto &records = trace.records();
+                    for (std::size_t i = 0; i + 1 < records.size();
+                         ++i) {
+                        const auto &record = records[i];
+                        const auto &next = records[i + 1];
+                        const NextBranchPrediction guess =
+                            predictor.predict(record.pc);
+                        total_b += 1;
+                        if (guess.valid &&
+                            guess.target == record.target) {
+                            target_hits += 1;
+                            if (guess.nextPc == next.pc)
+                                joint_hits += 1;
+                        }
+                        predictor.update(record.pc, record.target,
+                                         next.pc);
+                    }
+                }
+                const std::string row = std::to_string(p);
+                next_table.set(row, "target-hit%",
+                               100.0 * target_hits / total_b);
+                next_table.set(row, "joint-hit%",
+                               100.0 * joint_hits / total_b);
+            }
+            context.emit(next_table);
+            context.note(
+                "Joint accuracy close to target accuracy means the "
+                "path usually determines the next indirect branch "
+                "too - the property run-ahead prediction needs.");
+        });
+}

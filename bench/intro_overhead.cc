@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Reproduces the introduction's motivation argument (section 1):
+ * with conditional branches predicted at ~97% [YP93], indirect
+ * branch misses *dominate* total branch misprediction overhead as
+ * soon as indirect branches occur more often than one per
+ * (miss-ratio gap) conditional branches - "if indirect branches are
+ * mispredicted 12 times more frequently (36% vs 3%), indirect branch
+ * misses will dominate conditional branch misses as long as indirect
+ * branches occur more frequently than every 12 conditional
+ * branches."
+ *
+ * For every benchmark we combine its conditional/indirect ratio
+ * (Tables 1/2) with the measured indirect misprediction rate of a
+ * BTB, of the paper's practical two-level predictor, and of the best
+ * hybrid, assuming the paper's 3% conditional miss rate, and report
+ * the share of branch misses caused by indirect branches.
+ */
+
+#include <memory>
+
+#include "core/btb.hh"
+#include "core/cond_predictor.hh"
+#include "core/factory.hh"
+#include "sim/experiment.hh"
+#include "sim/suite_runner.hh"
+
+using namespace ibp;
+
+namespace {
+
+/** Measured gshare(12) miss rate over a trace's conditionals. */
+double
+measuredConditionalMiss(const Trace &trace)
+{
+    GsharePredictor gshare(12, 4096);
+    std::uint64_t branches = 0, misses = 0;
+    for (const auto &record : trace) {
+        if (record.kind != BranchKind::Conditional)
+            continue;
+        ++branches;
+        if (gshare.predictTaken(record.pc) != record.taken)
+            ++misses;
+        gshare.update(record.pc, record.taken);
+    }
+    return branches == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(branches);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runExperiment(
+        "intro_overhead",
+        "Indirect share of branch-miss overhead (section 1)", argc,
+        argv, [](ExperimentContext &context) {
+            // Conditional records are needed for the measured
+            // conditional-predictor rates.
+            SuiteRunner runner(benchmarkGroups().avg, true);
+            constexpr double cond_miss = 0.03; // [YP93]-era 97% hit
+
+            const std::vector<SweepColumn> columns = {
+                {"btb",
+                 []() {
+                     return std::make_unique<BtbPredictor>(
+                         TableSpec::unconstrained(), true);
+                 }},
+                {"2lev-1K",
+                 []() {
+                     return std::make_unique<TwoLevelPredictor>(
+                         paperTwoLevel(3,
+                                       TableSpec::setAssoc(1024,
+                                                           4)));
+                 }},
+                {"hyb-8K",
+                 []() {
+                     return std::make_unique<HybridPredictor>(
+                         paperHybrid(6, 2,
+                                     TableSpec::setAssoc(4096, 4)));
+                 }},
+            };
+            const GridResult grid = runner.run(columns);
+
+            ResultTable table(
+                "Share of branch mispredictions caused by indirect "
+                "branches (%), assuming 3% conditional miss rate",
+                "benchmark");
+            table.addColumn("cond/ind");
+            table.addColumn("gshare-miss%");
+            for (const auto &column : columns)
+                table.addColumn(column.label);
+
+            for (const auto &name : runner.benchmarks()) {
+                const double ratio =
+                    benchmarkProfile(name).condPerIndirect;
+                const unsigned row = table.addRow(name);
+                table.set(row, 0, ratio);
+                table.set(row, 1,
+                          100.0 * measuredConditionalMiss(
+                                      runner.trace(name)));
+                for (std::size_t c = 0; c < columns.size(); ++c) {
+                    const double indirect_miss =
+                        grid.get(columns[c].label, name) / 100.0;
+                    const double share =
+                        indirect_miss /
+                        (indirect_miss + ratio * cond_miss);
+                    table.set(row, static_cast<unsigned>(c + 2),
+                              100.0 * share);
+                }
+            }
+            context.emit(table);
+            context.note(
+                "With a BTB, indirect branches dominate the branch "
+                "miss budget for most OO programs (>50%); the "
+                "paper's predictors pull that share down several "
+                "fold, which is exactly the speedup opportunity "
+                "[CHP97] quantified. The gshare column shows a "
+                "*measured* conditional rate on the same traces for "
+                "context.");
+
+            // Execution-time model, after the [CHP97] citation in
+            // section 1 ("reduction in execution time of 14% and 5%
+            // for perl and gcc"). A 4-wide machine: base CPI 0.25,
+            // 16-cycle misprediction penalty, conditional misses at
+            // the era's 3%.
+            constexpr double base_cpi = 0.25;
+            constexpr double penalty = 16.0;
+            ResultTable speedup(
+                "Estimated speedup (%) over the BTB from better "
+                "indirect prediction (4-wide model: CPI 0.25 + "
+                "16-cycle miss penalty)",
+                "benchmark");
+            speedup.addColumn("2lev-1K");
+            speedup.addColumn("hyb-8K");
+
+            for (const auto &name : runner.benchmarks()) {
+                const BenchmarkProfile &profile =
+                    benchmarkProfile(name);
+                const double instr = profile.instrPerIndirect;
+                const double ratio = profile.condPerIndirect;
+                const auto cpi = [&](double indirect_miss) {
+                    return base_cpi +
+                           penalty *
+                               (indirect_miss + ratio * cond_miss) /
+                               instr;
+                };
+                const double btb_cpi =
+                    cpi(grid.get("btb", name) / 100.0);
+                const unsigned row = speedup.addRow(name);
+                speedup.set(
+                    row, 0,
+                    100.0 *
+                        (btb_cpi -
+                         cpi(grid.get("2lev-1K", name) / 100.0)) /
+                        btb_cpi);
+                speedup.set(
+                    row, 1,
+                    100.0 *
+                        (btb_cpi -
+                         cpi(grid.get("hyb-8K", name) / 100.0)) /
+                        btb_cpi);
+            }
+            context.emit(speedup);
+            context.note(
+                "[CHP97] reported 14% (perl) and 5% (gcc) execution "
+                "time reductions from a better indirect predictor on "
+                "a wide-issue machine - the same order as this "
+                "model's estimates for the hard benchmarks.");
+        });
+}

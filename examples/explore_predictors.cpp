@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Interactive design-space exploration from the command line.
+ *
+ *   $ ./examples/explore_predictors [spec [spec ...]]
+ *   $ ./examples/explore_predictors --suite avg \
+ *         btb2bc "twolevel:p=3,table=assoc4:1024" \
+ *         "hybrid:p1=3,p2=1,table=assoc4:512"
+ *
+ * Each spec string is parsed by the predictor factory (see
+ * core/factory.hh for the grammar) and evaluated over a benchmark
+ * suite, printing a per-benchmark and group table like the paper's.
+ *
+ * Options:
+ *   --suite avg|full|<name>[,<name>...]   benchmarks to run
+ *   --csv=FILE                            also write CSV
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+#include "sim/suite_runner.hh"
+
+using namespace ibp;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> specs;
+    std::string suite = "avg";
+    std::string csv_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--suite=", 0) == 0) {
+            suite = arg.substr(8);
+        } else if (arg == "--suite" && i + 1 < argc) {
+            suite = argv[++i];
+        } else if (arg.rfind("--csv=", 0) == 0) {
+            csv_path = arg.substr(6);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--suite avg|full|names] [--csv=FILE] "
+                "[spec ...]\n"
+                "spec examples:\n"
+                "  btb | btb2bc\n"
+                "  twolevel:p=3,table=assoc4:1024\n"
+                "  twolevel:p=8,precision=full,table=unconstrained\n"
+                "  hybrid:p1=3,p2=7,table=tagless:4096\n",
+                argv[0]);
+            return 0;
+        } else {
+            specs.push_back(arg);
+        }
+    }
+
+    if (specs.empty()) {
+        specs = {"btb2bc", "twolevel:p=3,table=assoc4:1024",
+                 "hybrid:p1=3,p2=1,table=assoc4:512"};
+    }
+
+    // Resolve the benchmark list.
+    std::vector<std::string> benchmarks;
+    if (suite == "avg") {
+        benchmarks = benchmarkGroups().avg;
+    } else if (suite == "full") {
+        benchmarks = benchmarkGroups().avg;
+        const auto &infrequent = benchmarkGroups().infrequent;
+        benchmarks.insert(benchmarks.end(), infrequent.begin(),
+                          infrequent.end());
+    } else {
+        std::stringstream stream(suite);
+        std::string name;
+        while (std::getline(stream, name, ','))
+            benchmarks.push_back(name);
+    }
+
+    SuiteRunner runner(benchmarks);
+    std::vector<SweepColumn> columns;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        columns.push_back({"#" + std::to_string(i + 1),
+                           [spec = specs[i]]() {
+                               return makePredictorFromSpec(spec);
+                           }});
+        std::printf("#%zu = %s\n", i + 1, specs[i].c_str());
+    }
+    std::printf("\n");
+
+    const GridResult grid = runner.run(columns);
+    const ResultTable table = runner.benchmarkTable(
+        "Misprediction rates (%)", grid, columns);
+    table.print();
+    if (!csv_path.empty()) {
+        table.writeCsv(csv_path);
+        std::printf("csv written to %s\n", csv_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Trace utility: generate, convert and characterise branch traces.
+ *
+ *   $ ./examples/trace_tool gen <benchmark> <out.{ibpt,txt}> [--cond]
+ *   $ ./examples/trace_tool stats <trace-file-or-benchmark>
+ *   $ ./examples/trace_tool convert <in> <out>
+ *   $ ./examples/trace_tool run <trace-or-benchmark> <spec>
+ *
+ * ".ibpt" files use the compact binary format; any other extension
+ * is the line-oriented text format, which external tools (Pin /
+ * ChampSim converters) can produce easily.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/factory.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+
+using namespace ibp;
+
+namespace {
+
+bool
+isKnownBenchmark(const std::string &name)
+{
+    for (const auto &profile : benchmarkSuite()) {
+        if (profile.name == name)
+            return true;
+    }
+    return false;
+}
+
+Trace
+obtainTrace(const std::string &source)
+{
+    if (isKnownBenchmark(source))
+        return generateBenchmarkTrace(source);
+    return loadTrace(source);
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  %s gen <benchmark> <out> [--cond]\n"
+        "  %s stats <trace-file-or-benchmark>\n"
+        "  %s convert <in> <out>\n"
+        "  %s run <trace-or-benchmark> <predictor-spec>\n",
+        argv0, argv0, argv0, argv0);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage(argv[0]);
+    const std::string command = argv[1];
+
+    if (command == "gen" && argc >= 4) {
+        const bool with_cond =
+            argc >= 5 && std::strcmp(argv[4], "--cond") == 0;
+        const Trace trace =
+            generateBenchmarkTrace(argv[2], with_cond);
+        saveTrace(trace, argv[3]);
+        std::printf("wrote %zu records to %s\n", trace.size(),
+                    argv[3]);
+        return 0;
+    }
+
+    if (command == "stats") {
+        const Trace trace = obtainTrace(argv[2]);
+        const TraceStats stats = computeTraceStats(trace);
+        std::printf("trace:          %s\n", stats.name.c_str());
+        std::printf("records:        %llu\n",
+                    static_cast<unsigned long long>(
+                        stats.totalRecords));
+        std::printf("indirect:       %llu\n",
+                    static_cast<unsigned long long>(
+                        stats.indirectBranches));
+        std::printf("conditional:    %llu (%.1f per indirect)\n",
+                    static_cast<unsigned long long>(
+                        stats.conditionalBranches),
+                    stats.condPerIndirect);
+        std::printf("returns:        %llu\n",
+                    static_cast<unsigned long long>(stats.returns));
+        std::printf("virtual calls:  %.1f%%\n",
+                    100.0 * stats.virtualCallFraction);
+        std::printf("active sites:   90%%:%u 95%%:%u 99%%:%u "
+                    "100%%:%u\n",
+                    stats.activeSites90, stats.activeSites95,
+                    stats.activeSites99, stats.activeSites100);
+        std::printf("polymorphism:   %.2f targets/site "
+                    "(execution-weighted)\n",
+                    stats.meanPolymorphism);
+        std::printf("hottest sites:\n");
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(5, stats.sites.size()); ++i) {
+            const SiteStats &site = stats.sites[i];
+            std::printf("  0x%08x  %9llu execs  %3u targets  "
+                        "dominant %.0f%%\n",
+                        site.pc,
+                        static_cast<unsigned long long>(
+                            site.executions),
+                        site.distinctTargets,
+                        100.0 * site.dominantTargetShare);
+        }
+        return 0;
+    }
+
+    if (command == "convert" && argc >= 4) {
+        saveTrace(loadTrace(argv[2]), argv[3]);
+        std::printf("converted %s -> %s\n", argv[2], argv[3]);
+        return 0;
+    }
+
+    if (command == "run" && argc >= 4) {
+        const Trace trace = obtainTrace(argv[2]);
+        const auto predictor = makePredictorFromSpec(argv[3]);
+        const SimResult result = simulate(*predictor, trace);
+        std::printf("%s on %s: %.2f%% misprediction "
+                    "(%llu/%llu), %llu/%llu entries used\n",
+                    result.predictor.c_str(),
+                    result.benchmark.c_str(), result.missPercent(),
+                    static_cast<unsigned long long>(result.misses),
+                    static_cast<unsigned long long>(result.branches),
+                    static_cast<unsigned long long>(
+                        result.tableOccupancy),
+                    static_cast<unsigned long long>(
+                        result.tableCapacity));
+        return 0;
+    }
+
+    return usage(argv[0]);
+}

@@ -1,0 +1,63 @@
+#include "core/btb.hh"
+
+namespace ibp {
+
+BtbPredictor::BtbPredictor(const TableSpec &table, bool hysteresis)
+    : _spec(table), _hysteresis(hysteresis), _table(makeTable(table))
+{
+}
+
+Key
+BtbPredictor::keyFor(Addr pc) const
+{
+    // Instructions are word-aligned; dropping bits 0..1 uses the
+    // index bits of bounded tables more effectively.
+    return makeExactKey(pc >> 2);
+}
+
+Prediction
+BtbPredictor::predict(Addr pc)
+{
+    const TableEntry *entry = _table->probe(keyFor(pc));
+    if (!entry || !entry->valid)
+        return Prediction{};
+    return Prediction{true, entry->target,
+                      static_cast<int>(entry->confidence.value())};
+}
+
+void
+BtbPredictor::update(Addr pc, Addr actual)
+{
+    bool replaced = false;
+    TableEntry &entry = _table->access(keyFor(pc), replaced);
+    if (replaced || !entry.valid) {
+        entry.target = actual;
+        entry.valid = true;
+        return;
+    }
+    if (entry.target == actual) {
+        entry.hysteresis.hit();
+        entry.confidence.increment();
+        return;
+    }
+    entry.confidence.decrement();
+    if (!_hysteresis || entry.hysteresis.miss())
+        entry.target = actual;
+}
+
+void
+BtbPredictor::reset()
+{
+    _table->reset();
+}
+
+std::string
+BtbPredictor::name() const
+{
+    std::string text = _hysteresis ? "btb-2bc" : "btb";
+    if (_spec.kind != TableKind::Unconstrained)
+        text += "[" + _spec.describe() + "]";
+    return text;
+}
+
+} // namespace ibp

@@ -1,0 +1,180 @@
+#include "core/cascaded.hh"
+
+#include <sstream>
+
+#include "core/factory.hh"
+#include "util/logging.hh"
+
+namespace ibp {
+
+void
+CascadedConfig::validate() const
+{
+    if (stages.empty())
+        fatal("cascaded predictor needs at least one stage");
+    for (std::size_t i = 1; i < stages.size(); ++i) {
+        if (stages[i].pathLength <= stages[i - 1].pathLength)
+            fatal("cascade stages must have increasing path lengths");
+    }
+    for (const auto &stage : stages)
+        stage.table.validate();
+}
+
+std::string
+CascadedConfig::describe() const
+{
+    std::ostringstream out;
+    out << "cascaded[";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        if (i)
+            out << ';';
+        out << "p=" << stages[i].pathLength << ','
+            << stages[i].table.describe();
+    }
+    if (!filterAllocation)
+        out << ";nofilter";
+    out << ']';
+    return out.str();
+}
+
+CascadedConfig
+CascadedConfig::classic(std::uint64_t total_entries)
+{
+    IBP_ASSERT(total_entries >= 4 && total_entries % 4 == 0,
+               "cascade budget %llu too small",
+               static_cast<unsigned long long>(total_entries));
+    CascadedConfig config;
+    // A small BTB-like filter stage, a medium and a long stage.
+    config.stages = {
+        CascadeStage{0, TableSpec::setAssoc(total_entries / 4, 4)},
+        CascadeStage{2, TableSpec::setAssoc(total_entries / 4, 4)},
+        CascadeStage{6, TableSpec::setAssoc(total_entries / 2, 4)},
+    };
+    return config;
+}
+
+CascadedPredictor::CascadedPredictor(const CascadedConfig &config)
+    : _config(config),
+      _history(config.stages.empty()
+                   ? 0
+                   : config.stages.back().pathLength,
+               32)
+{
+    _config.validate();
+    for (const auto &stage : _config.stages) {
+        PatternSpec spec;
+        spec.pathLength = stage.pathLength;
+        spec.precision = PrecisionMode::Limited;
+        spec.interleave = InterleaveKind::Reverse;
+        spec.keyMix = KeyMix::Xor;
+        _stages.push_back(
+            Stage{PatternBuilder(spec), makeTable(stage.table)});
+    }
+}
+
+Prediction
+CascadedPredictor::predict(Addr pc)
+{
+    const HistoryBuffer &history = _history.buffer(pc);
+    _lastStage = -1;
+    Prediction best;
+    // The longest stage that hits wins.
+    for (std::size_t i = _stages.size(); i-- > 0;) {
+        const Key key = _stages[i].builder.buildKey(pc, history);
+        const TableEntry *entry = _stages[i].table->probe(key);
+        if (entry && entry->valid) {
+            best = Prediction{true, entry->target,
+                              static_cast<int>(
+                                  entry->confidence.value())};
+            _lastStage = static_cast<int>(i);
+            break;
+        }
+    }
+    return best;
+}
+
+void
+CascadedPredictor::update(Addr pc, Addr actual)
+{
+    const HistoryBuffer &history = _history.buffer(pc);
+
+    // Find out which stages hit and whether the overall prediction
+    // was correct before mutating anything.
+    std::vector<const TableEntry *> hits(_stages.size(), nullptr);
+    std::vector<Key> keys(_stages.size());
+    int provider = -1;
+    for (std::size_t i = 0; i < _stages.size(); ++i) {
+        keys[i] = _stages[i].builder.buildKey(pc, history);
+        hits[i] = _stages[i].table->probe(keys[i]);
+        if (hits[i] && hits[i]->valid)
+            provider = static_cast<int>(i);
+    }
+    const bool provider_correct =
+        provider >= 0 && hits[provider]->target == actual;
+
+    for (std::size_t i = 0; i < _stages.size(); ++i) {
+        const bool present = hits[i] && hits[i]->valid;
+        // Filtered allocation: a longer stage only allocates a new
+        // entry when the cascade's current prediction was wrong, so
+        // branches the short stages already handle never spread into
+        // the long-history tables.
+        if (!present && i > 0 && _config.filterAllocation &&
+            provider_correct) {
+            continue;
+        }
+        bool replaced = false;
+        TableEntry &entry = _stages[i].table->access(keys[i],
+                                                     replaced);
+        if (replaced || !entry.valid) {
+            entry.target = actual;
+            entry.valid = true;
+        } else if (entry.target == actual) {
+            entry.hysteresis.hit();
+            entry.confidence.increment();
+        } else {
+            entry.confidence.decrement();
+            if (!_config.hysteresis || entry.hysteresis.miss())
+                entry.target = actual;
+        }
+    }
+
+    _history.push(pc, actual);
+}
+
+void
+CascadedPredictor::reset()
+{
+    for (auto &stage : _stages)
+        stage.table->reset();
+    _history.reset();
+    _lastStage = -1;
+}
+
+std::string
+CascadedPredictor::name() const
+{
+    return _config.describe();
+}
+
+std::uint64_t
+CascadedPredictor::tableCapacity() const
+{
+    std::uint64_t total = 0;
+    for (const auto &stage : _stages) {
+        if (stage.table->capacity() == 0)
+            return 0;
+        total += stage.table->capacity();
+    }
+    return total;
+}
+
+std::uint64_t
+CascadedPredictor::tableOccupancy() const
+{
+    std::uint64_t total = 0;
+    for (const auto &stage : _stages)
+        total += stage.table->occupancy();
+    return total;
+}
+
+} // namespace ibp

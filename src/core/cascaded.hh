@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cascaded (PPM-style) indirect branch predictor.
+ *
+ * Related work in the paper (section 7) notes that a PPM predictor
+ * [CCM96] "predicts for the longest pattern for which a prediction
+ * is available, choosing progressively shorter path lengths until a
+ * prediction is found", and that a hybrid with different path-length
+ * components can mimic it. This class implements the idea directly
+ * (it is also the design Driesen & Hoelzle developed further in
+ * their later cascaded-predictor work):
+ *
+ *  - stages with increasing path lengths share the total budget;
+ *  - prediction comes from the longest stage that hits;
+ *  - allocation is *filtered*: a longer stage only allocates when
+ *    the shorter stages mispredicted, so easy branches do not
+ *    pollute the expensive long-history tables.
+ */
+
+#ifndef IBP_CORE_CASCADED_HH
+#define IBP_CORE_CASCADED_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/history_register.hh"
+#include "core/pattern.hh"
+#include "core/predictor.hh"
+#include "core/table_spec.hh"
+
+namespace ibp {
+
+/** Configuration of one cascade stage. */
+struct CascadeStage
+{
+    unsigned pathLength = 0;
+    TableSpec table;
+};
+
+/** Configuration of the whole cascade. */
+struct CascadedConfig
+{
+    /** Stages ordered by increasing path length. */
+    std::vector<CascadeStage> stages;
+
+    /** Allocate in longer stages only after shorter ones missed. */
+    bool filterAllocation = true;
+
+    bool hysteresis = true;
+
+    void validate() const;
+    std::string describe() const;
+
+    /** A classic 3-stage cascade splitting @p totalEntries. */
+    static CascadedConfig classic(std::uint64_t totalEntries);
+};
+
+class CascadedPredictor : public IndirectPredictor
+{
+  public:
+    explicit CascadedPredictor(const CascadedConfig &config);
+
+    Prediction predict(Addr pc) override;
+    void update(Addr pc, Addr actual) override;
+    void reset() override;
+    std::string name() const override;
+
+    std::uint64_t tableCapacity() const override;
+    std::uint64_t tableOccupancy() const override;
+
+    /** Stage that supplied the last prediction (-1 = none). */
+    int lastStage() const { return _lastStage; }
+
+  private:
+    struct Stage
+    {
+        PatternBuilder builder;
+        std::unique_ptr<TargetTable> table;
+    };
+
+    CascadedConfig _config;
+    HistoryRegister _history;
+    std::vector<Stage> _stages;
+    int _lastStage = -1;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_CASCADED_HH

@@ -1,0 +1,105 @@
+#include "core/cond_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+BimodalPredictor::BimodalPredictor(std::uint64_t entries)
+{
+    if (!isPowerOfTwo(entries))
+        fatal("bimodal table size %llu not a power of two",
+              static_cast<unsigned long long>(entries));
+    _indexBits = floorLog2(entries);
+    // Weakly-taken initial state, the conventional choice.
+    _counters.assign(entries, SatCounter(2, 2));
+}
+
+std::uint64_t
+BimodalPredictor::indexOf(Addr pc) const
+{
+    return (pc >> 2) & lowMask(_indexBits);
+}
+
+bool
+BimodalPredictor::predictTaken(Addr pc)
+{
+    return _counters[indexOf(pc)].isConfident();
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    SatCounter &counter = _counters[indexOf(pc)];
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &counter : _counters)
+        counter = SatCounter(2, 2);
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    return "bimodal-" + std::to_string(_counters.size());
+}
+
+GsharePredictor::GsharePredictor(unsigned history_bits,
+                                 std::uint64_t entries)
+    : _historyBits(history_bits)
+{
+    if (!isPowerOfTwo(entries))
+        fatal("gshare table size %llu not a power of two",
+              static_cast<unsigned long long>(entries));
+    if (history_bits > 32)
+        fatal("gshare history of %u bits is unreasonable",
+              history_bits);
+    _indexBits = floorLog2(entries);
+    _counters.assign(entries, SatCounter(2, 2));
+}
+
+std::uint64_t
+GsharePredictor::indexOf(Addr pc) const
+{
+    return ((pc >> 2) ^ (_history & lowMask(_historyBits))) &
+           lowMask(_indexBits);
+}
+
+bool
+GsharePredictor::predictTaken(Addr pc)
+{
+    return _counters[indexOf(pc)].isConfident();
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    SatCounter &counter = _counters[indexOf(pc)];
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+    _history = (_history << 1) | (taken ? 1u : 0u);
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &counter : _counters)
+        counter = SatCounter(2, 2);
+    _history = 0;
+}
+
+std::string
+GsharePredictor::name() const
+{
+    return "gshare" + std::to_string(_historyBits) + "-" +
+           std::to_string(_counters.size());
+}
+
+} // namespace ibp

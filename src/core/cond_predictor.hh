@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Conditional-branch predictors.
+ *
+ * The paper takes conditional predictability as given (97% hit rates
+ * per [YP93]) and dedicates all resources to indirect branches; we
+ * implement the classic schemes anyway so the section 1 overhead
+ * analysis (bench/intro_overhead) can use *measured* conditional
+ * rates on the same traces instead of an assumed constant:
+ *
+ *  - BimodalPredictor: per-address two-bit saturating counters;
+ *  - GsharePredictor: global outcome history xored into the index
+ *    [McFar93], the design whose indirect-branch analogue is the
+ *    Target Cache [CHP97].
+ */
+
+#ifndef IBP_CORE_COND_PREDICTOR_HH
+#define IBP_CORE_COND_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/sat_counter.hh"
+
+namespace ibp {
+
+/** Taken/not-taken predictor interface. */
+class ConditionalPredictor
+{
+  public:
+    virtual ~ConditionalPredictor() = default;
+
+    /** Predict the outcome of the conditional branch at @p pc. */
+    virtual bool predictTaken(Addr pc) = 0;
+
+    /** Commit the resolved outcome. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    virtual void reset() = 0;
+    virtual std::string name() const = 0;
+};
+
+/** Per-address two-bit counters (tagless). */
+class BimodalPredictor : public ConditionalPredictor
+{
+  public:
+    explicit BimodalPredictor(std::uint64_t entries = 4096);
+
+    bool predictTaken(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    std::uint64_t indexOf(Addr pc) const;
+
+    unsigned _indexBits;
+    std::vector<SatCounter> _counters;
+};
+
+/** Global-history gshare with two-bit counters. */
+class GsharePredictor : public ConditionalPredictor
+{
+  public:
+    GsharePredictor(unsigned historyBits = 12,
+                    std::uint64_t entries = 4096);
+
+    bool predictTaken(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+
+    std::uint64_t history() const { return _history; }
+
+  private:
+    std::uint64_t indexOf(Addr pc) const;
+
+    unsigned _historyBits;
+    unsigned _indexBits;
+    std::uint64_t _history = 0;
+    std::vector<SatCounter> _counters;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_COND_PREDICTOR_HH

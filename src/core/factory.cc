@@ -1,0 +1,213 @@
+#include "core/factory.hh"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+TwoLevelConfig
+paperTwoLevel(unsigned pathLength, const TableSpec &table)
+{
+    TwoLevelConfig config;
+    config.pattern.pathLength = pathLength;
+    config.pattern.precision = PrecisionMode::Limited;
+    config.pattern.bitsPerTarget = 0; // auto: b*p <= 24
+    config.pattern.lowBit = 2;
+    config.pattern.compressor = CompressorKind::BitSelect;
+    config.pattern.interleave = InterleaveKind::Reverse;
+    config.pattern.keyMix = KeyMix::Xor;
+    config.pattern.tableSharing = 2;
+    config.historySharing = 32;
+    config.table = table;
+    config.hysteresis = true;
+    return config;
+}
+
+TwoLevelConfig
+unconstrainedTwoLevel(unsigned pathLength, unsigned historySharing,
+                      unsigned tableSharing)
+{
+    TwoLevelConfig config;
+    config.pattern.pathLength = pathLength;
+    config.pattern.precision = PrecisionMode::Full;
+    config.pattern.tableSharing = tableSharing;
+    config.historySharing = historySharing;
+    config.table = TableSpec::unconstrained();
+    config.hysteresis = true;
+    return config;
+}
+
+HybridConfig
+paperHybrid(unsigned firstPath, unsigned secondPath,
+            const TableSpec &componentTable)
+{
+    return HybridConfig::twoComponent(
+        paperTwoLevel(firstPath, componentTable),
+        paperTwoLevel(secondPath, componentTable));
+}
+
+TableSpec
+parseTableSpec(const std::string &text)
+{
+    if (text == "unconstrained")
+        return TableSpec::unconstrained();
+
+    const auto colon = text.find(':');
+    if (colon == std::string::npos)
+        fatal("table spec '%s': expected kind:entries", text.c_str());
+    const std::string kind = text.substr(0, colon);
+    const std::uint64_t entries =
+        std::strtoull(text.c_str() + colon + 1, nullptr, 10);
+    if (entries == 0)
+        fatal("table spec '%s': bad entry count", text.c_str());
+
+    if (kind == "fullassoc")
+        return TableSpec::fullyAssoc(entries);
+    if (kind == "tagless")
+        return TableSpec::tagless(entries);
+    if (kind.rfind("assoc", 0) == 0) {
+        const unsigned ways = static_cast<unsigned>(
+            std::strtoul(kind.c_str() + 5, nullptr, 10));
+        if (ways == 0)
+            fatal("table spec '%s': bad associativity", text.c_str());
+        return TableSpec::setAssoc(entries, ways);
+    }
+    fatal("table spec '%s': unknown kind '%s'", text.c_str(),
+          kind.c_str());
+}
+
+namespace {
+
+using Options = std::map<std::string, std::string>;
+
+Options
+parseOptions(const std::string &text)
+{
+    Options options;
+    std::stringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("predictor option '%s': expected key=value",
+                  item.c_str());
+        options[item.substr(0, eq)] = item.substr(eq + 1);
+    }
+    return options;
+}
+
+unsigned
+toUnsigned(const Options &options, const std::string &key,
+           unsigned fallback)
+{
+    const auto it = options.find(key);
+    if (it == options.end())
+        return fallback;
+    return static_cast<unsigned>(
+        std::strtoul(it->second.c_str(), nullptr, 10));
+}
+
+std::string
+toText(const Options &options, const std::string &key,
+       const std::string &fallback)
+{
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+}
+
+InterleaveKind
+parseInterleave(const std::string &name)
+{
+    if (name == "concat")   return InterleaveKind::Concat;
+    if (name == "straight") return InterleaveKind::Straight;
+    if (name == "reverse")  return InterleaveKind::Reverse;
+    if (name == "pingpong") return InterleaveKind::PingPong;
+    fatal("unknown interleave kind '%s'", name.c_str());
+}
+
+CompressorKind
+parseCompressor(const std::string &name)
+{
+    if (name == "select")   return CompressorKind::BitSelect;
+    if (name == "fold")     return CompressorKind::FoldXor;
+    if (name == "shiftxor") return CompressorKind::ShiftXor;
+    fatal("unknown compressor kind '%s'", name.c_str());
+}
+
+TwoLevelConfig
+twoLevelFromOptions(const Options &options)
+{
+    const std::string table_text =
+        toText(options, "table", "unconstrained");
+    const std::string precision =
+        toText(options, "precision",
+               table_text == "unconstrained" ? "full" : "limited");
+
+    TwoLevelConfig config;
+    if (precision == "full") {
+        config = unconstrainedTwoLevel(toUnsigned(options, "p", 3),
+                                       toUnsigned(options, "s", 32),
+                                       toUnsigned(options, "h", 2));
+        config.table = parseTableSpec(table_text);
+    } else {
+        config = paperTwoLevel(toUnsigned(options, "p", 3),
+                               parseTableSpec(table_text));
+        config.historySharing = toUnsigned(options, "s", 32);
+        config.pattern.tableSharing = toUnsigned(options, "h", 2);
+        config.pattern.bitsPerTarget = toUnsigned(options, "b", 0);
+        config.pattern.lowBit = toUnsigned(options, "a", 2);
+        config.pattern.interleave =
+            parseInterleave(toText(options, "interleave", "reverse"));
+        config.pattern.compressor =
+            parseCompressor(toText(options, "compressor", "select"));
+        config.pattern.keyMix = toText(options, "mix", "xor") == "xor"
+                                    ? KeyMix::Xor
+                                    : KeyMix::Concat;
+    }
+    config.hysteresis = toUnsigned(options, "2bc", 1) != 0;
+    config.confidenceBits = toUnsigned(options, "conf", 2);
+    return config;
+}
+
+} // namespace
+
+std::unique_ptr<IndirectPredictor>
+makePredictorFromSpec(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    const std::string head = spec.substr(0, colon);
+    const Options options = parseOptions(
+        colon == std::string::npos ? "" : spec.substr(colon + 1));
+
+    if (head == "btb" || head == "btb2bc") {
+        const TableSpec table =
+            parseTableSpec(toText(options, "table", "unconstrained"));
+        return std::make_unique<BtbPredictor>(table, head == "btb2bc");
+    }
+    if (head == "twolevel") {
+        return std::make_unique<TwoLevelPredictor>(
+            twoLevelFromOptions(options));
+    }
+    if (head == "hybrid") {
+        Options first = options;
+        Options second = options;
+        first["p"] = toText(options, "p1", "3");
+        second["p"] = toText(options, "p2", "7");
+        HybridConfig config = HybridConfig::twoComponent(
+            twoLevelFromOptions(first), twoLevelFromOptions(second));
+        config.confidenceBits = toUnsigned(options, "conf", 2);
+        if (toText(options, "meta", "confidence") == "selector")
+            config.meta = MetaKind::Selector;
+        return std::make_unique<HybridPredictor>(config);
+    }
+    fatal("unknown predictor kind '%s' in spec '%s'", head.c_str(),
+          spec.c_str());
+}
+
+} // namespace ibp

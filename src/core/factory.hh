@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Convenience constructors and a textual predictor-spec parser.
+ *
+ * The "paper defaults" follow the choices the paper converges on:
+ * global history (s=31), per-address tables (h=2), bit-select
+ * compression from bit 2 with the largest b such that b*p <= 24,
+ * reverse interleaving, xor key mixing, and the two-bit-counter
+ * update rule.
+ *
+ * The spec parser understands strings such as:
+ *
+ *   btb
+ *   btb2bc
+ *   twolevel:p=3,table=assoc4:1024
+ *   twolevel:p=8,s=32,h=2,precision=full,table=unconstrained
+ *   twolevel:p=5,table=tagless:4096,interleave=concat,mix=concat
+ *   hybrid:p1=3,p2=7,table=assoc2:2048,conf=2
+ *
+ * which the explore_predictors example and tests use.
+ */
+
+#ifndef IBP_CORE_FACTORY_HH
+#define IBP_CORE_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/btb.hh"
+#include "core/hybrid.hh"
+#include "core/two_level.hh"
+
+namespace ibp {
+
+/** A two-level config with the paper's converged defaults. */
+TwoLevelConfig paperTwoLevel(unsigned pathLength, const TableSpec &table);
+
+/** Unconstrained full-precision config (section 3 experiments). */
+TwoLevelConfig unconstrainedTwoLevel(unsigned pathLength,
+                                     unsigned historySharing = 32,
+                                     unsigned tableSharing = 2);
+
+/**
+ * The paper's two-component hybrid: components share the organisation
+ * of @p componentTable (each component gets its own table of that
+ * size, so total capacity is twice the component size).
+ */
+HybridConfig paperHybrid(unsigned firstPath, unsigned secondPath,
+                         const TableSpec &componentTable);
+
+/** Parse a textual predictor spec; calls fatal() on bad syntax. */
+std::unique_ptr<IndirectPredictor>
+makePredictorFromSpec(const std::string &spec);
+
+/** Parse a table spec like "assoc4:1024", "tagless:512",
+ * "fullassoc:256" or "unconstrained". */
+TableSpec parseTableSpec(const std::string &text);
+
+} // namespace ibp
+
+#endif // IBP_CORE_FACTORY_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded fully-associative table with LRU replacement (section 5.1).
+ *
+ * Introduces capacity misses: when the working set of history
+ * patterns exceeds the table size, the least-recently-used pattern is
+ * evicted. probe() does not touch recency; access() moves the entry
+ * to the MRU position, matching the paper's trace-driven usage where
+ * every lookup is followed by an update of the same key.
+ */
+
+#ifndef IBP_CORE_FULLY_ASSOC_TABLE_HH
+#define IBP_CORE_FULLY_ASSOC_TABLE_HH
+
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "core/table.hh"
+#include "util/logging.hh"
+
+namespace ibp {
+
+class FullyAssocTable : public TargetTable
+{
+  public:
+    FullyAssocTable(std::uint64_t entries, EntryCounterSpec counters = {})
+        : _capacity(entries), _counters(counters)
+    {
+        IBP_ASSERT(entries >= 1, "fully-assoc table needs >= 1 entry");
+    }
+
+    const TableEntry *
+    probe(const Key &key) const override
+    {
+        const auto it = _index.find(key);
+        return it == _index.end() ? nullptr : &it->second->second;
+    }
+
+    TableEntry &
+    access(const Key &key, bool &replaced) override
+    {
+        const auto it = _index.find(key);
+        if (it != _index.end()) {
+            // Touch: move to the MRU (front) position.
+            _lru.splice(_lru.begin(), _lru, it->second);
+            replaced = false;
+            return it->second->second;
+        }
+        if (_lru.size() >= _capacity) {
+            // Evict the LRU (back) entry.
+            _index.erase(_lru.back().first);
+            _lru.pop_back();
+        }
+        _lru.emplace_front(key, TableEntry{});
+        _lru.front().second.resetFor(_counters.confidenceBits,
+                                     _counters.chosenBits);
+        _index[key] = _lru.begin();
+        replaced = true;
+        return _lru.front().second;
+    }
+
+    std::uint64_t
+    occupancy() const override
+    {
+        return _lru.size();
+    }
+
+    std::uint64_t capacity() const override { return _capacity; }
+
+    void
+    reset() override
+    {
+        _lru.clear();
+        _index.clear();
+    }
+
+    std::string name() const override { return "fullassoc"; }
+
+  private:
+    using LruList = std::list<std::pair<Key, TableEntry>>;
+
+    std::uint64_t _capacity;
+    EntryCounterSpec _counters;
+    LruList _lru;
+    std::unordered_map<Key, LruList::iterator, KeyHash> _index;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_FULLY_ASSOC_TABLE_HH

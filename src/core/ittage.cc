@@ -1,0 +1,224 @@
+#include "core/ittage.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+std::string
+IttageConfig::describe() const
+{
+    std::ostringstream out;
+    out << "ittage[base=" << baseEntries << ",comp="
+        << componentEntries << "x" << historyLengths.size() << ",L=";
+    for (std::size_t i = 0; i < historyLengths.size(); ++i) {
+        if (i)
+            out << '/';
+        out << historyLengths[i];
+    }
+    out << ']';
+    return out.str();
+}
+
+IttagePredictor::IttagePredictor(const IttageConfig &config)
+    : _config(config), _allocRng(0x1774A6Eu)
+{
+    if (!isPowerOfTwo(config.baseEntries) ||
+        !isPowerOfTwo(config.componentEntries))
+        fatal("ittage table sizes must be powers of two");
+    if (config.historyLengths.empty() ||
+        config.historyLengths.back() > 64)
+        fatal("ittage history lengths must be 1..64");
+    _base.resize(config.baseEntries);
+    _components.assign(config.historyLengths.size(), {});
+    for (auto &component : _components)
+        component.resize(config.componentEntries);
+}
+
+std::uint64_t
+IttagePredictor::foldedHistory(unsigned length, unsigned bits) const
+{
+    return xorFold(_pathHistory & lowMask(length), bits);
+}
+
+std::uint64_t
+IttagePredictor::componentIndex(unsigned component, Addr pc) const
+{
+    const unsigned bits = floorLog2(_config.componentEntries);
+    const unsigned length = _config.historyLengths[component];
+    const std::uint64_t mixed =
+        (pc >> 2) ^ foldedHistory(length, bits) ^
+        (static_cast<std::uint64_t>(component) * 0x9e3779b9u);
+    return mixed & lowMask(bits);
+}
+
+std::uint32_t
+IttagePredictor::componentTag(unsigned component, Addr pc) const
+{
+    const unsigned length = _config.historyLengths[component];
+    const std::uint64_t mixed =
+        mix64((pc >> 2) ^
+              (foldedHistory(length, _config.tagBits + 3) << 7) ^
+              (static_cast<std::uint64_t>(component) << 27));
+    return static_cast<std::uint32_t>(mixed &
+                                      lowMask(_config.tagBits));
+}
+
+IttagePredictor::Lookup
+IttagePredictor::lookup(Addr pc)
+{
+    Lookup result;
+    // Longest history first.
+    for (int c = static_cast<int>(_components.size()) - 1; c >= 0;
+         --c) {
+        const std::uint64_t index =
+            componentIndex(static_cast<unsigned>(c), pc);
+        const std::uint32_t tag =
+            componentTag(static_cast<unsigned>(c), pc);
+        const TaggedEntry &entry = _components[c][index];
+        if (entry.valid && entry.tag == tag) {
+            result.component = c;
+            result.target = entry.target;
+            result.valid = true;
+            result.index = index;
+            result.tag = tag;
+            return result;
+        }
+    }
+    const BaseEntry &base =
+        _base[(pc >> 2) & lowMask(floorLog2(_config.baseEntries))];
+    if (base.valid) {
+        result.component = -1;
+        result.target = base.target;
+        result.valid = true;
+    }
+    return result;
+}
+
+Prediction
+IttagePredictor::predict(Addr pc)
+{
+    const Lookup hit = lookup(pc);
+    if (!hit.valid)
+        return Prediction{};
+    return Prediction{true, hit.target, 0};
+}
+
+void
+IttagePredictor::update(Addr pc, Addr actual)
+{
+    const Lookup hit = lookup(pc);
+    const bool correct = hit.valid && hit.target == actual;
+
+    // Update the provider.
+    if (hit.valid && hit.component >= 0) {
+        TaggedEntry &entry = _components[hit.component][hit.index];
+        if (entry.target == actual) {
+            entry.confidence.increment();
+            entry.useful = true;
+        } else {
+            entry.confidence.decrement();
+            if (entry.confidence.value() == 0) {
+                entry.target = actual;
+                entry.useful = false;
+            }
+        }
+    }
+
+    // Base table always trains (it is the fallback).
+    BaseEntry &base =
+        _base[(pc >> 2) & lowMask(floorLog2(_config.baseEntries))];
+    if (!base.valid) {
+        base.valid = true;
+        base.target = actual;
+    } else if (base.target == actual) {
+        base.hysteresis.hit();
+    } else if (base.hysteresis.miss()) {
+        base.target = actual;
+    }
+
+    // Allocate in one longer component on a misprediction.
+    if (!correct) {
+        const int first = hit.component + 1; // -1 -> 0
+        std::vector<int> candidates;
+        for (int c = first;
+             c < static_cast<int>(_components.size()); ++c) {
+            const std::uint64_t index =
+                componentIndex(static_cast<unsigned>(c), pc);
+            TaggedEntry &victim = _components[c][index];
+            if (!victim.valid || !victim.useful)
+                candidates.push_back(c);
+        }
+        if (!candidates.empty()) {
+            // Prefer the shortest candidate, with a little
+            // randomisation to avoid ping-pong (as in TAGE).
+            const int pick =
+                candidates[_allocRng.nextBool(0.75)
+                               ? 0
+                               : _allocRng.nextBelow(
+                                     candidates.size())];
+            const std::uint64_t index =
+                componentIndex(static_cast<unsigned>(pick), pc);
+            TaggedEntry &entry = _components[pick][index];
+            entry.valid = true;
+            entry.tag = componentTag(static_cast<unsigned>(pick), pc);
+            entry.target = actual;
+            entry.confidence = SatCounter(2);
+            entry.useful = false;
+        } else {
+            // No room: age the useful bits along the allocation path.
+            for (int c = first;
+                 c < static_cast<int>(_components.size()); ++c) {
+                const std::uint64_t index =
+                    componentIndex(static_cast<unsigned>(c), pc);
+                _components[c][index].useful = false;
+            }
+        }
+    }
+
+    // Shift two folded target bits into the path history (folding
+    // keeps every target bit relevant, unlike raw low-bit slices).
+    _pathHistory = (_pathHistory << 2) | xorFold(actual >> 2, 2);
+}
+
+void
+IttagePredictor::reset()
+{
+    for (auto &entry : _base)
+        entry = BaseEntry{};
+    for (auto &component : _components) {
+        for (auto &entry : component)
+            entry = TaggedEntry{};
+    }
+    _pathHistory = 0;
+    _allocRng = Rng(0x1774A6Eu);
+}
+
+std::string
+IttagePredictor::name() const
+{
+    return _config.describe();
+}
+
+std::uint64_t
+IttagePredictor::tableCapacity() const
+{
+    return _config.baseEntries +
+           _config.componentEntries * _components.size();
+}
+
+std::uint64_t
+IttagePredictor::tableOccupancy() const
+{
+    std::uint64_t count = 0;
+    for (const auto &entry : _base)
+        count += entry.valid ? 1 : 0;
+    for (const auto &component : _components) {
+        for (const auto &entry : component)
+            count += entry.valid ? 1 : 0;
+    }
+    return count;
+}
+
+} // namespace ibp

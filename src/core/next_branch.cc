@@ -1,0 +1,69 @@
+#include "core/next_branch.hh"
+
+namespace ibp {
+
+namespace {
+
+PatternSpec
+fullPrecisionSpec(unsigned path_length)
+{
+    PatternSpec spec;
+    spec.pathLength = path_length;
+    spec.precision = PrecisionMode::Full;
+    return spec;
+}
+
+} // namespace
+
+NextBranchPredictor::NextBranchPredictor(unsigned path_length,
+                                         bool hysteresis)
+    : _hysteresis(hysteresis),
+      _builder(fullPrecisionSpec(path_length)),
+      _history(path_length, 32)
+{
+}
+
+NextBranchPrediction
+NextBranchPredictor::predict(Addr pc)
+{
+    const Key key = _builder.buildKey(pc, _history.buffer(pc));
+    const auto it = _entries.find(key);
+    if (it == _entries.end())
+        return NextBranchPrediction{};
+    return NextBranchPrediction{true, it->second.target,
+                                it->second.nextPc};
+}
+
+void
+NextBranchPredictor::update(Addr pc, Addr actual, Addr next_pc)
+{
+    const Key key = _builder.buildKey(pc, _history.buffer(pc));
+    auto [it, inserted] = _entries.try_emplace(key);
+    Entry &entry = it->second;
+    if (inserted) {
+        entry.target = actual;
+        entry.nextPc = next_pc;
+    } else if (entry.target == actual && entry.nextPc == next_pc) {
+        entry.hysteresis.hit();
+    } else if (!_hysteresis || entry.hysteresis.miss()) {
+        entry.target = actual;
+        entry.nextPc = next_pc;
+    }
+    _history.push(pc, actual);
+}
+
+void
+NextBranchPredictor::reset()
+{
+    _entries.clear();
+    _history.reset();
+}
+
+std::string
+NextBranchPredictor::name() const
+{
+    return "nextbranch[p=" +
+           std::to_string(_builder.spec().pathLength) + "]";
+}
+
+} // namespace ibp

@@ -1,0 +1,259 @@
+#include "core/pattern.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+std::string
+toString(PrecisionMode mode)
+{
+    return mode == PrecisionMode::Full ? "full" : "limited";
+}
+
+std::string
+toString(CompressorKind kind)
+{
+    switch (kind) {
+      case CompressorKind::BitSelect: return "select";
+      case CompressorKind::FoldXor:   return "fold";
+      case CompressorKind::ShiftXor:  return "shiftxor";
+    }
+    return "?";
+}
+
+std::string
+toString(InterleaveKind kind)
+{
+    switch (kind) {
+      case InterleaveKind::Concat:   return "concat";
+      case InterleaveKind::Straight: return "straight";
+      case InterleaveKind::Reverse:  return "reverse";
+      case InterleaveKind::PingPong: return "pingpong";
+    }
+    return "?";
+}
+
+std::string
+toString(KeyMix mix)
+{
+    return mix == KeyMix::Concat ? "concat" : "xor";
+}
+
+unsigned
+PatternSpec::resolvedBitsPerTarget() const
+{
+    if (precision == PrecisionMode::Full)
+        return 32;
+    if (bitsPerTarget != 0)
+        return bitsPerTarget;
+    if (pathLength == 0)
+        return 0;
+    // The paper's rule: the largest b such that b * p <= 24, at
+    // least 1 bit per target (section 4.1).
+    return std::max(1u, 24u / pathLength);
+}
+
+unsigned
+PatternSpec::patternBits() const
+{
+    if (pathLength == 0)
+        return 0;
+    return resolvedBitsPerTarget() * pathLength;
+}
+
+void
+PatternSpec::validate() const
+{
+    if (tableSharing < 2 || tableSharing > 32)
+        fatal("table sharing h=%u outside [2, 32]", tableSharing);
+    if (lowBit > 30)
+        fatal("low bit a=%u outside [0, 30]", lowBit);
+    if (precision == PrecisionMode::Limited) {
+        if (pathLength > 24)
+            fatal("limited-precision path length p=%u > 24", pathLength);
+        const unsigned bits = patternBits();
+        if (bits > 54)
+            fatal("pattern of %u bits does not fit a 54-bit key", bits);
+        if (keyMix == KeyMix::Concat && bits + 30 > 64)
+            fatal("pattern of %u bits + 30 address bits exceeds 64",
+                  bits);
+    } else {
+        if (pathLength > 64)
+            fatal("path length p=%u unreasonably long", pathLength);
+    }
+}
+
+std::string
+PatternSpec::describe() const
+{
+    std::ostringstream out;
+    out << "p=" << pathLength;
+    if (precision == PrecisionMode::Full) {
+        out << ",full";
+    } else {
+        out << ",b=" << resolvedBitsPerTarget()
+            << ",a=" << lowBit
+            << ',' << toString(compressor)
+            << ',' << toString(interleave)
+            << ",mix=" << toString(keyMix);
+    }
+    if (tableSharing != 2)
+        out << ",h=" << tableSharing;
+    if (!includeBranchAddress)
+        out << ",noaddr";
+    return out.str();
+}
+
+PatternBuilder::PatternBuilder(const PatternSpec &spec)
+    : _spec(spec), _bits(spec.resolvedBitsPerTarget())
+{
+    _spec.validate();
+}
+
+std::uint64_t
+PatternBuilder::compressTarget(Addr target) const
+{
+    switch (_spec.compressor) {
+      case CompressorKind::BitSelect:
+        return bitsRange(target, _spec.lowBit, _bits);
+      case CompressorKind::FoldXor:
+        // Fold the address above the alignment bits so the constant
+        // zero bits 0..1 do not dilute the result.
+        return xorFold(target >> 2, _bits);
+      case CompressorKind::ShiftXor:
+        // Elements are not compressed individually in this scheme.
+        return target;
+    }
+    panic("unreachable compressor kind");
+}
+
+std::uint64_t
+PatternBuilder::interleavedPattern(const HistoryBuffer &history) const
+{
+    const unsigned p = _spec.pathLength;
+    const unsigned total = _bits * p;
+
+    // Compress each of the p most recent targets once.
+    std::array<std::uint64_t, 64> compressed{};
+    IBP_ASSERT(p <= compressed.size(), "path length %u", p);
+    for (unsigned i = 0; i < p; ++i)
+        compressed[i] = compressTarget(history.at(i));
+
+    if (_spec.interleave == InterleaveKind::Concat) {
+        // Newest target (index 0) in the least-significant bits.
+        std::uint64_t pattern = 0;
+        for (unsigned i = 0; i < p; ++i)
+            pattern |= compressed[i] << (i * _bits);
+        return pattern;
+    }
+
+    // Round-robin bit assembly (Figure 15). Within each round the
+    // targets contribute one bit each, in scheme order; the pattern is
+    // filled LSB-first, so the ordering decides which targets are
+    // represented most precisely in the low-order (index) bits.
+    std::array<unsigned, 64> order{};
+    switch (_spec.interleave) {
+      case InterleaveKind::Straight:
+        // Most recent targets first (most precise in the index).
+        for (unsigned q = 0; q < p; ++q)
+            order[q] = q;
+        break;
+      case InterleaveKind::Reverse:
+        // Oldest targets first.
+        for (unsigned q = 0; q < p; ++q)
+            order[q] = p - 1 - q;
+        break;
+      case InterleaveKind::PingPong:
+        // Alternate newest, oldest, second-newest, second-oldest, ...
+        for (unsigned q = 0; q < p; ++q)
+            order[q] = (q % 2 == 0) ? q / 2 : p - 1 - q / 2;
+        break;
+      case InterleaveKind::Concat:
+        panic("unreachable interleave kind");
+    }
+
+    std::uint64_t pattern = 0;
+    for (unsigned j = 0; j < total; ++j) {
+        const unsigned round = j / p;
+        const unsigned slot = j % p;
+        const std::uint64_t bit =
+            (compressed[order[slot]] >> round) & 1;
+        pattern |= bit << j;
+    }
+    return pattern;
+}
+
+std::uint64_t
+PatternBuilder::shiftXorPattern(const HistoryBuffer &history) const
+{
+    // Oldest to newest: shift left by b and xor in the whole target,
+    // truncated to the pattern width (section 4.1, second variant).
+    const unsigned p = _spec.pathLength;
+    const std::uint64_t mask = lowMask(std::min(_spec.patternBits(),
+                                                54u));
+    std::uint64_t pattern = 0;
+    for (unsigned i = p; i-- > 0;) {
+        pattern = ((pattern << _bits) ^ (history.at(i) >> 2)) & mask;
+    }
+    return pattern;
+}
+
+std::uint64_t
+PatternBuilder::assemblePattern(const HistoryBuffer &history) const
+{
+    IBP_ASSERT(_spec.precision == PrecisionMode::Limited,
+               "assemblePattern in full-precision mode");
+    IBP_ASSERT(history.depth() >= _spec.pathLength,
+               "history depth %u < path length %u", history.depth(),
+               _spec.pathLength);
+    if (_spec.pathLength == 0)
+        return 0;
+    if (_spec.compressor == CompressorKind::ShiftXor)
+        return shiftXorPattern(history);
+    return interleavedPattern(history);
+}
+
+Key
+PatternBuilder::buildKey(Addr pc, const HistoryBuffer &history) const
+{
+    // The address part of the key: bits h.. of the branch address
+    // (h = 2 keeps the full word-aligned address and gives the
+    // per-address tables the paper settles on).
+    const std::uint64_t addr_part =
+        _spec.tableSharing >= 32 ? 0 : (pc >> _spec.tableSharing);
+
+    if (_spec.precision == PrecisionMode::Full) {
+        // Exact (hashed) key over the address part and the p most
+        // recent full targets.
+        std::array<std::uint64_t, 66> words{};
+        unsigned count = 0;
+        if (_spec.includeBranchAddress)
+            words[count++] = addr_part;
+        for (unsigned i = 0; i < _spec.pathLength; ++i)
+            words[count++] = history.at(i);
+        return makeHashedKey(words.data(), count);
+    }
+
+    const std::uint64_t pattern = assemblePattern(history);
+    if (!_spec.includeBranchAddress)
+        return makeExactKey(pattern);
+
+    const std::uint64_t addr30 = addr_part & lowMask(30);
+    if (_spec.keyMix == KeyMix::Xor)
+        return makeExactKey(pattern ^ addr30);
+    return makeExactKey((pattern << 30) | addr30);
+}
+
+unsigned
+PatternBuilder::indexBits(std::uint64_t sets)
+{
+    IBP_ASSERT(isPowerOfTwo(sets), "table sets %llu not a power of two",
+               static_cast<unsigned long long>(sets));
+    return floorLog2(sets);
+}
+
+} // namespace ibp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Second-level key formation: compress the target-address history
+ * into a pattern and mix it with the branch address.
+ *
+ * This implements the paper's sections 3.2.2 (history-table sharing
+ * parameter h), 4.1 (history-pattern compression: bit selection from
+ * bit a=2, xor-folding, shift-xor), 4.2 (concatenating vs xor-ing the
+ * branch address, the "gshare analogy"), and 5.2.1 (concatenation vs
+ * straight / reverse / ping-pong interleaving of target bits, which
+ * determines which bits land in the index part of the key).
+ */
+
+#ifndef IBP_CORE_PATTERN_HH
+#define IBP_CORE_PATTERN_HH
+
+#include <string>
+
+#include "core/history_register.hh"
+#include "core/key.hh"
+#include "util/bits.hh"
+
+namespace ibp {
+
+/** Full 32-bit targets (section 3) or b-bit compressed (section 4). */
+enum class PrecisionMode { Full, Limited };
+
+/** How a target address is reduced to b bits (section 4.1). */
+enum class CompressorKind
+{
+    /** Select bits [a .. a+b-1]; the paper's winning scheme. */
+    BitSelect,
+    /** Xor-fold the whole address into b bits (rejected variant). */
+    FoldXor,
+    /** Shift pattern left b bits, xor in the whole new target
+     *  (rejected variant; element order is fixed, so the
+     *  InterleaveKind does not apply). */
+    ShiftXor,
+};
+
+/** How per-target bit groups are assembled into the pattern. */
+enum class InterleaveKind
+{
+    /** Newest target in the least-significant b bits (section 5.2.1
+     *  shows this starves the index of older-target bits). */
+    Concat,
+    /** Round-robin, newest targets represented most precisely. */
+    Straight,
+    /** Round-robin, oldest targets most precise; the paper's pick. */
+    Reverse,
+    /** Round-robin from both ends (newest and oldest most precise). */
+    PingPong,
+};
+
+/** How the branch address is combined with the pattern (section 4.2). */
+enum class KeyMix
+{
+    /** key = pattern . addr - larger tags, slightly more accurate. */
+    Concat,
+    /** key = pattern xor addr - the gshare analogy; adopted. */
+    Xor,
+};
+
+/** Names for reporting. */
+std::string toString(PrecisionMode mode);
+std::string toString(CompressorKind kind);
+std::string toString(InterleaveKind kind);
+std::string toString(KeyMix mix);
+
+/**
+ * Complete key-formation recipe for a two-level predictor.
+ * Field semantics follow Table 4 of the paper.
+ */
+struct PatternSpec
+{
+    /** Path length p: number of history targets in the pattern. */
+    unsigned pathLength = 3;
+
+    PrecisionMode precision = PrecisionMode::Limited;
+
+    /**
+     * Bits per target b; 0 selects the paper's auto rule: the largest
+     * b with b * p <= 24 (and at least 1).
+     */
+    unsigned bitsPerTarget = 0;
+
+    /** First selected address bit a (word alignment makes 2 best). */
+    unsigned lowBit = 2;
+
+    CompressorKind compressor = CompressorKind::BitSelect;
+    InterleaveKind interleave = InterleaveKind::Reverse;
+    KeyMix keyMix = KeyMix::Xor;
+
+    /**
+     * History-table sharing h in [2, 32]: branches whose address bits
+     * h..31 agree share one history table. h = 2 gives per-address
+     * tables (the paper's winner), h >= 32 a single shared table.
+     */
+    unsigned tableSharing = 2;
+
+    /** Omitting the branch address is a rejected variant (3.3). */
+    bool includeBranchAddress = true;
+
+    /** The resolved b for this spec (applies the auto rule). */
+    unsigned resolvedBitsPerTarget() const;
+
+    /** Total pattern width b * p in bits (limited mode). */
+    unsigned patternBits() const;
+
+    /** Validate ranges; calls fatal() on user error. */
+    void validate() const;
+
+    /** Compact human-readable description. */
+    std::string describe() const;
+};
+
+/**
+ * Stateless key builder for one PatternSpec. Given a branch PC and
+ * its history buffer, produces the table lookup key.
+ */
+class PatternBuilder
+{
+  public:
+    explicit PatternBuilder(const PatternSpec &spec);
+
+    const PatternSpec &spec() const { return _spec; }
+
+    /** The b-bit compressed form of one target (BitSelect/FoldXor). */
+    std::uint64_t compressTarget(Addr target) const;
+
+    /**
+     * Assemble the limited-precision history pattern from the p most
+     * recent targets in @p history (history.depth() must be >= p).
+     */
+    std::uint64_t assemblePattern(const HistoryBuffer &history) const;
+
+    /** The full lookup key for branch @p pc under @p history. */
+    Key buildKey(Addr pc, const HistoryBuffer &history) const;
+
+    /**
+     * Number of low key bits that index a table of @p sets sets; the
+     * remaining bits form the tag. Exposed for documentation/tests.
+     */
+    static unsigned indexBits(std::uint64_t sets);
+
+  private:
+    std::uint64_t interleavedPattern(const HistoryBuffer &history) const;
+    std::uint64_t shiftXorPattern(const HistoryBuffer &history) const;
+
+    PatternSpec _spec;
+    unsigned _bits; // resolved bits per target
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_PATTERN_HH

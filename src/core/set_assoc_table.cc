@@ -1,0 +1,109 @@
+#include "core/set_assoc_table.hh"
+
+namespace ibp {
+
+SetAssocTable::SetAssocTable(std::uint64_t entries, unsigned ways,
+                             EntryCounterSpec counters)
+    : _ways(ways), _counters(counters)
+{
+    IBP_ASSERT(ways >= 1, "associativity must be >= 1");
+    IBP_ASSERT(entries >= ways && entries % ways == 0,
+               "entries %llu not a multiple of ways %u",
+               static_cast<unsigned long long>(entries), ways);
+    _sets = entries / ways;
+    IBP_ASSERT(isPowerOfTwo(_sets), "set count %llu not a power of two",
+               static_cast<unsigned long long>(_sets));
+    _indexBits = floorLog2(_sets);
+    _storage.resize(entries);
+}
+
+std::uint64_t
+SetAssocTable::indexOf(const Key &key) const
+{
+    return key.lo & lowMask(_indexBits);
+}
+
+std::uint64_t
+SetAssocTable::tagOf(const Key &key) const
+{
+    // Everything above the index bits participates in the tag. The
+    // 128-bit hashed keys of unconstrained predictors fold their high
+    // half in so full-precision patterns can also run on small tables.
+    return (key.lo >> _indexBits) ^ (key.hi * 0x9e3779b97f4a7c15ULL);
+}
+
+const TableEntry *
+SetAssocTable::probe(const Key &key) const
+{
+    const std::uint64_t set = indexOf(key);
+    const std::uint64_t tag = tagOf(key);
+    const Way *base = &_storage[set * _ways];
+    for (unsigned w = 0; w < _ways; ++w) {
+        const Way &way = base[w];
+        if (way.entry.valid && way.tag == tag)
+            return &way.entry;
+    }
+    return nullptr;
+}
+
+TableEntry &
+SetAssocTable::access(const Key &key, bool &replaced)
+{
+    const std::uint64_t set = indexOf(key);
+    const std::uint64_t tag = tagOf(key);
+    Way *base = &_storage[set * _ways];
+    ++_clock;
+
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < _ways; ++w) {
+        Way &way = base[w];
+        if (way.entry.valid && way.tag == tag) {
+            way.lastUse = _clock;
+            replaced = false;
+            return way.entry;
+        }
+        // Prefer an invalid way; otherwise the least recently used.
+        if (!way.entry.valid) {
+            if (victim->entry.valid || way.lastUse < victim->lastUse)
+                victim = &way;
+        } else if (victim->entry.valid &&
+                   way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+
+    victim->tag = tag;
+    victim->lastUse = _clock;
+    victim->entry.resetFor(_counters.confidenceBits,
+                           _counters.chosenBits);
+    replaced = true;
+    return victim->entry;
+}
+
+std::uint64_t
+SetAssocTable::occupancy() const
+{
+    std::uint64_t count = 0;
+    for (const auto &way : _storage)
+        count += way.entry.valid ? 1 : 0;
+    return count;
+}
+
+void
+SetAssocTable::reset()
+{
+    for (auto &way : _storage) {
+        way.tag = 0;
+        way.lastUse = 0;
+        way.entry = TableEntry{};
+    }
+    _clock = 0;
+}
+
+std::string
+SetAssocTable::name() const
+{
+    return "assoc" + std::to_string(_ways);
+}
+
+} // namespace ibp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Set-associative table with tags and per-set LRU (section 5.2).
+ *
+ * The low log2(sets) bits of the key select a set; the remaining key
+ * bits are stored as the tag. Conflict misses arise when more live
+ * patterns index into a set than it has ways. One-way associativity
+ * is a direct-mapped tagged table.
+ */
+
+#ifndef IBP_CORE_SET_ASSOC_TABLE_HH
+#define IBP_CORE_SET_ASSOC_TABLE_HH
+
+#include <vector>
+
+#include "core/table.hh"
+#include "util/logging.hh"
+
+namespace ibp {
+
+class SetAssocTable : public TargetTable
+{
+  public:
+    /**
+     * @param entries total entry count (power of two);
+     * @param ways    associativity (divides entries).
+     */
+    SetAssocTable(std::uint64_t entries, unsigned ways,
+                  EntryCounterSpec counters = {});
+
+    const TableEntry *probe(const Key &key) const override;
+    TableEntry &access(const Key &key, bool &replaced) override;
+
+    std::uint64_t occupancy() const override;
+    std::uint64_t capacity() const override { return _ways * _sets; }
+    void reset() override;
+    std::string name() const override;
+
+    unsigned ways() const { return _ways; }
+    std::uint64_t sets() const { return _sets; }
+
+    /** Set index / tag split, exposed for tests. */
+    std::uint64_t indexOf(const Key &key) const;
+    std::uint64_t tagOf(const Key &key) const;
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        TableEntry entry;
+    };
+
+    unsigned _ways;
+    std::uint64_t _sets;
+    unsigned _indexBits;
+    EntryCounterSpec _counters;
+    std::vector<Way> _storage; // _sets * _ways, set-major
+    std::uint64_t _clock = 0;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_SET_ASSOC_TABLE_HH

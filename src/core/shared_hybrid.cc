@@ -1,0 +1,213 @@
+#include "core/shared_hybrid.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+void
+SharedHybridConfig::validate() const
+{
+    if (pathLengths.size() < 2)
+        fatal("shared hybrid needs >= 2 components");
+    if (ways == 0 || entries % ways != 0 ||
+        !isPowerOfTwo(entries / ways))
+        fatal("shared hybrid table %llu/%u is malformed",
+              static_cast<unsigned long long>(entries), ways);
+}
+
+std::string
+SharedHybridConfig::describe() const
+{
+    std::ostringstream out;
+    out << "sharedhybrid[p=";
+    for (std::size_t i = 0; i < pathLengths.size(); ++i) {
+        if (i)
+            out << '.';
+        out << pathLengths[i];
+    }
+    out << ",assoc" << ways << '-' << entries << ",chosen"
+        << chosenBits << ']';
+    return out.str();
+}
+
+SharedHybridPredictor::SharedHybridPredictor(
+    const SharedHybridConfig &config)
+    : _config(config),
+      _history(*std::max_element(config.pathLengths.begin(),
+                                 config.pathLengths.end()),
+               32)
+{
+    _config.validate();
+    for (unsigned p : _config.pathLengths) {
+        PatternSpec spec;
+        spec.pathLength = p;
+        spec.interleave = InterleaveKind::Reverse;
+        spec.keyMix = KeyMix::Xor;
+        _builders.emplace_back(spec);
+    }
+    _sets = _config.entries / _config.ways;
+    _indexBits = floorLog2(_sets);
+    _storage.resize(_config.entries);
+    for (auto &way : _storage) {
+        way.confidence = SatCounter(_config.confidenceBits);
+        way.chosen = SatCounter(_config.chosenBits);
+    }
+}
+
+std::uint64_t
+SharedHybridPredictor::indexOf(std::uint64_t key) const
+{
+    return key & lowMask(_indexBits);
+}
+
+std::uint64_t
+SharedHybridPredictor::tagOf(std::uint64_t key) const
+{
+    return key >> _indexBits;
+}
+
+SharedHybridPredictor::Way *
+SharedHybridPredictor::find(std::uint64_t key)
+{
+    Way *base = &_storage[indexOf(key) * _config.ways];
+    const std::uint64_t tag = tagOf(key);
+    for (unsigned w = 0; w < _config.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+SharedHybridPredictor::Way &
+SharedHybridPredictor::victimFor(std::uint64_t key)
+{
+    Way *base = &_storage[indexOf(key) * _config.ways];
+    // Invalid first, then unchosen (recuperable), then LRU.
+    Way *victim = &base[0];
+    auto score = [](const Way &way) {
+        if (!way.valid)
+            return 0;
+        if (way.chosen.value() == 0)
+            return 1;
+        return 2;
+    };
+    for (unsigned w = 1; w < _config.ways; ++w) {
+        Way &way = base[w];
+        if (score(way) < score(*victim) ||
+            (score(way) == score(*victim) &&
+             way.lastUse < victim->lastUse)) {
+            victim = &way;
+        }
+    }
+    return *victim;
+}
+
+Prediction
+SharedHybridPredictor::predict(Addr pc)
+{
+    const HistoryBuffer &history = _history.buffer(pc);
+    _lastChosen = -1;
+    int best_confidence = -1;
+    Prediction best;
+    for (std::size_t c = 0; c < _builders.size(); ++c) {
+        const std::uint64_t key =
+            _builders[c].buildKey(pc, history).lo;
+        if (const Way *way = find(key)) {
+            const int confidence =
+                static_cast<int>(way->confidence.value());
+            if (confidence > best_confidence) {
+                best_confidence = confidence;
+                best = Prediction{true, way->target, confidence};
+                _lastChosen = static_cast<int>(c);
+            }
+        }
+    }
+    return best;
+}
+
+void
+SharedHybridPredictor::update(Addr pc, Addr actual)
+{
+    const HistoryBuffer &history = _history.buffer(pc);
+
+    // Which component would the metapredictor have used?
+    int used = -1, best_confidence = -1;
+    std::vector<std::uint64_t> keys(_builders.size());
+    for (std::size_t c = 0; c < _builders.size(); ++c) {
+        keys[c] = _builders[c].buildKey(pc, history).lo;
+        if (const Way *way = find(keys[c])) {
+            const int confidence =
+                static_cast<int>(way->confidence.value());
+            if (confidence > best_confidence) {
+                best_confidence = confidence;
+                used = static_cast<int>(c);
+            }
+        }
+    }
+
+    ++_clock;
+    for (std::size_t c = 0; c < _builders.size(); ++c) {
+        Way *way = find(keys[c]);
+        if (!way) {
+            Way &victim = victimFor(keys[c]);
+            victim.valid = true;
+            victim.tag = tagOf(keys[c]);
+            victim.target = actual;
+            victim.hysteresis.reset();
+            victim.confidence = SatCounter(_config.confidenceBits);
+            victim.chosen = SatCounter(_config.chosenBits);
+            victim.lastUse = _clock;
+            continue;
+        }
+        way->lastUse = _clock;
+        // The chosen counter tracks how often this entry's
+        // prediction was actually used by the hybrid.
+        if (static_cast<int>(c) == used)
+            way->chosen.increment();
+        else
+            way->chosen.decrement();
+        if (way->target == actual) {
+            way->hysteresis.hit();
+            way->confidence.increment();
+        } else {
+            way->confidence.decrement();
+            if (!_config.hysteresis || way->hysteresis.miss())
+                way->target = actual;
+        }
+    }
+
+    _history.push(pc, actual);
+}
+
+void
+SharedHybridPredictor::reset()
+{
+    for (auto &way : _storage) {
+        way = Way{};
+        way.confidence = SatCounter(_config.confidenceBits);
+        way.chosen = SatCounter(_config.chosenBits);
+    }
+    _history.reset();
+    _clock = 0;
+    _lastChosen = -1;
+}
+
+std::string
+SharedHybridPredictor::name() const
+{
+    return _config.describe();
+}
+
+std::uint64_t
+SharedHybridPredictor::tableOccupancy() const
+{
+    std::uint64_t count = 0;
+    for (const auto &way : _storage)
+        count += way.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace ibp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared-table hybrid predictor - the paper's future-work proposal
+ * (section 8.1): "the different components can use one shared table.
+ * Entries can be augmented with a 'chosen' counter, which keeps
+ * track of the number of times an entry's prediction is used by the
+ * hybrid predictor. This counter is consulted when updating table
+ * entries, so that seldom used entries can be recuperated by a
+ * different component, for better use of available hardware."
+ *
+ * Implementation: one set-associative table; each component (a
+ * short- and a long-path key former) probes it with its own key.
+ * Victim selection prefers invalid entries, then entries whose
+ * chosen counter is zero, then LRU - so the storage split between
+ * components floats with their usefulness instead of being fixed at
+ * half/half like the section 6 hybrid.
+ */
+
+#ifndef IBP_CORE_SHARED_HYBRID_HH
+#define IBP_CORE_SHARED_HYBRID_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/history_register.hh"
+#include "core/pattern.hh"
+#include "core/predictor.hh"
+#include "util/sat_counter.hh"
+
+namespace ibp {
+
+/** Configuration of the shared-table hybrid. */
+struct SharedHybridConfig
+{
+    /** Component path lengths, tie-break priority order. */
+    std::vector<unsigned> pathLengths = {3, 9};
+
+    /** Shared table geometry. */
+    std::uint64_t entries = 1024;
+    unsigned ways = 4;
+
+    /** Confidence / chosen counter widths. */
+    unsigned confidenceBits = 2;
+    unsigned chosenBits = 2;
+
+    bool hysteresis = true;
+
+    void validate() const;
+    std::string describe() const;
+};
+
+class SharedHybridPredictor : public IndirectPredictor
+{
+  public:
+    explicit SharedHybridPredictor(const SharedHybridConfig &config);
+
+    Prediction predict(Addr pc) override;
+    void update(Addr pc, Addr actual) override;
+    void reset() override;
+    std::string name() const override;
+
+    std::uint64_t tableCapacity() const override
+    {
+        return _config.entries;
+    }
+    std::uint64_t tableOccupancy() const override;
+
+    /** Component whose entry supplied the last prediction. */
+    int lastChosen() const { return _lastChosen; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        Addr target = 0;
+        HysteresisBit hysteresis;
+        SatCounter confidence;
+        SatCounter chosen;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t indexOf(std::uint64_t key) const;
+    std::uint64_t tagOf(std::uint64_t key) const;
+    Way *find(std::uint64_t key);
+    Way &victimFor(std::uint64_t key);
+
+    SharedHybridConfig _config;
+    std::vector<PatternBuilder> _builders;
+    HistoryRegister _history;
+    std::vector<Way> _storage;
+    std::uint64_t _sets = 0;
+    unsigned _indexBits = 0;
+    std::uint64_t _clock = 0;
+    int _lastChosen = -1;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_SHARED_HYBRID_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Second-level history tables.
+ *
+ * The paper explores four organisations (sections 3 and 5):
+ *  - unconstrained: unlimited fully-associative storage (section 3);
+ *  - bounded fully-associative with LRU replacement (section 5.1);
+ *  - set-associative with per-set LRU and tags (section 5.2);
+ *  - tagless: direct-mapped without tags, so a lookup always returns
+ *    whatever the indexed slot holds (positive/negative interference).
+ *
+ * All tables map a Key to a TableEntry holding the predicted target,
+ * the BTB-2bc hysteresis state, the hybrid confidence counter, and
+ * the future-work "chosen" counter.
+ */
+
+#ifndef IBP_CORE_TABLE_HH
+#define IBP_CORE_TABLE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/key.hh"
+#include "util/bits.hh"
+#include "util/sat_counter.hh"
+
+namespace ibp {
+
+/** One prediction entry. */
+struct TableEntry
+{
+    Addr target = 0;
+    bool valid = false;
+    /** BTB-2bc update rule state (replace target after 2 misses). */
+    HysteresisBit hysteresis;
+    /** Hybrid metaprediction confidence (section 6.1). */
+    SatCounter confidence;
+    /** Future-work "chosen" counter (section 8.1). */
+    SatCounter chosen;
+
+    /** Reinitialise for a new key (confidence resets to zero). */
+    void
+    resetFor(unsigned confidenceBits, unsigned chosenBits)
+    {
+        target = 0;
+        valid = false;
+        hysteresis.reset();
+        confidence = SatCounter(confidenceBits);
+        chosen = SatCounter(chosenBits);
+    }
+};
+
+/** Counter widths shared by all entries of a table. */
+struct EntryCounterSpec
+{
+    unsigned confidenceBits = 2;
+    unsigned chosenBits = 2;
+};
+
+/**
+ * Abstract target table.
+ *
+ * Protocol per dynamic branch (enforced by the predictors):
+ *   1. probe(key)  - read-only prediction lookup;
+ *   2. access(key) - after the branch resolves, find-or-allocate the
+ *      entry (touching replacement state); the caller then updates
+ *      target/hysteresis/confidence in place.
+ */
+class TargetTable
+{
+  public:
+    virtual ~TargetTable() = default;
+
+    /**
+     * Read-only lookup. Returns nullptr when no entry matches; for a
+     * tagless table, returns the indexed slot whenever it is valid
+     * (which is what makes interference possible).
+     */
+    virtual const TableEntry *probe(const Key &key) const = 0;
+
+    /**
+     * Find or allocate the entry for @p key, updating recency state.
+     * When a new entry is created (cold slot or eviction),
+     * @p replaced is set true and the entry arrives freshly reset
+     * with valid == false; the caller fills in the target.
+     */
+    virtual TableEntry &access(const Key &key, bool &replaced) = 0;
+
+    /** Number of valid entries currently stored. */
+    virtual std::uint64_t occupancy() const = 0;
+
+    /** Total entry capacity; 0 means unbounded. */
+    virtual std::uint64_t capacity() const = 0;
+
+    /** Forget everything. */
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_TABLE_HH

@@ -1,0 +1,87 @@
+#include "core/target_cache.hh"
+
+#include <sstream>
+
+namespace ibp {
+
+std::string
+TargetCacheConfig::describe() const
+{
+    std::ostringstream out;
+    out << "targetcache[gshare" << historyBits << ','
+        << table.describe();
+    if (!hysteresis)
+        out << ",no2bc";
+    out << ']';
+    return out.str();
+}
+
+TargetCachePredictor::TargetCachePredictor(
+    const TargetCacheConfig &config)
+    : _config(config), _table(makeTable(config.table))
+{
+    if (config.historyBits > 30)
+        fatal("target cache history of %u bits exceeds the key",
+              config.historyBits);
+}
+
+Key
+TargetCachePredictor::keyFor(Addr pc) const
+{
+    // gshare: xor the conditional-outcome history into the low
+    // branch-address bits.
+    const std::uint64_t addr = (pc >> 2) & lowMask(30);
+    return makeExactKey(addr ^
+                        (_history & lowMask(_config.historyBits)));
+}
+
+Prediction
+TargetCachePredictor::predict(Addr pc)
+{
+    const TableEntry *entry = _table->probe(keyFor(pc));
+    if (!entry || !entry->valid)
+        return Prediction{};
+    return Prediction{true, entry->target,
+                      static_cast<int>(entry->confidence.value())};
+}
+
+void
+TargetCachePredictor::update(Addr pc, Addr actual)
+{
+    bool replaced = false;
+    TableEntry &entry = _table->access(keyFor(pc), replaced);
+    if (replaced || !entry.valid) {
+        entry.target = actual;
+        entry.valid = true;
+        return;
+    }
+    if (entry.target == actual) {
+        entry.hysteresis.hit();
+        entry.confidence.increment();
+        return;
+    }
+    entry.confidence.decrement();
+    if (!_config.hysteresis || entry.hysteresis.miss())
+        entry.target = actual;
+}
+
+void
+TargetCachePredictor::observeConditional(Addr, bool taken, Addr)
+{
+    _history = (_history << 1) | (taken ? 1u : 0u);
+}
+
+void
+TargetCachePredictor::reset()
+{
+    _table->reset();
+    _history = 0;
+}
+
+std::string
+TargetCachePredictor::name() const
+{
+    return _config.describe();
+}
+
+} // namespace ibp

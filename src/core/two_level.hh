@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The paper's central contribution: a two-level indirect branch
+ * predictor with a path-based (target-address) first-level history.
+ *
+ * The first level keeps the last p indirect-branch targets per
+ * history set (sharing parameter s, section 3.2.1). The second level
+ * is a target table addressed by a key formed from the compressed
+ * history pattern and the branch address (sections 3.2.2, 4 and 5;
+ * see pattern.hh). Updates follow the two-bit-counter rule unless
+ * disabled.
+ *
+ * Two rejected section 3.3 variants are available behind flags so
+ * the negative results can be reproduced: including the *branch
+ * address* alongside each target in the history, and including the
+ * targets of taken conditional branches in the history.
+ */
+
+#ifndef IBP_CORE_TWO_LEVEL_HH
+#define IBP_CORE_TWO_LEVEL_HH
+
+#include <memory>
+#include <string>
+
+#include "core/history_register.hh"
+#include "core/pattern.hh"
+#include "core/predictor.hh"
+#include "core/table_spec.hh"
+
+namespace ibp {
+
+/** What gets shifted into the history per executed indirect branch. */
+enum class HistoryElement
+{
+    /** The resolved target only (the paper's choice). */
+    TargetOnly,
+    /** Branch address then target, as two elements (rejected 3.3). */
+    TargetAndAddress,
+};
+
+/** Full configuration of a two-level predictor. */
+struct TwoLevelConfig
+{
+    /** Key formation recipe (p, b, compressor, interleave, mix, h). */
+    PatternSpec pattern;
+
+    /** History-pattern sharing s in [2, 32]; 32 = global (paper). */
+    unsigned historySharing = 32;
+
+    /** Second-level table organisation. */
+    TableSpec table;
+
+    /** Apply the 2-bit-counter target-update rule (section 3.1). */
+    bool hysteresis = true;
+
+    /** Shift taken conditional-branch targets into the history. */
+    bool includeConditionalTargets = false;
+
+    HistoryElement historyElement = HistoryElement::TargetOnly;
+
+    /** Width of the per-entry metaprediction confidence counter. */
+    unsigned confidenceBits = 2;
+
+    void validate() const;
+    std::string describe() const;
+};
+
+class TwoLevelPredictor : public IndirectPredictor
+{
+  public:
+    explicit TwoLevelPredictor(const TwoLevelConfig &config);
+
+    Prediction predict(Addr pc) override;
+    void update(Addr pc, Addr actual) override;
+    void observeConditional(Addr pc, bool taken, Addr target) override;
+    void reset() override;
+    std::string name() const override;
+
+    std::uint64_t tableCapacity() const override
+    {
+        return _table->capacity();
+    }
+    std::uint64_t tableOccupancy() const override
+    {
+        return _table->occupancy();
+    }
+
+    const TwoLevelConfig &config() const { return _config; }
+
+    /** The key the predictor would use for @p pc right now. */
+    Key currentKey(Addr pc);
+
+  private:
+    void pushHistory(Addr pc, Addr target);
+    void invalidateKeyCache() { _cacheValid = false; }
+
+    TwoLevelConfig _config;
+    PatternBuilder _builder;
+    HistoryRegister _history;
+    std::unique_ptr<TargetTable> _table;
+
+    // predict()/update() pairs reuse the same key; cache it so the
+    // pattern is assembled once per dynamic branch.
+    bool _cacheValid = false;
+    Addr _cachePc = 0;
+    Key _cacheKey;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_TWO_LEVEL_HH

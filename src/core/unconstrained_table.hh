@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unlimited fully-associative table (section 3 of the paper).
+ *
+ * Models ideal hardware: every distinct key gets its own entry and
+ * nothing is ever evicted. Used to measure the intrinsic
+ * predictability of indirect branches before resource constraints
+ * are introduced.
+ */
+
+#ifndef IBP_CORE_UNCONSTRAINED_TABLE_HH
+#define IBP_CORE_UNCONSTRAINED_TABLE_HH
+
+#include <unordered_map>
+
+#include "core/table.hh"
+
+namespace ibp {
+
+class UnconstrainedTable : public TargetTable
+{
+  public:
+    explicit UnconstrainedTable(EntryCounterSpec counters = {})
+        : _counters(counters)
+    {
+    }
+
+    const TableEntry *
+    probe(const Key &key) const override
+    {
+        const auto it = _entries.find(key);
+        return it == _entries.end() ? nullptr : &it->second;
+    }
+
+    TableEntry &
+    access(const Key &key, bool &replaced) override
+    {
+        auto [it, inserted] = _entries.try_emplace(key);
+        if (inserted) {
+            it->second.resetFor(_counters.confidenceBits,
+                                _counters.chosenBits);
+        }
+        replaced = inserted;
+        return it->second;
+    }
+
+    std::uint64_t occupancy() const override { return _entries.size(); }
+    std::uint64_t capacity() const override { return 0; }
+    void reset() override { _entries.clear(); }
+    std::string name() const override { return "unconstrained"; }
+
+  private:
+    EntryCounterSpec _counters;
+    std::unordered_map<Key, TableEntry, KeyHash> _entries;
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_UNCONSTRAINED_TABLE_HH

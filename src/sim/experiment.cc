@@ -1,0 +1,82 @@
+#include "sim/experiment.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string_view>
+
+#include "sim/suite_runner.hh"
+#include "util/logging.hh"
+
+namespace ibp {
+
+ExperimentContext::ExperimentContext(std::string slug, int argc,
+                                     char **argv)
+    : _slug(std::move(slug))
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--quick") {
+            _quick = true;
+        } else if (arg.rfind("--csv=", 0) == 0) {
+            _csvDir = std::string(arg.substr(6));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--quick] [--csv=DIR]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s'", argv[i]);
+        }
+    }
+    // A quick run also shrinks the synthetic traces unless the user
+    // pinned the scale explicitly.
+    if (_quick && !std::getenv("IBP_EVENTS"))
+        setenv("IBP_EVENTS", "0.25", 1);
+}
+
+void
+ExperimentContext::emit(const ResultTable &table)
+{
+    table.print();
+    if (!_csvDir.empty()) {
+        const std::string path = _csvDir + "/" + _slug + "_" +
+                                 std::to_string(_tableIndex) + ".csv";
+        table.writeCsv(path);
+        std::printf("(csv written to %s)\n\n", path.c_str());
+    }
+    ++_tableIndex;
+}
+
+void
+ExperimentContext::note(const std::string &text)
+{
+    std::printf("%s\n\n", text.c_str());
+    std::fflush(stdout);
+}
+
+int
+runExperiment(const std::string &slug, const std::string &title,
+              int argc, char **argv,
+              const std::function<void(ExperimentContext &)> &body)
+{
+    std::printf("=== %s: %s ===\n", slug.c_str(), title.c_str());
+    std::printf("(threads: %u, event scale: %.2f)\n\n",
+                simulationThreads(), eventScale());
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        ExperimentContext context(slug, argc, argv);
+        body(context);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "experiment failed: %s\n", error.what());
+        return 1;
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    std::printf("[%s done in %.1f s]\n", slug.c_str(),
+                static_cast<double>(elapsed.count()) / 1000.0);
+    return 0;
+}
+
+} // namespace ibp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared entry point for the bench binaries.
+ *
+ * Every bench reproduces one figure or table of the paper. This
+ * helper standardises their command-line surface:
+ *
+ *   --csv=DIR     also write each result table to DIR/<slug>.csv
+ *   --quick       cut the workload (smaller traces) for smoke runs
+ *
+ * and prints wall-clock timing so regressions in the simulation
+ * engine are visible.
+ */
+
+#ifndef IBP_SIM_EXPERIMENT_HH
+#define IBP_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/format.hh"
+
+namespace ibp {
+
+/** Parsed bench options plus table sink. */
+class ExperimentContext
+{
+  public:
+    ExperimentContext(std::string slug, int argc, char **argv);
+
+    /** True when --quick was passed (benches may shrink sweeps). */
+    bool quick() const { return _quick; }
+
+    /** Print a table and, with --csv, persist it. */
+    void emit(const ResultTable &table);
+
+    /** Free-form note printed between tables. */
+    void note(const std::string &text);
+
+    const std::string &slug() const { return _slug; }
+
+  private:
+    std::string _slug;
+    std::string _csvDir;
+    bool _quick = false;
+    unsigned _tableIndex = 0;
+};
+
+/**
+ * Run an experiment body with standard setup/teardown (timing,
+ * failure reporting). Returns the process exit code.
+ */
+int runExperiment(const std::string &slug, const std::string &title,
+                  int argc, char **argv,
+                  const std::function<void(ExperimentContext &)> &body);
+
+} // namespace ibp
+
+#endif // IBP_SIM_EXPERIMENT_HH

@@ -1,0 +1,47 @@
+#include "sim/simulator.hh"
+
+namespace ibp {
+
+SimResult
+simulate(IndirectPredictor &predictor, const Trace &trace,
+         const SimOptions &options, SiteMissStats *site_stats)
+{
+    SimResult result;
+    result.benchmark = trace.name();
+    result.predictor = predictor.name();
+
+    std::uint64_t seen = 0;
+    for (const auto &record : trace) {
+        if (record.kind == BranchKind::Conditional) {
+            predictor.observeConditional(record.pc, record.taken,
+                                         record.target);
+            continue;
+        }
+        if (!record.isPredictedIndirect())
+            continue; // returns are handled by a return-address stack
+
+        ++seen;
+        const Prediction prediction = predictor.predict(record.pc);
+        const bool counted = seen > options.warmupBranches;
+        if (counted) {
+            ++result.branches;
+            if (!prediction.correctFor(record.target)) {
+                ++result.misses;
+                if (!prediction.valid)
+                    ++result.noPrediction;
+            }
+        }
+        if (site_stats && counted) {
+            ++site_stats->executions[record.pc];
+            if (!prediction.correctFor(record.target))
+                ++site_stats->misses[record.pc];
+        }
+        predictor.update(record.pc, record.target);
+    }
+
+    result.tableOccupancy = predictor.tableOccupancy();
+    result.tableCapacity = predictor.tableCapacity();
+    return result;
+}
+
+} // namespace ibp

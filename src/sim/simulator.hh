@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Trace-driven simulation of an indirect branch predictor.
+ *
+ * Follows the paper's methodology exactly: every dynamic indirect
+ * branch (calls, jumps, switches; returns excluded) is first
+ * predicted, then the predictor is updated with the resolved target.
+ * Cold-start misses count. Conditional branches are passed through to
+ * predictors that consume them (Target Cache, the section 3.3
+ * conditional-history variant) and ignored by the rest.
+ */
+
+#ifndef IBP_SIM_SIMULATOR_HH
+#define IBP_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/predictor.hh"
+#include "trace/trace.hh"
+
+namespace ibp {
+
+/** Outcome of one predictor/trace run. */
+struct SimResult
+{
+    std::string benchmark;
+    std::string predictor;
+    std::uint64_t branches = 0;
+    std::uint64_t misses = 0;
+    /** Misses where the predictor produced no target at all. */
+    std::uint64_t noPrediction = 0;
+    std::uint64_t tableOccupancy = 0;
+    std::uint64_t tableCapacity = 0;
+
+    /** Misprediction rate in percent (the paper's metric). */
+    double
+    missPercent() const
+    {
+        return branches == 0 ? 0.0
+                             : 100.0 * static_cast<double>(misses) /
+                                   static_cast<double>(branches);
+    }
+
+    /** Fraction of table entries in use (utilisation, section 5.2.1). */
+    double
+    utilisation() const
+    {
+        return tableCapacity == 0
+                   ? 0.0
+                   : static_cast<double>(tableOccupancy) /
+                         static_cast<double>(tableCapacity);
+    }
+};
+
+/** Extra knobs for a simulation run. */
+struct SimOptions
+{
+    /** Skip this many leading indirect branches (warm-up window
+     *  excluded from the counts, still used for training). */
+    std::uint64_t warmupBranches = 0;
+
+    /** Collect per-site miss counts (costs a hash update per branch). */
+    bool perSiteMisses = false;
+};
+
+/** Per-site miss accounting (populated when requested). */
+struct SiteMissStats
+{
+    std::map<Addr, std::uint64_t> executions;
+    std::map<Addr, std::uint64_t> misses;
+};
+
+/** Run @p predictor over @p trace from a cold state. */
+SimResult simulate(IndirectPredictor &predictor, const Trace &trace,
+                   const SimOptions &options = {},
+                   SiteMissStats *siteStats = nullptr);
+
+} // namespace ibp
+
+#endif // IBP_SIM_SIMULATOR_HH

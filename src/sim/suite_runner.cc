@@ -1,0 +1,224 @@
+#include "sim/suite_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace ibp {
+
+void
+GridResult::set(const std::string &column, const std::string &benchmark,
+                double miss_percent)
+{
+    _rates[column][benchmark] = miss_percent;
+}
+
+double
+GridResult::get(const std::string &column,
+                const std::string &benchmark) const
+{
+    const auto col = _rates.find(column);
+    IBP_ASSERT(col != _rates.end(), "unknown column '%s'",
+               column.c_str());
+    const auto cell = col->second.find(benchmark);
+    IBP_ASSERT(cell != col->second.end(),
+               "column '%s' has no benchmark '%s'", column.c_str(),
+               benchmark.c_str());
+    return cell->second;
+}
+
+bool
+GridResult::has(const std::string &column,
+                const std::string &benchmark) const
+{
+    const auto col = _rates.find(column);
+    return col != _rates.end() &&
+           col->second.find(benchmark) != col->second.end();
+}
+
+double
+GridResult::average(const std::string &column,
+                    const std::vector<std::string> &members) const
+{
+    std::vector<double> rates;
+    rates.reserve(members.size());
+    for (const auto &member : members)
+        rates.push_back(get(column, member));
+    return mean(rates);
+}
+
+SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
+                         bool emit_conditionals)
+    : _names(std::move(benchmarks))
+{
+    for (const auto &name : _names) {
+        _traces.emplace(name,
+                        generateBenchmarkTrace(name, emit_conditionals));
+    }
+}
+
+SuiteRunner
+SuiteRunner::avgSuite(bool emit_conditionals)
+{
+    return SuiteRunner(benchmarkGroups().avg, emit_conditionals);
+}
+
+SuiteRunner
+SuiteRunner::fullSuite(bool emit_conditionals)
+{
+    std::vector<std::string> names = benchmarkGroups().avg;
+    const auto &infrequent = benchmarkGroups().infrequent;
+    names.insert(names.end(), infrequent.begin(), infrequent.end());
+    return SuiteRunner(std::move(names), emit_conditionals);
+}
+
+const Trace &
+SuiteRunner::trace(const std::string &benchmark) const
+{
+    const auto it = _traces.find(benchmark);
+    IBP_ASSERT(it != _traces.end(), "benchmark '%s' not loaded",
+               benchmark.c_str());
+    return it->second;
+}
+
+unsigned
+simulationThreads()
+{
+    if (const char *env = std::getenv("IBP_THREADS")) {
+        const long threads = std::atol(env);
+        if (threads >= 1)
+            return static_cast<unsigned>(threads);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+}
+
+GridResult
+SuiteRunner::run(const std::vector<SweepColumn> &columns) const
+{
+    struct Job
+    {
+        const SweepColumn *column;
+        const Trace *trace;
+        const std::string *benchmark;
+        double missPercent = 0.0;
+    };
+
+    std::vector<Job> jobs;
+    jobs.reserve(columns.size() * _names.size());
+    for (const auto &column : columns) {
+        for (const auto &name : _names)
+            jobs.push_back(Job{&column, &trace(name), &name});
+    }
+
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        while (true) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= jobs.size())
+                return;
+            Job &job = jobs[index];
+            auto predictor = job.column->make();
+            const SimResult result = simulate(*predictor, *job.trace);
+            job.missPercent = result.missPercent();
+        }
+    };
+
+    const unsigned thread_count =
+        std::min<std::size_t>(simulationThreads(), jobs.size());
+    if (thread_count <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(thread_count);
+        for (unsigned t = 0; t < thread_count; ++t)
+            threads.emplace_back(worker);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    GridResult grid;
+    for (const auto &job : jobs)
+        grid.set(job.column->label, *job.benchmark, job.missPercent);
+    return grid;
+}
+
+std::map<std::string, double>
+SuiteRunner::runOne(const PredictorFactory &factory) const
+{
+    const GridResult grid = run({SweepColumn{"only", factory}});
+    std::map<std::string, double> rates;
+    for (const auto &name : _names)
+        rates[name] = grid.get("only", name);
+    return rates;
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>>
+SuiteRunner::coveredGroups() const
+{
+    const auto &groups = benchmarkGroups();
+    const auto covered = [&](const std::vector<std::string> &members) {
+        for (const auto &member : members) {
+            if (_traces.find(member) == _traces.end())
+                return false;
+        }
+        return !members.empty();
+    };
+
+    std::vector<std::pair<std::string, std::vector<std::string>>> out;
+    if (covered(groups.avg))
+        out.emplace_back("AVG", groups.avg);
+    if (covered(groups.oo))
+        out.emplace_back("AVG-OO", groups.oo);
+    if (covered(groups.c))
+        out.emplace_back("AVG-C", groups.c);
+    if (covered(groups.avg100))
+        out.emplace_back("AVG-100", groups.avg100);
+    if (covered(groups.avg200))
+        out.emplace_back("AVG-200", groups.avg200);
+    if (covered(groups.infrequent))
+        out.emplace_back("AVG-infreq", groups.infrequent);
+    return out;
+}
+
+ResultTable
+SuiteRunner::groupTable(const std::string &title, const GridResult &grid,
+                        const std::vector<SweepColumn> &columns) const
+{
+    ResultTable table(title, "group");
+    for (const auto &column : columns)
+        table.addColumn(column.label);
+    for (const auto &[group, members] : coveredGroups()) {
+        const unsigned row = table.addRow(group);
+        for (unsigned c = 0; c < columns.size(); ++c)
+            table.set(row, c, grid.average(columns[c].label, members));
+    }
+    return table;
+}
+
+ResultTable
+SuiteRunner::benchmarkTable(const std::string &title,
+                            const GridResult &grid,
+                            const std::vector<SweepColumn> &columns) const
+{
+    ResultTable table(title, "benchmark");
+    for (const auto &column : columns)
+        table.addColumn(column.label);
+    for (const auto &[group, members] : coveredGroups()) {
+        const unsigned row = table.addRow(group);
+        for (unsigned c = 0; c < columns.size(); ++c)
+            table.set(row, c, grid.average(columns[c].label, members));
+    }
+    for (const auto &name : _names) {
+        const unsigned row = table.addRow(name);
+        for (unsigned c = 0; c < columns.size(); ++c)
+            table.set(row, c, grid.get(columns[c].label, name));
+    }
+    return table;
+}
+
+} // namespace ibp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Run predictor configurations across the benchmark suite.
+ *
+ * A SuiteRunner generates and caches the synthetic traces of a set of
+ * benchmarks, then evaluates (configuration x benchmark) grids in
+ * parallel across hardware threads. It knows the paper's averaging
+ * groups (Table 3) and can render results as per-benchmark or
+ * per-group ResultTables, which is how every bench binary reproduces
+ * its figure or table.
+ */
+
+#ifndef IBP_SIM_SUITE_RUNNER_HH
+#define IBP_SIM_SUITE_RUNNER_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+#include "util/format.hh"
+
+namespace ibp {
+
+/** Builds a fresh predictor instance for one simulation run. */
+using PredictorFactory =
+    std::function<std::unique_ptr<IndirectPredictor>()>;
+
+/** One labelled configuration of a sweep. */
+struct SweepColumn
+{
+    std::string label;
+    PredictorFactory make;
+};
+
+/** Misprediction rates of a sweep: rates[column][benchmark], in %. */
+class GridResult
+{
+  public:
+    void set(const std::string &column, const std::string &benchmark,
+             double missPercent);
+    double get(const std::string &column,
+               const std::string &benchmark) const;
+    bool has(const std::string &column,
+             const std::string &benchmark) const;
+
+    /** Arithmetic mean over @p members (all must be present). */
+    double average(const std::string &column,
+                   const std::vector<std::string> &members) const;
+
+  private:
+    std::map<std::string, std::map<std::string, double>> _rates;
+};
+
+class SuiteRunner
+{
+  public:
+    /**
+     * @param benchmarks        benchmark names to simulate;
+     * @param emitConditionals  include conditional-branch records in
+     *                          the generated traces (needed only by
+     *                          predictors that consume them).
+     */
+    explicit SuiteRunner(std::vector<std::string> benchmarks,
+                         bool emitConditionals = false);
+
+    /** The paper's 13-program AVG set (OO + C). */
+    static SuiteRunner avgSuite(bool emitConditionals = false);
+
+    /** All 17 programs. */
+    static SuiteRunner fullSuite(bool emitConditionals = false);
+
+    const std::vector<std::string> &benchmarks() const
+    {
+        return _names;
+    }
+    const Trace &trace(const std::string &benchmark) const;
+
+    /** Simulate every (column x benchmark) pair, in parallel. */
+    GridResult run(const std::vector<SweepColumn> &columns) const;
+
+    /** Run a single configuration, returning benchmark -> miss %. */
+    std::map<std::string, double>
+    runOne(const PredictorFactory &factory) const;
+
+    /**
+     * Render a grid as a table with one row per averaging group that
+     * is fully covered by this runner's benchmarks, in the paper's
+     * order (AVG, AVG-OO, AVG-C, AVG-100, AVG-200, AVG-infreq).
+     */
+    ResultTable groupTable(const std::string &title,
+                           const GridResult &grid,
+                           const std::vector<SweepColumn> &columns) const;
+
+    /** Render a grid with one row per benchmark plus group rows. */
+    ResultTable benchmarkTable(const std::string &title,
+                               const GridResult &grid,
+                               const std::vector<SweepColumn> &columns)
+        const;
+
+    /** Group name -> members, restricted to covered groups. */
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+    coveredGroups() const;
+
+  private:
+    std::vector<std::string> _names;
+    std::map<std::string, Trace> _traces;
+};
+
+/** Number of worker threads used by SuiteRunner::run. */
+unsigned simulationThreads();
+
+} // namespace ibp
+
+#endif // IBP_SIM_SUITE_RUNNER_HH

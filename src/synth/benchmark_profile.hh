@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Paper-facing description of one synthetic benchmark.
+ *
+ * Each of the paper's 17 benchmarks (Tables 1 and 2) is modelled by a
+ * BenchmarkProfile holding the characteristics the paper reports
+ * (branch counts, instructions and conditional branches per indirect
+ * branch, virtual-call fraction, active-site counts) plus two
+ * behavioural calibration targets taken from the paper's results:
+ * the unconstrained BTB-2bc misprediction rate (Figure 2 /
+ * Table A-1) and the large-table two-level floor (Table A-1,
+ * fullassoc column). The generator derives its internal knobs from
+ * these targets (see program_model.cc), so the synthetic suite
+ * reproduces the paper's per-benchmark difficulty spread.
+ */
+
+#ifndef IBP_SYNTH_BENCHMARK_PROFILE_HH
+#define IBP_SYNTH_BENCHMARK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ibp {
+
+/** Source language / suite of a benchmark (Tables 1 and 2). */
+enum class BenchmarkSuiteKind
+{
+    ObjectOriented, ///< Table 1 (C++ applications and beta)
+    C,              ///< Table 2, frequent indirect branches
+    Infrequent,     ///< Table 2, > 1000 instructions per indirect
+};
+
+struct BenchmarkProfile
+{
+    std::string name;
+    std::string description;
+    BenchmarkSuiteKind suite = BenchmarkSuiteKind::ObjectOriented;
+
+    /** Deterministic per-benchmark generator seed. */
+    std::uint64_t seed = 1;
+
+    /** Dynamic indirect branches in the paper's trace. */
+    std::uint64_t paperBranches = 0;
+
+    /** Default dynamic indirect branches generated (scaled down). */
+    std::uint64_t defaultEvents = 0;
+
+    /** Instructions per indirect branch (Table 1/2; metadata only). */
+    double instrPerIndirect = 100;
+
+    /** Conditional branches per indirect branch. */
+    double condPerIndirect = 10;
+
+    /** Fraction of indirect branches that are virtual calls. */
+    double virtualCallFraction = 0.5;
+
+    /** Static indirect branch sites (the tables' "100%" column). */
+    unsigned sites100 = 100;
+
+    /** Sites covering 90% of dynamic executions ("90%" column). */
+    unsigned sites90 = 10;
+
+    /** Calibration: unconstrained BTB-2bc misprediction %, Figure 2. */
+    double btbMissTarget = 25.0;
+
+    /** Calibration: two-level floor % (large fullassoc, Table A-1). */
+    double floorMissTarget = 6.0;
+
+    /**
+     * Fraction of correlated sites whose rule reads their *own*
+     * target history instead of the global path. High for the
+     * infrequent group, whose branches do not correlate with each
+     * other (section 3.2.1).
+     */
+    double selfCorrelatedFraction = 0.1;
+
+    /**
+     * Auto-tuned knob overrides (produced by tools/autotune, baked
+     * into benchmark_suite.cc). Sentinel values mean "derive from the
+     * calibration targets instead".
+     */
+    double overridePredictability = 0.0; ///< 0 = derive
+    double overrideDominance = 0.0;      ///< 0 = derive
+    double overrideTargetSkew = 0.0;     ///< 0 = solve from dominance
+    double overrideMonoFraction = -1.0;  ///< <0 = derive
+    double overrideStickiness = 0.0;     ///< 0 = derive
+    double overridePhaseMutation = -1.0; ///< <0 = derive
+    std::uint64_t overridePhasePeriod = 0; ///< 0 = derive
+};
+
+} // namespace ibp
+
+#endif // IBP_SYNTH_BENCHMARK_PROFILE_HH

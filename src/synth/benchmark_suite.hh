@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The synthetic counterpart of the paper's benchmark suite.
+ *
+ * Provides calibrated profiles for all 17 programs of Tables 1 and 2
+ * and the benchmark groups of Table 3 (AVG, AVG-OO, AVG-C, AVG-100,
+ * AVG-200, AVG-infreq). Default event counts are scaled-down versions
+ * of the paper's trace lengths; the IBP_EVENTS environment variable
+ * multiplies them (e.g. IBP_EVENTS=2.0 doubles every trace).
+ */
+
+#ifndef IBP_SYNTH_BENCHMARK_SUITE_HH
+#define IBP_SYNTH_BENCHMARK_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "synth/benchmark_profile.hh"
+#include "synth/program_model.hh"
+#include "trace/trace.hh"
+
+namespace ibp {
+
+/** All 17 benchmark profiles, OO suite first (Tables 1 and 2). */
+const std::vector<BenchmarkProfile> &benchmarkSuite();
+
+/** Look up one profile by name; calls fatal() if unknown. */
+const BenchmarkProfile &benchmarkProfile(const std::string &name);
+
+/** The paper's averaging groups (Table 3). */
+struct BenchmarkGroups
+{
+    std::vector<std::string> oo;        ///< AVG-OO (9 programs)
+    std::vector<std::string> c;         ///< AVG-C (4 programs)
+    std::vector<std::string> avg;       ///< AVG = OO + C (13)
+    std::vector<std::string> avg100;    ///< < 100 instr / indirect
+    std::vector<std::string> avg200;    ///< 100..200 instr / indirect
+    std::vector<std::string> infrequent;///< > 1000 instr / indirect
+};
+
+const BenchmarkGroups &benchmarkGroups();
+
+/** Event-count scale factor from the IBP_EVENTS environment variable
+ * (default 1.0, clamped to [0.01, 100]). */
+double eventScale();
+
+/** Generate a benchmark's trace at the scaled default length. */
+Trace generateBenchmarkTrace(const std::string &name,
+                             bool emitConditionals = false);
+
+} // namespace ibp
+
+#endif // IBP_SYNTH_BENCHMARK_SUITE_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The synthetic program model that generates indirect-branch traces.
+ *
+ * This is the repository's substitute for the paper's shade-derived
+ * traces (DESIGN.md section 1). A program is a population of indirect
+ * branch sites driven by a hidden Markov "context" chain:
+ *
+ *  - Site activity is Zipf-distributed, calibrated so the number of
+ *    sites covering 90% of executions matches the paper's tables.
+ *  - Each site has a target set with a skewed (Zipf) popularity
+ *    distribution, which gives BTBs their dominant-target hit rate.
+ *  - Behaviour classes:
+ *      Monomorphic    - a single target;
+ *      BiasedPoly     - targets drawn independently from the skewed
+ *                       distribution (irreducible noise);
+ *      PathCorrelated - the target is a deterministic (hash) function
+ *                       of the site and the *global* path of the last
+ *                       k indirect targets, with probability
+ *                       "predictability" (else a noise draw). This is
+ *                       the signal two-level predictors exploit, and
+ *                       why global histories beat per-address ones;
+ *      SelfCorrelated - like PathCorrelated but reads the site's own
+ *                       last-k targets (the infrequent group's
+ *                       behaviour, where inter-branch correlation is
+ *                       absent);
+ *      SwitchLike     - the target is a function of the hidden
+ *                       context (sticky, so short histories help).
+ *  - Program phases: every phasePeriod branches a fraction of the
+ *    correlated sites is re-salted, forcing predictors to relearn -
+ *    long-path predictors relearn slowest (more patterns per site),
+ *    producing the paper's path-length U-curve and the hybrid
+ *    advantage.
+ *
+ * Conditional branches (for Table 1/2 ratios and the Target Cache
+ * baseline) and returns are interleaved on request.
+ */
+
+#ifndef IBP_SYNTH_PROGRAM_MODEL_HH
+#define IBP_SYNTH_PROGRAM_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "synth/benchmark_profile.hh"
+#include "trace/trace.hh"
+#include "util/rng.hh"
+
+namespace ibp {
+
+/** Options controlling what the generator emits. */
+struct GeneratorOptions
+{
+    /** Number of indirect branches to emit (0 = profile default). */
+    std::uint64_t events = 0;
+
+    /**
+     * Emit conditional-branch and return records too. Off by default:
+     * predictor sweeps only need the indirect stream, and the
+     * conditional stream inflates traces by an order of magnitude.
+     */
+    bool emitConditionals = false;
+
+    /**
+     * Cap on conditional records emitted per indirect branch (the
+     * statistics use the profile's true ratio; see DESIGN.md).
+     */
+    unsigned conditionalCap = 8;
+};
+
+/**
+ * Derived internal knobs of the generator. Computed from a
+ * BenchmarkProfile by deriveKnobs(), or built directly for custom
+ * workloads (see examples/vcall_workload.cc).
+ */
+struct ModelKnobs
+{
+    unsigned numSites = 100;
+    double siteZipfAlpha = 1.0;
+    unsigned minTargets = 2;
+    unsigned maxTargets = 8;
+    /**
+     * Dominant-target share of polymorphic sites. Each site's target
+     * popularity is a Zipf distribution whose exponent is solved so
+     * the top target carries this share (BTB-2bc accuracy anchor).
+     */
+    double dominance = 0.70;
+    /** Explicit Zipf exponent override (0 = solve from dominance). */
+    double targetSkew = 0.0;
+    double monoFraction = 0.3;
+    /** Of the non-mono sites: fraction behaving switch-like. */
+    double switchFraction = 0.15;
+    /** Of the correlated sites: fraction reading their own history. */
+    double selfCorrelatedFraction = 0.1;
+    /** P(correlated site follows its deterministic rule). */
+    double predictability = 0.95;
+    /**
+     * Weights of the hidden data-schedule period P = 1, 2, ... of a
+     * loop context (and of a self-correlated site's own schedule).
+     * Longer periods need longer history paths to disambiguate,
+     * which shapes the paper's path-length curve (Figure 9).
+     */
+    std::vector<double> periodWeights = {0.16, 0.22, 0.20, 0.14,
+                                         0.10, 0.08, 0.06, 0.04};
+    std::uint64_t phasePeriod = 50000;
+    double phaseMutation = 0.30;
+    unsigned numContexts = 64;
+    double contextStickiness = 0.85;
+    /** P(a context transfer ignores the deterministic successor). */
+    double transitionNoise = 0.08;
+    /**
+     * Fraction of loop contexts that are *data-driven*: each
+     * iteration handles a freshly drawn polymorphic object and all
+     * slots dispatch on it. Only the iteration's first branch is
+     * then unpredictable - the rest correlate with it through the
+     * global path, which is the inter-branch correlation that makes
+     * global histories win (section 3.2.1).
+     */
+    double dataDrivenFraction = 0.25;
+    /** Distinct object types data-driven iterations draw from. */
+    unsigned numObjectTypes = 8;
+    /** Code placement. */
+    std::uint32_t codeBase = 0x10000;
+    std::uint32_t codeSpan = 1u << 21;
+    unsigned clusterSize = 8;
+    /** Conditional-branch population. */
+    unsigned numCondSites = 300;
+    double condTakenBias = 0.5;
+    /** True conditional/indirect ratio (emission is capped). */
+    double condPerIndirect = 10.0;
+    /** Fraction of indirect branches that are virtual calls. */
+    double virtualCallFraction = 0.5;
+};
+
+/** Translate a profile's calibration targets into generator knobs. */
+ModelKnobs deriveKnobs(const BenchmarkProfile &profile);
+
+/**
+ * The generator itself. Deterministic: the same (knobs, seed,
+ * options) triple always produces the same trace.
+ */
+class ProgramModel
+{
+  public:
+    ProgramModel(const ModelKnobs &knobs, std::uint64_t seed);
+    ~ProgramModel();
+
+    ProgramModel(const ProgramModel &) = delete;
+    ProgramModel &operator=(const ProgramModel &) = delete;
+
+    /** Generate a trace of @p options.events indirect branches. */
+    Trace generate(const GeneratorOptions &options,
+                   const std::string &name);
+
+    const ModelKnobs &knobs() const { return _knobs; }
+
+  private:
+    struct Impl;
+
+    ModelKnobs _knobs;
+    std::unique_ptr<Impl> _impl;
+};
+
+/** Generate the trace for a benchmark profile in one call. */
+Trace generateTrace(const BenchmarkProfile &profile,
+                    const GeneratorOptions &options = {});
+
+} // namespace ibp
+
+#endif // IBP_SYNTH_PROGRAM_MODEL_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The unit record of a branch trace.
+ *
+ * The paper's traces were produced by the shade instruction-level
+ * simulator and contain all indirect branches (procedure returns
+ * excluded from prediction, because a return address stack predicts
+ * them accurately). Our records also carry conditional branches so
+ * that (a) benchmark statistics like the conditional/indirect ratio
+ * of Tables 1/2 can be reproduced and (b) the Target Cache baseline
+ * [CHP97] and the rejected "conditional targets in history" variant
+ * (section 3.3) can be simulated.
+ */
+
+#ifndef IBP_TRACE_BRANCH_RECORD_HH
+#define IBP_TRACE_BRANCH_RECORD_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bits.hh"
+
+namespace ibp {
+
+/** Classification of a dynamic branch. */
+enum class BranchKind : std::uint8_t
+{
+    /** Conditional direct branch (taken/not-taken). */
+    Conditional = 0,
+    /** Indirect call through a register (virtual calls, fn pointers). */
+    IndirectCall = 1,
+    /** Indirect jump (computed goto and the like). */
+    IndirectJump = 2,
+    /** Indirect jump implementing a switch statement. */
+    IndirectSwitch = 3,
+    /** Procedure return (predicted by a return-address stack). */
+    Return = 4,
+};
+
+/** Human-readable name of a BranchKind. */
+constexpr std::string_view
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::Conditional:    return "cond";
+      case BranchKind::IndirectCall:   return "icall";
+      case BranchKind::IndirectJump:   return "ijump";
+      case BranchKind::IndirectSwitch: return "iswitch";
+      case BranchKind::Return:         return "return";
+    }
+    return "unknown";
+}
+
+/**
+ * One dynamic branch execution.
+ *
+ * For indirect kinds, @c target is the resolved target address and
+ * @c taken is always true. For conditional branches, @c taken is the
+ * outcome and @c target is the taken-path target (used only by
+ * history variants that fold conditional targets in).
+ */
+struct BranchRecord
+{
+    Addr pc = 0;
+    Addr target = 0;
+    BranchKind kind = BranchKind::IndirectCall;
+    bool taken = true;
+
+    /** True for the kinds the paper's predictors are asked to predict. */
+    bool
+    isPredictedIndirect() const
+    {
+        return kind == BranchKind::IndirectCall ||
+               kind == BranchKind::IndirectJump ||
+               kind == BranchKind::IndirectSwitch;
+    }
+
+    bool operator==(const BranchRecord &other) const = default;
+};
+
+} // namespace ibp
+
+#endif // IBP_TRACE_BRANCH_RECORD_HH

@@ -1,0 +1,23 @@
+#include "trace/trace.hh"
+
+namespace ibp {
+
+std::uint64_t
+Trace::countPredictedIndirect() const
+{
+    std::uint64_t count = 0;
+    for (const auto &record : _records)
+        count += record.isPredictedIndirect() ? 1 : 0;
+    return count;
+}
+
+std::uint64_t
+Trace::countKind(BranchKind kind) const
+{
+    std::uint64_t count = 0;
+    for (const auto &record : _records)
+        count += record.kind == kind ? 1 : 0;
+    return count;
+}
+
+} // namespace ibp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * In-memory branch trace with benchmark metadata.
+ */
+
+#ifndef IBP_TRACE_TRACE_HH
+#define IBP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+
+namespace ibp {
+
+/**
+ * A branch trace: an ordered sequence of BranchRecord plus metadata
+ * identifying the (synthetic) benchmark it came from. Traces are
+ * value types; the simulator only ever reads them.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    void setName(std::string name) { _name = std::move(name); }
+
+    /** Seed the trace was generated from (0 if unknown/recorded). */
+    std::uint64_t seed() const { return _seed; }
+    void setSeed(std::uint64_t seed) { _seed = seed; }
+
+    void reserve(std::size_t n) { _records.reserve(n); }
+    void append(const BranchRecord &record) { _records.push_back(record); }
+
+    const std::vector<BranchRecord> &records() const { return _records; }
+    std::size_t size() const { return _records.size(); }
+    bool empty() const { return _records.empty(); }
+
+    const BranchRecord &operator[](std::size_t i) const
+    {
+        return _records[i];
+    }
+
+    auto begin() const { return _records.begin(); }
+    auto end() const { return _records.end(); }
+
+    /** Count records of the kinds predicted as indirect branches. */
+    std::uint64_t countPredictedIndirect() const;
+
+    /** Count records of one specific kind. */
+    std::uint64_t countKind(BranchKind kind) const;
+
+    bool operator==(const Trace &other) const = default;
+
+  private:
+    std::string _name;
+    std::uint64_t _seed = 0;
+    std::vector<BranchRecord> _records;
+};
+
+} // namespace ibp
+
+#endif // IBP_TRACE_TRACE_HH

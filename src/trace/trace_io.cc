@@ -1,0 +1,225 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+namespace {
+
+constexpr std::array<char, 4> binaryMagic = {'I', 'B', 'P', 'T'};
+constexpr std::uint32_t binaryVersion = 1;
+
+void
+writeU32(std::ostream &out, std::uint32_t value)
+{
+    // Explicit little-endian byte order for portability.
+    const std::array<char, 4> bytes = {
+        static_cast<char>(value & 0xff),
+        static_cast<char>((value >> 8) & 0xff),
+        static_cast<char>((value >> 16) & 0xff),
+        static_cast<char>((value >> 24) & 0xff),
+    };
+    out.write(bytes.data(), bytes.size());
+}
+
+void
+writeU64(std::ostream &out, std::uint64_t value)
+{
+    writeU32(out, static_cast<std::uint32_t>(value));
+    writeU32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint32_t
+readU32(std::istream &in)
+{
+    std::array<unsigned char, 4> bytes{};
+    in.read(reinterpret_cast<char *>(bytes.data()), bytes.size());
+    if (!in)
+        fatal("truncated binary trace");
+    return static_cast<std::uint32_t>(bytes[0]) |
+           static_cast<std::uint32_t>(bytes[1]) << 8 |
+           static_cast<std::uint32_t>(bytes[2]) << 16 |
+           static_cast<std::uint32_t>(bytes[3]) << 24;
+}
+
+std::uint64_t
+readU64(std::istream &in)
+{
+    const std::uint64_t lo = readU32(in);
+    const std::uint64_t hi = readU32(in);
+    return lo | (hi << 32);
+}
+
+BranchKind
+kindFromByte(unsigned byte)
+{
+    if (byte > static_cast<unsigned>(BranchKind::Return))
+        fatal("bad branch kind %u in trace", byte);
+    return static_cast<BranchKind>(byte);
+}
+
+BranchKind
+kindFromName(const std::string &name)
+{
+    for (unsigned k = 0; k <= static_cast<unsigned>(BranchKind::Return);
+         ++k) {
+        const auto kind = static_cast<BranchKind>(k);
+        if (name == branchKindName(kind))
+            return kind;
+    }
+    fatal("bad branch kind '%s' in text trace", name.c_str());
+}
+
+} // namespace
+
+void
+writeTraceBinary(const Trace &trace, std::ostream &out)
+{
+    out.write(binaryMagic.data(), binaryMagic.size());
+    writeU32(out, binaryVersion);
+    writeU64(out, trace.seed());
+    writeU32(out, static_cast<std::uint32_t>(trace.name().size()));
+    out.write(trace.name().data(),
+              static_cast<std::streamsize>(trace.name().size()));
+    writeU64(out, trace.size());
+    for (const auto &record : trace) {
+        writeU32(out, record.pc);
+        writeU32(out, record.target);
+        const unsigned flags = static_cast<unsigned>(record.kind) |
+                               (record.taken ? 0x80u : 0u);
+        out.put(static_cast<char>(flags));
+    }
+    if (!out)
+        fatal("error writing binary trace");
+}
+
+Trace
+readTraceBinary(std::istream &in)
+{
+    std::array<char, 4> magic{};
+    in.read(magic.data(), magic.size());
+    if (!in || magic != binaryMagic)
+        fatal("not a libibp binary trace (bad magic)");
+    const std::uint32_t version = readU32(in);
+    if (version != binaryVersion)
+        fatal("unsupported trace version %u", version);
+    const std::uint64_t seed = readU64(in);
+    const std::uint32_t name_len = readU32(in);
+    if (name_len > 4096)
+        fatal("implausible trace name length %u", name_len);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const std::uint64_t count = readU64(in);
+
+    Trace trace(name);
+    trace.setSeed(seed);
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        BranchRecord record;
+        record.pc = readU32(in);
+        record.target = readU32(in);
+        const int flags = in.get();
+        if (flags < 0)
+            fatal("truncated binary trace");
+        record.kind = kindFromByte(static_cast<unsigned>(flags) & 0x7f);
+        record.taken = (static_cast<unsigned>(flags) & 0x80u) != 0;
+        trace.append(record);
+    }
+    return trace;
+}
+
+void
+writeTraceText(const Trace &trace, std::ostream &out)
+{
+    out << "# ibp-trace v1\n";
+    out << "# name " << trace.name() << '\n';
+    out << "# seed " << trace.seed() << '\n';
+    for (const auto &record : trace) {
+        out << branchKindName(record.kind) << ' ' << std::hex
+            << "0x" << record.pc << " 0x" << record.target << std::dec
+            << ' ' << (record.taken ? 1 : 0) << '\n';
+    }
+    if (!out)
+        fatal("error writing text trace");
+}
+
+Trace
+readTraceText(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream meta(line.substr(1));
+            std::string key;
+            meta >> key;
+            if (key == "name") {
+                std::string name;
+                meta >> name;
+                trace.setName(name);
+            } else if (key == "seed") {
+                std::uint64_t seed = 0;
+                meta >> seed;
+                trace.setSeed(seed);
+            }
+            continue;
+        }
+        std::istringstream fields(line);
+        std::string kind_name;
+        std::string pc_str, target_str;
+        int taken = 1;
+        if (!(fields >> kind_name >> pc_str >> target_str >> taken)) {
+            fatal("malformed text trace line %llu: '%s'",
+                  static_cast<unsigned long long>(line_no),
+                  line.c_str());
+        }
+        BranchRecord record;
+        record.kind = kindFromName(kind_name);
+        record.pc = static_cast<Addr>(
+            std::stoul(pc_str, nullptr, 0));
+        record.target = static_cast<Addr>(
+            std::stoul(target_str, nullptr, 0));
+        record.taken = taken != 0;
+        trace.append(record);
+    }
+    return trace;
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    const bool binary = path.size() >= 5 &&
+                        path.compare(path.size() - 5, 5, ".ibpt") == 0;
+    std::ofstream out(path,
+                      binary ? std::ios::binary : std::ios::out);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    if (binary)
+        writeTraceBinary(trace, out);
+    else
+        writeTraceText(trace, out);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    const bool binary = path.size() >= 5 &&
+                        path.compare(path.size() - 5, 5, ".ibpt") == 0;
+    std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+    if (!in)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return binary ? readTraceBinary(in) : readTraceText(in);
+}
+
+} // namespace ibp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace serialisation.
+ *
+ * Two formats:
+ *  - a compact little-endian binary format with a versioned header
+ *    ("IBPT"), for bulk storage of generated traces;
+ *  - a line-oriented text format (one record per line:
+ *    "<kind> <pc-hex> <target-hex> <taken>"), for debugging and for
+ *    importing traces produced by external tools (Pin/ChampSim-style
+ *    dumps can be converted to this with a one-line awk script).
+ */
+
+#ifndef IBP_TRACE_TRACE_IO_HH
+#define IBP_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace ibp {
+
+/** Write @p trace to @p out in the binary format. */
+void writeTraceBinary(const Trace &trace, std::ostream &out);
+
+/** Read a binary-format trace; calls fatal() on malformed input. */
+Trace readTraceBinary(std::istream &in);
+
+/** Write @p trace to @p out in the text format (with '#' metadata). */
+void writeTraceText(const Trace &trace, std::ostream &out);
+
+/** Read a text-format trace; calls fatal() on malformed input. */
+Trace readTraceText(std::istream &in);
+
+/** Convenience file wrappers; format chosen by extension
+ * (".ibpt" binary, anything else text). */
+void saveTrace(const Trace &trace, const std::string &path);
+Trace loadTrace(const std::string &path);
+
+} // namespace ibp
+
+#endif // IBP_TRACE_TRACE_IO_HH

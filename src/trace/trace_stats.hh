@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace characterisation, mirroring Tables 1 and 2 of the paper.
+ *
+ * For each trace we compute: dynamic branch counts by kind, the
+ * conditional/indirect ratio, the number of static indirect branch
+ * sites responsible for 90/95/99/100% of dynamic indirect branches
+ * ("active branch sites"), per-site polymorphism (distinct target
+ * counts), and the fraction of indirect branches that are virtual
+ * function calls.
+ */
+
+#ifndef IBP_TRACE_TRACE_STATS_HH
+#define IBP_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace ibp {
+
+/** Per-site dynamic behaviour of one static indirect branch. */
+struct SiteStats
+{
+    Addr pc = 0;
+    std::uint64_t executions = 0;
+    unsigned distinctTargets = 0;
+    /** Fraction of executions going to the most frequent target. */
+    double dominantTargetShare = 0.0;
+};
+
+/** Summary statistics for a whole trace (Tables 1/2 of the paper). */
+struct TraceStats
+{
+    std::string name;
+    std::uint64_t totalRecords = 0;
+    std::uint64_t indirectBranches = 0;
+    std::uint64_t conditionalBranches = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t virtualCalls = 0;
+
+    /** Conditional branches per indirect branch ("cond./indirect"). */
+    double condPerIndirect = 0.0;
+    /** Fraction of indirect branches that are virtual calls. */
+    double virtualCallFraction = 0.0;
+
+    /** Static indirect sites covering 90/95/99/100% of executions. */
+    unsigned activeSites90 = 0;
+    unsigned activeSites95 = 0;
+    unsigned activeSites99 = 0;
+    unsigned activeSites100 = 0;
+
+    /** Average distinct targets per site, weighted by execution. */
+    double meanPolymorphism = 0.0;
+
+    std::vector<SiteStats> sites;
+};
+
+/** Compute TraceStats for @p trace. */
+TraceStats computeTraceStats(const Trace &trace);
+
+/**
+ * Histogram of dynamic executions per static indirect site, keyed by
+ * site PC. Exposed separately because the synthetic-benchmark
+ * calibration tests use it directly.
+ */
+std::map<Addr, std::uint64_t> siteExecutionCounts(const Trace &trace);
+
+} // namespace ibp
+
+#endif // IBP_TRACE_TRACE_STATS_HH

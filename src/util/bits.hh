@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the predictor library.
+ *
+ * All predictor keys, indices and tags are assembled from 32-bit
+ * addresses via the operations here, so the semantics are pinned down
+ * carefully (and unit-tested bit-exactly in tests/util/bits_test.cc).
+ */
+
+#ifndef IBP_UTIL_BITS_HH
+#define IBP_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+/** A 32-bit code address (SPARC-style word-aligned PC or target). */
+using Addr = std::uint32_t;
+
+/**
+ * Extract bits [first, first+count) of @p value, i.e. @p count bits
+ * starting at bit @p first (bit 0 = LSB). count == 0 yields 0;
+ * count >= 64 yields the whole shifted value.
+ */
+constexpr std::uint64_t
+bitsRange(std::uint64_t value, unsigned first, unsigned count)
+{
+    if (count == 0 || first >= 64)
+        return 0;
+    const std::uint64_t shifted = value >> first;
+    if (count >= 64)
+        return shifted;
+    return shifted & ((std::uint64_t{1} << count) - 1);
+}
+
+/** A mask with the low @p count bits set. */
+constexpr std::uint64_t
+lowMask(unsigned count)
+{
+    if (count >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << count) - 1;
+}
+
+/** True iff @p value is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    IBP_ASSERT(value != 0, "floorLog2 of zero");
+    return 63 - std::countl_zero(value);
+}
+
+/** ceil(log2(value)); value must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return value <= 1 ? 0 : floorLog2(value - 1) + 1;
+}
+
+/**
+ * XOR-fold @p value down to @p width bits by splitting it into
+ * @p width-bit chunks and xoring them together. Used by the FoldXor
+ * target-address compressor (paper section 4.1) and key folding.
+ */
+constexpr std::uint64_t
+xorFold(std::uint64_t value, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return value;
+    std::uint64_t folded = 0;
+    while (value != 0) {
+        folded ^= value & lowMask(width);
+        value >>= width;
+    }
+    return folded;
+}
+
+/**
+ * 64-bit FNV-1a hash with a caller-chosen seed (offset basis).
+ * Two independent seeds give the 128-bit keys used by unconstrained
+ * full-precision tables (see DESIGN.md section 1).
+ */
+constexpr std::uint64_t
+fnv1a64(const std::uint64_t *words, unsigned count, std::uint64_t seed)
+{
+    constexpr std::uint64_t prime = 0x100000001b3ULL;
+    std::uint64_t hash = seed;
+    for (unsigned i = 0; i < count; ++i) {
+        std::uint64_t word = words[i];
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= word & 0xff;
+            hash *= prime;
+            word >>= 8;
+        }
+    }
+    return hash;
+}
+
+/** Mix a 64-bit value into well-distributed bits (SplitMix64 finalizer). */
+constexpr std::uint64_t
+mix64(std::uint64_t value)
+{
+    value ^= value >> 30;
+    value *= 0xbf58476d1ce4e5b9ULL;
+    value ^= value >> 27;
+    value *= 0x94d049bb133111ebULL;
+    value ^= value >> 31;
+    return value;
+}
+
+} // namespace ibp
+
+#endif // IBP_UTIL_BITS_HH

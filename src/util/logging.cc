@@ -1,0 +1,74 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibp {
+
+namespace {
+
+void
+vreport(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+panicAssert(const char *file, int line, const char *cond,
+            const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: assertion '%s' failed: ", file,
+                 line, cond);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+} // namespace ibp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * panic()  - an internal invariant was violated (a libibp bug); aborts.
+ * fatal()  - the user asked for something impossible (bad configuration,
+ *            malformed file); exits with status 1.
+ * warn()   - something suspicious but survivable happened.
+ * inform() - neutral status output.
+ */
+
+#ifndef IBP_UTIL_LOGGING_HH
+#define IBP_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ibp {
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation detail of IBP_ASSERT. */
+[[noreturn]] void panicAssert(const char *file, int line,
+                              const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert an internal invariant with a formatted explanation.
+ * Unlike assert(), stays active in release builds: every violation in
+ * an experiment harness must be loud, or results silently rot.
+ */
+#define IBP_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::ibp::panicAssert(__FILE__, __LINE__, #cond,               \
+                               __VA_ARGS__);                            \
+        }                                                               \
+    } while (0)
+
+} // namespace ibp
+
+#endif // IBP_UTIL_LOGGING_HH

@@ -1,0 +1,175 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+namespace {
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    return mix64(state);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed with SplitMix64 as recommended by the xoshiro
+    // authors; guards against the all-zero state.
+    std::uint64_t sm = seed;
+    for (auto &word : _state)
+        word = splitMix64(sm);
+    if ((_state[0] | _state[1] | _state[2] | _state[3]) == 0)
+        _state[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    IBP_ASSERT(bound != 0, "nextBelow(0)");
+    // Debiased multiply-shift (Lemire); the retry loop terminates with
+    // overwhelming probability after one iteration.
+    while (true) {
+        const std::uint64_t x = next();
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(x) * bound;
+        const std::uint64_t low = static_cast<std::uint64_t>(m);
+        if (low >= bound || low >= (-bound) % bound)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    IBP_ASSERT(lo <= hi, "bad range [%lld, %lld]",
+               static_cast<long long>(lo), static_cast<long long>(hi));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double probability)
+{
+    return nextDouble() < probability;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0x6a09e667f3bcc909ULL);
+}
+
+ZipfSampler::ZipfSampler(unsigned n, double alpha)
+{
+    IBP_ASSERT(n >= 1, "empty Zipf support");
+    _cdf.resize(n);
+    double total = 0;
+    for (unsigned r = 0; r < n; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+        _cdf[r] = total;
+    }
+    for (auto &c : _cdf)
+        c /= total;
+}
+
+namespace {
+
+unsigned
+cdfLookup(const std::vector<double> &cdf, double u)
+{
+    // Binary search for the first CDF entry >= u.
+    unsigned lo = 0, hi = static_cast<unsigned>(cdf.size()) - 1;
+    while (lo < hi) {
+        const unsigned mid = lo + (hi - lo) / 2;
+        if (cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+unsigned
+ZipfSampler::sample(Rng &rng) const
+{
+    return cdfLookup(_cdf, rng.nextDouble());
+}
+
+unsigned
+ZipfSampler::pickByUnit(double unit) const
+{
+    return cdfLookup(_cdf, unit);
+}
+
+double
+ZipfSampler::probability(unsigned rank) const
+{
+    IBP_ASSERT(rank < _cdf.size(), "rank %u out of range", rank);
+    return rank == 0 ? _cdf[0] : _cdf[rank] - _cdf[rank - 1];
+}
+
+CategoricalSampler::CategoricalSampler(const std::vector<double> &weights)
+{
+    IBP_ASSERT(!weights.empty(), "empty categorical support");
+    _cdf.resize(weights.size());
+    double total = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        IBP_ASSERT(weights[i] >= 0, "negative weight");
+        total += weights[i];
+        _cdf[i] = total;
+    }
+    IBP_ASSERT(total > 0, "all-zero categorical weights");
+    for (auto &c : _cdf)
+        c /= total;
+}
+
+unsigned
+CategoricalSampler::sample(Rng &rng) const
+{
+    return cdfLookup(_cdf, rng.nextDouble());
+}
+
+unsigned
+CategoricalSampler::pickByUnit(double unit) const
+{
+    return cdfLookup(_cdf, unit);
+}
+
+} // namespace ibp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic random-number generation and discrete samplers.
+ *
+ * Every source of randomness in libibp flows from a named 64-bit seed
+ * through these generators, so that every synthetic trace and every
+ * experiment is exactly reproducible across runs and machines. We do
+ * not use std::mt19937 / std::*_distribution because their outputs are
+ * not guaranteed identical across standard-library implementations.
+ */
+
+#ifndef IBP_UTIL_RNG_HH
+#define IBP_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hh"
+
+namespace ibp {
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64. Fast, high quality, and
+ * fully specified (no implementation-defined behaviour).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with success probability @p probability. */
+    bool nextBool(double probability);
+
+    /** Fork an independent stream (for per-site / per-phase RNGs). */
+    Rng fork();
+
+  private:
+    std::uint64_t _state[4];
+};
+
+/**
+ * Zipf(alpha) sampler over ranks {0, .., n-1}: rank r is drawn with
+ * probability proportional to 1 / (r+1)^alpha. Used to model the
+ * heavy-tailed activity of indirect branch sites observed in
+ * Tables 1/2 of the paper (a handful of sites dominate execution).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(unsigned n, double alpha);
+
+    unsigned sample(Rng &rng) const;
+
+    /** Deterministic inverse-CDF pick for a unit value in [0, 1). */
+    unsigned pickByUnit(double unit) const;
+
+    unsigned size() const { return static_cast<unsigned>(_cdf.size()); }
+
+    /** Probability mass of rank @p rank. */
+    double probability(unsigned rank) const;
+
+  private:
+    std::vector<double> _cdf;
+};
+
+/**
+ * Categorical sampler over an arbitrary weight vector (weights need
+ * not be normalised). Linear-scan CDF; the vectors here are tiny
+ * (target sets of a branch site), so this beats alias-table setup.
+ */
+class CategoricalSampler
+{
+  public:
+    explicit CategoricalSampler(const std::vector<double> &weights);
+
+    unsigned sample(Rng &rng) const;
+
+    /** Deterministic inverse-CDF pick for a unit value in [0, 1). */
+    unsigned pickByUnit(double unit) const;
+
+    unsigned size() const { return static_cast<unsigned>(_cdf.size()); }
+
+  private:
+    std::vector<double> _cdf;
+};
+
+} // namespace ibp
+
+#endif // IBP_UTIL_RNG_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Saturating counters.
+ *
+ * Two flavours are used by the paper's predictors:
+ *  - SatCounter: the classic n-bit up/down saturating counter, used as
+ *    the per-entry "confidence" metapredictor counter in hybrid
+ *    predictors (section 6.1) and the BPST selector.
+ *  - HysteresisBit: the BTB-2bc update rule (section 3.1) - a target
+ *    is replaced only after two consecutive mispredictions. As the
+ *    paper notes, one bit suffices for an indirect branch.
+ */
+
+#ifndef IBP_UTIL_SAT_COUNTER_HH
+#define IBP_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+/**
+ * An n-bit saturating counter (1 <= n <= 15), counting in
+ * [0, 2^n - 1]. Default-constructed counters start at zero, matching
+ * the paper's rule that replacing a table entry resets its confidence.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : _bits(static_cast<std::uint16_t>(bits)),
+          _value(static_cast<std::uint16_t>(initial))
+    {
+        IBP_ASSERT(bits >= 1 && bits <= 15, "counter width %u", bits);
+        IBP_ASSERT(initial <= maxValue(), "initial %u too large", initial);
+    }
+
+    unsigned value() const { return _value; }
+    unsigned bits() const { return _bits; }
+    unsigned maxValue() const { return (1u << _bits) - 1; }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (_value < maxValue())
+            ++_value;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (_value > 0)
+            --_value;
+    }
+
+    /** Reset to zero (entry replacement). */
+    void reset() { _value = 0; }
+
+    /** True if in the upper half of the range (classic "taken" test). */
+    bool isConfident() const { return _value > maxValue() / 2; }
+
+    bool operator==(const SatCounter &other) const = default;
+
+  private:
+    std::uint16_t _bits = 2;
+    std::uint16_t _value = 0;
+};
+
+/**
+ * The BTB-2bc hysteresis rule: update the stored target only after two
+ * consecutive misses. miss() returns true when the caller should
+ * replace the stored target.
+ */
+class HysteresisBit
+{
+  public:
+    /** Record a correct prediction: clear the pending-miss state. */
+    void hit() { _missed = false; }
+
+    /**
+     * Record a misprediction.
+     * @return true if this is the second consecutive miss and the
+     *         stored target should now be replaced.
+     */
+    bool
+    miss()
+    {
+        if (_missed) {
+            _missed = false;
+            return true;
+        }
+        _missed = true;
+        return false;
+    }
+
+    bool pendingMiss() const { return _missed; }
+    void reset() { _missed = false; }
+
+  private:
+    bool _missed = false;
+};
+
+} // namespace ibp
+
+#endif // IBP_UTIL_SAT_COUNTER_HH

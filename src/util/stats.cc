@@ -1,0 +1,102 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+void
+RunningStat::push(double sample)
+{
+    ++_count;
+    if (_count == 1) {
+        _mean = _min = _max = sample;
+        _m2 = 0.0;
+        return;
+    }
+    const double delta = sample - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (sample - _mean);
+    _min = std::min(_min, sample);
+    _max = std::max(_max, sample);
+}
+
+double
+RunningStat::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double s : samples)
+        total += s;
+    return total / static_cast<double>(samples.size());
+}
+
+double
+geomean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : samples) {
+        IBP_ASSERT(s > 0, "geomean of non-positive sample %f", s);
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+double
+percentile(std::vector<double> samples, double pct)
+{
+    IBP_ASSERT(!samples.empty(), "percentile of empty sample");
+    IBP_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile %f", pct);
+    std::sort(samples.begin(), samples.end());
+    const double rank =
+        pct / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+unsigned
+coverageCount(std::vector<std::uint64_t> counts, double fraction)
+{
+    IBP_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+               "coverage fraction %f", fraction);
+    std::sort(counts.begin(), counts.end(),
+              std::greater<std::uint64_t>());
+    std::uint64_t total = 0;
+    for (auto c : counts)
+        total += c;
+    if (total == 0)
+        return 0;
+    const double needed = fraction * static_cast<double>(total);
+    std::uint64_t covered = 0;
+    unsigned used = 0;
+    for (auto c : counts) {
+        if (static_cast<double>(covered) >= needed)
+            break;
+        covered += c;
+        ++used;
+    }
+    return used;
+}
+
+} // namespace ibp

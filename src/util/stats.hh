@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small statistics helpers for experiment results.
+ */
+
+#ifndef IBP_UTIL_STATS_HH
+#define IBP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ibp {
+
+/**
+ * Numerically-stable running mean/variance accumulator (Welford).
+ */
+class RunningStat
+{
+  public:
+    void push(double sample);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _mean : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Arithmetic mean of a sample vector (0 for an empty vector). */
+double mean(const std::vector<double> &samples);
+
+/** Geometric mean; all samples must be positive. */
+double geomean(const std::vector<double> &samples);
+
+/**
+ * Linear-interpolated percentile in [0, 100] of an unsorted sample
+ * vector (the vector is copied and sorted internally).
+ */
+double percentile(std::vector<double> samples, double pct);
+
+/**
+ * Number of distinct categories needed to cover @p fraction of the
+ * total mass of @p counts, taking categories in decreasing-count
+ * order. This is exactly the "active branch sites" statistic of
+ * Tables 1/2 in the paper (sites responsible for 90/95/99/100% of
+ * dynamic indirect branches).
+ */
+unsigned coverageCount(std::vector<std::uint64_t> counts, double fraction);
+
+} // namespace ibp
+
+#endif // IBP_UTIL_STATS_HH

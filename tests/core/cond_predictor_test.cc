@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the conditional-branch predictors backing the section 1
+ * overhead analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cond_predictor.hh"
+#include "util/rng.hh"
+
+namespace ibp {
+namespace {
+
+TEST(Bimodal, LearnsABiasedBranch)
+{
+    BimodalPredictor predictor(1024);
+    for (int i = 0; i < 8; ++i)
+        predictor.update(0x100, true);
+    EXPECT_TRUE(predictor.predictTaken(0x100));
+    for (int i = 0; i < 8; ++i)
+        predictor.update(0x100, false);
+    EXPECT_FALSE(predictor.predictTaken(0x100));
+}
+
+TEST(Bimodal, HysteresisSurvivesASingleDeviation)
+{
+    BimodalPredictor predictor(1024);
+    for (int i = 0; i < 8; ++i)
+        predictor.update(0x100, true);
+    predictor.update(0x100, false); // one not-taken
+    EXPECT_TRUE(predictor.predictTaken(0x100));
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    BimodalPredictor predictor(1024);
+    int misses = 0;
+    for (int i = 0; i < 200; ++i) {
+        const bool taken = i % 2 == 0;
+        if (i > 20 && predictor.predictTaken(0x100) != taken)
+            ++misses;
+        predictor.update(0x100, taken);
+    }
+    EXPECT_GT(misses, 60);
+}
+
+TEST(Gshare, LearnsAlternationThroughHistory)
+{
+    GsharePredictor predictor(8, 1024);
+    int misses = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool taken = i % 2 == 0;
+        if (i > 100 && predictor.predictTaken(0x100) != taken)
+            ++misses;
+        predictor.update(0x100, taken);
+    }
+    EXPECT_EQ(misses, 0);
+}
+
+TEST(Gshare, LearnsHistoryCorrelatedPatterns)
+{
+    // Branch B is taken iff branch A's last outcome was taken.
+    GsharePredictor predictor(8, 1024);
+    Rng rng(3);
+    int misses = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool a_taken = rng.nextBool(0.5);
+        predictor.update(0x100, a_taken);
+        const bool b_taken = a_taken;
+        if (i > 500 && predictor.predictTaken(0x200) != b_taken)
+            ++misses;
+        predictor.update(0x200, b_taken);
+    }
+    // The history bit disambiguates; a bimodal table cannot do this.
+    EXPECT_LT(misses, 120);
+}
+
+TEST(Gshare, HistoryShiftsOutcomes)
+{
+    GsharePredictor predictor(4, 64);
+    predictor.update(0x10, true);
+    predictor.update(0x10, false);
+    predictor.update(0x10, true);
+    EXPECT_EQ(predictor.history() & 0x7, 0b101u);
+}
+
+TEST(Gshare, ResetRestoresColdState)
+{
+    GsharePredictor predictor(8, 64);
+    for (int i = 0; i < 10; ++i)
+        predictor.update(0x100, false);
+    predictor.reset();
+    EXPECT_EQ(predictor.history(), 0u);
+    EXPECT_TRUE(predictor.predictTaken(0x100)); // weakly-taken init
+}
+
+TEST(CondPredictors, NamesDescribeGeometry)
+{
+    EXPECT_EQ(BimodalPredictor(2048).name(), "bimodal-2048");
+    EXPECT_EQ(GsharePredictor(12, 4096).name(), "gshare12-4096");
+}
+
+TEST(CondPredictors, RejectNonPowerOfTwoTables)
+{
+    EXPECT_DEATH(BimodalPredictor{100}, "power of two");
+    EXPECT_DEATH(GsharePredictor(8, 100), "power of two");
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests of the predictor factory helpers and the textual spec parser
+ * used by the explore_predictors example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hh"
+
+namespace ibp {
+namespace {
+
+TEST(Factory, PaperTwoLevelDefaults)
+{
+    const TwoLevelConfig config =
+        paperTwoLevel(3, TableSpec::setAssoc(1024, 4));
+    EXPECT_EQ(config.pattern.pathLength, 3u);
+    EXPECT_EQ(config.pattern.precision, PrecisionMode::Limited);
+    EXPECT_EQ(config.pattern.resolvedBitsPerTarget(), 8u);
+    EXPECT_EQ(config.pattern.lowBit, 2u);
+    EXPECT_EQ(config.pattern.interleave, InterleaveKind::Reverse);
+    EXPECT_EQ(config.pattern.keyMix, KeyMix::Xor);
+    EXPECT_EQ(config.pattern.tableSharing, 2u);
+    EXPECT_EQ(config.historySharing, 32u);
+    EXPECT_TRUE(config.hysteresis);
+}
+
+TEST(Factory, UnconstrainedTwoLevelDefaults)
+{
+    const TwoLevelConfig config = unconstrainedTwoLevel(8);
+    EXPECT_EQ(config.pattern.precision, PrecisionMode::Full);
+    EXPECT_EQ(config.table.kind, TableKind::Unconstrained);
+    EXPECT_EQ(config.historySharing, 32u);
+}
+
+TEST(Factory, PaperHybridBuildsTwoComponents)
+{
+    const HybridConfig config =
+        paperHybrid(3, 1, TableSpec::setAssoc(512, 4));
+    ASSERT_EQ(config.components.size(), 2u);
+    EXPECT_EQ(config.components[0].pattern.pathLength, 3u);
+    EXPECT_EQ(config.components[1].pattern.pathLength, 1u);
+    EXPECT_EQ(config.meta, MetaKind::Confidence);
+}
+
+TEST(Factory, ParseTableSpecs)
+{
+    EXPECT_EQ(parseTableSpec("unconstrained").kind,
+              TableKind::Unconstrained);
+    const TableSpec assoc = parseTableSpec("assoc4:1024");
+    EXPECT_EQ(assoc.kind, TableKind::SetAssoc);
+    EXPECT_EQ(assoc.entries, 1024u);
+    EXPECT_EQ(assoc.ways, 4u);
+    const TableSpec tagless = parseTableSpec("tagless:512");
+    EXPECT_EQ(tagless.kind, TableKind::Tagless);
+    EXPECT_EQ(tagless.entries, 512u);
+    const TableSpec full = parseTableSpec("fullassoc:256");
+    EXPECT_EQ(full.kind, TableKind::FullyAssoc);
+}
+
+TEST(Factory, ParseTableSpecRejectsJunk)
+{
+    EXPECT_DEATH(parseTableSpec("hash:99"), "unknown kind");
+    EXPECT_DEATH(parseTableSpec("assoc4"), "expected kind:entries");
+    EXPECT_DEATH(parseTableSpec("assoc4:zero"), "bad entry count");
+}
+
+TEST(Factory, SpecParserBuildsBtbs)
+{
+    EXPECT_EQ(makePredictorFromSpec("btb")->name(), "btb");
+    EXPECT_EQ(makePredictorFromSpec("btb2bc")->name(), "btb-2bc");
+    const auto bounded =
+        makePredictorFromSpec("btb2bc:table=fullassoc:256");
+    EXPECT_EQ(bounded->tableCapacity(), 256u);
+}
+
+TEST(Factory, SpecParserBuildsTwoLevel)
+{
+    const auto predictor =
+        makePredictorFromSpec("twolevel:p=3,table=assoc4:1024");
+    EXPECT_EQ(predictor->tableCapacity(), 1024u);
+    EXPECT_NE(predictor->name().find("p=3"), std::string::npos);
+
+    const auto full = makePredictorFromSpec(
+        "twolevel:p=8,precision=full,table=unconstrained");
+    EXPECT_EQ(full->tableCapacity(), 0u);
+    EXPECT_NE(full->name().find("full"), std::string::npos);
+}
+
+TEST(Factory, SpecParserHonoursKeyOptions)
+{
+    const auto predictor = makePredictorFromSpec(
+        "twolevel:p=4,table=tagless:512,interleave=concat,"
+        "mix=concat,b=2,2bc=0");
+    const std::string name = predictor->name();
+    EXPECT_NE(name.find("concat"), std::string::npos);
+    EXPECT_NE(name.find("b=2"), std::string::npos);
+    EXPECT_NE(name.find("no2bc"), std::string::npos);
+}
+
+TEST(Factory, SpecParserBuildsHybrids)
+{
+    const auto hybrid = makePredictorFromSpec(
+        "hybrid:p1=3,p2=7,table=assoc2:2048");
+    EXPECT_EQ(hybrid->tableCapacity(), 4096u);
+    EXPECT_NE(hybrid->name().find("hybrid"), std::string::npos);
+
+    const auto selector = makePredictorFromSpec(
+        "hybrid:p1=1,p2=5,table=assoc4:512,meta=selector");
+    EXPECT_NE(selector->name().find("selector"), std::string::npos);
+}
+
+TEST(Factory, SpecParserRejectsUnknownKind)
+{
+    EXPECT_DEATH(makePredictorFromSpec("oracle"), "unknown predictor");
+}
+
+TEST(Factory, ParsedPredictorsActuallyPredict)
+{
+    for (const char *spec :
+         {"btb", "btb2bc", "twolevel:p=2,table=assoc4:256",
+          "twolevel:p=3,table=tagless:256",
+          "hybrid:p1=1,p2=4,table=assoc2:256"}) {
+        const auto predictor = makePredictorFromSpec(spec);
+        predictor->update(0x100, 0xA0);
+        predictor->update(0x100, 0xA0);
+        SUCCEED() << spec;
+    }
+}
+
+} // namespace
+} // namespace ibp

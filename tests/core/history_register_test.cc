@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests of the first-level history (section 3.2.1): per-set sharing,
+ * global sharing, and buffer ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/history_register.hh"
+
+namespace ibp {
+namespace {
+
+TEST(HistoryBuffer, NewestFirstOrdering)
+{
+    HistoryBuffer buffer(4);
+    buffer.push(0x10);
+    buffer.push(0x20);
+    buffer.push(0x30);
+    EXPECT_EQ(buffer.at(0), 0x30u);
+    EXPECT_EQ(buffer.at(1), 0x20u);
+    EXPECT_EQ(buffer.at(2), 0x10u);
+    EXPECT_EQ(buffer.at(3), 0u); // cold slot
+}
+
+TEST(HistoryBuffer, OldEntriesFallOff)
+{
+    HistoryBuffer buffer(2);
+    buffer.push(1);
+    buffer.push(2);
+    buffer.push(3);
+    EXPECT_EQ(buffer.at(0), 3u);
+    EXPECT_EQ(buffer.at(1), 2u);
+}
+
+TEST(HistoryBuffer, ZeroDepthIsHarmless)
+{
+    HistoryBuffer buffer(0);
+    buffer.push(42); // must not crash
+    EXPECT_EQ(buffer.depth(), 0u);
+}
+
+TEST(HistoryBuffer, ClearResetsContents)
+{
+    HistoryBuffer buffer(3);
+    buffer.push(7);
+    buffer.clear();
+    EXPECT_EQ(buffer.at(0), 0u);
+}
+
+TEST(HistoryRegister, GlobalSharingUsesOneBuffer)
+{
+    HistoryRegister history(4, 32);
+    EXPECT_TRUE(history.isGlobal());
+    history.push(0x1000, 0xAA);
+    history.push(0x9000, 0xBB);
+    // Both branches see both targets.
+    EXPECT_EQ(history.buffer(0x1000).at(0), 0xBBu);
+    EXPECT_EQ(history.buffer(0x5555554).at(1), 0xAAu);
+    EXPECT_EQ(history.touchedSets(), 1u);
+}
+
+TEST(HistoryRegister, PerAddressSharingIsolatesBranches)
+{
+    HistoryRegister history(4, 2); // s=2: per word-aligned branch
+    history.push(0x1000, 0xAA);
+    history.push(0x2000, 0xBB);
+    EXPECT_EQ(history.buffer(0x1000).at(0), 0xAAu);
+    EXPECT_EQ(history.buffer(0x2000).at(0), 0xBBu);
+    EXPECT_EQ(history.buffer(0x3000).at(0), 0u);
+    EXPECT_EQ(history.touchedSets(), 3u);
+}
+
+TEST(HistoryRegister, PerSetSharingGroupsByHighBits)
+{
+    HistoryRegister history(4, 8); // 256-byte regions share
+    history.push(0x1000, 0xAA);
+    history.push(0x10fc, 0xBB); // same 256-byte region
+    history.push(0x1100, 0xCC); // next region
+    EXPECT_EQ(history.buffer(0x1000).at(0), 0xBBu);
+    EXPECT_EQ(history.buffer(0x1000).at(1), 0xAAu);
+    EXPECT_EQ(history.buffer(0x1100).at(0), 0xCCu);
+}
+
+TEST(HistoryRegister, SetIdMatchesShiftedPc)
+{
+    HistoryRegister history(2, 12);
+    EXPECT_EQ(history.setId(0x12345678), 0x12345678u >> 12);
+    HistoryRegister global(2, 32);
+    EXPECT_EQ(global.setId(0xffffffff), 0u);
+}
+
+TEST(HistoryRegister, ResetForgetsAllSets)
+{
+    HistoryRegister history(2, 2);
+    history.push(0x1000, 0xAA);
+    history.reset();
+    EXPECT_EQ(history.buffer(0x1000).at(0), 0u);
+}
+
+} // namespace
+} // namespace ibp

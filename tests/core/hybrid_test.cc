@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests of hybrid predictors (section 6): confidence metaprediction,
+ * tie-breaking, fallback on component misses, the BPST selector
+ * alternative, and the short+long complementarity the paper builds
+ * on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hh"
+#include "core/hybrid.hh"
+#include "util/rng.hh"
+
+namespace ibp {
+namespace {
+
+HybridConfig
+unconstrainedHybrid(unsigned p1, unsigned p2)
+{
+    return HybridConfig::twoComponent(unconstrainedTwoLevel(p1),
+                                      unconstrainedTwoLevel(p2));
+}
+
+TEST(Hybrid, RequiresTwoComponents)
+{
+    HybridConfig config;
+    config.components = {unconstrainedTwoLevel(1)};
+    EXPECT_DEATH(HybridPredictor{config}, ">= 2 components");
+}
+
+TEST(Hybrid, ColdStartHasNoPrediction)
+{
+    HybridPredictor hybrid(unconstrainedHybrid(1, 3));
+    EXPECT_FALSE(hybrid.predict(0x100).valid);
+    EXPECT_EQ(hybrid.lastChosen(), -1);
+}
+
+TEST(Hybrid, UsesTheOnlyComponentWithAPrediction)
+{
+    // After one update both components have entries for the next
+    // occurrence of the same pattern; craft a case where only the
+    // short component hits: change history so the long pattern is
+    // fresh but the short one repeats.
+    HybridPredictor hybrid(unconstrainedHybrid(0, 2));
+    // Train p=0 entry for the site.
+    hybrid.update(0x100, 0xA0);
+    hybrid.update(0x200, 0xB0); // history now B0, A0
+    hybrid.update(0x300, 0xC0); // history now C0, B0
+    // p=0 component predicts A0 regardless of the (fresh) history;
+    // the p=2 component has never seen (0x100, [C0 B0]).
+    const Prediction prediction = hybrid.predict(0x100);
+    ASSERT_TRUE(prediction.valid);
+    EXPECT_EQ(prediction.target, 0xA0u);
+    EXPECT_EQ(hybrid.lastChosen(), 0);
+}
+
+TEST(Hybrid, ConfidencePicksTheAccurateComponent)
+{
+    // Period-4 cycle with a repeated target: p=1 is ambiguous after
+    // A, p=3 learns perfectly. Confidence must migrate to p=3.
+    HybridPredictor hybrid(unconstrainedHybrid(1, 3));
+    const Addr cycle[] = {0xA0, 0xB0, 0xA0, 0xC0};
+    int late_misses = 0;
+    for (int i = 0; i < 600; ++i) {
+        const Addr actual = cycle[i % 4];
+        const bool hit = hybrid.predict(0x100).correctFor(actual);
+        if (i >= 200)
+            late_misses += hit ? 0 : 1;
+        hybrid.update(0x100, actual);
+    }
+    EXPECT_EQ(late_misses, 0);
+}
+
+TEST(Hybrid, TieBreakPrefersTheFirstComponent)
+{
+    // Both components learn the same monomorphic branch and reach
+    // equal confidence; the first listed must be chosen.
+    HybridPredictor hybrid(unconstrainedHybrid(1, 2));
+    for (int i = 0; i < 20; ++i) {
+        hybrid.predict(0x100);
+        hybrid.update(0x100, 0xA0);
+    }
+    ASSERT_TRUE(hybrid.predict(0x100).valid);
+    EXPECT_EQ(hybrid.lastChosen(), 0);
+}
+
+TEST(Hybrid, HybridMatchesBestComponentOnEasyStreams)
+{
+    // On a stream both components predict perfectly, the hybrid must
+    // not lose accuracy to metaprediction churn.
+    HybridPredictor hybrid(unconstrainedHybrid(1, 3));
+    int misses = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool hit = hybrid.predict(0x100).correctFor(0xA0);
+        if (i > 2)
+            misses += hit ? 0 : 1;
+        hybrid.update(0x100, 0xA0);
+    }
+    EXPECT_EQ(misses, 0);
+}
+
+TEST(Hybrid, ShortPlusLongBeatsLongAloneAcrossPhaseChange)
+{
+    // Phase 1: period-1 behaviour (everything learns). Then the
+    // pattern changes: short components relearn in O(patterns_short)
+    // while the long component relearns slowly. This is the
+    // section 6 motivation for hybrids.
+    const auto run = [](IndirectPredictor &predictor) {
+        Rng rng(7);
+        int post_change_misses = 0;
+        Addr phase_salt = 0;
+        for (int i = 0; i < 3000; ++i) {
+            if (i == 1500)
+                phase_salt = 0x5550;
+            // Period-6 global pattern over 3 sites.
+            const Addr pc = 0x100 + 4 * (i % 3);
+            const Addr actual =
+                0xA0 + 0x10 * ((i + i / 6) % 6) + phase_salt;
+            const bool hit = predictor.predict(pc).correctFor(actual);
+            if (i >= 1500 && i < 2100)
+                post_change_misses += hit ? 0 : 1;
+            predictor.update(pc, actual);
+        }
+        return post_change_misses;
+    };
+
+    TwoLevelPredictor long_only(unconstrainedTwoLevel(10));
+    HybridPredictor hybrid(unconstrainedHybrid(2, 10));
+    const int long_misses = run(long_only);
+    const int hybrid_misses = run(hybrid);
+    EXPECT_LT(hybrid_misses, long_misses);
+}
+
+TEST(Hybrid, SelectorModeTracksTheBetterComponent)
+{
+    HybridConfig config = unconstrainedHybrid(1, 3);
+    config.meta = MetaKind::Selector;
+    HybridPredictor hybrid(config);
+    const Addr cycle[] = {0xA0, 0xB0, 0xA0, 0xC0};
+    int late_misses = 0;
+    for (int i = 0; i < 800; ++i) {
+        const Addr actual = cycle[i % 4];
+        const bool hit = hybrid.predict(0x100).correctFor(actual);
+        if (i >= 400)
+            late_misses += hit ? 0 : 1;
+        hybrid.update(0x100, actual);
+    }
+    // The per-branch selector converges to the p=3 component.
+    EXPECT_LT(late_misses, 40);
+}
+
+TEST(Hybrid, SelectorRequiresExactlyTwoComponents)
+{
+    HybridConfig config;
+    config.components = {unconstrainedTwoLevel(1),
+                         unconstrainedTwoLevel(2),
+                         unconstrainedTwoLevel(3)};
+    config.meta = MetaKind::Selector;
+    EXPECT_DEATH(HybridPredictor{config}, "exactly 2");
+}
+
+TEST(Hybrid, ThreeComponentsWorkWithConfidence)
+{
+    HybridConfig config;
+    config.components = {unconstrainedTwoLevel(1),
+                         unconstrainedTwoLevel(4),
+                         unconstrainedTwoLevel(8)};
+    HybridPredictor hybrid(config);
+    EXPECT_EQ(hybrid.numComponents(), 3u);
+    const Addr cycle[] = {0xA0, 0xB0, 0xA0, 0xC0, 0xA0, 0xD0};
+    int late_misses = 0;
+    for (int i = 0; i < 900; ++i) {
+        const Addr actual = cycle[i % 6];
+        const bool hit = hybrid.predict(0x100).correctFor(actual);
+        if (i >= 300)
+            late_misses += hit ? 0 : 1;
+        hybrid.update(0x100, actual);
+    }
+    EXPECT_EQ(late_misses, 0);
+}
+
+TEST(Hybrid, CapacityIsTheComponentSum)
+{
+    HybridPredictor bounded(paperHybrid(
+        3, 1, TableSpec::setAssoc(512, 4)));
+    EXPECT_EQ(bounded.tableCapacity(), 1024u);
+    HybridPredictor unbounded(unconstrainedHybrid(1, 2));
+    EXPECT_EQ(unbounded.tableCapacity(), 0u);
+}
+
+TEST(Hybrid, ResetForgetsEverything)
+{
+    HybridPredictor hybrid(unconstrainedHybrid(1, 3));
+    for (int i = 0; i < 10; ++i)
+        hybrid.update(0x100, 0xA0);
+    hybrid.reset();
+    EXPECT_FALSE(hybrid.predict(0x100).valid);
+    EXPECT_EQ(hybrid.tableOccupancy(), 0u);
+}
+
+TEST(Hybrid, ConfidenceWidthIsApplied)
+{
+    HybridConfig config = unconstrainedHybrid(1, 3);
+    config.confidenceBits = 4;
+    HybridPredictor hybrid(config);
+    for (int i = 0; i < 40; ++i) {
+        hybrid.predict(0x100);
+        hybrid.update(0x100, 0xA0);
+    }
+    // A 4-bit counter can reach 15.
+    EXPECT_GE(hybrid.predict(0x100).confidence, 10);
+}
+
+} // namespace
+} // namespace ibp

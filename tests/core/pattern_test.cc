@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Bit-exact tests of key formation: target compression (section
+ * 4.1), interleaving schemes (section 5.2.1, Figure 15), key mixing
+ * (section 4.2) and table sharing (section 3.2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pattern.hh"
+
+namespace ibp {
+namespace {
+
+HistoryBuffer
+historyOf(std::initializer_list<Addr> oldest_to_newest, unsigned depth)
+{
+    HistoryBuffer buffer(depth);
+    for (Addr target : oldest_to_newest)
+        buffer.push(target);
+    return buffer;
+}
+
+TEST(PatternSpec, AutoBitRule)
+{
+    PatternSpec spec;
+    spec.pathLength = 2;
+    EXPECT_EQ(spec.resolvedBitsPerTarget(), 12u); // 12*2 = 24
+    spec.pathLength = 6;
+    EXPECT_EQ(spec.resolvedBitsPerTarget(), 4u);
+    spec.pathLength = 5;
+    EXPECT_EQ(spec.resolvedBitsPerTarget(), 4u); // floor(24/5)
+    spec.pathLength = 24;
+    EXPECT_EQ(spec.resolvedBitsPerTarget(), 1u);
+    spec.precision = PrecisionMode::Full;
+    EXPECT_EQ(spec.resolvedBitsPerTarget(), 32u);
+}
+
+TEST(PatternSpec, ExplicitBitsRespected)
+{
+    PatternSpec spec;
+    spec.pathLength = 3;
+    spec.bitsPerTarget = 2;
+    EXPECT_EQ(spec.resolvedBitsPerTarget(), 2u);
+    EXPECT_EQ(spec.patternBits(), 6u);
+}
+
+TEST(PatternBuilder, BitSelectExtractsFromBitA)
+{
+    PatternSpec spec;
+    spec.pathLength = 1;
+    spec.bitsPerTarget = 4;
+    spec.lowBit = 2;
+    PatternBuilder builder(spec);
+    // Bits [2..5] of 0b1101'1100 are 0b0111.
+    EXPECT_EQ(builder.compressTarget(0b11011100), 0b0111u);
+}
+
+TEST(PatternBuilder, FoldXorUsesWholeAddress)
+{
+    PatternSpec spec;
+    spec.pathLength = 1;
+    spec.bitsPerTarget = 8;
+    spec.compressor = CompressorKind::FoldXor;
+    PatternBuilder builder(spec);
+    // Fold of (target >> 2) into 8 bits.
+    const Addr target = 0xabcd1234;
+    EXPECT_EQ(builder.compressTarget(target),
+              xorFold(target >> 2, 8));
+}
+
+TEST(PatternBuilder, ConcatPutsNewestInLowBits)
+{
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.bitsPerTarget = 4;
+    spec.interleave = InterleaveKind::Concat;
+    PatternBuilder builder(spec);
+    // newest target bits[2..5] = 0x3, oldest = 0x7.
+    const HistoryBuffer history =
+        historyOf({0x7 << 2, 0x3 << 2}, 2);
+    EXPECT_EQ(builder.assemblePattern(history), (0x7u << 4) | 0x3u);
+}
+
+TEST(PatternBuilder, StraightInterleavingBitOrder)
+{
+    // p=2, b=2: compressed newest = n1n0, oldest = o1o0.
+    // Straight round-robin LSB-first: bit0 = n0, bit1 = o0,
+    // bit2 = n1, bit3 = o1.
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.bitsPerTarget = 2;
+    spec.interleave = InterleaveKind::Straight;
+    PatternBuilder builder(spec);
+    // newest = 0b01, oldest = 0b10 (in bits [2..3]).
+    const HistoryBuffer history =
+        historyOf({0b10 << 2, 0b01 << 2}, 2);
+    // Expected: bit0 = 1 (n0), bit1 = 0 (o0), bit2 = 0 (n1),
+    // bit3 = 1 (o1) -> 0b1001.
+    EXPECT_EQ(builder.assemblePattern(history), 0b1001u);
+}
+
+TEST(PatternBuilder, ReverseInterleavingPutsOldestFirst)
+{
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.bitsPerTarget = 2;
+    spec.interleave = InterleaveKind::Reverse;
+    PatternBuilder builder(spec);
+    const HistoryBuffer history =
+        historyOf({0b10 << 2, 0b01 << 2}, 2);
+    // Reverse order per round: bit0 = o0 = 0, bit1 = n0 = 1,
+    // bit2 = o1 = 1, bit3 = n1 = 0 -> 0b0110.
+    EXPECT_EQ(builder.assemblePattern(history), 0b0110u);
+}
+
+TEST(PatternBuilder, PingPongAlternatesEnds)
+{
+    // p=4, b=1: order should be newest(0), oldest(3), 1, 2.
+    PatternSpec spec;
+    spec.pathLength = 4;
+    spec.bitsPerTarget = 1;
+    spec.interleave = InterleaveKind::PingPong;
+    PatternBuilder builder(spec);
+    // bit2 of targets: t0(newest)=1, t1=0, t2=0, t3(oldest)=1.
+    const HistoryBuffer history = historyOf(
+        {1 << 2, 0 << 2, 0 << 2, 1 << 2}, 4);
+    // Pattern bits LSB-first follow order {t0, t3, t1, t2}:
+    // 1, 1, 0, 0 -> 0b0011.
+    EXPECT_EQ(builder.assemblePattern(history), 0b0011u);
+}
+
+TEST(PatternBuilder, InterleavingIndexContainsAllTargets)
+{
+    // The motivation for interleaving (Figure 13): with p=2 and a
+    // 6-bit index, concatenation leaves the oldest target's bits out
+    // of the index; interleaving includes bits of both.
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.bitsPerTarget = 12; // auto rule for p=2
+    PatternBuilder concat(
+        [&] { auto s = spec; s.interleave = InterleaveKind::Concat;
+              return s; }());
+    PatternBuilder reverse(
+        [&] { auto s = spec; s.interleave = InterleaveKind::Reverse;
+              return s; }());
+
+    const HistoryBuffer a = historyOf({0xAAAA0 | 0x40, 0x11110}, 2);
+    const HistoryBuffer b = historyOf({0xBBBB0 | 0x80, 0x11110}, 2);
+    const std::uint64_t index_mask = lowMask(6);
+    // Concatenated: low 6 bits depend only on the newest target,
+    // which is identical -> same index.
+    EXPECT_EQ(concat.assemblePattern(a) & index_mask,
+              concat.assemblePattern(b) & index_mask);
+    // Interleaved: the differing older target shows up in the index.
+    EXPECT_NE(reverse.assemblePattern(a) & index_mask,
+              reverse.assemblePattern(b) & index_mask);
+}
+
+TEST(PatternBuilder, ShiftXorMatchesDefinition)
+{
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.bitsPerTarget = 12;
+    spec.compressor = CompressorKind::ShiftXor;
+    PatternBuilder builder(spec);
+    const Addr oldest = 0x1234 << 2, newest = 0x5678 << 2;
+    const HistoryBuffer history = historyOf({oldest, newest}, 2);
+    const std::uint64_t mask = lowMask(24);
+    const std::uint64_t expected =
+        ((((0ULL << 12) ^ (oldest >> 2)) << 12) ^ (newest >> 2)) &
+        mask;
+    EXPECT_EQ(builder.assemblePattern(history), expected);
+}
+
+TEST(PatternBuilder, XorKeyMixing)
+{
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.keyMix = KeyMix::Xor;
+    PatternBuilder builder(spec);
+    const HistoryBuffer history = historyOf({0x40, 0x80}, 2);
+    const std::uint64_t pattern = builder.assemblePattern(history);
+    const Addr pc = 0x1234;
+    const Key key = builder.buildKey(pc, history);
+    EXPECT_EQ(key.lo, pattern ^ ((pc >> 2) & lowMask(30)));
+    EXPECT_EQ(key.hi, 0u);
+}
+
+TEST(PatternBuilder, ConcatKeyMixing)
+{
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.keyMix = KeyMix::Concat;
+    PatternBuilder builder(spec);
+    const HistoryBuffer history = historyOf({0x40, 0x80}, 2);
+    const std::uint64_t pattern = builder.assemblePattern(history);
+    const Addr pc = 0x1234;
+    const Key key = builder.buildKey(pc, history);
+    EXPECT_EQ(key.lo,
+              (pattern << 30) | ((pc >> 2) & lowMask(30)));
+}
+
+TEST(PatternBuilder, PathLengthZeroKeysOnAddressOnly)
+{
+    PatternSpec spec;
+    spec.pathLength = 0;
+    PatternBuilder builder(spec);
+    HistoryBuffer history(0);
+    const Key key = builder.buildKey(0x4000, history);
+    EXPECT_EQ(key.lo, (0x4000u >> 2) & lowMask(30));
+}
+
+TEST(PatternBuilder, TableSharingDropsLowAddressBits)
+{
+    PatternSpec spec;
+    spec.pathLength = 0;
+    spec.tableSharing = 10;
+    PatternBuilder builder(spec);
+    HistoryBuffer history(0);
+    // Branches within the same 1K region share keys.
+    EXPECT_EQ(builder.buildKey(0x4000, history).lo,
+              builder.buildKey(0x43fc, history).lo);
+    EXPECT_NE(builder.buildKey(0x4000, history).lo,
+              builder.buildKey(0x4400, history).lo);
+}
+
+TEST(PatternBuilder, FullPrecisionKeysSeparateHistories)
+{
+    PatternSpec spec;
+    spec.pathLength = 3;
+    spec.precision = PrecisionMode::Full;
+    PatternBuilder builder(spec);
+    const HistoryBuffer a = historyOf({0x10, 0x20, 0x30}, 3);
+    const HistoryBuffer b = historyOf({0x10, 0x20, 0x34}, 3);
+    const HistoryBuffer c = historyOf({0x20, 0x10, 0x30}, 3);
+    const Key ka = builder.buildKey(0x1000, a);
+    EXPECT_EQ(ka, builder.buildKey(0x1000, a));
+    EXPECT_NE(ka, builder.buildKey(0x1000, b));
+    EXPECT_NE(ka, builder.buildKey(0x1000, c)); // order matters
+    EXPECT_NE(ka, builder.buildKey(0x1004, a)); // address matters
+}
+
+TEST(PatternBuilder, OmittingBranchAddress)
+{
+    PatternSpec spec;
+    spec.pathLength = 2;
+    spec.includeBranchAddress = false;
+    PatternBuilder builder(spec);
+    const HistoryBuffer history = historyOf({0x40, 0x80}, 2);
+    EXPECT_EQ(builder.buildKey(0x1000, history),
+              builder.buildKey(0x2000, history));
+}
+
+TEST(PatternSpec, ValidationCatchesBadRanges)
+{
+    PatternSpec spec;
+    spec.pathLength = 30; // > 24 in limited mode
+    EXPECT_DEATH(spec.validate(), "path length");
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests of the four second-level table organisations: unconstrained,
+ * bounded fully-associative LRU, set-associative, tagless.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fully_assoc_table.hh"
+#include "core/set_assoc_table.hh"
+#include "core/table_spec.hh"
+#include "core/tagless_table.hh"
+#include "core/unconstrained_table.hh"
+
+namespace ibp {
+namespace {
+
+void
+install(TargetTable &table, std::uint64_t key_bits, Addr target)
+{
+    bool replaced = false;
+    TableEntry &entry = table.access(makeExactKey(key_bits), replaced);
+    entry.target = target;
+    entry.valid = true;
+}
+
+TEST(UnconstrainedTable, NeverEvicts)
+{
+    UnconstrainedTable table;
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        install(table, k, static_cast<Addr>(k * 4));
+    EXPECT_EQ(table.occupancy(), 10000u);
+    EXPECT_EQ(table.capacity(), 0u);
+    for (std::uint64_t k = 0; k < 10000; ++k) {
+        const TableEntry *entry = table.probe(makeExactKey(k));
+        ASSERT_NE(entry, nullptr);
+        EXPECT_EQ(entry->target, k * 4);
+    }
+}
+
+TEST(UnconstrainedTable, ProbeMissesUnknownKeys)
+{
+    UnconstrainedTable table;
+    EXPECT_EQ(table.probe(makeExactKey(7)), nullptr);
+    install(table, 7, 0x40);
+    EXPECT_NE(table.probe(makeExactKey(7)), nullptr);
+    EXPECT_EQ(table.probe(makeExactKey(8)), nullptr);
+}
+
+TEST(UnconstrainedTable, DistinguishesHighKeyHalf)
+{
+    UnconstrainedTable table;
+    bool replaced = false;
+    table.access(Key{1, 0}, replaced).valid = true;
+    EXPECT_EQ(table.probe(Key{1, 1}), nullptr);
+    EXPECT_NE(table.probe(Key{1, 0}), nullptr);
+}
+
+TEST(FullyAssocTable, EvictsLeastRecentlyUsed)
+{
+    FullyAssocTable table(3);
+    install(table, 1, 0x10);
+    install(table, 2, 0x20);
+    install(table, 3, 0x30);
+    // Touch key 1 so key 2 becomes LRU.
+    bool replaced = false;
+    table.access(makeExactKey(1), replaced);
+    EXPECT_FALSE(replaced);
+    install(table, 4, 0x40); // evicts 2
+    EXPECT_NE(table.probe(makeExactKey(1)), nullptr);
+    EXPECT_EQ(table.probe(makeExactKey(2)), nullptr);
+    EXPECT_NE(table.probe(makeExactKey(3)), nullptr);
+    EXPECT_NE(table.probe(makeExactKey(4)), nullptr);
+    EXPECT_EQ(table.occupancy(), 3u);
+}
+
+TEST(FullyAssocTable, ProbeDoesNotTouchRecency)
+{
+    FullyAssocTable table(2);
+    install(table, 1, 0x10);
+    install(table, 2, 0x20);
+    // Probing key 1 must NOT protect it.
+    table.probe(makeExactKey(1));
+    install(table, 3, 0x30); // still evicts 1 (the LRU)
+    EXPECT_EQ(table.probe(makeExactKey(1)), nullptr);
+    EXPECT_NE(table.probe(makeExactKey(2)), nullptr);
+}
+
+TEST(FullyAssocTable, ReplacementResetsEntryState)
+{
+    FullyAssocTable table(1);
+    bool replaced = false;
+    TableEntry &first = table.access(makeExactKey(1), replaced);
+    EXPECT_TRUE(replaced);
+    first.valid = true;
+    first.target = 0x10;
+    first.confidence.increment();
+    TableEntry &second = table.access(makeExactKey(2), replaced);
+    EXPECT_TRUE(replaced);
+    EXPECT_FALSE(second.valid);
+    EXPECT_EQ(second.confidence.value(), 0u);
+}
+
+TEST(SetAssocTable, IndexAndTagSplit)
+{
+    SetAssocTable table(64, 4); // 16 sets -> 4 index bits
+    EXPECT_EQ(table.sets(), 16u);
+    EXPECT_EQ(table.indexOf(makeExactKey(0x35)), 0x5u);
+    EXPECT_EQ(table.indexOf(makeExactKey(0x45)), 0x5u);
+    EXPECT_NE(table.tagOf(makeExactKey(0x35)),
+              table.tagOf(makeExactKey(0x45)));
+}
+
+TEST(SetAssocTable, ConflictEvictionWithinSet)
+{
+    SetAssocTable table(4, 2); // 2 sets, 2 ways
+    // Keys 0, 2, 4 map to set 0.
+    install(table, 0, 0x10);
+    install(table, 2, 0x20);
+    install(table, 4, 0x30); // evicts key 0 (LRU of set 0)
+    EXPECT_EQ(table.probe(makeExactKey(0)), nullptr);
+    EXPECT_NE(table.probe(makeExactKey(2)), nullptr);
+    EXPECT_NE(table.probe(makeExactKey(4)), nullptr);
+    // Set 1 is unaffected.
+    install(table, 1, 0x40);
+    EXPECT_NE(table.probe(makeExactKey(1)), nullptr);
+}
+
+TEST(SetAssocTable, LruWithinSetRespectsTouches)
+{
+    SetAssocTable table(4, 2);
+    install(table, 0, 0x10);
+    install(table, 2, 0x20);
+    bool replaced = false;
+    table.access(makeExactKey(0), replaced); // touch 0
+    EXPECT_FALSE(replaced);
+    install(table, 4, 0x30); // evicts 2
+    EXPECT_NE(table.probe(makeExactKey(0)), nullptr);
+    EXPECT_EQ(table.probe(makeExactKey(2)), nullptr);
+}
+
+TEST(SetAssocTable, OneWayIsDirectMappedWithTags)
+{
+    SetAssocTable table(4, 1);
+    install(table, 0, 0x10);
+    // Same index, different tag: probe must miss (unlike tagless).
+    EXPECT_EQ(table.probe(makeExactKey(4)), nullptr);
+    install(table, 4, 0x20);
+    EXPECT_EQ(table.probe(makeExactKey(0)), nullptr);
+}
+
+TEST(SetAssocTable, FullPrecisionKeysUseHighHalf)
+{
+    SetAssocTable table(16, 4);
+    bool replaced = false;
+    TableEntry &entry = table.access(Key{5, 111}, replaced);
+    entry.valid = true;
+    entry.target = 0x40;
+    // Same low bits, different high half -> tag mismatch.
+    EXPECT_EQ(table.probe(Key{5, 222}), nullptr);
+    EXPECT_NE(table.probe(Key{5, 111}), nullptr);
+}
+
+TEST(TaglessTable, AliasesSilently)
+{
+    TaglessTable table(8); // 3 index bits
+    install(table, 1, 0x10);
+    // Key 9 aliases to slot 1: probe returns the alien entry.
+    const TableEntry *alias = table.probe(makeExactKey(9));
+    ASSERT_NE(alias, nullptr);
+    EXPECT_EQ(alias->target, 0x10u);
+    // access() on the alias is NOT a replacement (slot is valid).
+    bool replaced = true;
+    table.access(makeExactKey(9), replaced);
+    EXPECT_FALSE(replaced);
+}
+
+TEST(TaglessTable, ColdSlotProbesMiss)
+{
+    TaglessTable table(8);
+    EXPECT_EQ(table.probe(makeExactKey(3)), nullptr);
+    EXPECT_EQ(table.occupancy(), 0u);
+}
+
+TEST(TaglessTable, OccupancyCountsValidSlots)
+{
+    TaglessTable table(8);
+    install(table, 0, 0x10);
+    install(table, 1, 0x20);
+    install(table, 9, 0x30); // aliases slot 1; no growth
+    EXPECT_EQ(table.occupancy(), 2u);
+    EXPECT_EQ(table.capacity(), 8u);
+}
+
+TEST(TableSpec, FactoryBuildsEveryKind)
+{
+    EXPECT_EQ(makeTable(TableSpec::unconstrained())->name(),
+              "unconstrained");
+    EXPECT_EQ(makeTable(TableSpec::fullyAssoc(64))->name(),
+              "fullassoc");
+    EXPECT_EQ(makeTable(TableSpec::setAssoc(64, 4))->name(), "assoc4");
+    EXPECT_EQ(makeTable(TableSpec::tagless(64))->name(), "tagless");
+}
+
+TEST(TableSpec, DescribeIsStable)
+{
+    EXPECT_EQ(TableSpec::unconstrained().describe(), "unconstrained");
+    EXPECT_EQ(TableSpec::setAssoc(1024, 4).describe(), "assoc4-1024");
+    EXPECT_EQ(TableSpec::tagless(512).describe(), "tagless-512");
+    EXPECT_EQ(TableSpec::fullyAssoc(256).describe(), "fullassoc-256");
+}
+
+TEST(TableSpec, ValidationRejectsBadShapes)
+{
+    EXPECT_DEATH(makeTable(TableSpec::tagless(100)), "power of two");
+    EXPECT_DEATH(makeTable(TableSpec::setAssoc(100, 3)),
+                 "not divisible|not a power of two|not a multiple");
+}
+
+TEST(AllTables, ResetClearsEverything)
+{
+    for (const TableSpec &spec :
+         {TableSpec::unconstrained(), TableSpec::fullyAssoc(16),
+          TableSpec::setAssoc(16, 2), TableSpec::tagless(16)}) {
+        auto table = makeTable(spec);
+        install(*table, 3, 0x30);
+        EXPECT_GT(table->occupancy(), 0u) << spec.describe();
+        table->reset();
+        EXPECT_EQ(table->occupancy(), 0u) << spec.describe();
+        EXPECT_EQ(table->probe(makeExactKey(3)), nullptr)
+            << spec.describe();
+    }
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests of the two-level path-based predictor: learning periodic
+ * target sequences, path-length effects, equivalence of p=0 with a
+ * BTB, history sharing behaviour, and the section 3.3 variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/btb.hh"
+#include "core/factory.hh"
+#include "core/two_level.hh"
+#include "util/rng.hh"
+
+namespace ibp {
+namespace {
+
+/** Drive a predictor through a repeating target sequence at one
+ *  site; returns misses over the last @p measure executions. */
+int
+missesOnCycle(IndirectPredictor &predictor,
+              const std::vector<Addr> &cycle, int warmup, int measure)
+{
+    int misses = 0;
+    for (int i = 0; i < warmup + measure; ++i) {
+        const Addr actual = cycle[i % cycle.size()];
+        const bool hit =
+            predictor.predict(0x1000).correctFor(actual);
+        if (i >= warmup && !hit)
+            ++misses;
+        predictor.update(0x1000, actual);
+    }
+    return misses;
+}
+
+TEST(TwoLevel, LearnsAPeriodicSequenceABtbCannot)
+{
+    // A period-3 cycle with distinct targets: path length >= 2
+    // disambiguates the position perfectly.
+    const std::vector<Addr> cycle = {0xA0, 0xB0, 0xC0};
+    TwoLevelPredictor two_level(unconstrainedTwoLevel(3));
+    BtbPredictor btb(TableSpec::unconstrained(), true);
+    EXPECT_EQ(missesOnCycle(two_level, cycle, 60, 300), 0);
+    EXPECT_GT(missesOnCycle(btb, cycle, 60, 300), 200);
+}
+
+TEST(TwoLevel, PathLengthZeroBehavesLikeABtb)
+{
+    // For any target sequence, the p=0 two-level predictor and a
+    // BTB-2bc must agree miss-for-miss.
+    TwoLevelPredictor p0(unconstrainedTwoLevel(0));
+    BtbPredictor btb(TableSpec::unconstrained(), true);
+    Rng rng(99);
+    const Addr pcs[] = {0x100, 0x204, 0x308};
+    const Addr targets[] = {0xA0, 0xB0, 0xC0, 0xD0};
+    for (int i = 0; i < 2000; ++i) {
+        const Addr pc = pcs[rng.nextBelow(3)];
+        const Addr actual = targets[rng.nextBelow(4)];
+        EXPECT_EQ(p0.predict(pc).correctFor(actual),
+                  btb.predict(pc).correctFor(actual))
+            << "iteration " << i;
+        p0.update(pc, actual);
+        btb.update(pc, actual);
+    }
+}
+
+TEST(TwoLevel, TooShortPathCannotDisambiguate)
+{
+    // Cycle A B A C: after an A, the next target is B or C depending
+    // on position; p=1 sees only "A" and keeps missing, p=3 learns.
+    const std::vector<Addr> cycle = {0xA0, 0xB0, 0xA0, 0xC0};
+    TwoLevelPredictor p1(unconstrainedTwoLevel(1));
+    TwoLevelPredictor p3(unconstrainedTwoLevel(3));
+    EXPECT_GE(missesOnCycle(p1, cycle, 100, 400), 100);
+    EXPECT_EQ(missesOnCycle(p3, cycle, 100, 400), 0);
+}
+
+TEST(TwoLevel, GlobalHistoryCarriesCrossBranchCorrelation)
+{
+    // Branch Y's target equals branch X's previous target; only a
+    // predictor whose history includes X's targets can learn Y.
+    TwoLevelPredictor global(unconstrainedTwoLevel(1, 32));
+    TwoLevelPredictor per_address(unconstrainedTwoLevel(1, 2));
+    Rng rng(123);
+    int global_misses = 0, per_address_misses = 0;
+    Addr x_target = 0xA0;
+    for (int i = 0; i < 4000; ++i) {
+        x_target = 0xA0 + 0x10 * static_cast<Addr>(rng.nextBelow(4));
+        for (auto *predictor : {&global, &per_address}) {
+            predictor->predict(0x100);
+            predictor->update(0x100, x_target);
+        }
+        const Addr y_target = x_target + 0x1000;
+        if (i > 400) {
+            global_misses +=
+                global.predict(0x200).correctFor(y_target) ? 0 : 1;
+            per_address_misses +=
+                per_address.predict(0x200).correctFor(y_target) ? 0
+                                                                : 1;
+        } else {
+            global.predict(0x200);
+            per_address.predict(0x200);
+        }
+        global.update(0x200, y_target);
+        per_address.update(0x200, y_target);
+    }
+    EXPECT_EQ(global_misses, 0);
+    EXPECT_GT(per_address_misses, 1500); // ~3/4 of random draws miss
+}
+
+TEST(TwoLevel, SharedTableInterferes)
+{
+    // Two branches with identical (empty) history but different
+    // targets: with h=32 they fight over one entry, with h=2 they
+    // coexist.
+    TwoLevelConfig shared = unconstrainedTwoLevel(0, 32, 32);
+    TwoLevelConfig split = unconstrainedTwoLevel(0, 32, 2);
+    TwoLevelPredictor shared_predictor(shared);
+    TwoLevelPredictor split_predictor(split);
+    int shared_misses = 0, split_misses = 0;
+    for (int i = 0; i < 200; ++i) {
+        for (auto [pc, target] :
+             {std::pair<Addr, Addr>{0x100, 0xA0},
+              std::pair<Addr, Addr>{0x200, 0xB0}}) {
+            if (i > 4) {
+                shared_misses +=
+                    shared_predictor.predict(pc).correctFor(target)
+                        ? 0
+                        : 1;
+                split_misses +=
+                    split_predictor.predict(pc).correctFor(target)
+                        ? 0
+                        : 1;
+            }
+            shared_predictor.update(pc, target);
+            split_predictor.update(pc, target);
+        }
+    }
+    EXPECT_EQ(split_misses, 0);
+    EXPECT_GT(shared_misses, 100);
+}
+
+TEST(TwoLevel, HysteresisProtectsEntries)
+{
+    TwoLevelConfig config = unconstrainedTwoLevel(0);
+    config.hysteresis = true;
+    TwoLevelPredictor predictor(config);
+    predictor.update(0x100, 0xA0);
+    predictor.update(0x100, 0xB0); // single miss: entry keeps A0
+    EXPECT_EQ(predictor.predict(0x100).target, 0xA0u);
+    predictor.update(0x100, 0xB0); // second miss: replace
+    EXPECT_EQ(predictor.predict(0x100).target, 0xB0u);
+}
+
+TEST(TwoLevel, ConditionalTargetsPushOutIndirectHistory)
+{
+    TwoLevelConfig config = unconstrainedTwoLevel(2);
+    config.includeConditionalTargets = true;
+    TwoLevelPredictor with_cond(config);
+    TwoLevelPredictor without(unconstrainedTwoLevel(2));
+
+    // Learn a pattern, then interleave taken conditionals; only the
+    // conditional-polluted predictor changes its key.
+    for (int i = 0; i < 10; ++i) {
+        for (auto *predictor :
+             std::initializer_list<TwoLevelPredictor *>{&with_cond,
+                                                        &without}) {
+            predictor->predict(0x100);
+            predictor->update(0x100, 0xA0);
+        }
+    }
+    EXPECT_TRUE(with_cond.predict(0x100).valid);
+    EXPECT_TRUE(without.predict(0x100).valid);
+    with_cond.observeConditional(0x500, true, 0x600);
+    without.observeConditional(0x500, true, 0x600);
+    // The unpolluted predictor still has the same key (hit); the
+    // polluted one now sees a fresh pattern (no prediction).
+    EXPECT_TRUE(without.predict(0x100).valid);
+    EXPECT_FALSE(with_cond.predict(0x100).valid);
+    // Not-taken conditionals never enter the history.
+    with_cond.reset();
+    with_cond.update(0x100, 0xA0);
+    with_cond.observeConditional(0x500, false, 0x600);
+}
+
+TEST(TwoLevel, KeyCacheInvalidatedByHistoryUpdates)
+{
+    // predict() after an update must not reuse a stale key.
+    TwoLevelPredictor predictor(unconstrainedTwoLevel(1));
+    predictor.predict(0x100);
+    predictor.update(0x100, 0xA0);
+    predictor.predict(0x100);
+    predictor.update(0x100, 0xB0);
+    // History is now [B0]; the (0x100, [B0]) pattern is fresh.
+    EXPECT_FALSE(predictor.predict(0x100).valid);
+    predictor.update(0x100, 0xC0);
+    // Pattern (0x100, [C0]) fresh again; but (0x100, [B0]) -> C0 was
+    // learned above.
+    predictor.update(0x100, 0xB0);
+    EXPECT_EQ(predictor.predict(0x100).target, 0xC0u);
+}
+
+TEST(TwoLevel, DescribeMentionsKeyParameters)
+{
+    const TwoLevelConfig config =
+        paperTwoLevel(5, TableSpec::setAssoc(1024, 4));
+    const std::string name = TwoLevelPredictor(config).name();
+    EXPECT_NE(name.find("p=5"), std::string::npos);
+    EXPECT_NE(name.find("assoc4-1024"), std::string::npos);
+    EXPECT_NE(name.find("reverse"), std::string::npos);
+}
+
+TEST(TwoLevel, ConfigValidationRejectsBadSharing)
+{
+    TwoLevelConfig config = unconstrainedTwoLevel(2);
+    config.historySharing = 1;
+    EXPECT_DEATH(TwoLevelPredictor{config}, "history sharing");
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Calibration regression tests: the synthetic suite was tuned
+ * (tools/autotune) so its anchor predictors land near the paper's
+ * published rates. These tests pin that calibration with generous
+ * bands, so structural changes to the generator that silently shift
+ * the suite's difficulty fail loudly instead of corrupting every
+ * bench result.
+ *
+ * Full-length traces are used (these are the slowest tests, a few
+ * seconds in total).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/btb.hh"
+#include "core/factory.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+
+namespace ibp {
+namespace {
+
+double
+btbMiss(const std::string &name)
+{
+    const Trace trace = generateBenchmarkTrace(name);
+    BtbPredictor btb(TableSpec::unconstrained(), true);
+    return simulate(btb, trace).missPercent();
+}
+
+double
+floorMiss(const std::string &name)
+{
+    const Trace trace = generateBenchmarkTrace(name);
+    TwoLevelPredictor predictor(unconstrainedTwoLevel(6));
+    return simulate(predictor, trace).missPercent();
+}
+
+class CalibrationAnchors
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CalibrationAnchors, BtbRateNearPaperTarget)
+{
+    const BenchmarkProfile &profile = benchmarkProfile(GetParam());
+    const double got = btbMiss(profile.name);
+    // Band: +-40% relative or +-2.5 absolute, whichever is looser.
+    const double slack =
+        std::max(2.5, 0.40 * profile.btbMissTarget);
+    EXPECT_NEAR(got, profile.btbMissTarget, slack)
+        << profile.name << ": paper " << profile.btbMissTarget;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PerBenchmark, CalibrationAnchors,
+    ::testing::Values("idl", "jhm", "self", "troff", "lcom", "porky",
+                      "ixx", "eqn", "beta", "xlisp", "perl", "edg",
+                      "gcc", "m88ksim", "vortex", "ijpeg", "go"));
+
+TEST(CalibrationSuite, AvgBtbNearPaper)
+{
+    // Paper Figure 2: AVG BTB-2bc = 24.9%.
+    double total = 0;
+    for (const auto &name : benchmarkGroups().avg)
+        total += btbMiss(name);
+    const double avg = total / 13.0;
+    EXPECT_NEAR(avg, 24.9, 4.0);
+}
+
+TEST(CalibrationSuite, AvgTwoLevelFloorNearPaper)
+{
+    // Paper section 8: best unconstrained predictor ~5.8% AVG.
+    double total = 0;
+    for (const auto &name : benchmarkGroups().avg)
+        total += floorMiss(name);
+    const double avg = total / 13.0;
+    EXPECT_NEAR(avg, 5.8, 3.5);
+}
+
+TEST(CalibrationSuite, DifficultyOrderingPreserved)
+{
+    // The paper's easy/hard spread must survive: idl and lcom are
+    // the easiest programs, gcc and m88ksim the hardest.
+    const double easy = std::max(btbMiss("idl"), btbMiss("lcom"));
+    const double hard =
+        std::min(btbMiss("gcc"), btbMiss("m88ksim"));
+    EXPECT_LT(easy, 10.0);
+    EXPECT_GT(hard, 40.0);
+}
+
+TEST(CalibrationSuite, GroupOrderingMatchesPaper)
+{
+    // Figure 2: C programs are harder than OO programs for a BTB,
+    // and AVG-200 much harder than AVG-100.
+    const auto group_avg = [&](const std::vector<std::string> &g) {
+        double total = 0;
+        for (const auto &name : g)
+            total += btbMiss(name);
+        return total / static_cast<double>(g.size());
+    };
+    const auto &groups = benchmarkGroups();
+    EXPECT_LT(group_avg(groups.oo), group_avg(groups.c));
+    EXPECT_LT(group_avg(groups.avg100), group_avg(groups.avg200));
+}
+
+} // namespace
+} // namespace ibp

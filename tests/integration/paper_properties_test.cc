@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's qualitative findings
+ * must hold on the synthetic suite. These run real simulations on
+ * reduced traces (a three-benchmark mini-suite at ~60k branches), so
+ * the thresholds are deliberately generous - the full-suite numbers
+ * live in the bench binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/btb.hh"
+#include "core/factory.hh"
+#include "core/hybrid.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+
+namespace ibp {
+namespace {
+
+class PaperProperties : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setenv("IBP_EVENTS", "0.2", 1);
+        for (const char *name : {"porky", "eqn", "gcc"})
+            traces().push_back(generateBenchmarkTrace(name));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        unsetenv("IBP_EVENTS");
+        traces().clear();
+    }
+
+    static std::vector<Trace> &
+    traces()
+    {
+        static std::vector<Trace> storage;
+        return storage;
+    }
+
+    /** Average misprediction percentage over the mini-suite. */
+    template <typename MakePredictor>
+    static double
+    averageMiss(MakePredictor make)
+    {
+        double total = 0;
+        for (const Trace &trace : traces()) {
+            auto predictor = make();
+            total += simulate(*predictor, trace).missPercent();
+        }
+        return total / static_cast<double>(traces().size());
+    }
+};
+
+TEST_F(PaperProperties, TwoBitCounterUpdateBeatsPlainBtb)
+{
+    const double plain = averageMiss([] {
+        return std::make_unique<BtbPredictor>(
+            TableSpec::unconstrained(), false);
+    });
+    const double hysteretic = averageMiss([] {
+        return std::make_unique<BtbPredictor>(
+            TableSpec::unconstrained(), true);
+    });
+    EXPECT_LT(hysteretic, plain);
+}
+
+TEST_F(PaperProperties, TwoLevelBeatsBtbByALargeFactor)
+{
+    const double btb = averageMiss([] {
+        return std::make_unique<BtbPredictor>(
+            TableSpec::unconstrained(), true);
+    });
+    const double two_level = averageMiss([] {
+        return std::make_unique<TwoLevelPredictor>(
+            unconstrainedTwoLevel(6));
+    });
+    EXPECT_LT(two_level, btb / 2.0);
+}
+
+TEST_F(PaperProperties, PathLengthCurveIsUShaped)
+{
+    const auto at = [&](unsigned p) {
+        return averageMiss([p] {
+            return std::make_unique<TwoLevelPredictor>(
+                unconstrainedTwoLevel(p));
+        });
+    };
+    const double p0 = at(0), p3 = at(3), p6 = at(6), p18 = at(18);
+    EXPECT_LT(p3, p0);
+    EXPECT_LT(p6, p3);
+    EXPECT_GT(p18, p6); // rising tail
+}
+
+TEST_F(PaperProperties, GlobalHistoryBeatsSharedTables)
+{
+    // h sweep (section 3.2.2): per-address tables beat one shared
+    // table.
+    const auto with_h = [&](unsigned h) {
+        return averageMiss([h] {
+            return std::make_unique<TwoLevelPredictor>(
+                unconstrainedTwoLevel(8, 32, h));
+        });
+    };
+    EXPECT_LT(with_h(2), with_h(32));
+}
+
+TEST_F(PaperProperties, LimitedPrecisionEightBitsIsEnough)
+{
+    const double full = averageMiss([] {
+        return std::make_unique<TwoLevelPredictor>(
+            unconstrainedTwoLevel(3));
+    });
+    const double eight_bits = averageMiss([] {
+        TwoLevelConfig config =
+            paperTwoLevel(3, TableSpec::unconstrained());
+        config.pattern.bitsPerTarget = 8;
+        return std::make_unique<TwoLevelPredictor>(config);
+    });
+    const double one_bit = averageMiss([] {
+        TwoLevelConfig config =
+            paperTwoLevel(3, TableSpec::unconstrained());
+        config.pattern.bitsPerTarget = 1;
+        return std::make_unique<TwoLevelPredictor>(config);
+    });
+    EXPECT_NEAR(eight_bits, full, 1.0);
+    EXPECT_GT(one_bit, eight_bits);
+}
+
+TEST_F(PaperProperties, CapacityMissesGrowWithPathLength)
+{
+    // At a small table, long paths suffer more capacity misses.
+    const auto limited = [&](unsigned p, std::uint64_t entries) {
+        return averageMiss([p, entries] {
+            return std::make_unique<TwoLevelPredictor>(
+                paperTwoLevel(p, TableSpec::fullyAssoc(entries)));
+        });
+    };
+    const auto unconstrained = [&](unsigned p) {
+        return averageMiss([p] {
+            TwoLevelConfig config =
+                paperTwoLevel(p, TableSpec::unconstrained());
+            return std::make_unique<TwoLevelPredictor>(config);
+        });
+    };
+    const double loss_short =
+        limited(1, 256) - unconstrained(1);
+    const double loss_long = limited(8, 256) - unconstrained(8);
+    EXPECT_GT(loss_long, loss_short);
+}
+
+TEST_F(PaperProperties, AssociativityReducesConflictMisses)
+{
+    const auto with_ways = [&](unsigned ways) {
+        return averageMiss([ways] {
+            return std::make_unique<TwoLevelPredictor>(paperTwoLevel(
+                3, TableSpec::setAssoc(1024, ways)));
+        });
+    };
+    const double one_way = with_ways(1);
+    const double four_way = with_ways(4);
+    EXPECT_LT(four_way, one_way);
+}
+
+TEST_F(PaperProperties, InterleavingBeatsConcatenationAtLowAssoc)
+{
+    const auto with = [&](InterleaveKind kind) {
+        return averageMiss([kind] {
+            TwoLevelConfig config = paperTwoLevel(
+                3, TableSpec::setAssoc(1024, 1));
+            config.pattern.interleave = kind;
+            return std::make_unique<TwoLevelPredictor>(config);
+        });
+    };
+    EXPECT_LT(with(InterleaveKind::Reverse),
+              with(InterleaveKind::Concat));
+}
+
+TEST_F(PaperProperties, HybridBeatsEqualSizedNonHybrid)
+{
+    const double non_hybrid = averageMiss([] {
+        return std::make_unique<TwoLevelPredictor>(
+            paperTwoLevel(3, TableSpec::setAssoc(1024, 4)));
+    });
+    const double hybrid = averageMiss([] {
+        return std::make_unique<HybridPredictor>(paperHybrid(
+            3, 1, TableSpec::setAssoc(512, 4)));
+    });
+    EXPECT_LT(hybrid, non_hybrid * 1.05); // at worst a small loss
+}
+
+TEST_F(PaperProperties, ConditionalTargetsInHistoryHurt)
+{
+    // Needs conditional records: generate one benchmark with them.
+    setenv("IBP_EVENTS", "0.2", 1);
+    const Trace trace = generateBenchmarkTrace("porky", true);
+    TwoLevelPredictor clean(unconstrainedTwoLevel(6));
+    TwoLevelConfig polluted_config = unconstrainedTwoLevel(6);
+    polluted_config.includeConditionalTargets = true;
+    TwoLevelPredictor polluted(polluted_config);
+    const double clean_rate =
+        simulate(clean, trace).missPercent();
+    const double polluted_rate =
+        simulate(polluted, trace).missPercent();
+    EXPECT_GT(polluted_rate, clean_rate);
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Parameterized property tests sweeping the predictor configuration
+ * space: every legal configuration must simulate cleanly, stay
+ * deterministic, and respect structural invariants (rates in
+ * [0, 100], occupancy <= capacity, p=0 equals a BTB, dominance of
+ * richer organisations on crafted streams).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/btb.hh"
+#include "core/factory.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+
+namespace ibp {
+namespace {
+
+const Trace &
+propertyTrace()
+{
+    static const Trace trace = [] {
+        GeneratorOptions options;
+        options.events = 20000;
+        return generateTrace(benchmarkProfile("eqn"), options);
+    }();
+    return trace;
+}
+
+/** (path length, table kind, entries, ways, interleave, mix, 2bc) */
+using SweepParam = std::tuple<unsigned, TableKind, std::uint64_t,
+                              unsigned, InterleaveKind, KeyMix, bool>;
+
+class TwoLevelSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    static TwoLevelConfig
+    configFor(const SweepParam &param)
+    {
+        const auto [p, kind, entries, ways, interleave, mix,
+                    hysteresis] = param;
+        TableSpec spec;
+        switch (kind) {
+          case TableKind::Unconstrained:
+            spec = TableSpec::unconstrained();
+            break;
+          case TableKind::FullyAssoc:
+            spec = TableSpec::fullyAssoc(entries);
+            break;
+          case TableKind::SetAssoc:
+            spec = TableSpec::setAssoc(entries, ways);
+            break;
+          case TableKind::Tagless:
+            spec = TableSpec::tagless(entries);
+            break;
+        }
+        TwoLevelConfig config = paperTwoLevel(p, spec);
+        config.pattern.interleave = interleave;
+        config.pattern.keyMix = mix;
+        config.hysteresis = hysteresis;
+        return config;
+    }
+};
+
+TEST_P(TwoLevelSweep, SimulatesWithSaneInvariants)
+{
+    TwoLevelPredictor predictor(configFor(GetParam()));
+    const SimResult result = simulate(predictor, propertyTrace());
+    EXPECT_EQ(result.branches, propertyTrace().size());
+    EXPECT_LE(result.misses, result.branches);
+    EXPECT_LE(result.noPrediction, result.misses);
+    EXPECT_GE(result.missPercent(), 0.0);
+    EXPECT_LE(result.missPercent(), 100.0);
+    if (result.tableCapacity != 0) {
+        EXPECT_LE(result.tableOccupancy, result.tableCapacity);
+    }
+}
+
+TEST_P(TwoLevelSweep, DeterministicAcrossRuns)
+{
+    TwoLevelPredictor first(configFor(GetParam()));
+    TwoLevelPredictor second(configFor(GetParam()));
+    EXPECT_EQ(simulate(first, propertyTrace()).misses,
+              simulate(second, propertyTrace()).misses);
+}
+
+TEST_P(TwoLevelSweep, ResetRestoresColdBehaviour)
+{
+    TwoLevelPredictor predictor(configFor(GetParam()));
+    const std::uint64_t cold =
+        simulate(predictor, propertyTrace()).misses;
+    predictor.reset();
+    EXPECT_EQ(simulate(predictor, propertyTrace()).misses, cold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, TwoLevelSweep,
+    ::testing::Combine(
+        ::testing::Values(0u, 1u, 3u, 6u, 12u),
+        ::testing::Values(TableKind::SetAssoc, TableKind::Tagless),
+        ::testing::Values(std::uint64_t{256}, std::uint64_t{2048}),
+        ::testing::Values(1u, 4u),
+        ::testing::Values(InterleaveKind::Concat,
+                          InterleaveKind::Reverse),
+        ::testing::Values(KeyMix::Xor),
+        ::testing::Values(true)));
+
+INSTANTIATE_TEST_SUITE_P(
+    UnconstrainedGrid, TwoLevelSweep,
+    ::testing::Combine(
+        ::testing::Values(0u, 2u, 8u),
+        ::testing::Values(TableKind::Unconstrained,
+                          TableKind::FullyAssoc),
+        ::testing::Values(std::uint64_t{512}),
+        ::testing::Values(1u),
+        ::testing::Values(InterleaveKind::Reverse,
+                          InterleaveKind::Straight,
+                          InterleaveKind::PingPong),
+        ::testing::Values(KeyMix::Xor, KeyMix::Concat),
+        ::testing::Values(true, false)));
+
+/** p = 0 must agree with a BTB of the same table, miss for miss. */
+class PathZeroEquivalence
+    : public ::testing::TestWithParam<std::tuple<TableKind, bool>>
+{
+};
+
+TEST_P(PathZeroEquivalence, MatchesBtb)
+{
+    const auto [kind, hysteresis] = GetParam();
+    const TableSpec spec = kind == TableKind::Unconstrained
+                               ? TableSpec::unconstrained()
+                               : TableSpec::fullyAssoc(512);
+    TwoLevelConfig config = unconstrainedTwoLevel(0);
+    config.table = spec;
+    config.hysteresis = hysteresis;
+    TwoLevelPredictor two_level(config);
+    BtbPredictor btb(spec, hysteresis);
+    const SimResult a = simulate(two_level, propertyTrace());
+    const SimResult b = simulate(btb, propertyTrace());
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.noPrediction, b.noPrediction);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PathZeroEquivalence,
+    ::testing::Combine(::testing::Values(TableKind::Unconstrained,
+                                         TableKind::FullyAssoc),
+                       ::testing::Values(true, false)));
+
+/** Monotonicity: an unconstrained table never loses to a bounded
+ *  table of the same configuration. */
+class CapacityMonotonicity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CapacityMonotonicity, BoundedNeverBeatsUnbounded)
+{
+    const unsigned p = GetParam();
+    TwoLevelPredictor bounded(
+        paperTwoLevel(p, TableSpec::fullyAssoc(128)));
+    TwoLevelPredictor unbounded(
+        paperTwoLevel(p, TableSpec::unconstrained()));
+    const double bounded_rate =
+        simulate(bounded, propertyTrace()).missPercent();
+    const double unbounded_rate =
+        simulate(unbounded, propertyTrace()).missPercent();
+    // LRU on an inclusive-capacity table can only add misses (small
+    // slack for hysteresis-state divergence after evictions).
+    EXPECT_GE(bounded_rate, unbounded_rate - 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(PathLengths, CapacityMonotonicity,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u));
+
+/** Hybrids must never crash and must stay within the component
+ *  envelope on every combination. */
+class HybridSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(HybridSweep, SimulatesAndIsDeterministic)
+{
+    const auto [p1, p2] = GetParam();
+    HybridPredictor first(
+        paperHybrid(p1, p2, TableSpec::setAssoc(256, 2)));
+    HybridPredictor second(
+        paperHybrid(p1, p2, TableSpec::setAssoc(256, 2)));
+    const SimResult a = simulate(first, propertyTrace());
+    const SimResult b = simulate(second, propertyTrace());
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_LE(a.missPercent(), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PathPairs, HybridSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 3u),
+                       ::testing::Values(2u, 5u, 9u)));
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of the trace-driven simulator: miss accounting, exclusion of
+ * returns, conditional pass-through, warm-up windows and per-site
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/btb.hh"
+#include "sim/simulator.hh"
+
+namespace ibp {
+namespace {
+
+/** A predictor that always predicts a fixed target. */
+class FixedPredictor : public IndirectPredictor
+{
+  public:
+    explicit FixedPredictor(Addr target) : _target(target) {}
+
+    Prediction
+    predict(Addr) override
+    {
+        return Prediction{true, _target, 0};
+    }
+    void update(Addr, Addr) override {}
+    void
+    observeConditional(Addr, bool, Addr) override
+    {
+        ++conditionalsSeen;
+    }
+    void reset() override {}
+    std::string name() const override { return "fixed"; }
+    std::uint64_t tableCapacity() const override { return 0; }
+    std::uint64_t tableOccupancy() const override { return 0; }
+
+    unsigned conditionalsSeen = 0;
+
+  private:
+    Addr _target;
+};
+
+Trace
+mixedTrace()
+{
+    Trace trace("mixed");
+    trace.append({0x100, 0xA0, BranchKind::IndirectCall, true});
+    trace.append({0x104, 0x108, BranchKind::Conditional, true});
+    trace.append({0x100, 0xB0, BranchKind::IndirectJump, true});
+    trace.append({0x200, 0xA0, BranchKind::IndirectSwitch, true});
+    trace.append({0x300, 0x90, BranchKind::Return, true});
+    trace.append({0x100, 0xA0, BranchKind::IndirectCall, true});
+    return trace;
+}
+
+TEST(Simulator, CountsOnlyPredictedIndirectBranches)
+{
+    FixedPredictor predictor(0xA0);
+    const SimResult result = simulate(predictor, mixedTrace());
+    EXPECT_EQ(result.branches, 4u); // returns & conditionals excluded
+    EXPECT_EQ(result.misses, 1u);   // only the 0xB0 jump
+    EXPECT_EQ(result.noPrediction, 0u);
+    EXPECT_NEAR(result.missPercent(), 25.0, 1e-9);
+}
+
+TEST(Simulator, ForwardsConditionalsToThePredictor)
+{
+    FixedPredictor predictor(0xA0);
+    simulate(predictor, mixedTrace());
+    EXPECT_EQ(predictor.conditionalsSeen, 1u);
+}
+
+TEST(Simulator, ColdMissesCountAsNoPrediction)
+{
+    BtbPredictor btb;
+    const SimResult result = simulate(btb, mixedTrace());
+    // 0x100 cold, then B0 vs stored A0 (miss, replaced), 0x200
+    // cold, and the final 0x100->A0 misses against the stored B0.
+    EXPECT_EQ(result.branches, 4u);
+    EXPECT_EQ(result.misses, 4u);
+    EXPECT_EQ(result.noPrediction, 2u);
+}
+
+TEST(Simulator, WarmupWindowExcludesEarlyBranches)
+{
+    FixedPredictor predictor(0xA0);
+    SimOptions options;
+    options.warmupBranches = 2;
+    const SimResult result =
+        simulate(predictor, mixedTrace(), options);
+    EXPECT_EQ(result.branches, 2u); // the switch and the last call
+    EXPECT_EQ(result.misses, 0u);
+}
+
+TEST(Simulator, PerSiteStatsBreakDownMisses)
+{
+    BtbPredictor btb;
+    SiteMissStats sites;
+    simulate(btb, mixedTrace(), {}, &sites);
+    EXPECT_EQ(sites.executions.at(0x100), 3u);
+    EXPECT_EQ(sites.executions.at(0x200), 1u);
+    EXPECT_EQ(sites.misses.at(0x100), 3u);
+    EXPECT_EQ(sites.misses.at(0x200), 1u);
+}
+
+TEST(Simulator, ResultCarriesNamesAndOccupancy)
+{
+    BtbPredictor btb;
+    const SimResult result = simulate(btb, mixedTrace());
+    EXPECT_EQ(result.benchmark, "mixed");
+    EXPECT_EQ(result.predictor, "btb");
+    EXPECT_EQ(result.tableOccupancy, 2u);
+}
+
+TEST(Simulator, EmptyTraceYieldsZeroRates)
+{
+    BtbPredictor btb;
+    const SimResult result = simulate(btb, Trace("empty"));
+    EXPECT_EQ(result.branches, 0u);
+    EXPECT_EQ(result.missPercent(), 0.0);
+}
+
+TEST(Simulator, UtilisationIsOccupancyOverCapacity)
+{
+    BtbPredictor btb(TableSpec::setAssoc(8, 1), false);
+    const SimResult result = simulate(btb, mixedTrace());
+    EXPECT_EQ(result.tableCapacity, 8u);
+    EXPECT_NEAR(result.utilisation(),
+                static_cast<double>(result.tableOccupancy) / 8.0,
+                1e-12);
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests of the synthetic benchmark generator: determinism, profile
+ * fidelity (site counts, branch kinds, conditional emission) and the
+ * statistical properties the predictor study depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "synth/benchmark_suite.hh"
+#include "synth/program_model.hh"
+#include "trace/trace_stats.hh"
+
+namespace ibp {
+namespace {
+
+GeneratorOptions
+smallRun(std::uint64_t events = 30000, bool conditionals = false)
+{
+    GeneratorOptions options;
+    options.events = events;
+    options.emitConditionals = conditionals;
+    return options;
+}
+
+TEST(Generator, DeterministicForAGivenSeed)
+{
+    const BenchmarkProfile &profile = benchmarkProfile("porky");
+    const Trace a = generateTrace(profile, smallRun());
+    const Trace b = generateTrace(profile, smallRun());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Generator, ConditionalEmissionLeavesIndirectStreamUntouched)
+{
+    // The conditional/return side-channel uses its own RNG stream:
+    // the same benchmark must produce the identical indirect branch
+    // sequence whether or not conditionals are emitted.
+    const BenchmarkProfile &profile = benchmarkProfile("eqn");
+    const Trace bare = generateTrace(profile, smallRun(8000, false));
+    const Trace full = generateTrace(profile, smallRun(8000, true));
+    std::vector<BranchRecord> indirect_only;
+    for (const auto &record : full) {
+        if (record.isPredictedIndirect())
+            indirect_only.push_back(record);
+    }
+    ASSERT_EQ(indirect_only.size(), bare.size());
+    for (std::size_t i = 0; i < indirect_only.size(); ++i)
+        ASSERT_EQ(indirect_only[i], bare[i]) << "record " << i;
+}
+
+TEST(Generator, DifferentBenchmarksDiffer)
+{
+    const Trace a =
+        generateTrace(benchmarkProfile("porky"), smallRun());
+    const Trace b =
+        generateTrace(benchmarkProfile("eqn"), smallRun());
+    EXPECT_NE(a, b);
+}
+
+TEST(Generator, EmitsExactlyTheRequestedIndirectBranches)
+{
+    const Trace trace =
+        generateTrace(benchmarkProfile("troff"), smallRun(12345));
+    EXPECT_EQ(trace.countPredictedIndirect(), 12345u);
+    // Without conditionals the trace is all indirect.
+    EXPECT_EQ(trace.size(), 12345u);
+}
+
+TEST(Generator, AllTargetsAreWordAligned)
+{
+    const Trace trace =
+        generateTrace(benchmarkProfile("self"), smallRun());
+    for (const auto &record : trace) {
+        EXPECT_EQ(record.pc & 3u, 0u);
+        EXPECT_EQ(record.target & 3u, 0u);
+    }
+}
+
+TEST(Generator, StaticSiteCountTracksProfile)
+{
+    for (const char *name : {"idl", "eqn", "xlisp"}) {
+        const BenchmarkProfile &profile = benchmarkProfile(name);
+        // Enough events for every cold context to be visited.
+        const Trace trace = generateTrace(profile, smallRun(60000));
+        const TraceStats stats = computeTraceStats(trace);
+        EXPECT_GE(stats.activeSites100,
+                  profile.sites100 * 9 / 10)
+            << name;
+        EXPECT_LE(stats.activeSites100, profile.sites100) << name;
+    }
+}
+
+TEST(Generator, HotSiteConcentrationIsInTheRightRegime)
+{
+    // xlisp: 3 sites cover 90% in the paper; allow a small band.
+    const Trace trace =
+        generateTrace(benchmarkProfile("xlisp"), smallRun(60000));
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_LE(stats.activeSites90, 6u);
+    // self is the flattest benchmark: far more active sites.
+    const Trace self_trace =
+        generateTrace(benchmarkProfile("self"), smallRun(60000));
+    EXPECT_GT(computeTraceStats(self_trace).activeSites90, 25u);
+}
+
+TEST(Generator, ConditionalEmissionMatchesCappedRatio)
+{
+    const BenchmarkProfile &profile = benchmarkProfile("troff");
+    const Trace trace =
+        generateTrace(profile, smallRun(20000, true));
+    const TraceStats stats = computeTraceStats(trace);
+    // troff's paper ratio is 13; the default cap is 8.
+    EXPECT_NEAR(stats.condPerIndirect, 8.0, 0.5);
+    EXPECT_GT(stats.returns, 1000u);
+}
+
+TEST(Generator, LowRatioBenchmarksAreNotCapped)
+{
+    const BenchmarkProfile &profile = benchmarkProfile("idl"); // 6
+    const Trace trace =
+        generateTrace(profile, smallRun(20000, true));
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_NEAR(stats.condPerIndirect, 6.0, 0.5);
+}
+
+TEST(Generator, VirtualCallFractionApproximatesProfile)
+{
+    const BenchmarkProfile &profile = benchmarkProfile("jhm"); // 94%
+    const Trace trace = generateTrace(profile, smallRun(50000));
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_GT(stats.virtualCallFraction, 0.75);
+    const BenchmarkProfile &c_profile = benchmarkProfile("gcc"); // 0%
+    const Trace c_trace = generateTrace(c_profile, smallRun(50000));
+    EXPECT_LT(computeTraceStats(c_trace).virtualCallFraction, 0.05);
+}
+
+TEST(Generator, CustomKnobsBuildStandaloneModels)
+{
+    ModelKnobs knobs;
+    knobs.numSites = 24;
+    knobs.numContexts = 6;
+    ProgramModel model(knobs, 42);
+    const Trace trace = model.generate(smallRun(5000), "custom");
+    EXPECT_EQ(trace.countPredictedIndirect(), 5000u);
+    const TraceStats stats = computeTraceStats(trace);
+    EXPECT_LE(stats.activeSites100, 24u);
+    EXPECT_GE(stats.activeSites100, 12u);
+}
+
+TEST(Generator, DominantTargetShareRespondsToDominanceKnob)
+{
+    ModelKnobs low;
+    low.numSites = 40;
+    low.dominance = 0.15;
+    low.monoFraction = 0.0;
+    ModelKnobs high = low;
+    high.dominance = 0.9;
+
+    const TraceStats low_stats = computeTraceStats(
+        ProgramModel(low, 7).generate(smallRun(40000), "low"));
+    const TraceStats high_stats = computeTraceStats(
+        ProgramModel(high, 7).generate(smallRun(40000), "high"));
+
+    const auto weighted_dominance = [](const TraceStats &stats) {
+        double mass = 0, total = 0;
+        for (const auto &site : stats.sites) {
+            mass += site.dominantTargetShare *
+                    static_cast<double>(site.executions);
+            total += static_cast<double>(site.executions);
+        }
+        return mass / total;
+    };
+    EXPECT_GT(weighted_dominance(high_stats),
+              weighted_dominance(low_stats) + 0.2);
+}
+
+TEST(Generator, ProfilesRequireEventCounts)
+{
+    ModelKnobs knobs;
+    ProgramModel model(knobs, 1);
+    GeneratorOptions zero;
+    zero.events = 0;
+    EXPECT_DEATH(model.generate(zero, "zero"), "nonzero event count");
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests of the Table 1/2 trace characterisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+
+namespace ibp {
+namespace {
+
+Trace
+handMadeTrace()
+{
+    Trace trace("hand");
+    // Site 0x100: 6 executions, 2 targets (4x 0xA, 2x 0xB).
+    for (int i = 0; i < 4; ++i)
+        trace.append({0x100, 0xA0, BranchKind::IndirectCall, true});
+    for (int i = 0; i < 2; ++i)
+        trace.append({0x100, 0xB0, BranchKind::IndirectCall, true});
+    // Site 0x200: 3 executions, monomorphic switch.
+    for (int i = 0; i < 3; ++i)
+        trace.append({0x200, 0xC0, BranchKind::IndirectSwitch, true});
+    // Site 0x300: 1 execution.
+    trace.append({0x300, 0xD0, BranchKind::IndirectJump, true});
+    // Conditionals and returns must not count as sites.
+    for (int i = 0; i < 20; ++i)
+        trace.append({0x400, 0x404, BranchKind::Conditional, true});
+    trace.append({0x500, 0x90, BranchKind::Return, true});
+    return trace;
+}
+
+TEST(TraceStats, CountsAndRatios)
+{
+    const TraceStats stats = computeTraceStats(handMadeTrace());
+    EXPECT_EQ(stats.indirectBranches, 10u);
+    EXPECT_EQ(stats.conditionalBranches, 20u);
+    EXPECT_EQ(stats.returns, 1u);
+    EXPECT_DOUBLE_EQ(stats.condPerIndirect, 2.0);
+    EXPECT_DOUBLE_EQ(stats.virtualCallFraction, 0.6);
+}
+
+TEST(TraceStats, ActiveSiteColumns)
+{
+    const TraceStats stats = computeTraceStats(handMadeTrace());
+    // Counts: 6, 3, 1 of 10 total.
+    EXPECT_EQ(stats.activeSites90, 2u); // 6+3 = 9 >= 9
+    EXPECT_EQ(stats.activeSites95, 3u);
+    EXPECT_EQ(stats.activeSites99, 3u);
+    EXPECT_EQ(stats.activeSites100, 3u);
+}
+
+TEST(TraceStats, PerSiteDetail)
+{
+    const TraceStats stats = computeTraceStats(handMadeTrace());
+    ASSERT_EQ(stats.sites.size(), 3u);
+    // Sites are sorted by execution count.
+    EXPECT_EQ(stats.sites[0].pc, 0x100u);
+    EXPECT_EQ(stats.sites[0].executions, 6u);
+    EXPECT_EQ(stats.sites[0].distinctTargets, 2u);
+    EXPECT_NEAR(stats.sites[0].dominantTargetShare, 4.0 / 6.0, 1e-12);
+    EXPECT_EQ(stats.sites[1].pc, 0x200u);
+    EXPECT_NEAR(stats.sites[1].dominantTargetShare, 1.0, 1e-12);
+}
+
+TEST(TraceStats, WeightedPolymorphism)
+{
+    const TraceStats stats = computeTraceStats(handMadeTrace());
+    // (2 targets * 6 + 1 * 3 + 1 * 1) / 10 = 1.6
+    EXPECT_NEAR(stats.meanPolymorphism, 1.6, 1e-12);
+}
+
+TEST(TraceStats, EmptyTraceIsAllZero)
+{
+    const TraceStats stats = computeTraceStats(Trace("empty"));
+    EXPECT_EQ(stats.indirectBranches, 0u);
+    EXPECT_EQ(stats.activeSites100, 0u);
+    EXPECT_EQ(stats.condPerIndirect, 0.0);
+}
+
+TEST(SiteExecutionCounts, MatchesByPc)
+{
+    const auto counts = siteExecutionCounts(handMadeTrace());
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts.at(0x100), 6u);
+    EXPECT_EQ(counts.at(0x200), 3u);
+    EXPECT_EQ(counts.at(0x300), 1u);
+}
+
+} // namespace
+} // namespace ibp

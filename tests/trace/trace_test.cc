@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the trace container and both serialisation formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+
+namespace ibp {
+namespace {
+
+Trace
+sampleTrace()
+{
+    Trace trace("sample");
+    trace.setSeed(0xfeedbeef12345678ULL);
+    trace.append({0x1000, 0x2000, BranchKind::IndirectCall, true});
+    trace.append({0x1004, 0x1010, BranchKind::Conditional, false});
+    trace.append({0x1008, 0x3000, BranchKind::IndirectJump, true});
+    trace.append({0x100c, 0x4000, BranchKind::IndirectSwitch, true});
+    trace.append({0x1010, 0x0ff0, BranchKind::Return, true});
+    return trace;
+}
+
+TEST(BranchRecord, PredictedIndirectKinds)
+{
+    const auto predicted = [](BranchKind kind) {
+        return BranchRecord{0, 0, kind, true}.isPredictedIndirect();
+    };
+    EXPECT_TRUE(predicted(BranchKind::IndirectCall));
+    EXPECT_TRUE(predicted(BranchKind::IndirectJump));
+    EXPECT_TRUE(predicted(BranchKind::IndirectSwitch));
+    EXPECT_FALSE(predicted(BranchKind::Conditional));
+    EXPECT_FALSE(predicted(BranchKind::Return));
+}
+
+TEST(BranchKindName, AllKindsNamed)
+{
+    EXPECT_EQ(branchKindName(BranchKind::Conditional), "cond");
+    EXPECT_EQ(branchKindName(BranchKind::IndirectCall), "icall");
+    EXPECT_EQ(branchKindName(BranchKind::IndirectJump), "ijump");
+    EXPECT_EQ(branchKindName(BranchKind::IndirectSwitch), "iswitch");
+    EXPECT_EQ(branchKindName(BranchKind::Return), "return");
+}
+
+TEST(Trace, CountsByKind)
+{
+    const Trace trace = sampleTrace();
+    EXPECT_EQ(trace.size(), 5u);
+    EXPECT_EQ(trace.countPredictedIndirect(), 3u);
+    EXPECT_EQ(trace.countKind(BranchKind::Conditional), 1u);
+    EXPECT_EQ(trace.countKind(BranchKind::Return), 1u);
+}
+
+TEST(TraceIo, BinaryRoundTripPreservesEverything)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceBinary(original, buffer);
+    const Trace loaded = readTraceBinary(buffer);
+    EXPECT_EQ(loaded, original);
+    EXPECT_EQ(loaded.seed(), original.seed());
+    EXPECT_EQ(loaded.name(), "sample");
+}
+
+TEST(TraceIo, TextRoundTripPreservesEverything)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeTraceText(original, buffer);
+    const Trace loaded = readTraceText(buffer);
+    EXPECT_EQ(loaded, original);
+}
+
+TEST(TraceIo, TextFormatIsHumanReadable)
+{
+    std::stringstream buffer;
+    writeTraceText(sampleTrace(), buffer);
+    const std::string text = buffer.str();
+    EXPECT_NE(text.find("# name sample"), std::string::npos);
+    EXPECT_NE(text.find("icall 0x1000 0x2000 1"), std::string::npos);
+    EXPECT_NE(text.find("cond 0x1004 0x1010 0"), std::string::npos);
+}
+
+TEST(TraceIo, TextReaderSkipsBlankLinesAndComments)
+{
+    std::stringstream buffer;
+    buffer << "# ibp-trace v1\n\n# arbitrary comment\n"
+           << "icall 0x10 0x20 1\n";
+    const Trace trace = readTraceText(buffer);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].pc, 0x10u);
+    EXPECT_EQ(trace[0].target, 0x20u);
+}
+
+TEST(TraceIo, BinaryRoundTripOfEmptyTrace)
+{
+    Trace empty("nothing");
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceBinary(empty, buffer);
+    const Trace loaded = readTraceBinary(buffer);
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(loaded.name(), "nothing");
+}
+
+TEST(TraceIo, BinaryRoundTripOfLargeRandomishTrace)
+{
+    Trace trace("big");
+    for (unsigned i = 0; i < 10000; ++i) {
+        trace.append({static_cast<Addr>(i * 4),
+                      static_cast<Addr>(mix64(i) & 0xfffffffcu),
+                      static_cast<BranchKind>(i % 5), i % 3 != 0});
+    }
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeTraceBinary(trace, buffer);
+    EXPECT_EQ(readTraceBinary(buffer), trace);
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Bit-exact tests of the bit-manipulation helpers that every key and
+ * index in the predictor library is assembled from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace ibp {
+namespace {
+
+TEST(Bits, BitsRangeExtractsTheRequestedField)
+{
+    EXPECT_EQ(bitsRange(0b110110, 1, 3), 0b011u);
+    EXPECT_EQ(bitsRange(0xdeadbeef, 0, 32), 0xdeadbeefu);
+    EXPECT_EQ(bitsRange(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bitsRange(0xff, 4, 4), 0xfu);
+}
+
+TEST(Bits, BitsRangeEdgeCases)
+{
+    EXPECT_EQ(bitsRange(0xffffffffffffffffULL, 0, 64),
+              0xffffffffffffffffULL);
+    EXPECT_EQ(bitsRange(0xff, 0, 0), 0u);
+    EXPECT_EQ(bitsRange(0xff, 64, 8), 0u);
+    EXPECT_EQ(bitsRange(0xff, 63, 8), 0u);
+    EXPECT_EQ(bitsRange(1ULL << 63, 63, 1), 1u);
+}
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(10), 0x3ffu);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+    EXPECT_EQ(lowMask(70), ~std::uint64_t{0});
+}
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(Bits, FloorAndCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(Bits, XorFoldCombinesAllChunks)
+{
+    // 0xAB ^ 0xCD = 0x66 for an 8-bit fold of 0xABCD.
+    EXPECT_EQ(xorFold(0xabcd, 8), 0xabu ^ 0xcdu);
+    // Folding to >= the value's width is the identity.
+    EXPECT_EQ(xorFold(0x1234, 16), 0x1234u);
+    EXPECT_EQ(xorFold(0x1234, 64), 0x1234u);
+    // Width 0 collapses to 0.
+    EXPECT_EQ(xorFold(0x1234, 0), 0u);
+    // Every input bit affects the result: flipping any bit of the
+    // input flips exactly one output bit.
+    const std::uint64_t base = xorFold(0x0123456789abcdefULL, 8);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        const std::uint64_t flipped =
+            xorFold(0x0123456789abcdefULL ^ (1ULL << bit), 8);
+        EXPECT_EQ(std::popcount(base ^ flipped), 1) << "bit " << bit;
+    }
+}
+
+TEST(Bits, Fnv1a64MatchesReferenceVector)
+{
+    // FNV-1a with the standard offset basis over eight zero bytes.
+    const std::uint64_t zero = 0;
+    const std::uint64_t hash =
+        fnv1a64(&zero, 1, 0xcbf29ce484222325ULL);
+    // Reference: iterating h = (h ^ 0) * prime eight times.
+    std::uint64_t expected = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i)
+        expected *= 0x100000001b3ULL;
+    EXPECT_EQ(hash, expected);
+}
+
+TEST(Bits, Fnv1a64SeparatesPermutations)
+{
+    const std::uint64_t ab[] = {1, 2};
+    const std::uint64_t ba[] = {2, 1};
+    EXPECT_NE(fnv1a64(ab, 2, 0xcbf29ce484222325ULL),
+              fnv1a64(ba, 2, 0xcbf29ce484222325ULL));
+}
+
+TEST(Bits, Mix64IsBijectiveOnSamples)
+{
+    // mix64 must not collapse nearby values (used for hashing keys).
+    std::uint64_t previous = mix64(0);
+    for (std::uint64_t i = 1; i < 1000; ++i) {
+        const std::uint64_t mixed = mix64(i);
+        EXPECT_NE(mixed, previous);
+        previous = mixed;
+    }
+}
+
+} // namespace
+} // namespace ibp

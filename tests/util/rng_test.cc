@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests of the deterministic RNG and the discrete samplers that the
+ * synthetic benchmark generator is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hh"
+
+namespace ibp {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversTheRange)
+{
+    Rng rng(7);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 17000; ++i)
+        ++counts[rng.nextBelow(17)];
+    EXPECT_EQ(counts.size(), 17u);
+    for (const auto &[value, count] : counts)
+        EXPECT_GT(count, 600) << "value " << value;
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto value = rng.nextInRange(-3, 3);
+        EXPECT_GE(value, -3);
+        EXPECT_LE(value, 3);
+        saw_lo |= value == -3;
+        saw_hi |= value == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDouble();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(5);
+    Rng forked = a.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == forked.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne)
+{
+    ZipfSampler zipf(20, 1.2);
+    double total = 0;
+    for (unsigned r = 0; r < zipf.size(); ++r)
+        total += zipf.probability(r);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, RankZeroIsMostLikely)
+{
+    ZipfSampler zipf(10, 1.0);
+    for (unsigned r = 1; r < zipf.size(); ++r)
+        EXPECT_GT(zipf.probability(0), zipf.probability(r));
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesTrackProbabilities)
+{
+    ZipfSampler zipf(8, 1.5);
+    Rng rng(21);
+    std::map<unsigned, int> counts;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[zipf.sample(rng)];
+    for (unsigned r = 0; r < zipf.size(); ++r) {
+        EXPECT_NEAR(counts[r] / static_cast<double>(draws),
+                    zipf.probability(r), 0.01)
+            << "rank " << r;
+    }
+}
+
+TEST(ZipfSampler, PickByUnitIsMonotonic)
+{
+    ZipfSampler zipf(10, 1.0);
+    unsigned previous = 0;
+    for (double u = 0.0; u < 1.0; u += 0.001) {
+        const unsigned rank = zipf.pickByUnit(u);
+        EXPECT_GE(rank, previous);
+        previous = rank;
+    }
+    EXPECT_EQ(zipf.pickByUnit(0.0), 0u);
+    EXPECT_EQ(zipf.pickByUnit(0.999999), zipf.size() - 1);
+}
+
+TEST(CategoricalSampler, RespectsWeights)
+{
+    CategoricalSampler sampler({1.0, 0.0, 3.0});
+    Rng rng(33);
+    std::map<unsigned, int> counts;
+    for (int i = 0; i < 40000; ++i)
+        ++counts[sampler.sample(rng)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / 40000.0, 0.25, 0.01);
+    EXPECT_NEAR(counts[2] / 40000.0, 0.75, 0.01);
+}
+
+TEST(CategoricalSampler, PickByUnitSelectsByCdf)
+{
+    CategoricalSampler sampler({0.5, 0.5});
+    EXPECT_EQ(sampler.pickByUnit(0.1), 0u);
+    EXPECT_EQ(sampler.pickByUnit(0.49), 0u);
+    EXPECT_EQ(sampler.pickByUnit(0.51), 1u);
+    EXPECT_EQ(sampler.pickByUnit(0.99), 1u);
+}
+
+} // namespace
+} // namespace ibp

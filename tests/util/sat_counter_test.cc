@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests of the saturating counters: the hybrid confidence counter
+ * semantics (section 6.1) and the BTB-2bc hysteresis rule
+ * (section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+namespace ibp {
+namespace {
+
+TEST(SatCounter, StartsAtZeroByDefault)
+{
+    SatCounter counter(2);
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_EQ(counter.maxValue(), 3u);
+    EXPECT_FALSE(counter.isConfident());
+}
+
+TEST(SatCounter, SaturatesAtBothEnds)
+{
+    SatCounter counter(2);
+    for (int i = 0; i < 10; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+    for (int i = 0; i < 10; ++i)
+        counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(SatCounter, ConfidenceThresholdIsUpperHalf)
+{
+    SatCounter counter(2);
+    counter.increment(); // 1
+    EXPECT_FALSE(counter.isConfident());
+    counter.increment(); // 2
+    EXPECT_TRUE(counter.isConfident());
+}
+
+TEST(SatCounter, WidthOneBehavesLikeABit)
+{
+    SatCounter counter(1);
+    EXPECT_EQ(counter.maxValue(), 1u);
+    counter.increment();
+    EXPECT_EQ(counter.value(), 1u);
+    EXPECT_TRUE(counter.isConfident());
+    counter.increment();
+    EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(SatCounter, ResetReturnsToZero)
+{
+    SatCounter counter(3, 5);
+    EXPECT_EQ(counter.value(), 5u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(HysteresisBit, ReplacesOnlyAfterTwoConsecutiveMisses)
+{
+    HysteresisBit bit;
+    EXPECT_FALSE(bit.miss()); // first miss: keep the target
+    EXPECT_TRUE(bit.miss());  // second consecutive miss: replace
+    EXPECT_FALSE(bit.miss()); // counter was reset by the replacement
+}
+
+TEST(HysteresisBit, HitClearsThePendingMiss)
+{
+    HysteresisBit bit;
+    EXPECT_FALSE(bit.miss());
+    bit.hit(); // intervening hit forgives the miss
+    EXPECT_FALSE(bit.miss());
+    EXPECT_TRUE(bit.miss());
+}
+
+TEST(HysteresisBit, AlternatingPatternNeverReplaces)
+{
+    // The exact pattern that motivates BTB-2bc: A B A B ... with the
+    // table holding A. Misses on B never come twice in a row.
+    HysteresisBit bit;
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(bit.miss());
+        bit.hit();
+    }
+}
+
+} // namespace
+} // namespace ibp

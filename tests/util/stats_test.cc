@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests of the statistics helpers, in particular coverageCount,
+ * which implements the "active branch sites" columns of Tables 1/2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace ibp {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesClosedForm)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.push(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    // Sample variance of the classic dataset is 32/7.
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(stat.min(), 2.0);
+    EXPECT_EQ(stat.max(), 9.0);
+}
+
+TEST(Mean, HandlesEmptyAndSimple)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    const std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(data, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 25), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(data, 12.5), 1.5);
+}
+
+TEST(CoverageCount, MatchesPaperSemantics)
+{
+    // 90/95/99/100% columns: take sites in decreasing-count order
+    // until the fraction of dynamic branches is covered.
+    const std::vector<std::uint64_t> counts = {50, 30, 10, 5, 4, 1};
+    EXPECT_EQ(coverageCount(counts, 0.50), 1u);
+    EXPECT_EQ(coverageCount(counts, 0.80), 2u);
+    EXPECT_EQ(coverageCount(counts, 0.90), 3u);
+    EXPECT_EQ(coverageCount(counts, 0.95), 4u);
+    EXPECT_EQ(coverageCount(counts, 0.99), 5u);
+    EXPECT_EQ(coverageCount(counts, 1.00), 6u);
+}
+
+TEST(CoverageCount, OrderIndependent)
+{
+    EXPECT_EQ(coverageCount({1, 50, 5, 30, 4, 10}, 0.90), 3u);
+}
+
+TEST(CoverageCount, ZeroMassAndZeroFraction)
+{
+    EXPECT_EQ(coverageCount({}, 0.9), 0u);
+    EXPECT_EQ(coverageCount({0, 0}, 0.9), 0u);
+    EXPECT_EQ(coverageCount({5, 5}, 0.0), 0u);
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Closed-loop knob tuner for the synthetic benchmark suite.
+ *
+ * For each benchmark it searches the generator knobs so that the
+ * measured anchors match the paper's calibration targets:
+ *   - dominance        -> unconstrained BTB-2bc miss rate (Figure 2);
+ *   - phase mutation,
+ *     rule noise,
+ *     stickiness       -> two-level p=6 full-precision floor.
+ *
+ * The resulting overrides are printed as a C++ table to paste into
+ * benchmark_suite.cc (kTunings). Run after any structural change to
+ * the program model.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/btb.hh"
+#include "core/factory.hh"
+#include "core/two_level.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+
+namespace {
+
+double
+measureBtb(const ibp::BenchmarkProfile &profile)
+{
+    const ibp::Trace trace = ibp::generateTrace(profile);
+    ibp::BtbPredictor btb(ibp::TableSpec::unconstrained(), true);
+    return ibp::simulate(btb, trace).missPercent();
+}
+
+double
+measureFloor(const ibp::BenchmarkProfile &profile)
+{
+    const ibp::Trace trace = ibp::generateTrace(profile);
+    ibp::TwoLevelPredictor predictor(ibp::unconstrainedTwoLevel(6));
+    return ibp::simulate(predictor, trace).missPercent();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("// Auto-tuned by tools/autotune; paste into "
+                "benchmark_suite.cc\n");
+    std::printf("// {name, dominance, predictability, stickiness, "
+                "phaseMutation}\n");
+
+    for (ibp::BenchmarkProfile profile : ibp::benchmarkSuite()) {
+        // Start from the derived knobs.
+        ibp::ModelKnobs knobs = ibp::deriveKnobs(profile);
+        double dominance = knobs.dominance;
+        double predictability = knobs.predictability;
+        double stickiness = knobs.contextStickiness;
+        double mutation = knobs.phaseMutation;
+
+        double btb_got = 0, floor_got = 0;
+        for (int round = 0; round < 4; ++round) {
+            // Tune dominance against the BTB target by grid search:
+            // for benchmarks dominated by a handful of sites the
+            // response to dominance is noisy and non-monotonic, so
+            // gradient steps oscillate.
+            double best_err = 1e9;
+            double best_dom = dominance;
+            const auto try_dominance = [&](double candidate) {
+                profile.overrideDominance = candidate;
+                profile.overridePredictability = predictability;
+                profile.overrideStickiness = stickiness;
+                profile.overridePhaseMutation = mutation;
+                const double got = measureBtb(profile);
+                const double err =
+                    std::abs(got - profile.btbMissTarget);
+                if (err < best_err) {
+                    best_err = err;
+                    best_dom = candidate;
+                    btb_got = got;
+                }
+            };
+            if (round == 0) {
+                for (double d = 0.10; d <= 0.951; d += 0.105)
+                    try_dominance(d);
+            }
+            for (const double delta : {-0.05, -0.025, 0.025, 0.05}) {
+                const double d = best_dom + delta;
+                if (d >= 0.08 && d <= 0.97 && best_err > 0.6)
+                    try_dominance(d);
+            }
+            try_dominance(best_dom); // re-measure at the winner
+            dominance = best_dom;
+
+            // Tune the floor: phase mutation first, then noise, then
+            // stickiness when the structural part needs shrinking.
+            for (int iter = 0; iter < 3; ++iter) {
+                profile.overrideDominance = dominance;
+                profile.overridePredictability = predictability;
+                profile.overrideStickiness = stickiness;
+                profile.overridePhaseMutation = mutation;
+                floor_got = measureFloor(profile);
+                const double ratio =
+                    profile.floorMissTarget /
+                    std::max(0.05, floor_got);
+                if (ratio > 0.9 && ratio < 1.12)
+                    break;
+                mutation = std::clamp(
+                    mutation * std::clamp(ratio, 0.35, 2.5),
+                    0.005, 0.80);
+                const double noise = 1.0 - predictability;
+                predictability =
+                    1.0 - std::clamp(noise * std::clamp(ratio, 0.5,
+                                                        2.0),
+                                     0.001, 0.45);
+                if (ratio < 0.5) {
+                    // Still far above target with minimal mutation:
+                    // reduce structural (boundary) misses.
+                    stickiness = std::min(0.97, stickiness + 0.02);
+                }
+            }
+        }
+
+        // Final measurement with the converged knobs.
+        profile.overrideDominance = dominance;
+        profile.overridePredictability = predictability;
+        profile.overrideStickiness = stickiness;
+        profile.overridePhaseMutation = mutation;
+        btb_got = measureBtb(profile);
+        floor_got = measureFloor(profile);
+
+        std::printf("    {\"%s\", {%.4f, %.5f, %.3f, %.4f}}, "
+                    "// btb %.2f (tgt %.2f), floor %.2f (tgt %.2f)\n",
+                    profile.name.c_str(), dominance, predictability,
+                    stickiness, mutation, btb_got,
+                    profile.btbMissTarget, floor_got,
+                    profile.floorMissTarget);
+        std::fflush(stdout);
+    }
+    return 0;
+}

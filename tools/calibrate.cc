@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Developer calibration harness (not part of the bench suite).
+ *
+ * Prints, for every benchmark, the paper's calibration targets next
+ * to the synthetic suite's measured rates for the anchor predictors:
+ * unconstrained BTB-2bc (Figure 2) and the unconstrained two-level
+ * p=6 full-precision predictor (the floor). Used while tuning
+ * deriveKnobs(); see DESIGN.md section 1.
+ */
+
+#include <cstdio>
+
+#include "core/btb.hh"
+#include "core/factory.hh"
+#include "core/two_level.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+#include "trace/trace_stats.hh"
+
+int
+main()
+{
+    std::printf("%-8s %9s %9s | %9s %9s | %6s %6s %6s\n", "bench",
+                "btb-tgt", "btb-got", "flr-tgt", "flr-got", "N90",
+                "N90got", "sites");
+    for (const auto &profile : ibp::benchmarkSuite()) {
+        const ibp::Trace trace =
+            ibp::generateBenchmarkTrace(profile.name);
+
+        ibp::BtbPredictor btb(ibp::TableSpec::unconstrained(), true);
+        const double btb_got =
+            ibp::simulate(btb, trace).missPercent();
+
+        ibp::TwoLevelPredictor floor_pred(ibp::unconstrainedTwoLevel(6));
+        const double floor_got =
+            ibp::simulate(floor_pred, trace).missPercent();
+
+        const ibp::TraceStats stats = ibp::computeTraceStats(trace);
+
+        std::printf("%-8s %9.2f %9.2f | %9.2f %9.2f | %6u %6u %6u\n",
+                    profile.name.c_str(), profile.btbMissTarget,
+                    btb_got, profile.floorMissTarget, floor_got,
+                    profile.sites90, stats.activeSites90,
+                    stats.activeSites100);
+    }
+    return 0;
+}

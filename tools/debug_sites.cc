@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Developer tool: per-site BTB-2bc behaviour of one benchmark.
+ * Prints the hottest sites with their execution counts, distinct
+ * targets, dominant-target share and BTB miss rate, to see where a
+ * calibration target is being won or lost.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/btb.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+#include "trace/trace_stats.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "beta";
+    const ibp::Trace trace = ibp::generateBenchmarkTrace(name);
+    const ibp::TraceStats stats = ibp::computeTraceStats(trace);
+
+    ibp::BtbPredictor btb(ibp::TableSpec::unconstrained(), true);
+    ibp::SiteMissStats site_misses;
+    const ibp::SimResult result =
+        ibp::simulate(btb, trace, {}, &site_misses);
+
+    std::printf("%s: btb-2bc miss %.2f%%\n", name.c_str(),
+                result.missPercent());
+    std::printf("%10s %9s %8s %9s %9s\n", "pc", "execs", "targets",
+                "domshare", "btbmiss%");
+    unsigned shown = 0;
+    for (const auto &site : stats.sites) {
+        if (shown++ >= 20)
+            break;
+        const double miss =
+            100.0 *
+            static_cast<double>(site_misses.misses[site.pc]) /
+            static_cast<double>(
+                std::max<std::uint64_t>(1, site.executions));
+        std::printf("0x%08x %9llu %8u %9.2f %9.2f\n", site.pc,
+                    static_cast<unsigned long long>(site.executions),
+                    site.distinctTargets, site.dominantTargetShare,
+                    miss);
+    }
+    return 0;
+}
