@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_metaprediction"
+  "../bench/abl_metaprediction.pdb"
+  "CMakeFiles/abl_metaprediction.dir/abl_metaprediction.cc.o"
+  "CMakeFiles/abl_metaprediction.dir/abl_metaprediction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_metaprediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

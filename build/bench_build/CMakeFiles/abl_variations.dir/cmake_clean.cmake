@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_variations"
+  "../bench/abl_variations.pdb"
+  "CMakeFiles/abl_variations.dir/abl_variations.cc.o"
+  "CMakeFiles/abl_variations.dir/abl_variations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

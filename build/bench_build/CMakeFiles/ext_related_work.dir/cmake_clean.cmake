@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_related_work"
+  "../bench/ext_related_work.pdb"
+  "CMakeFiles/ext_related_work.dir/ext_related_work.cc.o"
+  "CMakeFiles/ext_related_work.dir/ext_related_work.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

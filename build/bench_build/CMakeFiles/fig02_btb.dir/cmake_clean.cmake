@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_btb"
+  "../bench/fig02_btb.pdb"
+  "CMakeFiles/fig02_btb.dir/fig02_btb.cc.o"
+  "CMakeFiles/fig02_btb.dir/fig02_btb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_history_sharing"
+  "../bench/fig05_history_sharing.pdb"
+  "CMakeFiles/fig05_history_sharing.dir/fig05_history_sharing.cc.o"
+  "CMakeFiles/fig05_history_sharing.dir/fig05_history_sharing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_history_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_table_sharing"
+  "../bench/fig07_table_sharing.pdb"
+  "CMakeFiles/fig07_table_sharing.dir/fig07_table_sharing.cc.o"
+  "CMakeFiles/fig07_table_sharing.dir/fig07_table_sharing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_table_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

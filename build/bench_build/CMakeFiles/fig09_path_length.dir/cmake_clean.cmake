@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_path_length"
+  "../bench/fig09_path_length.pdb"
+  "CMakeFiles/fig09_path_length.dir/fig09_path_length.cc.o"
+  "CMakeFiles/fig09_path_length.dir/fig09_path_length.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

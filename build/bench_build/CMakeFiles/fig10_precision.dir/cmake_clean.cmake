@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_precision"
+  "../bench/fig10_precision.pdb"
+  "CMakeFiles/fig10_precision.dir/fig10_precision.cc.o"
+  "CMakeFiles/fig10_precision.dir/fig10_precision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

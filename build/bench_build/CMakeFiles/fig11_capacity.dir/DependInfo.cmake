@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_capacity.cc" "bench_build/CMakeFiles/fig11_capacity.dir/fig11_capacity.cc.o" "gcc" "bench_build/CMakeFiles/fig11_capacity.dir/fig11_capacity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ibp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ibp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_capacity"
+  "../bench/fig11_capacity.pdb"
+  "CMakeFiles/fig11_capacity.dir/fig11_capacity.cc.o"
+  "CMakeFiles/fig11_capacity.dir/fig11_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_interleaving"
+  "../bench/fig12_interleaving.pdb"
+  "CMakeFiles/fig12_interleaving.dir/fig12_interleaving.cc.o"
+  "CMakeFiles/fig12_interleaving.dir/fig12_interleaving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

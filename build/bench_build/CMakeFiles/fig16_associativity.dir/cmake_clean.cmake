@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_associativity"
+  "../bench/fig16_associativity.pdb"
+  "CMakeFiles/fig16_associativity.dir/fig16_associativity.cc.o"
+  "CMakeFiles/fig16_associativity.dir/fig16_associativity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

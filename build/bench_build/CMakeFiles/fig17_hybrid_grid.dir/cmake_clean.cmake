@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_hybrid_grid"
+  "../bench/fig17_hybrid_grid.pdb"
+  "CMakeFiles/fig17_hybrid_grid.dir/fig17_hybrid_grid.cc.o"
+  "CMakeFiles/fig17_hybrid_grid.dir/fig17_hybrid_grid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hybrid_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_best_predictors"
+  "../bench/fig18_best_predictors.pdb"
+  "CMakeFiles/fig18_best_predictors.dir/fig18_best_predictors.cc.o"
+  "CMakeFiles/fig18_best_predictors.dir/fig18_best_predictors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_best_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

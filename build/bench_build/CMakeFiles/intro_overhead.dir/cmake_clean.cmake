@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/intro_overhead"
+  "../bench/intro_overhead.pdb"
+  "CMakeFiles/intro_overhead.dir/intro_overhead.cc.o"
+  "CMakeFiles/intro_overhead.dir/intro_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

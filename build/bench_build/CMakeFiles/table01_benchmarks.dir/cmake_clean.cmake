@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table01_benchmarks"
+  "../bench/table01_benchmarks.pdb"
+  "CMakeFiles/table01_benchmarks.dir/table01_benchmarks.cc.o"
+  "CMakeFiles/table01_benchmarks.dir/table01_benchmarks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

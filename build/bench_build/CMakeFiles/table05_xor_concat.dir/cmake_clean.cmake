@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table05_xor_concat"
+  "../bench/table05_xor_concat.pdb"
+  "CMakeFiles/table05_xor_concat.dir/table05_xor_concat.cc.o"
+  "CMakeFiles/table05_xor_concat.dir/table05_xor_concat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_xor_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06_hybrid_best"
+  "../bench/table06_hybrid_best.pdb"
+  "CMakeFiles/table06_hybrid_best.dir/table06_hybrid_best.cc.o"
+  "CMakeFiles/table06_hybrid_best.dir/table06_hybrid_best.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_hybrid_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tableA1_appendix"
+  "../bench/tableA1_appendix.pdb"
+  "CMakeFiles/tableA1_appendix.dir/tableA1_appendix.cc.o"
+  "CMakeFiles/tableA1_appendix.dir/tableA1_appendix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableA1_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

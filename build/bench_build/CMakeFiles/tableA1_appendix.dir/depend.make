@@ -1,0 +1,2 @@
+# Empty dependencies file for tableA1_appendix.
+# This may be replaced when dependencies are built.

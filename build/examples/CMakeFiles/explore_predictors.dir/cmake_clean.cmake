@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_predictors.dir/explore_predictors.cpp.o"
+  "CMakeFiles/explore_predictors.dir/explore_predictors.cpp.o.d"
+  "explore_predictors"
+  "explore_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcall_workload.dir/vcall_workload.cpp.o"
+  "CMakeFiles/vcall_workload.dir/vcall_workload.cpp.o.d"
+  "vcall_workload"
+  "vcall_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcall_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

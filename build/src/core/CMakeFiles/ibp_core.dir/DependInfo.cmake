@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/btb.cc" "src/core/CMakeFiles/ibp_core.dir/btb.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/btb.cc.o.d"
+  "/root/repo/src/core/cascaded.cc" "src/core/CMakeFiles/ibp_core.dir/cascaded.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/cascaded.cc.o.d"
+  "/root/repo/src/core/cond_predictor.cc" "src/core/CMakeFiles/ibp_core.dir/cond_predictor.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/cond_predictor.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/core/CMakeFiles/ibp_core.dir/factory.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/factory.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/ibp_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/ittage.cc" "src/core/CMakeFiles/ibp_core.dir/ittage.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/ittage.cc.o.d"
+  "/root/repo/src/core/next_branch.cc" "src/core/CMakeFiles/ibp_core.dir/next_branch.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/next_branch.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/ibp_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/set_assoc_table.cc" "src/core/CMakeFiles/ibp_core.dir/set_assoc_table.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/set_assoc_table.cc.o.d"
+  "/root/repo/src/core/shared_hybrid.cc" "src/core/CMakeFiles/ibp_core.dir/shared_hybrid.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/shared_hybrid.cc.o.d"
+  "/root/repo/src/core/table_spec.cc" "src/core/CMakeFiles/ibp_core.dir/table_spec.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/table_spec.cc.o.d"
+  "/root/repo/src/core/target_cache.cc" "src/core/CMakeFiles/ibp_core.dir/target_cache.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/target_cache.cc.o.d"
+  "/root/repo/src/core/two_level.cc" "src/core/CMakeFiles/ibp_core.dir/two_level.cc.o" "gcc" "src/core/CMakeFiles/ibp_core.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

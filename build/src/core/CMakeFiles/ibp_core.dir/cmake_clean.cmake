@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_core.dir/btb.cc.o"
+  "CMakeFiles/ibp_core.dir/btb.cc.o.d"
+  "CMakeFiles/ibp_core.dir/cascaded.cc.o"
+  "CMakeFiles/ibp_core.dir/cascaded.cc.o.d"
+  "CMakeFiles/ibp_core.dir/cond_predictor.cc.o"
+  "CMakeFiles/ibp_core.dir/cond_predictor.cc.o.d"
+  "CMakeFiles/ibp_core.dir/factory.cc.o"
+  "CMakeFiles/ibp_core.dir/factory.cc.o.d"
+  "CMakeFiles/ibp_core.dir/hybrid.cc.o"
+  "CMakeFiles/ibp_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/ibp_core.dir/ittage.cc.o"
+  "CMakeFiles/ibp_core.dir/ittage.cc.o.d"
+  "CMakeFiles/ibp_core.dir/next_branch.cc.o"
+  "CMakeFiles/ibp_core.dir/next_branch.cc.o.d"
+  "CMakeFiles/ibp_core.dir/pattern.cc.o"
+  "CMakeFiles/ibp_core.dir/pattern.cc.o.d"
+  "CMakeFiles/ibp_core.dir/set_assoc_table.cc.o"
+  "CMakeFiles/ibp_core.dir/set_assoc_table.cc.o.d"
+  "CMakeFiles/ibp_core.dir/shared_hybrid.cc.o"
+  "CMakeFiles/ibp_core.dir/shared_hybrid.cc.o.d"
+  "CMakeFiles/ibp_core.dir/table_spec.cc.o"
+  "CMakeFiles/ibp_core.dir/table_spec.cc.o.d"
+  "CMakeFiles/ibp_core.dir/target_cache.cc.o"
+  "CMakeFiles/ibp_core.dir/target_cache.cc.o.d"
+  "CMakeFiles/ibp_core.dir/two_level.cc.o"
+  "CMakeFiles/ibp_core.dir/two_level.cc.o.d"
+  "libibp_core.a"
+  "libibp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_sim.dir/experiment.cc.o"
+  "CMakeFiles/ibp_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/ibp_sim.dir/simulator.cc.o"
+  "CMakeFiles/ibp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ibp_sim.dir/suite_runner.cc.o"
+  "CMakeFiles/ibp_sim.dir/suite_runner.cc.o.d"
+  "libibp_sim.a"
+  "libibp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

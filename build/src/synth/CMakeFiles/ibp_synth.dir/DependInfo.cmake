@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/benchmark_suite.cc" "src/synth/CMakeFiles/ibp_synth.dir/benchmark_suite.cc.o" "gcc" "src/synth/CMakeFiles/ibp_synth.dir/benchmark_suite.cc.o.d"
+  "/root/repo/src/synth/program_model.cc" "src/synth/CMakeFiles/ibp_synth.dir/program_model.cc.o" "gcc" "src/synth/CMakeFiles/ibp_synth.dir/program_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ibp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

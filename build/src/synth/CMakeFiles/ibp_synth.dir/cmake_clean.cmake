@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_synth.dir/benchmark_suite.cc.o"
+  "CMakeFiles/ibp_synth.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/ibp_synth.dir/program_model.cc.o"
+  "CMakeFiles/ibp_synth.dir/program_model.cc.o.d"
+  "libibp_synth.a"
+  "libibp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_trace.dir/trace.cc.o"
+  "CMakeFiles/ibp_trace.dir/trace.cc.o.d"
+  "CMakeFiles/ibp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/ibp_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/ibp_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/ibp_trace.dir/trace_stats.cc.o.d"
+  "libibp_trace.a"
+  "libibp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_util.dir/format.cc.o"
+  "CMakeFiles/ibp_util.dir/format.cc.o.d"
+  "CMakeFiles/ibp_util.dir/logging.cc.o"
+  "CMakeFiles/ibp_util.dir/logging.cc.o.d"
+  "CMakeFiles/ibp_util.dir/rng.cc.o"
+  "CMakeFiles/ibp_util.dir/rng.cc.o.d"
+  "CMakeFiles/ibp_util.dir/stats.cc.o"
+  "CMakeFiles/ibp_util.dir/stats.cc.o.d"
+  "libibp_util.a"
+  "libibp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/btb_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/btb_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/btb_test.cc.o.d"
+  "/root/repo/tests/core/cond_predictor_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/cond_predictor_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/cond_predictor_test.cc.o.d"
+  "/root/repo/tests/core/extensions_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/extensions_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/extensions_test.cc.o.d"
+  "/root/repo/tests/core/factory_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/factory_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/factory_test.cc.o.d"
+  "/root/repo/tests/core/history_register_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/history_register_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/history_register_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/hybrid_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/hybrid_test.cc.o.d"
+  "/root/repo/tests/core/pattern_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/pattern_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/pattern_test.cc.o.d"
+  "/root/repo/tests/core/tables_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/tables_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/tables_test.cc.o.d"
+  "/root/repo/tests/core/two_level_test.cc" "tests/CMakeFiles/ibp_tests.dir/core/two_level_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/core/two_level_test.cc.o.d"
+  "/root/repo/tests/integration/calibration_test.cc" "tests/CMakeFiles/ibp_tests.dir/integration/calibration_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/integration/calibration_test.cc.o.d"
+  "/root/repo/tests/integration/paper_properties_test.cc" "tests/CMakeFiles/ibp_tests.dir/integration/paper_properties_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/integration/paper_properties_test.cc.o.d"
+  "/root/repo/tests/property/sweep_property_test.cc" "tests/CMakeFiles/ibp_tests.dir/property/sweep_property_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/property/sweep_property_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/ibp_tests.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/sim/suite_runner_test.cc" "tests/CMakeFiles/ibp_tests.dir/sim/suite_runner_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/sim/suite_runner_test.cc.o.d"
+  "/root/repo/tests/synth/generator_test.cc" "tests/CMakeFiles/ibp_tests.dir/synth/generator_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/synth/generator_test.cc.o.d"
+  "/root/repo/tests/trace/trace_stats_test.cc" "tests/CMakeFiles/ibp_tests.dir/trace/trace_stats_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/trace/trace_stats_test.cc.o.d"
+  "/root/repo/tests/trace/trace_test.cc" "tests/CMakeFiles/ibp_tests.dir/trace/trace_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/trace/trace_test.cc.o.d"
+  "/root/repo/tests/util/bits_test.cc" "tests/CMakeFiles/ibp_tests.dir/util/bits_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/util/bits_test.cc.o.d"
+  "/root/repo/tests/util/format_test.cc" "tests/CMakeFiles/ibp_tests.dir/util/format_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/util/format_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/ibp_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/sat_counter_test.cc" "tests/CMakeFiles/ibp_tests.dir/util/sat_counter_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/util/sat_counter_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/ibp_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/ibp_tests.dir/util/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ibp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ibp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ibp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ibp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune.dir/autotune.cc.o"
+  "CMakeFiles/autotune.dir/autotune.cc.o.d"
+  "autotune"
+  "autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

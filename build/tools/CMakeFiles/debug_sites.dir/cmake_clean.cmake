@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_sites.dir/debug_sites.cc.o"
+  "CMakeFiles/debug_sites.dir/debug_sites.cc.o.d"
+  "debug_sites"
+  "debug_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

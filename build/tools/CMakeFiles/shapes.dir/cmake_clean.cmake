@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapes.dir/shapes.cc.o"
+  "CMakeFiles/shapes.dir/shapes.cc.o.d"
+  "shapes"
+  "shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
