@@ -67,7 +67,8 @@ main(int argc, char **argv)
                                      TableSpec::setAssoc(comp, 4)));
                  }});
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.groupTable(
                 "Metaprediction variants (hybrid p=" +
                     std::to_string(long_p) + "." +

@@ -96,7 +96,8 @@ main(int argc, char **argv)
                  }},
             };
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.groupTable(
                 "Rejected variants, p=" + std::to_string(p) +
                     ", unconstrained (misprediction %)",

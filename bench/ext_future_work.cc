@@ -82,7 +82,8 @@ main(int argc, char **argv)
                  }},
             };
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.groupTable(
                 "Future-work hybrids at " + std::to_string(total) +
                     " total entries (misprediction %)",

@@ -86,7 +86,8 @@ main(int argc, char **argv)
                  }},
             };
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.benchmarkTable(
                 "Related-work predictors at ~" +
                     std::to_string(budget) +

@@ -38,7 +38,8 @@ main(int argc, char **argv)
                  }},
             };
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.benchmarkTable(
                 "Figure 2: unconstrained BTB misprediction rates (%)",
                 grid, columns));

@@ -38,7 +38,8 @@ main(int argc, char **argv)
                      }});
             }
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.groupTable(
                 "Figure 5: misprediction (%) vs history sharing s "
                 "(p=8, per-address tables)",

@@ -39,7 +39,8 @@ main(int argc, char **argv)
                      }});
             }
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.groupTable(
                 "Figure 7: misprediction (%) vs table sharing h "
                 "(p=8, global history)",

@@ -36,7 +36,8 @@ main(int argc, char **argv)
                      }});
             }
 
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
             context.emit(runner.groupTable(
                 "Figure 9: misprediction (%) vs path length "
                 "(global history, per-address tables)",

@@ -79,7 +79,8 @@ main(int argc, char **argv)
                              unconstrainedTwoLevel(p));
                      }});
 
-                const GridResult grid = runner.run(columns);
+                const GridResult grid =
+                    runner.run(columns, &context.metrics());
                 const unsigned row =
                     table.addRow(std::to_string(p));
                 for (const auto &column : columns) {

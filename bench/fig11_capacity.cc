@@ -53,7 +53,8 @@ main(int argc, char **argv)
                                  p, TableSpec::fullyAssoc(size)));
                          }});
                 }
-                const GridResult grid = runner.run(columns);
+                const GridResult grid =
+                    runner.run(columns, &context.metrics());
                 const std::string row = std::to_string(size);
                 for (const auto &column : columns) {
                     table.set(row, column.label,

@@ -62,7 +62,8 @@ sweepTable(ExperimentContext &context, SuiteRunner &runner,
                          config4k(p, ways, interleave));
                  }});
         }
-        const GridResult grid = runner.run(columns);
+        const GridResult grid =
+            runner.run(columns, &context.metrics());
         for (const auto &column : columns) {
             table.set(row, column.label,
                       grid.average(column.label, avg));
@@ -118,7 +119,8 @@ main(int argc, char **argv)
                                  config4k(p, 1, kind));
                          }});
                 }
-                const GridResult grid = runner.run(columns);
+                const GridResult grid =
+                    runner.run(columns, &context.metrics());
                 for (const auto &column : columns) {
                     schemes.set(toString(kind), column.label,
                                 grid.average(column.label, avg));

@@ -67,7 +67,8 @@ main(int argc, char **argv)
                                  }});
                         }
                     }
-                    const GridResult grid = runner.run(columns);
+                    const GridResult grid =
+                        runner.run(columns, &context.metrics());
                     const std::string row = std::to_string(p1);
                     for (const auto &column : columns) {
                         table.set(row, column.label,

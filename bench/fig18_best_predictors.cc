@@ -63,7 +63,8 @@ main(int argc, char **argv)
                              return std::make_unique<BtbPredictor>(
                                  TableSpec::fullyAssoc(size), true);
                          }}};
-                    const GridResult grid = runner.run(columns);
+                    const GridResult grid =
+                        runner.run(columns, &context.metrics());
                     best.set(row, "btb", grid.average("btb", avg));
                 }
 
@@ -92,7 +93,8 @@ main(int argc, char **argv)
                                      paperTwoLevel(p, spec));
                              }});
                     }
-                    const GridResult grid = runner.run(columns);
+                    const GridResult grid =
+                        runner.run(columns, &context.metrics());
                     double best_rate = 1e9;
                     unsigned winner = 0;
                     for (unsigned p : path_lengths) {

@@ -82,7 +82,8 @@ main(int argc, char **argv)
                                      TableSpec::setAssoc(4096, 4)));
                  }},
             };
-            const GridResult grid = runner.run(columns);
+            const GridResult grid =
+                runner.run(columns, &context.metrics());
 
             ResultTable table(
                 "Share of branch mispredictions caused by indirect "

@@ -52,7 +52,8 @@ main(int argc, char **argv)
                                  TwoLevelPredictor>(config);
                          }});
                 }
-                const GridResult grid = runner.run(columns);
+                const GridResult grid =
+                    runner.run(columns, &context.metrics());
                 const double xor_rate = grid.average("xor", avg);
                 const double concat_rate =
                     grid.average("concat", avg);

@@ -82,7 +82,8 @@ main(int argc, char **argv)
                                      paperHybrid(p1, p2, spec));
                              }});
                     }
-                    const GridResult grid = runner.run(columns);
+                    const GridResult grid =
+                        runner.run(columns, &context.metrics());
                     double best_rate = 1e9;
                     double best_combo = 0;
                     for (const auto &[p1, p2] : pairs) {

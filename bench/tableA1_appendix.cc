@@ -105,7 +105,8 @@ main(int argc, char **argv)
                          }});
                 }
 
-                const GridResult grid = runner.run(columns);
+                const GridResult grid =
+                    runner.run(columns, &context.metrics());
                 context.emit(runner.benchmarkTable(
                     "Table A-1 (size " + std::to_string(size) +
                         "): misprediction (%), Table A-2 path "

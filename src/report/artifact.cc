@@ -1,0 +1,230 @@
+#include "report/artifact.hh"
+
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+#ifndef IBP_GIT_SHA
+#define IBP_GIT_SHA "unknown"
+#endif
+#ifndef IBP_BUILD_TYPE
+#define IBP_BUILD_TYPE "unknown"
+#endif
+
+namespace ibp {
+
+Json
+RunManifest::toJson() const
+{
+    Json json = Json::object();
+    json.set("slug", slug);
+    json.set("title", title);
+    json.set("git_sha", gitSha);
+    json.set("compiler", compiler);
+    json.set("build_type", buildType);
+    json.set("timestamp", timestamp);
+    json.set("event_scale", eventScale);
+    json.set("threads", threads);
+    json.set("quick", quick);
+    return json;
+}
+
+RunManifest
+RunManifest::fromJson(const Json &json)
+{
+    RunManifest manifest;
+    manifest.slug = json.stringOr("slug", "");
+    manifest.title = json.stringOr("title", "");
+    manifest.gitSha = json.stringOr("git_sha", "unknown");
+    manifest.compiler = json.stringOr("compiler", "unknown");
+    manifest.buildType = json.stringOr("build_type", "unknown");
+    manifest.timestamp = json.stringOr("timestamp", "");
+    manifest.eventScale = json.numberOr("event_scale", 1.0);
+    manifest.threads =
+        static_cast<unsigned>(json.numberOr("threads", 0));
+    manifest.quick =
+        json.contains("quick") && json.at("quick").asBool();
+    return manifest;
+}
+
+RunManifest
+buildManifest()
+{
+    RunManifest manifest;
+    manifest.gitSha = IBP_GIT_SHA;
+    manifest.buildType = IBP_BUILD_TYPE;
+#if defined(__VERSION__)
+#if defined(__clang__)
+    manifest.compiler = std::string("clang ") + __VERSION__;
+#else
+    manifest.compiler = std::string("gcc ") + __VERSION__;
+#endif
+#endif
+    char buf[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    manifest.timestamp = buf;
+    return manifest;
+}
+
+Json
+tableToJson(const ResultTable &table)
+{
+    Json json = Json::object();
+    json.set("title", table.title());
+    json.set("row_header", table.rowHeader());
+    json.set("precision", table.precision());
+
+    Json columns = Json::array();
+    for (unsigned c = 0; c < table.numCols(); ++c)
+        columns.push(table.colLabel(c));
+    json.set("columns", std::move(columns));
+
+    Json rows = Json::array();
+    for (unsigned r = 0; r < table.numRows(); ++r)
+        rows.push(table.rowLabel(r));
+    json.set("rows", std::move(rows));
+
+    Json cells = Json::array();
+    for (unsigned r = 0; r < table.numRows(); ++r) {
+        Json row = Json::array();
+        for (unsigned c = 0; c < table.numCols(); ++c) {
+            const auto cell = table.get(r, c);
+            row.push(cell ? Json(*cell) : Json());
+        }
+        cells.push(std::move(row));
+    }
+    json.set("cells", std::move(cells));
+    return json;
+}
+
+ResultTable
+tableFromJson(const Json &json)
+{
+    ResultTable table(json.stringOr("title", ""),
+                      json.stringOr("row_header", ""));
+    table.setPrecision(
+        static_cast<unsigned>(json.numberOr("precision", 2)));
+    const Json &columns = json.at("columns");
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        table.addColumn(columns.at(c).asString());
+    const Json &rows = json.at("rows");
+    const Json &cells = json.at("cells");
+    IBP_ASSERT(cells.size() == rows.size(),
+               "table '%s': %zu cell rows but %zu row labels",
+               table.title().c_str(), cells.size(), rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const unsigned row = table.addRow(rows.at(r).asString());
+        const Json &cell_row = cells.at(r);
+        IBP_ASSERT(cell_row.size() == columns.size(),
+                   "table '%s' row %zu: %zu cells but %zu columns",
+                   table.title().c_str(), r, cell_row.size(),
+                   columns.size());
+        for (std::size_t c = 0; c < cell_row.size(); ++c) {
+            const Json &cell = cell_row.at(c);
+            if (!cell.isNull())
+                table.set(row, static_cast<unsigned>(c),
+                          cell.asNumber());
+        }
+    }
+    return table;
+}
+
+const ResultTable *
+RunArtifact::findTable(const std::string &title) const
+{
+    for (const auto &table : tables) {
+        if (table.title() == title)
+            return &table;
+    }
+    return nullptr;
+}
+
+Json
+RunArtifact::toJson() const
+{
+    Json json = Json::object();
+    json.set("schema", "ibp-run-artifact");
+    json.set("version", kArtifactSchemaVersion);
+    json.set("manifest", manifest.toJson());
+
+    Json tables_json = Json::array();
+    for (const auto &table : tables)
+        tables_json.push(tableToJson(table));
+    json.set("tables", std::move(tables_json));
+
+    Json notes_json = Json::array();
+    for (const auto &note : notes)
+        notes_json.push(note);
+    json.set("notes", std::move(notes_json));
+
+    json.set("metrics", metrics.toJson());
+    return json;
+}
+
+RunArtifact
+RunArtifact::fromJson(const Json &json)
+{
+    IBP_ASSERT(json.stringOr("schema", "") == "ibp-run-artifact",
+               "not an ibp run artifact");
+    const int version =
+        static_cast<int>(json.numberOr("version", -1));
+    IBP_ASSERT(version == kArtifactSchemaVersion,
+               "unsupported artifact schema version %d", version);
+
+    RunArtifact artifact;
+    artifact.manifest = RunManifest::fromJson(json.at("manifest"));
+    const Json &tables = json.at("tables");
+    for (std::size_t i = 0; i < tables.size(); ++i)
+        artifact.tables.push_back(tableFromJson(tables.at(i)));
+    if (json.contains("notes")) {
+        const Json &notes = json.at("notes");
+        for (std::size_t i = 0; i < notes.size(); ++i)
+            artifact.notes.push_back(notes.at(i).asString());
+    }
+    artifact.metrics = RunMetrics::fromJson(json.at("metrics"));
+    return artifact;
+}
+
+void
+RunArtifact::write(const std::string &path) const
+{
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(target.parent_path(), ec);
+        if (ec) {
+            fatal("cannot create directory '%s': %s",
+                  target.parent_path().c_str(),
+                  ec.message().c_str());
+        }
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << toJson().dump(2) << '\n';
+    if (!out)
+        fatal("failed writing artifact '%s'", path.c_str());
+}
+
+RunArtifact
+RunArtifact::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open artifact '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return fromJson(Json::parse(buffer.str()));
+    } catch (const JsonParseError &error) {
+        fatal("artifact '%s': %s", path.c_str(), error.what());
+    }
+}
+
+} // namespace ibp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structured run artifacts: the machine-readable record of one bench
+ * binary execution.
+ *
+ * An artifact bundles every ResultTable a bench emitted with the run
+ * telemetry (RunMetrics) and an environment manifest (git SHA,
+ * compiler, trace scale, thread count). Bench binaries write one
+ * `<slug>.json` per run via `--json=DIR`; `tools/report_diff`
+ * compares a fresh artifact against a golden baseline to gate
+ * regressions. The schema is versioned so downstream consumers can
+ * detect incompatible changes.
+ */
+
+#ifndef IBP_REPORT_ARTIFACT_HH
+#define IBP_REPORT_ARTIFACT_HH
+
+#include <string>
+#include <vector>
+
+#include "report/run_metrics.hh"
+#include "util/format.hh"
+#include "util/json.hh"
+
+namespace ibp {
+
+/** Bumped whenever the artifact layout changes incompatibly. */
+constexpr int kArtifactSchemaVersion = 1;
+
+/** Environment and configuration of one bench run. */
+struct RunManifest
+{
+    std::string slug;
+    std::string title;
+    std::string gitSha = "unknown";
+    std::string compiler = "unknown";
+    std::string buildType = "unknown";
+    std::string timestamp; // ISO-8601 UTC, e.g. 2026-08-06T12:00:00Z
+    double eventScale = 1.0;
+    unsigned threads = 0;
+    bool quick = false;
+
+    Json toJson() const;
+    static RunManifest fromJson(const Json &json);
+};
+
+/** Compiler/git identity of this build (filled at compile time). */
+RunManifest buildManifest();
+
+/** Convert a ResultTable to/from its JSON representation. */
+Json tableToJson(const ResultTable &table);
+ResultTable tableFromJson(const Json &json);
+
+/** One bench run: manifest + emitted tables + notes + telemetry. */
+struct RunArtifact
+{
+    RunManifest manifest;
+    std::vector<ResultTable> tables;
+    std::vector<std::string> notes;
+    RunMetrics metrics;
+
+    /** Find an emitted table by title; nullptr when absent. */
+    const ResultTable *findTable(const std::string &title) const;
+
+    Json toJson() const;
+    static RunArtifact fromJson(const Json &json);
+
+    /**
+     * Write as pretty-printed JSON, creating parent directories as
+     * needed. fatal()s when the path is unwritable.
+     */
+    void write(const std::string &path) const;
+
+    /**
+     * Load and validate an artifact file. fatal()s on a missing
+     * file, malformed JSON, or an unsupported schema version.
+     */
+    static RunArtifact load(const std::string &path);
+};
+
+} // namespace ibp
+
+#endif // IBP_REPORT_ARTIFACT_HH

@@ -1,0 +1,190 @@
+#include "report/diff.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/format.hh"
+
+namespace ibp {
+
+namespace {
+
+void
+addIssue(DiffReport &report, std::string where, std::string message)
+{
+    report.issues.push_back(
+        DiffIssue{std::move(where), std::move(message)});
+}
+
+void
+diffManifests(const RunManifest &fresh, const RunManifest &baseline,
+              DiffReport &report)
+{
+    if (fresh.slug != baseline.slug) {
+        addIssue(report, "manifest",
+                 "slug mismatch: fresh '" + fresh.slug +
+                     "' vs baseline '" + baseline.slug + "'");
+    }
+    // Different trace scales simulate different workloads; the cell
+    // comparison below would be meaningless noise.
+    if (std::fabs(fresh.eventScale - baseline.eventScale) > 1e-9) {
+        addIssue(report, "manifest",
+                 "event scale mismatch: fresh " +
+                     formatFixed(fresh.eventScale, 2) +
+                     " vs baseline " +
+                     formatFixed(baseline.eventScale, 2));
+    }
+}
+
+void
+diffTables(const ResultTable &fresh, const ResultTable &baseline,
+           const DiffOptions &options, DiffReport &report)
+{
+    const std::string where = "table '" + baseline.title() + "'";
+    if (fresh.numRows() != baseline.numRows() ||
+        fresh.numCols() != baseline.numCols()) {
+        addIssue(report, where,
+                 "shape mismatch: fresh " +
+                     std::to_string(fresh.numRows()) + "x" +
+                     std::to_string(fresh.numCols()) +
+                     " vs baseline " +
+                     std::to_string(baseline.numRows()) + "x" +
+                     std::to_string(baseline.numCols()));
+        return;
+    }
+
+    for (unsigned r = 0; r < baseline.numRows(); ++r) {
+        if (fresh.rowLabel(r) != baseline.rowLabel(r)) {
+            addIssue(report, where,
+                     "row " + std::to_string(r) + " is '" +
+                         fresh.rowLabel(r) + "', baseline has '" +
+                         baseline.rowLabel(r) + "'");
+            return;
+        }
+    }
+    for (unsigned c = 0; c < baseline.numCols(); ++c) {
+        if (fresh.colLabel(c) != baseline.colLabel(c)) {
+            addIssue(report, where,
+                     "column " + std::to_string(c) + " is '" +
+                         fresh.colLabel(c) + "', baseline has '" +
+                         baseline.colLabel(c) + "'");
+            return;
+        }
+    }
+
+    for (unsigned r = 0; r < baseline.numRows(); ++r) {
+        for (unsigned c = 0; c < baseline.numCols(); ++c) {
+            const auto fresh_cell = fresh.get(r, c);
+            const auto base_cell = baseline.get(r, c);
+            const std::string cell_where =
+                where + " [" + baseline.rowLabel(r) + "][" +
+                baseline.colLabel(c) + "]";
+            if (fresh_cell.has_value() != base_cell.has_value()) {
+                addIssue(report, cell_where,
+                         fresh_cell ? "cell present but empty in "
+                                      "baseline"
+                                    : "cell empty but present in "
+                                      "baseline");
+                continue;
+            }
+            if (!base_cell)
+                continue;
+            ++report.cellsCompared;
+            const double delta =
+                std::fabs(*fresh_cell - *base_cell);
+            const bool within =
+                delta <= options.absTolerance ||
+                delta <=
+                    options.relTolerance * std::fabs(*base_cell);
+            if (!within) {
+                addIssue(report, cell_where,
+                         "value " + formatFixed(*fresh_cell, 4) +
+                             " deviates from baseline " +
+                             formatFixed(*base_cell, 4) +
+                             " by " + formatFixed(delta, 4) +
+                             " (abs tol " +
+                             formatFixed(options.absTolerance, 4) +
+                             ", rel tol " +
+                             formatFixed(options.relTolerance, 4) +
+                             ")");
+            }
+        }
+    }
+}
+
+void
+diffThroughput(const RunMetrics &fresh, const RunMetrics &baseline,
+               const DiffOptions &options, DiffReport &report)
+{
+    const double fresh_bps = fresh.branchesPerSecond();
+    if (options.minThroughput > 0.0 &&
+        fresh_bps < options.minThroughput) {
+        addIssue(report, "metrics",
+                 "throughput " + formatFixed(fresh_bps, 0) +
+                     " branches/sec below floor " +
+                     formatFixed(options.minThroughput, 0));
+    }
+    if (options.throughputRatio > 0.0) {
+        const double base_bps = baseline.branchesPerSecond();
+        const double floor = options.throughputRatio * base_bps;
+        if (base_bps > 0.0 && fresh_bps < floor) {
+            addIssue(report, "metrics",
+                     "throughput " + formatFixed(fresh_bps, 0) +
+                         " branches/sec below " +
+                         formatFixed(options.throughputRatio, 2) +
+                         "x baseline (" + formatFixed(base_bps, 0) +
+                         ")");
+        }
+    }
+}
+
+} // namespace
+
+std::string
+DiffReport::summary() const
+{
+    std::ostringstream out;
+    if (passed()) {
+        out << "PASS: " << cellsCompared
+            << " cells within tolerance\n";
+        return out.str();
+    }
+    out << "FAIL: " << issues.size() << " issue"
+        << (issues.size() == 1 ? "" : "s") << " (" << cellsCompared
+        << " cells compared)\n";
+    for (const auto &issue : issues)
+        out << "  " << issue.where << ": " << issue.message << '\n';
+    return out.str();
+}
+
+DiffReport
+diffArtifacts(const RunArtifact &fresh, const RunArtifact &baseline,
+              const DiffOptions &options)
+{
+    DiffReport report;
+    if (options.checkManifest)
+        diffManifests(fresh.manifest, baseline.manifest, report);
+
+    for (const auto &base_table : baseline.tables) {
+        const ResultTable *fresh_table =
+            fresh.findTable(base_table.title());
+        if (!fresh_table) {
+            addIssue(report, "table '" + base_table.title() + "'",
+                     "missing from fresh run");
+            continue;
+        }
+        diffTables(*fresh_table, base_table, options, report);
+    }
+    for (const auto &fresh_table : fresh.tables) {
+        if (!baseline.findTable(fresh_table.title())) {
+            addIssue(report, "table '" + fresh_table.title() + "'",
+                     "not present in baseline (regenerate the "
+                     "baseline after schema changes)");
+        }
+    }
+
+    diffThroughput(fresh.metrics, baseline.metrics, options, report);
+    return report;
+}
+
+} // namespace ibp

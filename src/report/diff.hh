@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Baseline comparison of run artifacts: the regression gate.
+ *
+ * diffArtifacts() compares a fresh run artifact against a golden
+ * baseline cell by cell. A cell passes when the absolute difference
+ * is within `absTolerance` (percentage points for misprediction
+ * tables) OR within `relTolerance` of the baseline magnitude;
+ * structural drift (missing tables, rows, or columns, or a trace
+ * scale mismatch) always fails, because comparing different
+ * workloads is meaningless. Optional throughput checks enforce an
+ * absolute branches/sec floor and a relative floor against the
+ * baseline's recorded throughput. `tools/report_diff` wraps this as
+ * a CLI for local use and CI.
+ */
+
+#ifndef IBP_REPORT_DIFF_HH
+#define IBP_REPORT_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "report/artifact.hh"
+
+namespace ibp {
+
+struct DiffOptions
+{
+    /** Cell tolerance: absolute (in table units, e.g. pp). */
+    double absTolerance = 0.1;
+
+    /** Cell tolerance: relative to the baseline magnitude. */
+    double relTolerance = 0.02;
+
+    /** Minimum fresh branches/sec; 0 disables the check. */
+    double minThroughput = 0.0;
+
+    /**
+     * Fresh throughput must be at least this fraction of the
+     * baseline's recorded throughput; 0 disables. Only meaningful
+     * when fresh and baseline ran on comparable hardware.
+     */
+    double throughputRatio = 0.0;
+
+    /** Check manifest compatibility (slug, event scale). */
+    bool checkManifest = true;
+};
+
+/** One detected regression or structural mismatch. */
+struct DiffIssue
+{
+    /** Location, e.g. "table 'Figure 2...' [AVG][BTB-2bc]". */
+    std::string where;
+    std::string message;
+};
+
+struct DiffReport
+{
+    std::vector<DiffIssue> issues;
+
+    /** Cells compared and found within tolerance. */
+    std::size_t cellsCompared = 0;
+
+    bool passed() const { return issues.empty(); }
+
+    /** Multi-line human-readable verdict. */
+    std::string summary() const;
+};
+
+/** Compare @p fresh against @p baseline under @p options. */
+DiffReport diffArtifacts(const RunArtifact &fresh,
+                         const RunArtifact &baseline,
+                         const DiffOptions &options = {});
+
+} // namespace ibp
+
+#endif // IBP_REPORT_DIFF_HH

@@ -1,0 +1,163 @@
+#include "report/run_metrics.hh"
+
+#include <algorithm>
+
+namespace ibp {
+
+RunMetrics::RunMetrics(const RunMetrics &other)
+{
+    *this = other;
+}
+
+RunMetrics &
+RunMetrics::operator=(const RunMetrics &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(_mutex, other._mutex);
+    _cells = other._cells;
+    _runSeconds = other._runSeconds;
+    _threads = other._threads;
+    return *this;
+}
+
+void
+RunMetrics::recordCell(const CellMetrics &cell)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _cells.push_back(cell);
+}
+
+void
+RunMetrics::recordRunWindow(double seconds)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _runSeconds += seconds;
+}
+
+void
+RunMetrics::recordThreads(unsigned count)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _threads = std::max(_threads, count);
+}
+
+std::vector<CellMetrics>
+RunMetrics::cells() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _cells;
+}
+
+std::size_t
+RunMetrics::cellCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _cells.size();
+}
+
+std::uint64_t
+RunMetrics::totalBranches() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::uint64_t total = 0;
+    for (const auto &cell : _cells)
+        total += cell.branches;
+    return total;
+}
+
+double
+RunMetrics::cellSeconds() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    double total = 0.0;
+    for (const auto &cell : _cells)
+        total += cell.seconds;
+    return total;
+}
+
+double
+RunMetrics::runSeconds() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _runSeconds;
+}
+
+double
+RunMetrics::branchesPerSecond() const
+{
+    const double seconds = runSeconds();
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(totalBranches()) / seconds;
+}
+
+std::uint64_t
+RunMetrics::peakTableOccupancy() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::uint64_t peak = 0;
+    for (const auto &cell : _cells)
+        peak = std::max(peak, cell.tableOccupancy);
+    return peak;
+}
+
+unsigned
+RunMetrics::threads() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _threads;
+}
+
+Json
+RunMetrics::toJson() const
+{
+    Json json = Json::object();
+    json.set("threads", threads());
+    json.set("run_seconds", runSeconds());
+    json.set("cell_seconds", cellSeconds());
+    json.set("total_branches", totalBranches());
+    json.set("branches_per_second", branchesPerSecond());
+    json.set("peak_table_occupancy", peakTableOccupancy());
+
+    Json cells_json = Json::array();
+    for (const auto &cell : cells()) {
+        Json entry = Json::object();
+        entry.set("column", cell.column);
+        entry.set("benchmark", cell.benchmark);
+        entry.set("branches", cell.branches);
+        entry.set("seconds", cell.seconds);
+        entry.set("table_occupancy", cell.tableOccupancy);
+        entry.set("table_capacity", cell.tableCapacity);
+        cells_json.push(std::move(entry));
+    }
+    json.set("cells", std::move(cells_json));
+    return json;
+}
+
+RunMetrics
+RunMetrics::fromJson(const Json &json)
+{
+    RunMetrics metrics;
+    metrics.recordThreads(
+        static_cast<unsigned>(json.numberOr("threads", 0)));
+    metrics.recordRunWindow(json.numberOr("run_seconds", 0.0));
+    if (json.contains("cells")) {
+        const Json &cells = json.at("cells");
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const Json &entry = cells.at(i);
+            CellMetrics cell;
+            cell.column = entry.stringOr("column", "");
+            cell.benchmark = entry.stringOr("benchmark", "");
+            cell.branches = entry.at("branches").asUint();
+            cell.seconds = entry.numberOr("seconds", 0.0);
+            cell.tableOccupancy =
+                entry.at("table_occupancy").asUint();
+            cell.tableCapacity = entry.at("table_capacity").asUint();
+            metrics.recordCell(cell);
+        }
+    }
+    return metrics;
+}
+
+} // namespace ibp

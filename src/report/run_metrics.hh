@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Telemetry collected while a bench binary runs its simulations.
+ *
+ * A RunMetrics instance aggregates one counter record per
+ * (configuration x benchmark) simulation cell: branches simulated,
+ * wall time, and final table occupancy. SuiteRunner::run() records
+ * cells from its worker threads; recording happens once per cell
+ * (never inside the per-branch hot loop), so the overhead on the
+ * simulation itself is two clock reads and one mutex acquisition per
+ * grid cell.
+ *
+ * The aggregates (total branches, branches/sec throughput, peak
+ * occupancy, thread count) land in the JSON run artifact where the
+ * baseline regression gate can enforce a throughput floor.
+ */
+
+#ifndef IBP_REPORT_RUN_METRICS_HH
+#define IBP_REPORT_RUN_METRICS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace ibp {
+
+/** Counters of one (configuration x benchmark) simulation. */
+struct CellMetrics
+{
+    std::string column;
+    std::string benchmark;
+    std::uint64_t branches = 0;
+    double seconds = 0.0;
+    std::uint64_t tableOccupancy = 0;
+    std::uint64_t tableCapacity = 0;
+};
+
+class RunMetrics
+{
+  public:
+    RunMetrics() = default;
+    RunMetrics(const RunMetrics &other);
+    RunMetrics &operator=(const RunMetrics &other);
+
+    /** Record one finished simulation cell. Thread-safe. */
+    void recordCell(const CellMetrics &cell);
+
+    /** Record the wall time of one parallel grid run. Thread-safe. */
+    void recordRunWindow(double seconds);
+
+    /** Record the worker-thread count (the maximum is kept). */
+    void recordThreads(unsigned count);
+
+    std::vector<CellMetrics> cells() const;
+    std::size_t cellCount() const;
+
+    /** Sum of branches over all recorded cells. */
+    std::uint64_t totalBranches() const;
+
+    /** Sum of per-cell simulation time (CPU-side, across workers). */
+    double cellSeconds() const;
+
+    /** Sum of recorded grid wall-clock windows. */
+    double runSeconds() const;
+
+    /**
+     * Aggregate throughput: total branches divided by grid wall
+     * time (so it credits parallelism). 0 when nothing was timed.
+     */
+    double branchesPerSecond() const;
+
+    /** Largest per-cell final table occupancy observed. */
+    std::uint64_t peakTableOccupancy() const;
+
+    unsigned threads() const;
+
+    Json toJson() const;
+    static RunMetrics fromJson(const Json &json);
+
+  private:
+    mutable std::mutex _mutex;
+    std::vector<CellMetrics> _cells;
+    double _runSeconds = 0.0;
+    unsigned _threads = 0;
+};
+
+} // namespace ibp
+
+#endif // IBP_REPORT_RUN_METRICS_HH

@@ -7,13 +7,15 @@
 #include <string_view>
 
 #include "sim/suite_runner.hh"
+#include "synth/benchmark_suite.hh"
 #include "util/logging.hh"
 
 namespace ibp {
 
-ExperimentContext::ExperimentContext(std::string slug, int argc,
+ExperimentContext::ExperimentContext(std::string slug,
+                                     std::string title, int argc,
                                      char **argv)
-    : _slug(std::move(slug))
+    : _slug(std::move(slug)), _title(std::move(title))
 {
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
@@ -21,9 +23,16 @@ ExperimentContext::ExperimentContext(std::string slug, int argc,
             _quick = true;
         } else if (arg.rfind("--csv=", 0) == 0) {
             _csvDir = std::string(arg.substr(6));
+            if (_csvDir.empty())
+                fatal("--csv requires a directory");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            _jsonDir = std::string(arg.substr(7));
+            if (_jsonDir.empty())
+                fatal("--json requires a directory");
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--quick] [--csv=DIR]\n",
-                        argv[0]);
+            std::printf(
+                "usage: %s [--quick] [--csv=DIR] [--json=DIR]\n",
+                argv[0]);
             std::exit(0);
         } else {
             fatal("unknown option '%s'", argv[i]);
@@ -33,6 +42,7 @@ ExperimentContext::ExperimentContext(std::string slug, int argc,
     // pinned the scale explicitly.
     if (_quick && !std::getenv("IBP_EVENTS"))
         setenv("IBP_EVENTS", "0.25", 1);
+    _metrics.recordThreads(simulationThreads());
 }
 
 void
@@ -45,6 +55,8 @@ ExperimentContext::emit(const ResultTable &table)
         table.writeCsv(path);
         std::printf("(csv written to %s)\n\n", path.c_str());
     }
+    if (!_jsonDir.empty())
+        _tables.push_back(table);
     ++_tableIndex;
 }
 
@@ -53,6 +65,34 @@ ExperimentContext::note(const std::string &text)
 {
     std::printf("%s\n\n", text.c_str());
     std::fflush(stdout);
+    if (!_jsonDir.empty())
+        _notes.push_back(text);
+}
+
+void
+ExperimentContext::finish(double total_seconds)
+{
+    if (_jsonDir.empty())
+        return;
+    // If no grid run was timed (e.g. a trace-stats bench), fall back
+    // to the total wall time so throughput is still meaningful.
+    if (_metrics.runSeconds() <= 0.0)
+        _metrics.recordRunWindow(total_seconds);
+
+    RunArtifact artifact;
+    artifact.manifest = buildManifest();
+    artifact.manifest.slug = _slug;
+    artifact.manifest.title = _title;
+    artifact.manifest.eventScale = eventScale();
+    artifact.manifest.threads = simulationThreads();
+    artifact.manifest.quick = _quick;
+    artifact.tables = _tables;
+    artifact.notes = _notes;
+    artifact.metrics = _metrics;
+
+    const std::string path = _jsonDir + "/" + _slug + ".json";
+    artifact.write(path);
+    std::printf("(json artifact written to %s)\n", path.c_str());
 }
 
 int
@@ -65,8 +105,13 @@ runExperiment(const std::string &slug, const std::string &title,
                 simulationThreads(), eventScale());
     const auto start = std::chrono::steady_clock::now();
     try {
-        ExperimentContext context(slug, argc, argv);
+        ExperimentContext context(slug, title, argc, argv);
         body(context);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        context.finish(seconds);
     } catch (const std::exception &error) {
         std::fprintf(stderr, "experiment failed: %s\n", error.what());
         return 1;

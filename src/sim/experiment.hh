@@ -6,10 +6,15 @@
  * helper standardises their command-line surface:
  *
  *   --csv=DIR     also write each result table to DIR/<slug>.csv
+ *   --json=DIR    write a structured run artifact to DIR/<slug>.json
+ *                 (tables + telemetry + environment manifest; see
+ *                 docs/REPORTING.md)
  *   --quick       cut the workload (smaller traces) for smoke runs
  *
  * and prints wall-clock timing so regressions in the simulation
- * engine are visible.
+ * engine are visible. With --json, the artifact additionally records
+ * per-cell telemetry (RunMetrics) that tools/report_diff can gate
+ * against a golden baseline.
  */
 
 #ifndef IBP_SIM_EXPERIMENT_HH
@@ -19,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "report/artifact.hh"
+#include "report/run_metrics.hh"
 #include "util/format.hh"
 
 namespace ibp {
@@ -27,29 +34,48 @@ namespace ibp {
 class ExperimentContext
 {
   public:
-    ExperimentContext(std::string slug, int argc, char **argv);
+    ExperimentContext(std::string slug, std::string title, int argc,
+                      char **argv);
 
     /** True when --quick was passed (benches may shrink sweeps). */
     bool quick() const { return _quick; }
 
-    /** Print a table and, with --csv, persist it. */
+    /** Print a table and, with --csv/--json, persist it. */
     void emit(const ResultTable &table);
 
     /** Free-form note printed between tables. */
     void note(const std::string &text);
 
+    /**
+     * Telemetry sink for this run; pass to SuiteRunner::run() so
+     * per-cell counters land in the JSON artifact.
+     */
+    RunMetrics &metrics() { return _metrics; }
+
+    /**
+     * Write the run artifact (with --json) after the bench body has
+     * finished. Called by runExperiment.
+     */
+    void finish(double totalSeconds);
+
     const std::string &slug() const { return _slug; }
 
   private:
     std::string _slug;
+    std::string _title;
     std::string _csvDir;
+    std::string _jsonDir;
     bool _quick = false;
     unsigned _tableIndex = 0;
+    std::vector<ResultTable> _tables;
+    std::vector<std::string> _notes;
+    RunMetrics _metrics;
 };
 
 /**
  * Run an experiment body with standard setup/teardown (timing,
- * failure reporting). Returns the process exit code.
+ * artifact writing, failure reporting). Returns the process exit
+ * code.
  */
 int runExperiment(const std::string &slug, const std::string &title,
                   int argc, char **argv,

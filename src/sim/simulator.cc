@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 namespace ibp {
 
 SimResult
@@ -9,6 +11,10 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
     SimResult result;
     result.benchmark = trace.name();
     result.predictor = predictor.name();
+
+    // Two clock reads bracket the whole loop; the per-branch path
+    // stays untouched so telemetry cannot skew throughput.
+    const auto start = std::chrono::steady_clock::now();
 
     std::uint64_t seen = 0;
     for (const auto &record : trace) {
@@ -41,6 +47,10 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
 
     result.tableOccupancy = predictor.tableOccupancy();
     result.tableCapacity = predictor.tableCapacity();
+    result.seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
     return result;
 }
 

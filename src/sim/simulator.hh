@@ -33,6 +33,8 @@ struct SimResult
     std::uint64_t noPrediction = 0;
     std::uint64_t tableOccupancy = 0;
     std::uint64_t tableCapacity = 0;
+    /** Wall time of the simulation loop, in seconds. */
+    double seconds = 0.0;
 
     /** Misprediction rate in percent (the paper's metric). */
     double

@@ -1,6 +1,8 @@
 #include "sim/suite_runner.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
@@ -88,16 +90,19 @@ unsigned
 simulationThreads()
 {
     if (const char *env = std::getenv("IBP_THREADS")) {
-        const long threads = std::atol(env);
-        if (threads >= 1)
-            return static_cast<unsigned>(threads);
+        // Clamp to >= 1 so IBP_THREADS=0 (or garbage) still yields
+        // a usable serial run instead of silently ignoring the
+        // override.
+        return static_cast<unsigned>(
+            std::max(1L, std::atol(env)));
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 4 : hw;
 }
 
 GridResult
-SuiteRunner::run(const std::vector<SweepColumn> &columns) const
+SuiteRunner::run(const std::vector<SweepColumn> &columns,
+                 RunMetrics *metrics) const
 {
     struct Job
     {
@@ -114,6 +119,7 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns) const
             jobs.push_back(Job{&column, &trace(name), &name});
     }
 
+    const auto grid_start = std::chrono::steady_clock::now();
     std::atomic<std::size_t> next{0};
     const auto worker = [&]() {
         while (true) {
@@ -125,6 +131,18 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns) const
             auto predictor = job.column->make();
             const SimResult result = simulate(*predictor, *job.trace);
             job.missPercent = result.missPercent();
+            if (metrics) {
+                // One record per finished cell - never inside the
+                // per-branch simulation loop.
+                CellMetrics cell;
+                cell.column = job.column->label;
+                cell.benchmark = *job.benchmark;
+                cell.branches = result.branches;
+                cell.seconds = result.seconds;
+                cell.tableOccupancy = result.tableOccupancy;
+                cell.tableCapacity = result.tableCapacity;
+                metrics->recordCell(cell);
+            }
         }
     };
 
@@ -141,6 +159,14 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns) const
             thread.join();
     }
 
+    if (metrics) {
+        metrics->recordThreads(std::max(1u, thread_count));
+        metrics->recordRunWindow(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - grid_start)
+                .count());
+    }
+
     GridResult grid;
     for (const auto &job : jobs)
         grid.set(job.column->label, *job.benchmark, job.missPercent);
@@ -148,9 +174,11 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns) const
 }
 
 std::map<std::string, double>
-SuiteRunner::runOne(const PredictorFactory &factory) const
+SuiteRunner::runOne(const PredictorFactory &factory,
+                    RunMetrics *metrics) const
 {
-    const GridResult grid = run({SweepColumn{"only", factory}});
+    const GridResult grid =
+        run({SweepColumn{"only", factory}}, metrics);
     std::map<std::string, double> rates;
     for (const auto &name : _names)
         rates[name] = grid.get("only", name);

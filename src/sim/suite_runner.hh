@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/predictor.hh"
+#include "report/run_metrics.hh"
 #include "sim/simulator.hh"
 #include "synth/benchmark_suite.hh"
 #include "util/format.hh"
@@ -80,12 +81,18 @@ class SuiteRunner
     }
     const Trace &trace(const std::string &benchmark) const;
 
-    /** Simulate every (column x benchmark) pair, in parallel. */
-    GridResult run(const std::vector<SweepColumn> &columns) const;
+    /**
+     * Simulate every (column x benchmark) pair, in parallel. When
+     * @p metrics is non-null, one CellMetrics record per pair plus
+     * the grid's wall time and worker count are collected into it.
+     */
+    GridResult run(const std::vector<SweepColumn> &columns,
+                   RunMetrics *metrics = nullptr) const;
 
     /** Run a single configuration, returning benchmark -> miss %. */
     std::map<std::string, double>
-    runOne(const PredictorFactory &factory) const;
+    runOne(const PredictorFactory &factory,
+           RunMetrics *metrics = nullptr) const;
 
     /**
      * Render a grid as a table with one row per averaging group that
@@ -111,7 +118,11 @@ class SuiteRunner
     std::map<std::string, Trace> _traces;
 };
 
-/** Number of worker threads used by SuiteRunner::run. */
+/**
+ * Number of worker threads used by SuiteRunner::run. Overridable via
+ * the IBP_THREADS environment variable (clamped to >= 1); defaults
+ * to the hardware concurrency.
+ */
 unsigned simulationThreads();
 
 } // namespace ibp

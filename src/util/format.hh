@@ -55,11 +55,13 @@ class ResultTable
     }
 
     const std::string &title() const { return _title; }
+    const std::string &rowHeader() const { return _rowHeader; }
     const std::string &rowLabel(unsigned row) const;
     const std::string &colLabel(unsigned col) const;
 
     /** Number of digits after the decimal point when rendering. */
     void setPrecision(unsigned digits) { _precision = digits; }
+    unsigned precision() const { return _precision; }
 
     /** Render as an aligned fixed-width text table. */
     std::string toText() const;

@@ -1,0 +1,541 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+JsonParseError::JsonParseError(const std::string &message,
+                               std::size_t offset)
+    : std::runtime_error("json parse error at byte " +
+                         std::to_string(offset) + ": " + message),
+      _offset(offset)
+{
+}
+
+Json
+Json::array()
+{
+    Json json;
+    json._type = Type::Array;
+    return json;
+}
+
+Json
+Json::object()
+{
+    Json json;
+    json._type = Type::Object;
+    return json;
+}
+
+bool
+Json::asBool() const
+{
+    IBP_ASSERT(_type == Type::Bool, "json value is not a bool");
+    return _bool;
+}
+
+double
+Json::asNumber() const
+{
+    IBP_ASSERT(_type == Type::Number, "json value is not a number");
+    return _number;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    const double value = asNumber();
+    IBP_ASSERT(value >= 0.0, "json number %g is negative", value);
+    return static_cast<std::uint64_t>(value);
+}
+
+const std::string &
+Json::asString() const
+{
+    IBP_ASSERT(_type == Type::String, "json value is not a string");
+    return _string;
+}
+
+std::size_t
+Json::size() const
+{
+    if (_type == Type::Array)
+        return _array.size();
+    if (_type == Type::Object)
+        return _object.size();
+    panic("json value is not a container");
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    IBP_ASSERT(_type == Type::Array, "json value is not an array");
+    IBP_ASSERT(index < _array.size(), "json index %zu out of range",
+               index);
+    return _array[index];
+}
+
+void
+Json::push(Json value)
+{
+    IBP_ASSERT(_type == Type::Array, "json value is not an array");
+    _array.push_back(std::move(value));
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    IBP_ASSERT(_type == Type::Object, "json value is not an object");
+    for (const auto &[name, value] : _object) {
+        if (name == key)
+            return true;
+    }
+    return false;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    IBP_ASSERT(_type == Type::Object, "json value is not an object");
+    for (const auto &[name, value] : _object) {
+        if (name == key)
+            return value;
+    }
+    panic("json object has no key '%s'", key.c_str());
+}
+
+double
+Json::numberOr(const std::string &key, double fallback) const
+{
+    if (!contains(key) || at(key).isNull())
+        return fallback;
+    return at(key).asNumber();
+}
+
+std::string
+Json::stringOr(const std::string &key,
+               const std::string &fallback) const
+{
+    if (!contains(key) || at(key).isNull())
+        return fallback;
+    return at(key).asString();
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    IBP_ASSERT(_type == Type::Object, "json value is not an object");
+    for (auto &[name, existing] : _object) {
+        if (name == key) {
+            existing = std::move(value);
+            return;
+        }
+    }
+    _object.emplace_back(key, std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    IBP_ASSERT(_type == Type::Object, "json value is not an object");
+    return _object;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Shortest representation that round-trips through a double. */
+std::string
+formatNumber(double value)
+{
+    IBP_ASSERT(std::isfinite(value),
+               "json cannot represent non-finite number");
+    // Integers (the common case: branch counts, row indices) print
+    // without a fractional part or exponent.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    // Trim to the shortest precision that still round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", precision, value);
+        if (std::strtod(probe, nullptr) == value)
+            return probe;
+    }
+    return buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, unsigned indent, unsigned depth) const
+{
+    std::string pad, closePad;
+    if (indent) {
+        pad.assign(1, '\n');
+        pad.append(indent * (depth + 1), ' ');
+        closePad.assign(1, '\n');
+        closePad.append(indent * depth, ' ');
+    }
+    switch (_type) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Type::Number:
+        out += formatNumber(_number);
+        break;
+      case Type::String:
+        out += '"';
+        out += jsonEscape(_string);
+        out += '"';
+        break;
+      case Type::Array:
+        if (_array.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < _array.size(); ++i) {
+            if (i)
+                out += indent ? "," : ",";
+            out += pad;
+            _array[i].dumpTo(out, indent, depth + 1);
+        }
+        out += closePad;
+        out += ']';
+        break;
+      case Type::Object:
+        if (_object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < _object.size(); ++i) {
+            if (i)
+                out += ",";
+            out += pad;
+            out += '"';
+            out += jsonEscape(_object[i].first);
+            out += indent ? "\": " : "\":";
+            _object[i].second.dumpTo(out, indent, depth + 1);
+        }
+        out += closePad;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(unsigned indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string_view-ish cursor. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    Json
+    parse()
+    {
+        Json value = parseValue();
+        skipWhitespace();
+        if (_pos != _text.size())
+            fail("trailing characters after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw JsonParseError(message, _pos);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (_pos >= _text.size())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        const std::size_t len = std::char_traits<char>::length(literal);
+        if (_text.compare(_pos, len, literal) != 0)
+            return false;
+        _pos += len;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWhitespace();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Json(parseString());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("invalid literal");
+            return Json(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("invalid literal");
+            return Json(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("invalid literal");
+            return Json();
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json object = Json::object();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++_pos;
+            return object;
+        }
+        while (true) {
+            skipWhitespace();
+            const std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            object.set(key, parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            expect('}');
+            return object;
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json array = Json::array();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++_pos;
+            return array;
+        }
+        while (true) {
+            array.push(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            expect(']');
+            return array;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_pos >= _text.size())
+                fail("unterminated string");
+            const char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                fail("unterminated escape");
+            const char escape = _text[_pos++];
+            switch (escape) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate
+                // pairs are not needed by the artifact schema).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = _pos;
+        if (peek() == '-')
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-')) {
+            ++_pos;
+        }
+        const std::string token = _text.substr(start, _pos - start);
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() ||
+            end != token.c_str() + token.size()) {
+            _pos = start;
+            fail("invalid number");
+        }
+        return Json(value);
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace ibp

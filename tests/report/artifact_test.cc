@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of run artifacts: table serialisation, the write -> load
+ * round trip through an actual file, and schema validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "report/artifact.hh"
+
+namespace ibp {
+namespace {
+
+ResultTable
+sampleTable()
+{
+    ResultTable table("Figure 2: BTB rates (%)", "benchmark");
+    table.addColumn("BTB");
+    table.addColumn("BTB-2bc");
+    const unsigned avg = table.addRow("AVG");
+    table.set(avg, 0, 28.1);
+    table.set(avg, 1, 24.9);
+    const unsigned idl = table.addRow("idl");
+    table.set(idl, 0, 12.25);
+    // idl/BTB-2bc intentionally left empty.
+    return table;
+}
+
+RunArtifact
+sampleArtifact()
+{
+    RunArtifact artifact;
+    artifact.manifest = buildManifest();
+    artifact.manifest.slug = "fig02";
+    artifact.manifest.title = "Figure 2";
+    artifact.manifest.eventScale = 0.25;
+    artifact.manifest.threads = 4;
+    artifact.manifest.quick = true;
+    artifact.tables.push_back(sampleTable());
+    artifact.notes.push_back("paper anchor: AVG 28.1 / 24.9");
+    CellMetrics cell;
+    cell.column = "BTB";
+    cell.benchmark = "idl";
+    cell.branches = 424242;
+    cell.seconds = 0.125;
+    cell.tableOccupancy = 1844;
+    cell.tableCapacity = 4096;
+    artifact.metrics.recordCell(cell);
+    artifact.metrics.recordRunWindow(0.25);
+    artifact.metrics.recordThreads(4);
+    return artifact;
+}
+
+void
+expectTablesEqual(const ResultTable &a, const ResultTable &b)
+{
+    EXPECT_EQ(a.title(), b.title());
+    EXPECT_EQ(a.rowHeader(), b.rowHeader());
+    EXPECT_EQ(a.precision(), b.precision());
+    ASSERT_EQ(a.numRows(), b.numRows());
+    ASSERT_EQ(a.numCols(), b.numCols());
+    for (unsigned r = 0; r < a.numRows(); ++r) {
+        EXPECT_EQ(a.rowLabel(r), b.rowLabel(r));
+        for (unsigned c = 0; c < a.numCols(); ++c) {
+            EXPECT_EQ(a.colLabel(c), b.colLabel(c));
+            const auto cell_a = a.get(r, c);
+            const auto cell_b = b.get(r, c);
+            ASSERT_EQ(cell_a.has_value(), cell_b.has_value());
+            if (cell_a) {
+                EXPECT_DOUBLE_EQ(*cell_a, *cell_b);
+            }
+        }
+    }
+}
+
+TEST(ArtifactTest, TableJsonRoundTrip)
+{
+    const ResultTable table = sampleTable();
+    const ResultTable parsed = tableFromJson(
+        Json::parse(tableToJson(table).dump(2)));
+    expectTablesEqual(table, parsed);
+}
+
+TEST(ArtifactTest, WriteLoadRoundTrip)
+{
+    const RunArtifact artifact = sampleArtifact();
+    const std::string path =
+        testing::TempDir() + "/ibp_artifact_test/fig02.json";
+    artifact.write(path); // also creates the directory
+
+    const RunArtifact loaded = RunArtifact::load(path);
+    EXPECT_EQ(loaded.manifest.slug, "fig02");
+    EXPECT_EQ(loaded.manifest.title, "Figure 2");
+    EXPECT_EQ(loaded.manifest.gitSha, artifact.manifest.gitSha);
+    EXPECT_EQ(loaded.manifest.compiler,
+              artifact.manifest.compiler);
+    EXPECT_DOUBLE_EQ(loaded.manifest.eventScale, 0.25);
+    EXPECT_EQ(loaded.manifest.threads, 4u);
+    EXPECT_TRUE(loaded.manifest.quick);
+
+    ASSERT_EQ(loaded.tables.size(), 1u);
+    expectTablesEqual(loaded.tables[0], artifact.tables[0]);
+    ASSERT_EQ(loaded.notes.size(), 1u);
+    EXPECT_EQ(loaded.notes[0], artifact.notes[0]);
+    EXPECT_EQ(loaded.metrics.totalBranches(), 424242u);
+    EXPECT_DOUBLE_EQ(loaded.metrics.runSeconds(), 0.25);
+    EXPECT_EQ(loaded.metrics.threads(), 4u);
+
+    // A second round trip through JSON must be byte-stable (the
+    // regression gate depends on artifacts not drifting).
+    EXPECT_EQ(loaded.toJson().dump(2), artifact.toJson().dump(2));
+}
+
+TEST(ArtifactTest, FindTableByTitle)
+{
+    const RunArtifact artifact = sampleArtifact();
+    EXPECT_NE(artifact.findTable("Figure 2: BTB rates (%)"),
+              nullptr);
+    EXPECT_EQ(artifact.findTable("nonexistent"), nullptr);
+}
+
+TEST(ArtifactTest, BuildManifestIsPopulated)
+{
+    const RunManifest manifest = buildManifest();
+    EXPECT_FALSE(manifest.compiler.empty());
+    EXPECT_FALSE(manifest.timestamp.empty());
+    // ISO-8601 UTC: 2026-08-06T12:00:00Z
+    EXPECT_EQ(manifest.timestamp.size(), 20u);
+    EXPECT_EQ(manifest.timestamp.back(), 'Z');
+}
+
+TEST(ArtifactTest, WrongSchemaIsFatal)
+{
+    EXPECT_DEATH(
+        RunArtifact::fromJson(Json::parse("{\"schema\":\"other\"}")),
+        "not an ibp run artifact");
+    EXPECT_DEATH(RunArtifact::fromJson(Json::parse(
+                     "{\"schema\":\"ibp-run-artifact\","
+                     "\"version\":999}")),
+                 "unsupported artifact schema version");
+}
+
+TEST(ArtifactTest, LoadRejectsMalformedFile)
+{
+    const std::string path =
+        testing::TempDir() + "/ibp_artifact_bad.json";
+    std::ofstream(path) << "{not json";
+    EXPECT_EXIT(RunArtifact::load(path),
+                testing::ExitedWithCode(1), "json parse error");
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the minimal JSON value type: construction, access,
+ * serialisation, parsing, and round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace ibp {
+namespace {
+
+TEST(JsonTest, ScalarsRoundTrip)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(24.91).dump(), "24.91");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_TRUE(Json::parse("true").asBool());
+    EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(Json::parse("\"x\"").asString(), "x");
+}
+
+TEST(JsonTest, NumbersSurviveDumpParse)
+{
+    for (const double value :
+         {0.0, 1.0, -1.0, 24.91, 0.1, 1e-9, 123456789.123456,
+          1.0 / 3.0, 2e15, 33414617.5}) {
+        const Json parsed = Json::parse(Json(value).dump());
+        EXPECT_EQ(parsed.asNumber(), value) << value;
+    }
+}
+
+TEST(JsonTest, LargeCountsKeepIntegerPrecision)
+{
+    const std::uint64_t branches = (1ULL << 51) + 12345;
+    const Json parsed = Json::parse(Json(branches).dump());
+    EXPECT_EQ(parsed.asUint(), branches);
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder)
+{
+    Json object = Json::object();
+    object.set("zeta", 1);
+    object.set("alpha", 2);
+    EXPECT_EQ(object.dump(), "{\"zeta\":1,\"alpha\":2}");
+    // Overwriting keeps the original position.
+    object.set("zeta", 3);
+    EXPECT_EQ(object.dump(), "{\"zeta\":3,\"alpha\":2}");
+}
+
+TEST(JsonTest, NestedStructuresRoundTrip)
+{
+    Json root = Json::object();
+    Json cells = Json::array();
+    Json row = Json::array();
+    row.push(Json(28.1));
+    row.push(Json()); // empty cell
+    cells.push(std::move(row));
+    root.set("cells", std::move(cells));
+    root.set("quick", true);
+
+    const Json parsed = Json::parse(root.dump(2));
+    EXPECT_TRUE(parsed.at("quick").asBool());
+    const Json &cell_row = parsed.at("cells").at(0);
+    EXPECT_DOUBLE_EQ(cell_row.at(0).asNumber(), 28.1);
+    EXPECT_TRUE(cell_row.at(1).isNull());
+}
+
+TEST(JsonTest, StringEscapesRoundTrip)
+{
+    const std::string nasty = "a\"b\\c\nd\te\x01f";
+    const Json parsed = Json::parse(Json(nasty).dump());
+    EXPECT_EQ(parsed.asString(), nasty);
+    EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").asString(),
+              "A\xc3\xa9");
+}
+
+TEST(JsonTest, AccessHelpers)
+{
+    Json object = Json::object();
+    object.set("name", "fig02");
+    object.set("scale", 0.25);
+    object.set("none", Json());
+    EXPECT_TRUE(object.contains("name"));
+    EXPECT_FALSE(object.contains("missing"));
+    EXPECT_EQ(object.stringOr("name", "x"), "fig02");
+    EXPECT_EQ(object.stringOr("missing", "x"), "x");
+    EXPECT_DOUBLE_EQ(object.numberOr("scale", 1.0), 0.25);
+    EXPECT_DOUBLE_EQ(object.numberOr("none", 7.0), 7.0);
+}
+
+TEST(JsonTest, MalformedInputThrows)
+{
+    EXPECT_THROW(Json::parse(""), JsonParseError);
+    EXPECT_THROW(Json::parse("{"), JsonParseError);
+    EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+    EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+    EXPECT_THROW(Json::parse("tru"), JsonParseError);
+    EXPECT_THROW(Json::parse("1.2.3"), JsonParseError);
+    EXPECT_THROW(Json::parse("{} extra"), JsonParseError);
+}
+
+TEST(JsonTest, ParseErrorReportsOffset)
+{
+    try {
+        Json::parse("[1, x]");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &error) {
+        EXPECT_EQ(error.offset(), 4u);
+    }
+}
+
+} // namespace
+} // namespace ibp

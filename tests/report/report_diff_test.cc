@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the baseline regression gate: tolerance arithmetic,
+ * structural drift detection, manifest checks, and the throughput
+ * floor. Exercises the same diffArtifacts() the report_diff CLI
+ * wraps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/diff.hh"
+
+namespace ibp {
+namespace {
+
+RunArtifact
+makeArtifact(double avg_btb = 28.1, double avg_2bc = 24.9)
+{
+    RunArtifact artifact;
+    artifact.manifest.slug = "fig02";
+    artifact.manifest.eventScale = 0.25;
+    ResultTable table("Figure 2", "benchmark");
+    table.addColumn("BTB");
+    table.addColumn("BTB-2bc");
+    const unsigned avg = table.addRow("AVG");
+    table.set(avg, 0, avg_btb);
+    table.set(avg, 1, avg_2bc);
+    artifact.tables.push_back(std::move(table));
+    artifact.metrics.recordRunWindow(1.0);
+    CellMetrics cell;
+    cell.column = "BTB";
+    cell.benchmark = "AVG";
+    cell.branches = 1000000;
+    artifact.metrics.recordCell(cell);
+    return artifact;
+}
+
+TEST(ReportDiffTest, IdenticalArtifactsPass)
+{
+    const RunArtifact artifact = makeArtifact();
+    const DiffReport report = diffArtifacts(artifact, artifact);
+    EXPECT_TRUE(report.passed()) << report.summary();
+    EXPECT_EQ(report.cellsCompared, 2u);
+    EXPECT_NE(report.summary().find("PASS"), std::string::npos);
+}
+
+TEST(ReportDiffTest, DriftWithinTolerancePasses)
+{
+    // 28.1 -> 28.15: within the 0.1 absolute tolerance.
+    const DiffReport report =
+        diffArtifacts(makeArtifact(28.15), makeArtifact());
+    EXPECT_TRUE(report.passed()) << report.summary();
+}
+
+TEST(ReportDiffTest, DriftBeyondToleranceFails)
+{
+    // 28.1 -> 29.5: 1.4pp off, 5% relative - beyond both bounds.
+    const DiffReport report =
+        diffArtifacts(makeArtifact(29.5), makeArtifact());
+    EXPECT_FALSE(report.passed());
+    ASSERT_EQ(report.issues.size(), 1u);
+    EXPECT_NE(report.issues[0].where.find("[AVG][BTB]"),
+              std::string::npos);
+    EXPECT_NE(report.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(ReportDiffTest, RelativeToleranceCoversLargeValues)
+{
+    DiffOptions options;
+    options.absTolerance = 0.0;
+    options.relTolerance = 0.05;
+    // 28.1 -> 29.0: 3.2% relative drift, allowed at 5%.
+    EXPECT_TRUE(diffArtifacts(makeArtifact(29.0), makeArtifact(),
+                              options)
+                    .passed());
+    // 28.1 -> 30.0: 6.8% relative drift, rejected.
+    EXPECT_FALSE(diffArtifacts(makeArtifact(30.0), makeArtifact(),
+                               options)
+                     .passed());
+}
+
+TEST(ReportDiffTest, MissingTableFails)
+{
+    RunArtifact fresh = makeArtifact();
+    fresh.tables.clear();
+    const DiffReport report =
+        diffArtifacts(fresh, makeArtifact());
+    EXPECT_FALSE(report.passed());
+    EXPECT_NE(report.issues[0].message.find("missing"),
+              std::string::npos);
+}
+
+TEST(ReportDiffTest, ExtraTableFails)
+{
+    RunArtifact fresh = makeArtifact();
+    fresh.tables.emplace_back("Extra table", "row");
+    const DiffReport report =
+        diffArtifacts(fresh, makeArtifact());
+    EXPECT_FALSE(report.passed());
+    EXPECT_NE(report.issues[0].message.find("not present in "
+                                            "baseline"),
+              std::string::npos);
+}
+
+TEST(ReportDiffTest, ShapeAndLabelDriftFails)
+{
+    RunArtifact fresh = makeArtifact();
+    fresh.tables[0].addRow("extra");
+    EXPECT_FALSE(diffArtifacts(fresh, makeArtifact()).passed());
+
+    RunArtifact relabelled = makeArtifact();
+    relabelled.tables[0] = [] {
+        ResultTable table("Figure 2", "benchmark");
+        table.addColumn("BTB");
+        table.addColumn("renamed");
+        const unsigned avg = table.addRow("AVG");
+        table.set(avg, 0, 28.1);
+        table.set(avg, 1, 24.9);
+        return table;
+    }();
+    EXPECT_FALSE(
+        diffArtifacts(relabelled, makeArtifact()).passed());
+}
+
+TEST(ReportDiffTest, EmptyVsPresentCellFails)
+{
+    RunArtifact fresh = makeArtifact();
+    fresh.tables[0] = [] {
+        ResultTable table("Figure 2", "benchmark");
+        table.addColumn("BTB");
+        table.addColumn("BTB-2bc");
+        const unsigned avg = table.addRow("AVG");
+        table.set(avg, 0, 28.1);
+        // [AVG][BTB-2bc] left empty.
+        return table;
+    }();
+    EXPECT_FALSE(diffArtifacts(fresh, makeArtifact()).passed());
+}
+
+TEST(ReportDiffTest, ManifestMismatchFailsUnlessDisabled)
+{
+    RunArtifact fresh = makeArtifact();
+    fresh.manifest.eventScale = 1.0; // baseline ran at 0.25
+    EXPECT_FALSE(diffArtifacts(fresh, makeArtifact()).passed());
+
+    DiffOptions options;
+    options.checkManifest = false;
+    EXPECT_TRUE(
+        diffArtifacts(fresh, makeArtifact(), options).passed());
+
+    RunArtifact renamed = makeArtifact();
+    renamed.manifest.slug = "fig03";
+    EXPECT_FALSE(diffArtifacts(renamed, makeArtifact()).passed());
+}
+
+TEST(ReportDiffTest, ThroughputFloorGates)
+{
+    // The artifact simulates 1e6 branches in 1s -> 1e6 bps.
+    DiffOptions options;
+    options.minThroughput = 2e6;
+    EXPECT_FALSE(diffArtifacts(makeArtifact(), makeArtifact(),
+                               options)
+                     .passed());
+    options.minThroughput = 5e5;
+    EXPECT_TRUE(diffArtifacts(makeArtifact(), makeArtifact(),
+                              options)
+                    .passed());
+}
+
+TEST(ReportDiffTest, ThroughputRatioGates)
+{
+    RunArtifact slow = makeArtifact();
+    slow.metrics.recordRunWindow(9.0); // 10s total -> 1e5 bps
+    DiffOptions options;
+    options.throughputRatio = 0.5; // require >= 5e5 bps
+    EXPECT_FALSE(
+        diffArtifacts(slow, makeArtifact(), options).passed());
+    EXPECT_TRUE(diffArtifacts(makeArtifact(), makeArtifact(),
+                              options)
+                    .passed());
+}
+
+} // namespace
+} // namespace ibp

@@ -123,6 +123,45 @@ TEST_F(SuiteRunnerTest, EventScaleEnvIsHonoured)
     EXPECT_EQ(eventScale(), 100.0); // clamped
 }
 
+TEST_F(SuiteRunnerTest, ThreadsEnvIsHonouredAndClamped)
+{
+    const char *saved = std::getenv("IBP_THREADS");
+    const std::string restore = saved ? saved : "";
+    setenv("IBP_THREADS", "3", 1);
+    EXPECT_EQ(simulationThreads(), 3u);
+    setenv("IBP_THREADS", "0", 1); // clamped to >= 1
+    EXPECT_EQ(simulationThreads(), 1u);
+    setenv("IBP_THREADS", "-5", 1);
+    EXPECT_EQ(simulationThreads(), 1u);
+    if (saved)
+        setenv("IBP_THREADS", restore.c_str(), 1);
+    else
+        unsetenv("IBP_THREADS");
+    EXPECT_GE(simulationThreads(), 1u);
+}
+
+TEST_F(SuiteRunnerTest, RunCollectsMetrics)
+{
+    SuiteRunner runner({"idl", "perl"});
+    const std::vector<SweepColumn> columns = {
+        {"btb", []() {
+             return std::make_unique<BtbPredictor>(
+                 TableSpec::unconstrained(), true);
+         }}};
+    RunMetrics metrics;
+    runner.run(columns, &metrics);
+    EXPECT_EQ(metrics.cellCount(), 2u); // 1 column x 2 benchmarks
+    EXPECT_GT(metrics.totalBranches(), 0u);
+    EXPECT_GT(metrics.runSeconds(), 0.0);
+    EXPECT_GT(metrics.branchesPerSecond(), 0.0);
+    EXPECT_GT(metrics.peakTableOccupancy(), 0u);
+    EXPECT_GE(metrics.threads(), 1u);
+    for (const auto &cell : metrics.cells()) {
+        EXPECT_EQ(cell.column, "btb");
+        EXPECT_GT(cell.branches, 0u);
+    }
+}
+
 TEST_F(SuiteRunnerTest, BenchmarkSuiteHasSeventeenPrograms)
 {
     EXPECT_EQ(benchmarkSuite().size(), 17u);

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Baseline regression gate over JSON run artifacts.
+ *
+ * Usage:
+ *   report_diff FRESH.json BASELINE.json [options]
+ *
+ * Options:
+ *   --abs=X               absolute per-cell tolerance (default 0.1,
+ *                         table units - percentage points for
+ *                         misprediction tables)
+ *   --rel=Y               relative per-cell tolerance against the
+ *                         baseline magnitude (default 0.02)
+ *   --min-throughput=B    fail when the fresh run simulated fewer
+ *                         than B branches/sec (default: off)
+ *   --throughput-ratio=R  fail when fresh throughput is below R x
+ *                         the baseline's recorded throughput
+ *                         (default: off; use only on comparable
+ *                         hardware)
+ *   --no-manifest         skip the slug/event-scale manifest check
+ *
+ * Exits 0 when the fresh artifact is within tolerance, 1 on a
+ * regression or unreadable artifact, 2 on usage errors. See
+ * docs/REPORTING.md for the tolerance policy.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/artifact.hh"
+#include "report/diff.hh"
+#include "util/logging.hh"
+
+using namespace ibp;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s FRESH.json BASELINE.json [--abs=X] [--rel=Y]\n"
+        "          [--min-throughput=B] [--throughput-ratio=R]\n"
+        "          [--no-manifest]\n",
+        argv0);
+    std::exit(code);
+}
+
+double
+parseNumber(const std::string_view arg, const std::string_view value)
+{
+    char *end = nullptr;
+    const std::string text(value);
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || parsed < 0.0) {
+        fatal("invalid value in '%.*s'",
+              static_cast<int>(arg.size()), arg.data());
+    }
+    return parsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DiffOptions options;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (arg.rfind("--abs=", 0) == 0) {
+            options.absTolerance = parseNumber(arg, arg.substr(6));
+        } else if (arg.rfind("--rel=", 0) == 0) {
+            options.relTolerance = parseNumber(arg, arg.substr(6));
+        } else if (arg.rfind("--min-throughput=", 0) == 0) {
+            options.minThroughput = parseNumber(arg, arg.substr(17));
+        } else if (arg.rfind("--throughput-ratio=", 0) == 0) {
+            options.throughputRatio =
+                parseNumber(arg, arg.substr(19));
+        } else if (arg == "--no-manifest") {
+            options.checkManifest = false;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            usage(argv[0], 2);
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        usage(argv[0], 2);
+
+    const RunArtifact fresh = RunArtifact::load(paths[0]);
+    const RunArtifact baseline = RunArtifact::load(paths[1]);
+
+    const DiffReport report =
+        diffArtifacts(fresh, baseline, options);
+    std::printf("%s vs %s\n", paths[0].c_str(), paths[1].c_str());
+    std::printf("fresh: %s @ %s, %.0f branches/sec\n",
+                fresh.manifest.slug.c_str(),
+                fresh.manifest.gitSha.c_str(),
+                fresh.metrics.branchesPerSecond());
+    std::printf("baseline: %s @ %s, %.0f branches/sec\n",
+                baseline.manifest.slug.c_str(),
+                baseline.manifest.gitSha.c_str(),
+                baseline.metrics.branchesPerSecond());
+    std::fputs(report.summary().c_str(), stdout);
+    return report.passed() ? 0 : 1;
+}
