@@ -68,7 +68,7 @@ main(int argc, char **argv)
                  }});
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.groupTable(
                 "Metaprediction variants (hybrid p=" +
                     std::to_string(long_p) + "." +

@@ -97,7 +97,7 @@ main(int argc, char **argv)
             };
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.groupTable(
                 "Rejected variants, p=" + std::to_string(p) +
                     ", unconstrained (misprediction %)",

@@ -83,7 +83,7 @@ main(int argc, char **argv)
             };
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.groupTable(
                 "Future-work hybrids at " + std::to_string(total) +
                     " total entries (misprediction %)",

@@ -87,7 +87,7 @@ main(int argc, char **argv)
             };
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.benchmarkTable(
                 "Related-work predictors at ~" +
                     std::to_string(budget) +

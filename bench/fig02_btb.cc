@@ -39,7 +39,7 @@ main(int argc, char **argv)
             };
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.benchmarkTable(
                 "Figure 2: unconstrained BTB misprediction rates (%)",
                 grid, columns));

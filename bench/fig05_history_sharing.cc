@@ -39,7 +39,7 @@ main(int argc, char **argv)
             }
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.groupTable(
                 "Figure 5: misprediction (%) vs history sharing s "
                 "(p=8, per-address tables)",

@@ -40,7 +40,7 @@ main(int argc, char **argv)
             }
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.groupTable(
                 "Figure 7: misprediction (%) vs table sharing h "
                 "(p=8, global history)",

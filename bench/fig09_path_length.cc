@@ -37,7 +37,7 @@ main(int argc, char **argv)
             }
 
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
             context.emit(runner.groupTable(
                 "Figure 9: misprediction (%) vs path length "
                 "(global history, per-address tables)",

@@ -80,7 +80,7 @@ main(int argc, char **argv)
                      }});
 
                 const GridResult grid =
-                    runner.run(columns, &context.metrics());
+                    runner.run(columns, context.session());
                 const unsigned row =
                     table.addRow(std::to_string(p));
                 for (const auto &column : columns) {

@@ -54,7 +54,7 @@ main(int argc, char **argv)
                          }});
                 }
                 const GridResult grid =
-                    runner.run(columns, &context.metrics());
+                    runner.run(columns, context.session());
                 const std::string row = std::to_string(size);
                 for (const auto &column : columns) {
                     table.set(row, column.label,

@@ -63,7 +63,7 @@ sweepTable(ExperimentContext &context, SuiteRunner &runner,
                  }});
         }
         const GridResult grid =
-            runner.run(columns, &context.metrics());
+            runner.run(columns, context.session());
         for (const auto &column : columns) {
             table.set(row, column.label,
                       grid.average(column.label, avg));
@@ -120,7 +120,7 @@ main(int argc, char **argv)
                          }});
                 }
                 const GridResult grid =
-                    runner.run(columns, &context.metrics());
+                    runner.run(columns, context.session());
                 for (const auto &column : columns) {
                     schemes.set(toString(kind), column.label,
                                 grid.average(column.label, avg));

@@ -68,7 +68,7 @@ main(int argc, char **argv)
                         }
                     }
                     const GridResult grid =
-                        runner.run(columns, &context.metrics());
+                        runner.run(columns, context.session());
                     const std::string row = std::to_string(p1);
                     for (const auto &column : columns) {
                         table.set(row, column.label,

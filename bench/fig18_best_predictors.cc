@@ -64,7 +64,7 @@ main(int argc, char **argv)
                                  TableSpec::fullyAssoc(size), true);
                          }}};
                     const GridResult grid =
-                        runner.run(columns, &context.metrics());
+                        runner.run(columns, context.session());
                     best.set(row, "btb", grid.average("btb", avg));
                 }
 
@@ -94,7 +94,7 @@ main(int argc, char **argv)
                              }});
                     }
                     const GridResult grid =
-                        runner.run(columns, &context.metrics());
+                        runner.run(columns, context.session());
                     double best_rate = 1e9;
                     unsigned winner = 0;
                     for (unsigned p : path_lengths) {

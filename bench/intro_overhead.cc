@@ -83,7 +83,7 @@ main(int argc, char **argv)
                  }},
             };
             const GridResult grid =
-                runner.run(columns, &context.metrics());
+                runner.run(columns, context.session());
 
             ResultTable table(
                 "Share of branch mispredictions caused by indirect "

@@ -53,7 +53,7 @@ main(int argc, char **argv)
                          }});
                 }
                 const GridResult grid =
-                    runner.run(columns, &context.metrics());
+                    runner.run(columns, context.session());
                 const double xor_rate = grid.average("xor", avg);
                 const double concat_rate =
                     grid.average("concat", avg);

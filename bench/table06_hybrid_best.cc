@@ -83,7 +83,7 @@ main(int argc, char **argv)
                              }});
                     }
                     const GridResult grid =
-                        runner.run(columns, &context.metrics());
+                        runner.run(columns, context.session());
                     double best_rate = 1e9;
                     double best_combo = 0;
                     for (const auto &[p1, p2] : pairs) {

@@ -106,7 +106,7 @@ main(int argc, char **argv)
                 }
 
                 const GridResult grid =
-                    runner.run(columns, &context.metrics());
+                    runner.run(columns, context.session());
                 context.emit(runner.benchmarkTable(
                     "Table A-1 (size " + std::to_string(size) +
                         "): misprediction (%), Table A-2 path "

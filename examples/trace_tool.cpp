@@ -13,10 +13,13 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/factory.hh"
+#include "robust/error.hh"
 #include "sim/simulator.hh"
 #include "synth/benchmark_suite.hh"
 #include "trace/trace_io.hh"
@@ -41,7 +44,23 @@ obtainTrace(const std::string &source)
 {
     if (isKnownBenchmark(source))
         return generateBenchmarkTrace(source);
-    return loadTrace(source);
+    Result<Trace> loaded = loadTrace(source);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.error().message.c_str());
+        std::exit(1);
+    }
+    return std::move(loaded).value();
+}
+
+void
+requireOk(const Result<void> &result)
+{
+    if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.error().message.c_str());
+        std::exit(1);
+    }
 }
 
 int
@@ -72,7 +91,7 @@ main(int argc, char **argv)
             argc >= 5 && std::strcmp(argv[4], "--cond") == 0;
         const Trace trace =
             generateBenchmarkTrace(argv[2], with_cond);
-        saveTrace(trace, argv[3]);
+        requireOk(saveTrace(trace, argv[3]));
         std::printf("wrote %zu records to %s\n", trace.size(),
                     argv[3]);
         return 0;
@@ -119,14 +138,21 @@ main(int argc, char **argv)
     }
 
     if (command == "convert" && argc >= 4) {
-        saveTrace(loadTrace(argv[2]), argv[3]);
+        requireOk(saveTrace(obtainTrace(argv[2]), argv[3]));
         std::printf("converted %s -> %s\n", argv[2], argv[3]);
         return 0;
     }
 
     if (command == "run" && argc >= 4) {
         const Trace trace = obtainTrace(argv[2]);
-        const auto predictor = makePredictorFromSpec(argv[3]);
+        Result<std::unique_ptr<IndirectPredictor>> made =
+            tryMakePredictorFromSpec(argv[3]);
+        if (!made.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         made.error().message.c_str());
+            return 1;
+        }
+        const auto predictor = std::move(made).value();
         const SimResult result = simulate(*predictor, trace);
         std::printf("%s on %s: %.2f%% misprediction "
                     "(%llu/%llu), %llu/%llu entries used\n",

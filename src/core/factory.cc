@@ -5,7 +5,21 @@
 #include <sstream>
 #include <vector>
 
-#include "util/logging.hh"
+#include "robust/error.hh"
+
+namespace ibp {
+namespace {
+
+/** Bad specs are recoverable: a sweep cell whose factory rejects its
+ * spec must fail that cell, not the process. */
+[[noreturn]] void
+badSpec(const std::string &message)
+{
+    throw RunException(RunError::permanent(message));
+}
+
+} // namespace
+} // namespace ibp
 
 namespace ibp {
 
@@ -58,12 +72,12 @@ parseTableSpec(const std::string &text)
 
     const auto colon = text.find(':');
     if (colon == std::string::npos)
-        fatal("table spec '%s': expected kind:entries", text.c_str());
+        badSpec("table spec '" + text + "': expected kind:entries");
     const std::string kind = text.substr(0, colon);
     const std::uint64_t entries =
         std::strtoull(text.c_str() + colon + 1, nullptr, 10);
     if (entries == 0)
-        fatal("table spec '%s': bad entry count", text.c_str());
+        badSpec("table spec '" + text + "': bad entry count");
 
     if (kind == "fullassoc")
         return TableSpec::fullyAssoc(entries);
@@ -73,11 +87,11 @@ parseTableSpec(const std::string &text)
         const unsigned ways = static_cast<unsigned>(
             std::strtoul(kind.c_str() + 5, nullptr, 10));
         if (ways == 0)
-            fatal("table spec '%s': bad associativity", text.c_str());
+            badSpec("table spec '" + text + "': bad associativity");
         return TableSpec::setAssoc(entries, ways);
     }
-    fatal("table spec '%s': unknown kind '%s'", text.c_str(),
-          kind.c_str());
+    badSpec("table spec '" + text + "': unknown kind '" + kind +
+            "'");
 }
 
 namespace {
@@ -95,8 +109,8 @@ parseOptions(const std::string &text)
             continue;
         const auto eq = item.find('=');
         if (eq == std::string::npos)
-            fatal("predictor option '%s': expected key=value",
-                  item.c_str());
+            badSpec("predictor option '" + item +
+                    "': expected key=value");
         options[item.substr(0, eq)] = item.substr(eq + 1);
     }
     return options;
@@ -128,7 +142,7 @@ parseInterleave(const std::string &name)
     if (name == "straight") return InterleaveKind::Straight;
     if (name == "reverse")  return InterleaveKind::Reverse;
     if (name == "pingpong") return InterleaveKind::PingPong;
-    fatal("unknown interleave kind '%s'", name.c_str());
+    badSpec("unknown interleave kind '" + name + "'");
 }
 
 CompressorKind
@@ -137,7 +151,7 @@ parseCompressor(const std::string &name)
     if (name == "select")   return CompressorKind::BitSelect;
     if (name == "fold")     return CompressorKind::FoldXor;
     if (name == "shiftxor") return CompressorKind::ShiftXor;
-    fatal("unknown compressor kind '%s'", name.c_str());
+    badSpec("unknown compressor kind '" + name + "'");
 }
 
 TwoLevelConfig
@@ -206,8 +220,18 @@ makePredictorFromSpec(const std::string &spec)
             config.meta = MetaKind::Selector;
         return std::make_unique<HybridPredictor>(config);
     }
-    fatal("unknown predictor kind '%s' in spec '%s'", head.c_str(),
-          spec.c_str());
+    badSpec("unknown predictor kind '" + head + "' in spec '" +
+            spec + "'");
+}
+
+Result<std::unique_ptr<IndirectPredictor>>
+tryMakePredictorFromSpec(const std::string &spec)
+{
+    try {
+        return makePredictorFromSpec(spec);
+    } catch (const RunException &exception) {
+        return exception.error();
+    }
 }
 
 } // namespace ibp

@@ -26,6 +26,8 @@
 #include <memory>
 #include <string>
 
+#include "robust/error.hh"
+
 #include "core/btb.hh"
 #include "core/hybrid.hh"
 #include "core/two_level.hh"
@@ -48,12 +50,21 @@ TwoLevelConfig unconstrainedTwoLevel(unsigned pathLength,
 HybridConfig paperHybrid(unsigned firstPath, unsigned secondPath,
                          const TableSpec &componentTable);
 
-/** Parse a textual predictor spec; calls fatal() on bad syntax. */
+/**
+ * Parse a textual predictor spec; throws RunException (a permanent
+ * RunError) on bad syntax so a sweep can fail just the offending
+ * cell. Use tryMakePredictorFromSpec for an explicit Result.
+ */
 std::unique_ptr<IndirectPredictor>
 makePredictorFromSpec(const std::string &spec);
 
+/** Non-throwing wrapper around makePredictorFromSpec. */
+Result<std::unique_ptr<IndirectPredictor>>
+tryMakePredictorFromSpec(const std::string &spec);
+
 /** Parse a table spec like "assoc4:1024", "tagless:512",
- * "fullassoc:256" or "unconstrained". */
+ * "fullassoc:256" or "unconstrained"; throws RunException on bad
+ * syntax. */
 TableSpec parseTableSpec(const std::string &text);
 
 } // namespace ibp

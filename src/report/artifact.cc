@@ -1,9 +1,14 @@
 #include "report/artifact.hh"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "util/logging.hh"
 
@@ -115,16 +120,22 @@ tableFromJson(const Json &json)
         table.addColumn(columns.at(c).asString());
     const Json &rows = json.at("rows");
     const Json &cells = json.at("cells");
-    IBP_ASSERT(cells.size() == rows.size(),
-               "table '%s': %zu cell rows but %zu row labels",
-               table.title().c_str(), cells.size(), rows.size());
+    if (cells.size() != rows.size()) {
+        throw RunException(RunError::permanent(
+            "table '" + table.title() + "': " +
+            std::to_string(cells.size()) + " cell rows but " +
+            std::to_string(rows.size()) + " row labels"));
+    }
     for (std::size_t r = 0; r < rows.size(); ++r) {
         const unsigned row = table.addRow(rows.at(r).asString());
         const Json &cell_row = cells.at(r);
-        IBP_ASSERT(cell_row.size() == columns.size(),
-                   "table '%s' row %zu: %zu cells but %zu columns",
-                   table.title().c_str(), r, cell_row.size(),
-                   columns.size());
+        if (cell_row.size() != columns.size()) {
+            throw RunException(RunError::permanent(
+                "table '" + table.title() + "' row " +
+                std::to_string(r) + ": " +
+                std::to_string(cell_row.size()) + " cells but " +
+                std::to_string(columns.size()) + " columns"));
+        }
         for (std::size_t c = 0; c < cell_row.size(); ++c) {
             const Json &cell = cell_row.at(c);
             if (!cell.isNull())
@@ -170,12 +181,17 @@ RunArtifact::toJson() const
 RunArtifact
 RunArtifact::fromJson(const Json &json)
 {
-    IBP_ASSERT(json.stringOr("schema", "") == "ibp-run-artifact",
-               "not an ibp run artifact");
+    if (json.stringOr("schema", "") != "ibp-run-artifact") {
+        throw RunException(
+            RunError::permanent("not an ibp run artifact"));
+    }
     const int version =
         static_cast<int>(json.numberOr("version", -1));
-    IBP_ASSERT(version == kArtifactSchemaVersion,
-               "unsupported artifact schema version %d", version);
+    if (version != kArtifactSchemaVersion) {
+        throw RunException(RunError::permanent(
+            "unsupported artifact schema version " +
+            std::to_string(version)));
+    }
 
     RunArtifact artifact;
     artifact.manifest = RunManifest::fromJson(json.at("manifest"));
@@ -191,7 +207,7 @@ RunArtifact::fromJson(const Json &json)
     return artifact;
 }
 
-void
+Result<void>
 RunArtifact::write(const std::string &path) const
 {
     const std::filesystem::path target(path);
@@ -199,31 +215,66 @@ RunArtifact::write(const std::string &path) const
         std::error_code ec;
         std::filesystem::create_directories(target.parent_path(), ec);
         if (ec) {
-            fatal("cannot create directory '%s': %s",
-                  target.parent_path().c_str(),
-                  ec.message().c_str());
+            return RunError::permanent(
+                "cannot create directory '" +
+                target.parent_path().string() +
+                "': " + ec.message());
         }
     }
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open '%s' for writing", path.c_str());
-    out << toJson().dump(2) << '\n';
-    if (!out)
-        fatal("failed writing artifact '%s'", path.c_str());
+
+    // Crash safety: content lands in a temp file in the target
+    // directory (same filesystem, so the final rename is atomic),
+    // is flushed and fsynced, then renamed over the destination.
+    // Readers either see the old artifact or the complete new one.
+    const std::string temp = path + ".tmp";
+    std::FILE *file = std::fopen(temp.c_str(), "wb");
+    if (!file) {
+        return RunError::permanent("cannot open '" + temp +
+                                   "' for writing: " +
+                                   std::strerror(errno));
+    }
+    const std::string body = toJson().dump(2) + "\n";
+    const bool wrote =
+        std::fwrite(body.data(), 1, body.size(), file) ==
+            body.size() &&
+        std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+    const int close_status = std::fclose(file);
+    if (!wrote || close_status != 0) {
+        std::remove(temp.c_str());
+        return RunError::permanent("failed writing artifact '" +
+                                   temp + "': " +
+                                   std::strerror(errno));
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        const std::string reason = std::strerror(errno);
+        std::remove(temp.c_str());
+        return RunError::permanent("cannot rename '" + temp +
+                                   "' to '" + path + "': " + reason);
+    }
+    return Result<void>();
 }
 
-RunArtifact
+Result<RunArtifact>
 RunArtifact::load(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        fatal("cannot open artifact '%s'", path.c_str());
+    if (!in) {
+        return RunError::permanent("cannot open artifact '" + path +
+                                   "'");
+    }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     try {
         return fromJson(Json::parse(buffer.str()));
+    } catch (const RunException &error) {
+        return RunError::permanent("artifact '" + path +
+                                   "': " + error.error().message);
     } catch (const JsonParseError &error) {
-        fatal("artifact '%s': %s", path.c_str(), error.what());
+        return RunError::permanent("artifact '" + path +
+                                   "': " + error.what());
+    } catch (const JsonError &error) {
+        return RunError::permanent("artifact '" + path +
+                                   "': " + error.what());
     }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "report/run_metrics.hh"
+#include "robust/error.hh"
 #include "util/format.hh"
 #include "util/json.hh"
 
@@ -63,19 +64,30 @@ struct RunArtifact
     const ResultTable *findTable(const std::string &title) const;
 
     Json toJson() const;
+
+    /**
+     * Parse an artifact from JSON. Throws RunException (permanent)
+     * on a wrong schema, unsupported version, or malformed tables -
+     * a bad artifact must never abort the consuming process.
+     */
     static RunArtifact fromJson(const Json &json);
 
     /**
-     * Write as pretty-printed JSON, creating parent directories as
-     * needed. fatal()s when the path is unwritable.
+     * Write crash-safely as pretty-printed JSON: parent directories
+     * are created recursively, content goes to a temp file in the
+     * target directory, is fsynced, and atomically renamed over
+     * @p path - a crash mid-write can never leave a truncated
+     * artifact behind. Errors (unwritable directory, full disk) come
+     * back as a permanent RunError.
      */
-    void write(const std::string &path) const;
+    Result<void> write(const std::string &path) const;
 
     /**
-     * Load and validate an artifact file. fatal()s on a missing
-     * file, malformed JSON, or an unsupported schema version.
+     * Load and validate an artifact file. A missing file, malformed
+     * JSON, or an unsupported schema version is a permanent
+     * RunError, never an abort.
      */
-    static RunArtifact load(const std::string &path);
+    static Result<RunArtifact> load(const std::string &path);
 };
 
 } // namespace ibp

@@ -165,6 +165,18 @@ diffArtifacts(const RunArtifact &fresh, const RunArtifact &baseline,
     if (options.checkManifest)
         diffManifests(fresh.manifest, baseline.manifest, report);
 
+    // A partial fresh run (recorded cell failures) fails the gate
+    // outright unless explicitly allowed: its tables can look fine
+    // while whole benchmarks are missing from the averages.
+    const std::size_t failed = fresh.metrics.failureCount();
+    if (failed > 0 && !options.allowPartial) {
+        addIssue(report, "metrics",
+                 "fresh artifact is partial: " +
+                     std::to_string(failed) + " failed cell" +
+                     (failed == 1 ? "" : "s") +
+                     " recorded (pass --allow-partial to accept)");
+    }
+
     for (const auto &base_table : baseline.tables) {
         const ResultTable *fresh_table =
             fresh.findTable(base_table.title());

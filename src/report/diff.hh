@@ -44,6 +44,13 @@ struct DiffOptions
 
     /** Check manifest compatibility (slug, event scale). */
     bool checkManifest = true;
+
+    /**
+     * Accept a fresh artifact that records failed cells. Off by
+     * default: a partial run must not silently pass the gate just
+     * because the cells that *did* complete match the baseline.
+     */
+    bool allowPartial = false;
 };
 
 /** One detected regression or structural mismatch. */

@@ -16,6 +16,7 @@ RunMetrics::operator=(const RunMetrics &other)
         return *this;
     std::scoped_lock lock(_mutex, other._mutex);
     _cells = other._cells;
+    _failures = other._failures;
     _runSeconds = other._runSeconds;
     _threads = other._threads;
     return *this;
@@ -26,6 +27,27 @@ RunMetrics::recordCell(const CellMetrics &cell)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _cells.push_back(cell);
+}
+
+void
+RunMetrics::recordFailure(const FailureRecord &failure)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _failures.push_back(failure);
+}
+
+std::vector<FailureRecord>
+RunMetrics::failures() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _failures;
+}
+
+std::size_t
+RunMetrics::failureCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _failures.size();
 }
 
 void
@@ -132,6 +154,24 @@ RunMetrics::toJson() const
         cells_json.push(std::move(entry));
     }
     json.set("cells", std::move(cells_json));
+
+    // Only emitted when the run was partial, so fault-free
+    // artifacts (and the committed baselines) stay byte-identical
+    // to schema version 1 output.
+    const auto failed = failures();
+    if (!failed.empty()) {
+        Json failures_json = Json::array();
+        for (const auto &failure : failed) {
+            Json entry = Json::object();
+            entry.set("column", failure.column);
+            entry.set("benchmark", failure.benchmark);
+            entry.set("error", failure.error);
+            entry.set("kind", failure.kind);
+            entry.set("attempts", failure.attempts);
+            failures_json.push(std::move(entry));
+        }
+        json.set("failures", std::move(failures_json));
+    }
     return json;
 }
 
@@ -155,6 +195,20 @@ RunMetrics::fromJson(const Json &json)
                 entry.at("table_occupancy").asUint();
             cell.tableCapacity = entry.at("table_capacity").asUint();
             metrics.recordCell(cell);
+        }
+    }
+    if (json.contains("failures")) {
+        const Json &failures = json.at("failures");
+        for (std::size_t i = 0; i < failures.size(); ++i) {
+            const Json &entry = failures.at(i);
+            FailureRecord failure;
+            failure.column = entry.stringOr("column", "");
+            failure.benchmark = entry.stringOr("benchmark", "");
+            failure.error = entry.stringOr("error", "");
+            failure.kind = entry.stringOr("kind", "permanent");
+            failure.attempts = static_cast<unsigned>(
+                entry.numberOr("attempts", 1));
+            metrics.recordFailure(failure);
         }
     }
     return metrics;

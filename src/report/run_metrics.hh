@@ -38,6 +38,21 @@ struct CellMetrics
     std::uint64_t tableCapacity = 0;
 };
 
+/**
+ * Record of one cell that permanently failed (all retries
+ * exhausted, or a non-retryable error). Artifacts carrying any of
+ * these are *partial*: report_diff rejects them unless explicitly
+ * allowed (see docs/ROBUSTNESS.md).
+ */
+struct FailureRecord
+{
+    std::string column;
+    std::string benchmark;
+    std::string error; ///< Human-readable cause.
+    std::string kind;  ///< "transient" / "permanent" / "timeout".
+    unsigned attempts = 1;
+};
+
 class RunMetrics
 {
   public:
@@ -48,6 +63,9 @@ class RunMetrics
     /** Record one finished simulation cell. Thread-safe. */
     void recordCell(const CellMetrics &cell);
 
+    /** Record one permanently failed cell. Thread-safe. */
+    void recordFailure(const FailureRecord &failure);
+
     /** Record the wall time of one parallel grid run. Thread-safe. */
     void recordRunWindow(double seconds);
 
@@ -56,6 +74,9 @@ class RunMetrics
 
     std::vector<CellMetrics> cells() const;
     std::size_t cellCount() const;
+
+    std::vector<FailureRecord> failures() const;
+    std::size_t failureCount() const;
 
     /** Sum of branches over all recorded cells. */
     std::uint64_t totalBranches() const;
@@ -83,6 +104,7 @@ class RunMetrics
   private:
     mutable std::mutex _mutex;
     std::vector<CellMetrics> _cells;
+    std::vector<FailureRecord> _failures;
     double _runSeconds = 0.0;
     unsigned _threads = 0;
 };

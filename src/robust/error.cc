@@ -1,0 +1,51 @@
+#include "robust/error.hh"
+
+namespace ibp {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Transient:
+        return "transient";
+      case ErrorKind::Permanent:
+        return "permanent";
+      case ErrorKind::Timeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+RunError
+RunError::transient(std::string message)
+{
+    return RunError{ErrorKind::Transient, std::move(message), 1};
+}
+
+RunError
+RunError::permanent(std::string message)
+{
+    return RunError{ErrorKind::Permanent, std::move(message), 1};
+}
+
+RunError
+RunError::timeout(std::string message)
+{
+    return RunError{ErrorKind::Timeout, std::move(message), 1};
+}
+
+std::string
+RunError::describe() const
+{
+    std::string out = errorKindName(kind);
+    out += ": ";
+    out += message;
+    if (attempts > 1) {
+        out += " (after ";
+        out += std::to_string(attempts);
+        out += " attempts)";
+    }
+    return out;
+}
+
+} // namespace ibp

@@ -1,0 +1,170 @@
+#include "robust/fault_injection.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp {
+
+namespace {
+
+/** FNV-1a over a string; mixes site/key names into the decision. */
+std::uint64_t
+hashString(const std::string &text, std::uint64_t hash)
+{
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** splitmix64 finaliser: decorrelates the combined hash. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Result<FaultInjector>
+FaultInjector::parse(const std::string &spec)
+{
+    FaultInjector injector;
+    std::stringstream stream(spec);
+    std::string clause;
+    while (std::getline(stream, clause, ',')) {
+        if (clause.empty())
+            continue;
+        if (clause.rfind("seed=", 0) == 0) {
+            char *end = nullptr;
+            injector._seed =
+                std::strtoull(clause.c_str() + 5, &end, 10);
+            if (end == clause.c_str() + 5 || *end != '\0') {
+                return RunError::permanent(
+                    "fault spec: bad seed in '" + clause + "'");
+            }
+            continue;
+        }
+        const auto first = clause.find(':');
+        if (first == std::string::npos) {
+            return RunError::permanent(
+                "fault spec: expected SITE:PROB[:KIND] in '" +
+                clause + "'");
+        }
+        FaultSite site;
+        site.site = clause.substr(0, first);
+        const auto second = clause.find(':', first + 1);
+        const std::string prob_text = clause.substr(
+            first + 1, second == std::string::npos
+                           ? std::string::npos
+                           : second - first - 1);
+        char *end = nullptr;
+        site.probability = std::strtod(prob_text.c_str(), &end);
+        if (end == prob_text.c_str() || *end != '\0' ||
+            site.probability < 0.0 || site.probability > 1.0) {
+            return RunError::permanent(
+                "fault spec: bad probability '" + prob_text +
+                "' in '" + clause + "'");
+        }
+        if (second != std::string::npos) {
+            const std::string kind = clause.substr(second + 1);
+            if (kind == "transient") {
+                site.kind = ErrorKind::Transient;
+            } else if (kind == "permanent") {
+                site.kind = ErrorKind::Permanent;
+            } else {
+                return RunError::permanent(
+                    "fault spec: unknown kind '" + kind + "' in '" +
+                    clause + "'");
+            }
+        }
+        injector._sites.push_back(std::move(site));
+    }
+    return injector;
+}
+
+namespace {
+
+FaultInjector &
+globalInstance()
+{
+    static FaultInjector injector = [] {
+        const char *env = std::getenv("IBP_FAULT_INJECT");
+        if (!env || !*env)
+            return FaultInjector();
+        Result<FaultInjector> parsed = FaultInjector::parse(env);
+        if (!parsed.ok()) {
+            fatal("IBP_FAULT_INJECT: %s",
+                  parsed.error().message.c_str());
+        }
+        return std::move(parsed).value();
+    }();
+    return injector;
+}
+
+} // namespace
+
+const FaultInjector &
+FaultInjector::global()
+{
+    return globalInstance();
+}
+
+void
+FaultInjector::configureGlobal(const std::string &spec)
+{
+    if (spec.empty()) {
+        globalInstance() = FaultInjector();
+        return;
+    }
+    Result<FaultInjector> parsed = parse(spec);
+    if (!parsed.ok())
+        fatal("fault spec: %s", parsed.error().message.c_str());
+    globalInstance() = std::move(parsed).value();
+}
+
+bool
+FaultInjector::wouldFail(const std::string &site,
+                         const std::string &key, unsigned attempt,
+                         ErrorKind *kind) const
+{
+    for (const auto &armed : _sites) {
+        if (armed.site != site || armed.probability <= 0.0)
+            continue;
+        std::uint64_t hash = hashString(site, 0xcbf29ce484222325ULL);
+        hash = hashString(key, hash ^ _seed);
+        // Permanent faults ignore the attempt number so they never
+        // clear on retry; transient faults re-roll every attempt.
+        if (armed.kind == ErrorKind::Transient)
+            hash ^= 0x9e3779b97f4a7c15ULL * attempt;
+        const double roll =
+            static_cast<double>(mix(hash) >> 11) * 0x1.0p-53;
+        if (roll < armed.probability) {
+            if (kind)
+                *kind = armed.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FaultInjector::check(const std::string &site, const std::string &key,
+                     unsigned attempt) const
+{
+    ErrorKind kind = ErrorKind::Transient;
+    if (!wouldFail(site, key, attempt, &kind))
+        return;
+    const std::string message = "injected " +
+                                std::string(errorKindName(kind)) +
+                                " fault at " + site + "/" + key;
+    throw RunException(RunError{kind, message, 1});
+}
+
+} // namespace ibp

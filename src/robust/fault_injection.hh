@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic fault injection for testing the recovery paths.
+ *
+ * The IBP_FAULT_INJECT environment variable arms probabilistic
+ * failures at named sites of the harness. Spec grammar (clauses
+ * separated by commas):
+ *
+ *   spec   := clause ("," clause)*
+ *   clause := SITE ":" PROB [":" KIND] | "seed=" N
+ *   SITE   := "trace" | "sim" | "artifact"   (free-form; these are
+ *                                             the sites wired today)
+ *   PROB   := failure probability per attempt, in [0, 1]
+ *   KIND   := "transient" (default) | "permanent"
+ *
+ * Examples:
+ *
+ *   IBP_FAULT_INJECT=sim:0.1                   10% transient sim faults
+ *   IBP_FAULT_INJECT=trace:0.05:permanent      5% permanent trace faults
+ *   IBP_FAULT_INJECT=sim:0.2,artifact:0.5,seed=7
+ *
+ * Decisions are a pure hash of (seed, site, key, attempt): two runs
+ * with the same spec fault the same cells, and a transient fault can
+ * clear on the next attempt because the attempt number feeds the
+ * hash (permanent faults ignore it, so they never clear). No global
+ * RNG state is consumed, so arming faults cannot perturb the
+ * simulated workloads themselves.
+ */
+
+#ifndef IBP_ROBUST_FAULT_INJECTION_HH
+#define IBP_ROBUST_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/error.hh"
+
+namespace ibp {
+
+/** One armed site: fail @p probability of attempts with @p kind. */
+struct FaultSite
+{
+    std::string site;
+    double probability = 0.0;
+    ErrorKind kind = ErrorKind::Transient;
+};
+
+class FaultInjector
+{
+  public:
+    /** A disarmed injector (every check passes). */
+    FaultInjector() = default;
+
+    /** Parse a spec; error on bad grammar. */
+    static Result<FaultInjector> parse(const std::string &spec);
+
+    /**
+     * The process-wide injector, armed from IBP_FAULT_INJECT on
+     * first use. A malformed spec is a startup configuration error
+     * and fatal()s - silently ignoring it would un-test the very
+     * paths the user asked to test.
+     */
+    static const FaultInjector &global();
+
+    /**
+     * Re-arm the process-wide injector (tests). Pass "" to disarm.
+     * Not thread-safe against concurrent global() users; call only
+     * from single-threaded test setup.
+     */
+    static void configureGlobal(const std::string &spec);
+
+    bool armed() const { return !_sites.empty(); }
+    std::uint64_t seed() const { return _seed; }
+    const std::vector<FaultSite> &sites() const { return _sites; }
+
+    /**
+     * Decide deterministically whether (site, key, attempt) fails.
+     * Throws RunException when it does; returns normally otherwise.
+     */
+    void check(const std::string &site, const std::string &key,
+               unsigned attempt = 1) const;
+
+    /** check() without the throw (used by tests and diagnostics). */
+    bool wouldFail(const std::string &site, const std::string &key,
+                   unsigned attempt, ErrorKind *kind = nullptr) const;
+
+  private:
+    std::vector<FaultSite> _sites;
+    std::uint64_t _seed = 0;
+};
+
+} // namespace ibp
+
+#endif // IBP_ROBUST_FAULT_INJECTION_HH

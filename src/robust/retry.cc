@@ -1,0 +1,36 @@
+#include "robust/retry.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ibp {
+
+double
+RetryPolicy::backoffFor(unsigned next) const
+{
+    if (next <= 1)
+        return 0.0;
+    double seconds = initialBackoffSeconds;
+    for (unsigned i = 2; i < next; ++i)
+        seconds *= backoffMultiplier;
+    return std::min(seconds, maxBackoffSeconds);
+}
+
+RetryPolicy
+retryPolicyFromEnv()
+{
+    RetryPolicy policy;
+    if (const char *env = std::getenv("IBP_MAX_ATTEMPTS")) {
+        const long attempts = std::atol(env);
+        if (attempts >= 1 && attempts <= 100)
+            policy.maxAttempts = static_cast<unsigned>(attempts);
+    }
+    if (const char *env = std::getenv("IBP_CELL_DEADLINE")) {
+        const double seconds = std::atof(env);
+        if (seconds > 0.0)
+            policy.cellDeadlineSeconds = seconds;
+    }
+    return policy;
+}
+
+} // namespace ibp

@@ -4,19 +4,55 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <string_view>
 
-#include "sim/suite_runner.hh"
+#include "robust/fault_injection.hh"
+#include "robust/retry.hh"
 #include "synth/benchmark_suite.hh"
 #include "util/logging.hh"
 
 namespace ibp {
+
+namespace {
+
+// Output directories are created up front so a long sweep cannot
+// fail at the very end on a missing --csv/--json path.
+void
+ensureDirectory(const std::string &dir, const char *flag)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        throw RunException(RunError::permanent(
+            std::string(flag) + ": cannot create directory '" + dir +
+            "': " + ec.message()));
+    }
+}
+
+double
+parsePositiveNumber(const std::string_view arg,
+                    const std::string_view value)
+{
+    char *end = nullptr;
+    const std::string text(value);
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || parsed < 0.0) {
+        throw RunException(RunError::permanent(
+            "invalid value in '" + std::string(arg) + "'"));
+    }
+    return parsed;
+}
+
+} // namespace
 
 ExperimentContext::ExperimentContext(std::string slug,
                                      std::string title, int argc,
                                      char **argv)
     : _slug(std::move(slug)), _title(std::move(title))
 {
+    std::string checkpoint_path;
+    RetryPolicy retry = retryPolicyFromEnv();
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
         if (arg == "--quick") {
@@ -29,9 +65,23 @@ ExperimentContext::ExperimentContext(std::string slug,
             _jsonDir = std::string(arg.substr(7));
             if (_jsonDir.empty())
                 fatal("--json requires a directory");
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            checkpoint_path = std::string(arg.substr(13));
+            if (checkpoint_path.empty())
+                fatal("--checkpoint requires a path");
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            retry.maxAttempts = static_cast<unsigned>(
+                parsePositiveNumber(arg, arg.substr(10)));
+            if (retry.maxAttempts == 0)
+                retry.maxAttempts = 1;
+        } else if (arg.rfind("--cell-deadline=", 0) == 0) {
+            retry.cellDeadlineSeconds =
+                parsePositiveNumber(arg, arg.substr(16));
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--quick] [--csv=DIR] [--json=DIR]\n",
+                "usage: %s [--quick] [--csv=DIR] [--json=DIR]\n"
+                "          [--checkpoint=PATH] [--retries=N]\n"
+                "          [--cell-deadline=SECONDS]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -42,6 +92,38 @@ ExperimentContext::ExperimentContext(std::string slug,
     // pinned the scale explicitly.
     if (_quick && !std::getenv("IBP_EVENTS"))
         setenv("IBP_EVENTS", "0.25", 1);
+
+    if (!_csvDir.empty())
+        ensureDirectory(_csvDir, "--csv");
+    if (!_jsonDir.empty())
+        ensureDirectory(_jsonDir, "--json");
+
+    if (!checkpoint_path.empty()) {
+        // The meta binds the journal to this experiment
+        // configuration; eventScale() is read after the --quick
+        // override above so a quick journal cannot resume a full run.
+        CheckpointMeta meta;
+        meta.slug = _slug;
+        meta.gitSha = buildManifest().gitSha;
+        meta.eventScale = eventScale();
+        meta.quick = _quick;
+        auto journal = CheckpointJournal::open(checkpoint_path, meta);
+        if (!journal.ok()) {
+            throw RunException(RunError::permanent(
+                "--checkpoint: " + journal.error().message));
+        }
+        _journal = std::move(journal).value();
+        if (_journal->restoredCells() > 0) {
+            std::printf("(resuming: %zu cells restored from %s)\n\n",
+                        _journal->restoredCells(),
+                        checkpoint_path.c_str());
+        }
+    }
+
+    _session.metrics = &_metrics;
+    _session.checkpoint = _journal.get();
+    _session.retry = retry;
+
     _metrics.recordThreads(simulationThreads());
 }
 
@@ -91,7 +173,19 @@ ExperimentContext::finish(double total_seconds)
     artifact.metrics = _metrics;
 
     const std::string path = _jsonDir + "/" + _slug + ".json";
-    artifact.write(path);
+    // Artifact writes retry like any other cell work: a transient
+    // (or injected) failure must not discard a finished sweep.
+    const auto written =
+        runWithRetries(_session.retry, [&](unsigned attempt) {
+            FaultInjector::global().check("artifact", path, attempt);
+            const auto result = artifact.write(path);
+            if (!result.ok())
+                throw RunException(result.error());
+        });
+    if (!written.ok()) {
+        throw RunException(RunError::permanent(
+            "artifact write failed: " + written.error().describe()));
+    }
     std::printf("(json artifact written to %s)\n", path.c_str());
 }
 
@@ -104,6 +198,7 @@ runExperiment(const std::string &slug, const std::string &title,
     std::printf("(threads: %u, event scale: %.2f)\n\n",
                 simulationThreads(), eventScale());
     const auto start = std::chrono::steady_clock::now();
+    std::size_t failed_cells = 0;
     try {
         ExperimentContext context(slug, title, argc, argv);
         body(context);
@@ -112,6 +207,19 @@ runExperiment(const std::string &slug, const std::string &title,
                 std::chrono::steady_clock::now() - start)
                 .count();
         context.finish(seconds);
+        failed_cells = context.metrics().failureCount();
+        if (failed_cells > 0) {
+            std::fprintf(stderr,
+                         "warning: %zu cell%s failed permanently:\n",
+                         failed_cells, failed_cells == 1 ? "" : "s");
+            for (const auto &failure : context.metrics().failures()) {
+                std::fprintf(stderr, "  [%s][%s] %s: %s\n",
+                             failure.column.c_str(),
+                             failure.benchmark.c_str(),
+                             failure.kind.c_str(),
+                             failure.error.c_str());
+            }
+        }
     } catch (const std::exception &error) {
         std::fprintf(stderr, "experiment failed: %s\n", error.what());
         return 1;
@@ -121,7 +229,9 @@ runExperiment(const std::string &slug, const std::string &title,
             std::chrono::steady_clock::now() - start);
     std::printf("[%s done in %.1f s]\n", slug.c_str(),
                 static_cast<double>(elapsed.count()) / 1000.0);
-    return 0;
+    // Exit 3 = completed but partial; distinguishable from both a
+    // clean run (0) and a fatal failure (1) in scripts and CI.
+    return failed_cells > 0 ? 3 : 0;
 }
 
 } // namespace ibp

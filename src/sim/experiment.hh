@@ -5,27 +5,37 @@
  * Every bench reproduces one figure or table of the paper. This
  * helper standardises their command-line surface:
  *
- *   --csv=DIR     also write each result table to DIR/<slug>.csv
- *   --json=DIR    write a structured run artifact to DIR/<slug>.json
- *                 (tables + telemetry + environment manifest; see
- *                 docs/REPORTING.md)
- *   --quick       cut the workload (smaller traces) for smoke runs
+ *   --csv=DIR          also write each result table to DIR/<slug>.csv
+ *   --json=DIR         write a structured run artifact to
+ *                      DIR/<slug>.json (tables + telemetry +
+ *                      environment manifest; see docs/REPORTING.md)
+ *   --quick            cut the workload (smaller traces) for smoke
+ *                      runs
+ *   --checkpoint=PATH  journal completed cells to PATH and resume
+ *                      from it after a crash (docs/ROBUSTNESS.md)
+ *   --retries=N        attempts per cell for transient failures
+ *   --cell-deadline=S  per-cell wall-clock deadline in seconds
  *
  * and prints wall-clock timing so regressions in the simulation
  * engine are visible. With --json, the artifact additionally records
  * per-cell telemetry (RunMetrics) that tools/report_diff can gate
- * against a golden baseline.
+ * against a golden baseline. A run that finishes with failed cells
+ * exits with code 3 so scripts can distinguish "partial" from
+ * "clean" and "dead".
  */
 
 #ifndef IBP_SIM_EXPERIMENT_HH
 #define IBP_SIM_EXPERIMENT_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "report/artifact.hh"
 #include "report/run_metrics.hh"
+#include "robust/checkpoint.hh"
+#include "sim/suite_runner.hh"
 #include "util/format.hh"
 
 namespace ibp {
@@ -53,6 +63,14 @@ class ExperimentContext
     RunMetrics &metrics() { return _metrics; }
 
     /**
+     * The run session benches should hand to SuiteRunner::run():
+     * telemetry sink, retry/deadline policy (--retries,
+     * --cell-deadline with environment fallbacks) and, with
+     * --checkpoint, the journal for crash/resume.
+     */
+    RunSession &session() { return _session; }
+
+    /**
      * Write the run artifact (with --json) after the bench body has
      * finished. Called by runExperiment.
      */
@@ -70,12 +88,16 @@ class ExperimentContext
     std::vector<ResultTable> _tables;
     std::vector<std::string> _notes;
     RunMetrics _metrics;
+    std::unique_ptr<CheckpointJournal> _journal;
+    RunSession _session;
 };
 
 /**
  * Run an experiment body with standard setup/teardown (timing,
  * artifact writing, failure reporting). Returns the process exit
- * code.
+ * code: 0 clean, 1 fatal error, 3 completed but with failed cells
+ * (a partial run; its artifact fails report_diff without
+ * --allow-partial).
  */
 int runExperiment(const std::string &slug, const std::string &title,
                   int argc, char **argv,

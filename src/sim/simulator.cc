@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "robust/error.hh"
+
 namespace ibp {
 
 SimResult
@@ -17,7 +19,18 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
     const auto start = std::chrono::steady_clock::now();
 
     std::uint64_t seen = 0;
+    std::uint64_t step = 0;
     for (const auto &record : trace) {
+        // One increment-and-mask per record keeps the cancellation
+        // poll off the hot path's critical work; 1K records is a
+        // few microseconds, so a deadline overrun is caught fast
+        // even on the small traces of quick runs.
+        if ((++step & 0x3ffu) == 0 && options.cancel &&
+            options.cancel->load(std::memory_order_relaxed)) {
+            throw RunException(RunError::timeout(
+                "simulation of '" + trace.name() +
+                "' cancelled by watchdog"));
+        }
         if (record.kind == BranchKind::Conditional) {
             predictor.observeConditional(record.pc, record.taken,
                                          record.target);

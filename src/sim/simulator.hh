@@ -13,6 +13,7 @@
 #ifndef IBP_SIM_SIMULATOR_HH
 #define IBP_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -65,6 +66,15 @@ struct SimOptions
 
     /** Collect per-site miss counts (costs a hash update per branch). */
     bool perSiteMisses = false;
+
+    /**
+     * Cooperative cancellation flag, polled every few thousand
+     * records (the poll is a relaxed atomic load, invisible next to
+     * the predictor work). When it flips true - the SuiteRunner
+     * watchdog does this on a per-cell deadline - simulate() throws
+     * RunException with a timeout RunError. nullptr disables.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Per-site miss accounting (populated when requested). */

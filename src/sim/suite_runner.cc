@@ -3,13 +3,31 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdlib>
+#include <limits>
+#include <set>
+#include <system_error>
 #include <thread>
 
+#include "robust/fault_injection.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace ibp {
+
+namespace {
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 void
 GridResult::set(const std::string &column, const std::string &benchmark,
@@ -41,14 +59,39 @@ GridResult::has(const std::string &column,
            col->second.find(benchmark) != col->second.end();
 }
 
+void
+GridResult::setFailed(FailedCell cell)
+{
+    _failures.push_back(std::move(cell));
+}
+
+std::size_t
+GridResult::presentCount(const std::string &column,
+                         const std::vector<std::string> &members) const
+{
+    std::size_t count = 0;
+    for (const auto &member : members) {
+        if (has(column, member))
+            ++count;
+    }
+    return count;
+}
+
 double
 GridResult::average(const std::string &column,
                     const std::vector<std::string> &members) const
 {
+    // Partial grids average what survived: failed members are
+    // skipped rather than poisoning the group. Callers that must
+    // not silently degrade check presentCount() first.
     std::vector<double> rates;
     rates.reserve(members.size());
-    for (const auto &member : members)
-        rates.push_back(get(column, member));
+    for (const auto &member : members) {
+        if (has(column, member))
+            rates.push_back(get(column, member));
+    }
+    if (rates.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     return mean(rates);
 }
 
@@ -56,9 +99,19 @@ SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
                          bool emit_conditionals)
     : _names(std::move(benchmarks))
 {
+    const RetryPolicy policy = retryPolicyFromEnv();
     for (const auto &name : _names) {
-        _traces.emplace(name,
-                        generateBenchmarkTrace(name, emit_conditionals));
+        auto made = runWithRetries(policy, [&](unsigned attempt) {
+            FaultInjector::global().check("trace", name, attempt);
+            return generateBenchmarkTrace(name, emit_conditionals);
+        });
+        if (made.ok()) {
+            _traces.emplace(name, std::move(made).value());
+        } else {
+            warn("trace generation for '%s' failed: %s", name.c_str(),
+                 made.error().describe().c_str());
+            _failedTraces.emplace(name, made.error());
+        }
     }
 }
 
@@ -102,34 +155,153 @@ simulationThreads()
 
 GridResult
 SuiteRunner::run(const std::vector<SweepColumn> &columns,
-                 RunMetrics *metrics) const
+                 RunSession &session) const
 {
+    const unsigned grid_id = session.nextGridId++;
+    RunMetrics *metrics = session.metrics;
+    CheckpointJournal *journal = session.checkpoint;
+    const std::int64_t deadline_ns = static_cast<std::int64_t>(
+        session.retry.cellDeadlineSeconds * 1e9);
+
     struct Job
     {
         const SweepColumn *column;
         const Trace *trace;
         const std::string *benchmark;
         double missPercent = 0.0;
+        bool failed = false;
+        RunError error;
     };
 
+    GridResult grid;
     std::vector<Job> jobs;
     jobs.reserve(columns.size() * _names.size());
     for (const auto &column : columns) {
-        for (const auto &name : _names)
-            jobs.push_back(Job{&column, &trace(name), &name});
+        for (const auto &name : _names) {
+            // A benchmark whose trace never materialised fails every
+            // cell up front - no point retrying the simulation.
+            const auto failed_trace = _failedTraces.find(name);
+            if (failed_trace != _failedTraces.end()) {
+                const RunError &cause = failed_trace->second;
+                grid.setFailed(FailedCell{column.label, name,
+                                          cause.describe(), cause.kind,
+                                          cause.attempts});
+                if (metrics) {
+                    metrics->recordFailure(
+                        FailureRecord{column.label, name,
+                                      cause.describe(),
+                                      errorKindName(cause.kind),
+                                      cause.attempts});
+                }
+                continue;
+            }
+            // Resume: a journalled cell is restored verbatim, not
+            // recomputed (it carries the full-precision miss rate).
+            if (journal) {
+                const auto restored =
+                    journal->lookup(grid_id, column.label, name);
+                if (restored) {
+                    grid.set(column.label, name, *restored);
+                    continue;
+                }
+            }
+            jobs.push_back(
+                Job{&column, &trace(name), &name, 0.0, false, {}});
+        }
+    }
+
+    const unsigned thread_count = static_cast<unsigned>(
+        std::min<std::size_t>(simulationThreads(), jobs.size()));
+
+    // One slot per worker carries the watchdog state: the deadline
+    // of the attempt the worker is currently running and the cancel
+    // flag simulate() polls.
+    struct WorkerSlot
+    {
+        std::atomic<std::int64_t> deadlineNs{0};
+        std::atomic<bool> cancel{false};
+    };
+    std::vector<WorkerSlot> slots(std::max(1u, thread_count));
+
+    std::mutex wd_mutex;
+    std::condition_variable wd_cv;
+    bool wd_stop = false;
+    std::thread watchdog;
+    if (deadline_ns > 0 && !jobs.empty()) {
+        watchdog = std::thread([&]() {
+            std::unique_lock<std::mutex> lock(wd_mutex);
+            while (!wd_stop) {
+                wd_cv.wait_for(lock, std::chrono::milliseconds(20));
+                const std::int64_t now = nowNs();
+                for (auto &slot : slots) {
+                    const std::int64_t deadline =
+                        slot.deadlineNs.load(std::memory_order_relaxed);
+                    if (deadline != 0 && now >= deadline)
+                        slot.cancel.store(true,
+                                          std::memory_order_relaxed);
+                }
+            }
+        });
     }
 
     const auto grid_start = std::chrono::steady_clock::now();
     std::atomic<std::size_t> next{0};
-    const auto worker = [&]() {
+    const auto worker = [&](unsigned slot_index) {
+        WorkerSlot &slot = slots[slot_index];
         while (true) {
             const std::size_t index =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (index >= jobs.size())
                 return;
             Job &job = jobs[index];
-            auto predictor = job.column->make();
-            const SimResult result = simulate(*predictor, *job.trace);
+            const std::string fault_key = std::to_string(grid_id) +
+                                          "/" + job.column->label +
+                                          "/" + *job.benchmark;
+            auto outcome =
+                runWithRetries(session.retry, [&](unsigned attempt) {
+                    slot.cancel.store(false,
+                                      std::memory_order_relaxed);
+                    if (deadline_ns > 0) {
+                        slot.deadlineNs.store(
+                            nowNs() + deadline_ns,
+                            std::memory_order_relaxed);
+                    }
+                    // The deadline must clear on every exit path or
+                    // the watchdog would cancel the *next* cell.
+                    struct ClearDeadline
+                    {
+                        std::atomic<std::int64_t> &deadline;
+                        ~ClearDeadline()
+                        {
+                            deadline.store(0,
+                                           std::memory_order_relaxed);
+                        }
+                    } clear{slot.deadlineNs};
+                    FaultInjector::global().check("sim", fault_key,
+                                                  attempt);
+                    auto predictor = job.column->make();
+                    if (!predictor) {
+                        throw RunException(RunError::permanent(
+                            "predictor factory for '" +
+                            job.column->label + "' returned null"));
+                    }
+                    SimOptions options;
+                    options.cancel = &slot.cancel;
+                    return simulate(*predictor, *job.trace, options);
+                });
+            if (!outcome.ok()) {
+                job.failed = true;
+                job.error = outcome.error();
+                if (metrics) {
+                    metrics->recordFailure(FailureRecord{
+                        job.column->label, *job.benchmark,
+                        job.error.message,
+                        errorKindName(job.error.kind),
+                        job.error.attempts});
+                }
+                continue;
+            }
+            const SimResult &result = outcome.value();
             job.missPercent = result.missPercent();
             if (metrics) {
                 // One record per finished cell - never inside the
@@ -143,34 +315,83 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                 cell.tableCapacity = result.tableCapacity;
                 metrics->recordCell(cell);
             }
+            if (journal) {
+                const auto appended = journal->append(CheckpointCell{
+                    grid_id, job.column->label, *job.benchmark,
+                    job.missPercent});
+                if (!appended.ok()) {
+                    warn("checkpoint append failed for %s: %s",
+                         fault_key.c_str(),
+                         appended.error().describe().c_str());
+                }
+            }
         }
     };
 
-    const unsigned thread_count =
-        std::min<std::size_t>(simulationThreads(), jobs.size());
+    unsigned threads_used = 1;
     if (thread_count <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(thread_count);
-        for (unsigned t = 0; t < thread_count; ++t)
-            threads.emplace_back(worker);
+        try {
+            for (unsigned t = 0; t < thread_count; ++t)
+                threads.emplace_back(worker, t);
+        } catch (const std::system_error &exception) {
+            // Thread creation can fail under resource pressure; the
+            // workers already spawned will drain the whole queue, so
+            // degrade instead of dying.
+            warn("thread construction failed after %zu of %u workers "
+                 "(%s); continuing degraded",
+                 threads.size(), thread_count, exception.what());
+        }
+        if (threads.empty()) {
+            warn("falling back to serial execution");
+            worker(0);
+        }
+        threads_used = std::max<std::size_t>(1, threads.size());
         for (auto &thread : threads)
             thread.join();
     }
 
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(wd_mutex);
+            wd_stop = true;
+        }
+        wd_cv.notify_one();
+        watchdog.join();
+    }
+
     if (metrics) {
-        metrics->recordThreads(std::max(1u, thread_count));
+        metrics->recordThreads(threads_used);
         metrics->recordRunWindow(
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - grid_start)
                 .count());
     }
 
-    GridResult grid;
-    for (const auto &job : jobs)
-        grid.set(job.column->label, *job.benchmark, job.missPercent);
+    for (auto &job : jobs) {
+        if (job.failed) {
+            grid.setFailed(FailedCell{
+                job.column->label, *job.benchmark, job.error.message,
+                job.error.kind, job.error.attempts});
+        } else {
+            grid.set(job.column->label, *job.benchmark,
+                     job.missPercent);
+        }
+    }
     return grid;
+}
+
+GridResult
+SuiteRunner::run(const std::vector<SweepColumn> &columns,
+                 RunMetrics *metrics) const
+{
+    RunSession session;
+    session.metrics = metrics;
+    session.retry = retryPolicyFromEnv();
+    return run(columns, session);
 }
 
 std::map<std::string, double>
@@ -180,8 +401,10 @@ SuiteRunner::runOne(const PredictorFactory &factory,
     const GridResult grid =
         run({SweepColumn{"only", factory}}, metrics);
     std::map<std::string, double> rates;
-    for (const auto &name : _names)
-        rates[name] = grid.get("only", name);
+    for (const auto &name : _names) {
+        if (grid.has("only", name))
+            rates[name] = grid.get("only", name);
+    }
     return rates;
 }
 
@@ -189,9 +412,15 @@ std::vector<std::pair<std::string, std::vector<std::string>>>
 SuiteRunner::coveredGroups() const
 {
     const auto &groups = benchmarkGroups();
+    // Coverage is about what this runner was *asked* to simulate,
+    // not what survived trace generation: a group whose member
+    // failed still renders (partially) instead of vanishing and
+    // silently reshaping every table.
+    const std::set<std::string> requested(_names.begin(),
+                                          _names.end());
     const auto covered = [&](const std::vector<std::string> &members) {
         for (const auto &member : members) {
-            if (_traces.find(member) == _traces.end())
+            if (requested.find(member) == requested.end())
                 return false;
         }
         return !members.empty();
@@ -222,8 +451,14 @@ SuiteRunner::groupTable(const std::string &title, const GridResult &grid,
         table.addColumn(column.label);
     for (const auto &[group, members] : coveredGroups()) {
         const unsigned row = table.addRow(group);
-        for (unsigned c = 0; c < columns.size(); ++c)
+        for (unsigned c = 0; c < columns.size(); ++c) {
+            // Blank cell when the whole group failed; a partial
+            // average is still rendered (ROBUSTNESS.md documents
+            // the degraded semantics).
+            if (grid.presentCount(columns[c].label, members) == 0)
+                continue;
             table.set(row, c, grid.average(columns[c].label, members));
+        }
     }
     return table;
 }
@@ -238,13 +473,18 @@ SuiteRunner::benchmarkTable(const std::string &title,
         table.addColumn(column.label);
     for (const auto &[group, members] : coveredGroups()) {
         const unsigned row = table.addRow(group);
-        for (unsigned c = 0; c < columns.size(); ++c)
+        for (unsigned c = 0; c < columns.size(); ++c) {
+            if (grid.presentCount(columns[c].label, members) == 0)
+                continue;
             table.set(row, c, grid.average(columns[c].label, members));
+        }
     }
     for (const auto &name : _names) {
         const unsigned row = table.addRow(name);
-        for (unsigned c = 0; c < columns.size(); ++c)
-            table.set(row, c, grid.get(columns[c].label, name));
+        for (unsigned c = 0; c < columns.size(); ++c) {
+            if (grid.has(columns[c].label, name))
+                table.set(row, c, grid.get(columns[c].label, name));
+        }
     }
     return table;
 }

@@ -8,6 +8,14 @@
  * groups (Table 3) and can render results as per-benchmark or
  * per-group ResultTables, which is how every bench binary reproduces
  * its figure or table.
+ *
+ * Fault tolerance (docs/ROBUSTNESS.md): every cell runs isolated -
+ * an error in one (configuration x benchmark) pair is caught,
+ * retried under a RetryPolicy when transient, cancelled by a
+ * watchdog past its deadline, and on permanent failure recorded as a
+ * FailedCell while the rest of the grid completes. Completed cells
+ * can be journalled to a CheckpointJournal so a killed sweep resumes
+ * where it died.
  */
 
 #ifndef IBP_SIM_SUITE_RUNNER_HH
@@ -21,6 +29,8 @@
 
 #include "core/predictor.hh"
 #include "report/run_metrics.hh"
+#include "robust/checkpoint.hh"
+#include "robust/retry.hh"
 #include "sim/simulator.hh"
 #include "synth/benchmark_suite.hh"
 #include "util/format.hh"
@@ -38,6 +48,16 @@ struct SweepColumn
     PredictorFactory make;
 };
 
+/** One cell that failed permanently (isolation kept the grid alive). */
+struct FailedCell
+{
+    std::string column;
+    std::string benchmark;
+    std::string error;
+    ErrorKind kind = ErrorKind::Permanent;
+    unsigned attempts = 1;
+};
+
 /** Misprediction rates of a sweep: rates[column][benchmark], in %. */
 class GridResult
 {
@@ -49,12 +69,48 @@ class GridResult
     bool has(const std::string &column,
              const std::string &benchmark) const;
 
-    /** Arithmetic mean over @p members (all must be present). */
+    /** Record a cell that could not be computed. */
+    void setFailed(FailedCell cell);
+
+    const std::vector<FailedCell> &failures() const
+    {
+        return _failures;
+    }
+
+    /** True when at least one cell failed. */
+    bool partial() const { return !_failures.empty(); }
+
+    /**
+     * Arithmetic mean over the members of @p members that are
+     * present. A partial grid averages what it has; NaN when no
+     * member is present at all.
+     */
     double average(const std::string &column,
                    const std::vector<std::string> &members) const;
 
+    /** How many of @p members have a value in @p column. */
+    std::size_t presentCount(
+        const std::string &column,
+        const std::vector<std::string> &members) const;
+
   private:
     std::map<std::string, std::map<std::string, double>> _rates;
+    std::vector<FailedCell> _failures;
+};
+
+/**
+ * Mutable state shared by the run() calls of one experiment: where
+ * telemetry and failures go, the retry/deadline policy, the optional
+ * checkpoint journal, and the grid-id counter that keeps repeated
+ * run() calls distinguishable inside the journal.
+ */
+struct RunSession
+{
+    RunMetrics *metrics = nullptr;
+    CheckpointJournal *checkpoint = nullptr;
+    RetryPolicy retry;
+    /** Next grid id; run() consumes one per call. */
+    unsigned nextGridId = 0;
 };
 
 class SuiteRunner
@@ -65,6 +121,11 @@ class SuiteRunner
      * @param emitConditionals  include conditional-branch records in
      *                          the generated traces (needed only by
      *                          predictors that consume them).
+     *
+     * Trace generation runs under the session-independent retry
+     * policy from the environment; a benchmark whose trace cannot be
+     * generated stays in benchmarks() but every later run() marks
+     * its cells failed instead of aborting the suite.
      */
     explicit SuiteRunner(std::vector<std::string> benchmarks,
                          bool emitConditionals = false);
@@ -81,10 +142,24 @@ class SuiteRunner
     }
     const Trace &trace(const std::string &benchmark) const;
 
+    /** Benchmark name -> error, for traces that failed to generate. */
+    const std::map<std::string, RunError> &failedBenchmarks() const
+    {
+        return _failedTraces;
+    }
+
     /**
-     * Simulate every (column x benchmark) pair, in parallel. When
-     * @p metrics is non-null, one CellMetrics record per pair plus
-     * the grid's wall time and worker count are collected into it.
+     * Simulate every (column x benchmark) pair, in parallel, with
+     * per-cell isolation governed by @p session (retries, deadline
+     * watchdog, checkpoint lookup/append, telemetry and failure
+     * records). Consumes one grid id from the session.
+     */
+    GridResult run(const std::vector<SweepColumn> &columns,
+                   RunSession &session) const;
+
+    /**
+     * Convenience overload: a throwaway session with the environment
+     * retry policy, no checkpoint, and @p metrics as the sink.
      */
     GridResult run(const std::vector<SweepColumn> &columns,
                    RunMetrics *metrics = nullptr) const;
@@ -98,6 +173,7 @@ class SuiteRunner
      * Render a grid as a table with one row per averaging group that
      * is fully covered by this runner's benchmarks, in the paper's
      * order (AVG, AVG-OO, AVG-C, AVG-100, AVG-200, AVG-infreq).
+     * Cells whose group has no surviving member stay blank.
      */
     ResultTable groupTable(const std::string &title,
                            const GridResult &grid,
@@ -116,6 +192,7 @@ class SuiteRunner
   private:
     std::vector<std::string> _names;
     std::map<std::string, Trace> _traces;
+    std::map<std::string, RunError> _failedTraces;
 };
 
 /**

@@ -1,13 +1,12 @@
 #include "trace/trace_io.hh"
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-
-#include "util/logging.hh"
 
 namespace ibp {
 
@@ -15,6 +14,14 @@ namespace {
 
 constexpr std::array<char, 4> binaryMagic = {'I', 'B', 'P', 'T'};
 constexpr std::uint32_t binaryVersion = 1;
+
+/** Internal helpers throw RunException; the public entry points
+ * catch it at the format boundary and return a Result. */
+[[noreturn]] void
+badTrace(const std::string &message)
+{
+    throw RunException(RunError::permanent(message));
+}
 
 void
 writeU32(std::ostream &out, std::uint32_t value)
@@ -42,7 +49,7 @@ readU32(std::istream &in)
     std::array<unsigned char, 4> bytes{};
     in.read(reinterpret_cast<char *>(bytes.data()), bytes.size());
     if (!in)
-        fatal("truncated binary trace");
+        badTrace("truncated binary trace");
     return static_cast<std::uint32_t>(bytes[0]) |
            static_cast<std::uint32_t>(bytes[1]) << 8 |
            static_cast<std::uint32_t>(bytes[2]) << 16 |
@@ -60,8 +67,10 @@ readU64(std::istream &in)
 BranchKind
 kindFromByte(unsigned byte)
 {
-    if (byte > static_cast<unsigned>(BranchKind::Return))
-        fatal("bad branch kind %u in trace", byte);
+    if (byte > static_cast<unsigned>(BranchKind::Return)) {
+        badTrace("bad branch kind " + std::to_string(byte) +
+                 " in trace");
+    }
     return static_cast<BranchKind>(byte);
 }
 
@@ -74,48 +83,31 @@ kindFromName(const std::string &name)
         if (name == branchKindName(kind))
             return kind;
     }
-    fatal("bad branch kind '%s' in text trace", name.c_str());
-}
-
-} // namespace
-
-void
-writeTraceBinary(const Trace &trace, std::ostream &out)
-{
-    out.write(binaryMagic.data(), binaryMagic.size());
-    writeU32(out, binaryVersion);
-    writeU64(out, trace.seed());
-    writeU32(out, static_cast<std::uint32_t>(trace.name().size()));
-    out.write(trace.name().data(),
-              static_cast<std::streamsize>(trace.name().size()));
-    writeU64(out, trace.size());
-    for (const auto &record : trace) {
-        writeU32(out, record.pc);
-        writeU32(out, record.target);
-        const unsigned flags = static_cast<unsigned>(record.kind) |
-                               (record.taken ? 0x80u : 0u);
-        out.put(static_cast<char>(flags));
-    }
-    if (!out)
-        fatal("error writing binary trace");
+    badTrace("bad branch kind '" + name + "' in text trace");
 }
 
 Trace
-readTraceBinary(std::istream &in)
+readTraceBinaryOrThrow(std::istream &in)
 {
     std::array<char, 4> magic{};
     in.read(magic.data(), magic.size());
     if (!in || magic != binaryMagic)
-        fatal("not a libibp binary trace (bad magic)");
+        badTrace("not a libibp binary trace (bad magic)");
     const std::uint32_t version = readU32(in);
-    if (version != binaryVersion)
-        fatal("unsupported trace version %u", version);
+    if (version != binaryVersion) {
+        badTrace("unsupported trace version " +
+                 std::to_string(version));
+    }
     const std::uint64_t seed = readU64(in);
     const std::uint32_t name_len = readU32(in);
-    if (name_len > 4096)
-        fatal("implausible trace name length %u", name_len);
+    if (name_len > 4096) {
+        badTrace("implausible trace name length " +
+                 std::to_string(name_len));
+    }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
+    if (!in)
+        badTrace("truncated binary trace");
     const std::uint64_t count = readU64(in);
 
     Trace trace(name);
@@ -127,7 +119,7 @@ readTraceBinary(std::istream &in)
         record.target = readU32(in);
         const int flags = in.get();
         if (flags < 0)
-            fatal("truncated binary trace");
+            badTrace("truncated binary trace");
         record.kind = kindFromByte(static_cast<unsigned>(flags) & 0x7f);
         record.taken = (static_cast<unsigned>(flags) & 0x80u) != 0;
         trace.append(record);
@@ -135,23 +127,22 @@ readTraceBinary(std::istream &in)
     return trace;
 }
 
-void
-writeTraceText(const Trace &trace, std::ostream &out)
+/** strtoul wrapper that rejects garbage instead of throwing or
+ * silently parsing a prefix. */
+Addr
+parseAddr(const std::string &text, std::uint64_t line_no)
 {
-    out << "# ibp-trace v1\n";
-    out << "# name " << trace.name() << '\n';
-    out << "# seed " << trace.seed() << '\n';
-    for (const auto &record : trace) {
-        out << branchKindName(record.kind) << ' ' << std::hex
-            << "0x" << record.pc << " 0x" << record.target << std::dec
-            << ' ' << (record.taken ? 1 : 0) << '\n';
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0') {
+        badTrace("malformed address '" + text + "' on text trace line " +
+                 std::to_string(line_no));
     }
-    if (!out)
-        fatal("error writing text trace");
+    return static_cast<Addr>(value);
 }
 
 Trace
-readTraceText(std::istream &in)
+readTraceTextOrThrow(std::istream &in)
 {
     Trace trace;
     std::string line;
@@ -180,46 +171,111 @@ readTraceText(std::istream &in)
         std::string pc_str, target_str;
         int taken = 1;
         if (!(fields >> kind_name >> pc_str >> target_str >> taken)) {
-            fatal("malformed text trace line %llu: '%s'",
-                  static_cast<unsigned long long>(line_no),
-                  line.c_str());
+            badTrace("malformed text trace line " +
+                     std::to_string(line_no) + ": '" + line + "'");
         }
         BranchRecord record;
         record.kind = kindFromName(kind_name);
-        record.pc = static_cast<Addr>(
-            std::stoul(pc_str, nullptr, 0));
-        record.target = static_cast<Addr>(
-            std::stoul(target_str, nullptr, 0));
+        record.pc = parseAddr(pc_str, line_no);
+        record.target = parseAddr(target_str, line_no);
         record.taken = taken != 0;
         trace.append(record);
     }
     return trace;
 }
 
-void
+} // namespace
+
+Result<void>
+writeTraceBinary(const Trace &trace, std::ostream &out)
+{
+    out.write(binaryMagic.data(), binaryMagic.size());
+    writeU32(out, binaryVersion);
+    writeU64(out, trace.seed());
+    writeU32(out, static_cast<std::uint32_t>(trace.name().size()));
+    out.write(trace.name().data(),
+              static_cast<std::streamsize>(trace.name().size()));
+    writeU64(out, trace.size());
+    for (const auto &record : trace) {
+        writeU32(out, record.pc);
+        writeU32(out, record.target);
+        const unsigned flags = static_cast<unsigned>(record.kind) |
+                               (record.taken ? 0x80u : 0u);
+        out.put(static_cast<char>(flags));
+    }
+    if (!out)
+        return RunError::permanent("error writing binary trace");
+    return Result<void>();
+}
+
+Result<Trace>
+readTraceBinary(std::istream &in)
+{
+    try {
+        return readTraceBinaryOrThrow(in);
+    } catch (const RunException &exception) {
+        return exception.error();
+    }
+}
+
+Result<void>
+writeTraceText(const Trace &trace, std::ostream &out)
+{
+    out << "# ibp-trace v1\n";
+    out << "# name " << trace.name() << '\n';
+    out << "# seed " << trace.seed() << '\n';
+    for (const auto &record : trace) {
+        out << branchKindName(record.kind) << ' ' << std::hex
+            << "0x" << record.pc << " 0x" << record.target << std::dec
+            << ' ' << (record.taken ? 1 : 0) << '\n';
+    }
+    if (!out)
+        return RunError::permanent("error writing text trace");
+    return Result<void>();
+}
+
+Result<Trace>
+readTraceText(std::istream &in)
+{
+    try {
+        return readTraceTextOrThrow(in);
+    } catch (const RunException &exception) {
+        return exception.error();
+    }
+}
+
+Result<void>
 saveTrace(const Trace &trace, const std::string &path)
 {
     const bool binary = path.size() >= 5 &&
                         path.compare(path.size() - 5, 5, ".ibpt") == 0;
     std::ofstream out(path,
                       binary ? std::ios::binary : std::ios::out);
-    if (!out)
-        fatal("cannot open '%s' for writing", path.c_str());
-    if (binary)
-        writeTraceBinary(trace, out);
-    else
-        writeTraceText(trace, out);
+    if (!out) {
+        return RunError::permanent("cannot open '" + path +
+                                   "' for writing");
+    }
+    return binary ? writeTraceBinary(trace, out)
+                  : writeTraceText(trace, out);
 }
 
-Trace
+Result<Trace>
 loadTrace(const std::string &path)
 {
     const bool binary = path.size() >= 5 &&
                         path.compare(path.size() - 5, 5, ".ibpt") == 0;
     std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
-    if (!in)
-        fatal("cannot open '%s' for reading", path.c_str());
-    return binary ? readTraceBinary(in) : readTraceText(in);
+    if (!in) {
+        return RunError::permanent("cannot open '" + path +
+                                   "' for reading");
+    }
+    Result<Trace> result =
+        binary ? readTraceBinary(in) : readTraceText(in);
+    if (!result.ok()) {
+        return RunError::permanent(path + ": " +
+                                   result.error().message);
+    }
+    return result;
 }
 
 } // namespace ibp

@@ -9,6 +9,11 @@
  *    "<kind> <pc-hex> <target-hex> <taken>"), for debugging and for
  *    importing traces produced by external tools (Pin/ChampSim-style
  *    dumps can be converted to this with a one-line awk script).
+ *
+ * All entry points return Result rather than fatal()ing: a malformed
+ * or truncated trace is external input, and one bad file must not be
+ * able to kill a multi-hour sweep (see docs/ROBUSTNESS.md). Errors
+ * are permanent - re-reading a corrupt file cannot succeed.
  */
 
 #ifndef IBP_TRACE_TRACE_IO_HH
@@ -17,26 +22,27 @@
 #include <iosfwd>
 #include <string>
 
+#include "robust/error.hh"
 #include "trace/trace.hh"
 
 namespace ibp {
 
 /** Write @p trace to @p out in the binary format. */
-void writeTraceBinary(const Trace &trace, std::ostream &out);
+Result<void> writeTraceBinary(const Trace &trace, std::ostream &out);
 
-/** Read a binary-format trace; calls fatal() on malformed input. */
-Trace readTraceBinary(std::istream &in);
+/** Read a binary-format trace; error on malformed input. */
+Result<Trace> readTraceBinary(std::istream &in);
 
 /** Write @p trace to @p out in the text format (with '#' metadata). */
-void writeTraceText(const Trace &trace, std::ostream &out);
+Result<void> writeTraceText(const Trace &trace, std::ostream &out);
 
-/** Read a text-format trace; calls fatal() on malformed input. */
-Trace readTraceText(std::istream &in);
+/** Read a text-format trace; error on malformed input. */
+Result<Trace> readTraceText(std::istream &in);
 
 /** Convenience file wrappers; format chosen by extension
  * (".ibpt" binary, anything else text). */
-void saveTrace(const Trace &trace, const std::string &path);
-Trace loadTrace(const std::string &path);
+Result<void> saveTrace(const Trace &trace, const std::string &path);
+Result<Trace> loadTrace(const std::string &path);
 
 } // namespace ibp
 

@@ -36,14 +36,16 @@ Json::object()
 bool
 Json::asBool() const
 {
-    IBP_ASSERT(_type == Type::Bool, "json value is not a bool");
+    if (_type != Type::Bool)
+        throw JsonError("json value is not a bool");
     return _bool;
 }
 
 double
 Json::asNumber() const
 {
-    IBP_ASSERT(_type == Type::Number, "json value is not a number");
+    if (_type != Type::Number)
+        throw JsonError("json value is not a number");
     return _number;
 }
 
@@ -51,14 +53,16 @@ std::uint64_t
 Json::asUint() const
 {
     const double value = asNumber();
-    IBP_ASSERT(value >= 0.0, "json number %g is negative", value);
+    if (value < 0.0)
+        throw JsonError("json number is negative");
     return static_cast<std::uint64_t>(value);
 }
 
 const std::string &
 Json::asString() const
 {
-    IBP_ASSERT(_type == Type::String, "json value is not a string");
+    if (_type != Type::String)
+        throw JsonError("json value is not a string");
     return _string;
 }
 
@@ -69,15 +73,18 @@ Json::size() const
         return _array.size();
     if (_type == Type::Object)
         return _object.size();
-    panic("json value is not a container");
+    throw JsonError("json value is not a container");
 }
 
 const Json &
 Json::at(std::size_t index) const
 {
-    IBP_ASSERT(_type == Type::Array, "json value is not an array");
-    IBP_ASSERT(index < _array.size(), "json index %zu out of range",
-               index);
+    if (_type != Type::Array)
+        throw JsonError("json value is not an array");
+    if (index >= _array.size()) {
+        throw JsonError("json index " + std::to_string(index) +
+                        " out of range");
+    }
     return _array[index];
 }
 
@@ -91,7 +98,8 @@ Json::push(Json value)
 bool
 Json::contains(const std::string &key) const
 {
-    IBP_ASSERT(_type == Type::Object, "json value is not an object");
+    if (_type != Type::Object)
+        throw JsonError("json value is not an object");
     for (const auto &[name, value] : _object) {
         if (name == key)
             return true;
@@ -102,12 +110,13 @@ Json::contains(const std::string &key) const
 const Json &
 Json::at(const std::string &key) const
 {
-    IBP_ASSERT(_type == Type::Object, "json value is not an object");
+    if (_type != Type::Object)
+        throw JsonError("json value is not an object");
     for (const auto &[name, value] : _object) {
         if (name == key)
             return value;
     }
-    panic("json object has no key '%s'", key.c_str());
+    throw JsonError("json object has no key '" + key + "'");
 }
 
 double
@@ -143,7 +152,8 @@ Json::set(const std::string &key, Json value)
 const std::vector<std::pair<std::string, Json>> &
 Json::members() const
 {
-    IBP_ASSERT(_type == Type::Object, "json value is not an object");
+    if (_type != Type::Object)
+        throw JsonError("json value is not an object");
     return _object;
 }
 

@@ -23,6 +23,22 @@
 
 namespace ibp {
 
+/**
+ * Thrown by the typed accessors on a type mismatch or a missing
+ * key/index. Parsing external JSON (artifacts, checkpoints) must be
+ * able to recover from schema drift, so these are exceptions rather
+ * than panics; code that has already validated the shape may treat
+ * one escaping as a bug.
+ */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
 /** Thrown by Json::parse on malformed input. */
 class JsonParseError : public std::runtime_error
 {
@@ -68,7 +84,7 @@ class Json
     bool isArray() const { return _type == Type::Array; }
     bool isObject() const { return _type == Type::Object; }
 
-    /** Typed accessors; panic on type mismatch (schema bugs). */
+    /** Typed accessors; throw JsonError on type mismatch. */
     bool asBool() const;
     double asNumber() const;
     std::uint64_t asUint() const;
@@ -81,7 +97,8 @@ class Json
 
     /** Object access. */
     bool contains(const std::string &key) const;
-    /** Panics when @p key is absent; use contains() first. */
+    /** Throws JsonError when @p key is absent; use contains()
+     * first. */
     const Json &at(const std::string &key) const;
     /** Returns @p fallback when @p key is absent or null. */
     double numberOr(const std::string &key, double fallback) const;

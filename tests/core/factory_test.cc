@@ -61,9 +61,16 @@ TEST(Factory, ParseTableSpecs)
 
 TEST(Factory, ParseTableSpecRejectsJunk)
 {
-    EXPECT_DEATH(parseTableSpec("hash:99"), "unknown kind");
-    EXPECT_DEATH(parseTableSpec("assoc4"), "expected kind:entries");
-    EXPECT_DEATH(parseTableSpec("assoc4:zero"), "bad entry count");
+    // Bad specs are recoverable errors, not process aborts: a sweep
+    // must be able to fail just the cell whose factory is broken.
+    EXPECT_THROW(parseTableSpec("hash:99"), RunException);
+    EXPECT_THROW(parseTableSpec("assoc4"), RunException);
+    EXPECT_THROW(parseTableSpec("assoc4:zero"), RunException);
+    const auto error = tryMakePredictorFromSpec("btb2bc:table=hash:9");
+    ASSERT_FALSE(error.ok());
+    EXPECT_EQ(error.error().kind, ErrorKind::Permanent);
+    EXPECT_NE(error.error().message.find("unknown kind"),
+              std::string::npos);
 }
 
 TEST(Factory, SpecParserBuildsBtbs)
@@ -113,7 +120,11 @@ TEST(Factory, SpecParserBuildsHybrids)
 
 TEST(Factory, SpecParserRejectsUnknownKind)
 {
-    EXPECT_DEATH(makePredictorFromSpec("oracle"), "unknown predictor");
+    EXPECT_THROW(makePredictorFromSpec("oracle"), RunException);
+    const auto result = tryMakePredictorFromSpec("oracle");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("unknown predictor"),
+              std::string::npos);
 }
 
 TEST(Factory, ParsedPredictorsActuallyPredict)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 
 #include "report/artifact.hh"
@@ -88,9 +89,9 @@ TEST(ArtifactTest, WriteLoadRoundTrip)
     const RunArtifact artifact = sampleArtifact();
     const std::string path =
         testing::TempDir() + "/ibp_artifact_test/fig02.json";
-    artifact.write(path); // also creates the directory
+    ASSERT_TRUE(artifact.write(path).ok()); // creates the directory
 
-    const RunArtifact loaded = RunArtifact::load(path);
+    const RunArtifact loaded = RunArtifact::load(path).value();
     EXPECT_EQ(loaded.manifest.slug, "fig02");
     EXPECT_EQ(loaded.manifest.title, "Figure 2");
     EXPECT_EQ(loaded.manifest.gitSha, artifact.manifest.gitSha);
@@ -131,15 +132,17 @@ TEST(ArtifactTest, BuildManifestIsPopulated)
     EXPECT_EQ(manifest.timestamp.back(), 'Z');
 }
 
-TEST(ArtifactTest, WrongSchemaIsFatal)
+TEST(ArtifactTest, WrongSchemaIsRecoverable)
 {
-    EXPECT_DEATH(
+    // A bad artifact throws (load() converts that into a RunError);
+    // it must never abort the consuming process.
+    EXPECT_THROW(
         RunArtifact::fromJson(Json::parse("{\"schema\":\"other\"}")),
-        "not an ibp run artifact");
-    EXPECT_DEATH(RunArtifact::fromJson(Json::parse(
+        RunException);
+    EXPECT_THROW(RunArtifact::fromJson(Json::parse(
                      "{\"schema\":\"ibp-run-artifact\","
                      "\"version\":999}")),
-                 "unsupported artifact schema version");
+                 RunException);
 }
 
 TEST(ArtifactTest, LoadRejectsMalformedFile)
@@ -147,8 +150,61 @@ TEST(ArtifactTest, LoadRejectsMalformedFile)
     const std::string path =
         testing::TempDir() + "/ibp_artifact_bad.json";
     std::ofstream(path) << "{not json";
-    EXPECT_EXIT(RunArtifact::load(path),
-                testing::ExitedWithCode(1), "json parse error");
+    const auto result = RunArtifact::load(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("json parse error"),
+              std::string::npos);
+    EXPECT_EQ(result.error().kind, ErrorKind::Permanent);
+}
+
+TEST(ArtifactTest, LoadReportsMissingFile)
+{
+    const auto result =
+        RunArtifact::load(testing::TempDir() + "/ibp_no_such.json");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("cannot open"),
+              std::string::npos);
+}
+
+TEST(ArtifactTest, LoadRejectsMalformedTables)
+{
+    // Structurally broken tables (cell rows vs row labels) are a
+    // recoverable error too, not an assertion.
+    const std::string path =
+        testing::TempDir() + "/ibp_artifact_badtable.json";
+    std::ofstream(path)
+        << "{\"schema\":\"ibp-run-artifact\",\"version\":1,"
+           "\"manifest\":{},\"metrics\":{},"
+           "\"tables\":[{\"title\":\"t\",\"row_header\":\"r\","
+           "\"columns\":[\"a\"],\"rows\":[\"x\",\"y\"],"
+           "\"cells\":[[1.0]]}]}";
+    const auto result = RunArtifact::load(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("row labels"),
+              std::string::npos);
+}
+
+TEST(ArtifactTest, WriteLeavesNoTempFileBehind)
+{
+    const RunArtifact artifact = sampleArtifact();
+    const std::string dir =
+        testing::TempDir() + "/ibp_artifact_atomic";
+    const std::string path = dir + "/fig02.json";
+    ASSERT_TRUE(artifact.write(path).ok());
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(ArtifactTest, WriteReportsUnwritableDirectory)
+{
+    const RunArtifact artifact = sampleArtifact();
+    // A regular file where a directory is needed cannot be created.
+    const std::string blocker =
+        testing::TempDir() + "/ibp_artifact_blocker";
+    std::ofstream(blocker) << "file";
+    const auto result = artifact.write(blocker + "/sub/fig.json");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind, ErrorKind::Permanent);
 }
 
 } // namespace

@@ -62,7 +62,7 @@ TEST(TraceIo, BinaryRoundTripPreservesEverything)
     std::stringstream buffer(std::ios::in | std::ios::out |
                              std::ios::binary);
     writeTraceBinary(original, buffer);
-    const Trace loaded = readTraceBinary(buffer);
+    const Trace loaded = readTraceBinary(buffer).value();
     EXPECT_EQ(loaded, original);
     EXPECT_EQ(loaded.seed(), original.seed());
     EXPECT_EQ(loaded.name(), "sample");
@@ -73,7 +73,7 @@ TEST(TraceIo, TextRoundTripPreservesEverything)
     const Trace original = sampleTrace();
     std::stringstream buffer;
     writeTraceText(original, buffer);
-    const Trace loaded = readTraceText(buffer);
+    const Trace loaded = readTraceText(buffer).value();
     EXPECT_EQ(loaded, original);
 }
 
@@ -92,7 +92,7 @@ TEST(TraceIo, TextReaderSkipsBlankLinesAndComments)
     std::stringstream buffer;
     buffer << "# ibp-trace v1\n\n# arbitrary comment\n"
            << "icall 0x10 0x20 1\n";
-    const Trace trace = readTraceText(buffer);
+    const Trace trace = readTraceText(buffer).value();
     ASSERT_EQ(trace.size(), 1u);
     EXPECT_EQ(trace[0].pc, 0x10u);
     EXPECT_EQ(trace[0].target, 0x20u);
@@ -104,7 +104,7 @@ TEST(TraceIo, BinaryRoundTripOfEmptyTrace)
     std::stringstream buffer(std::ios::in | std::ios::out |
                              std::ios::binary);
     writeTraceBinary(empty, buffer);
-    const Trace loaded = readTraceBinary(buffer);
+    const Trace loaded = readTraceBinary(buffer).value();
     EXPECT_EQ(loaded.size(), 0u);
     EXPECT_EQ(loaded.name(), "nothing");
 }
@@ -120,7 +120,7 @@ TEST(TraceIo, BinaryRoundTripOfLargeRandomishTrace)
     std::stringstream buffer(std::ios::in | std::ios::out |
                              std::ios::binary);
     writeTraceBinary(trace, buffer);
-    EXPECT_EQ(readTraceBinary(buffer), trace);
+    EXPECT_EQ(readTraceBinary(buffer).value(), trace);
 }
 
 } // namespace

@@ -18,6 +18,9 @@
  *                         (default: off; use only on comparable
  *                         hardware)
  *   --no-manifest         skip the slug/event-scale manifest check
+ *   --allow-partial       accept a fresh artifact that records
+ *                         failed cells (by default a partial run
+ *                         fails the gate; see docs/ROBUSTNESS.md)
  *
  * Exits 0 when the fresh artifact is within tolerance, 1 on a
  * regression or unreadable artifact, 2 on usage errors. See
@@ -45,7 +48,7 @@ usage(const char *argv0, int code)
         stderr,
         "usage: %s FRESH.json BASELINE.json [--abs=X] [--rel=Y]\n"
         "          [--min-throughput=B] [--throughput-ratio=R]\n"
-        "          [--no-manifest]\n",
+        "          [--no-manifest] [--allow-partial]\n",
         argv0);
     std::exit(code);
 }
@@ -85,6 +88,8 @@ main(int argc, char **argv)
                 parseNumber(arg, arg.substr(19));
         } else if (arg == "--no-manifest") {
             options.checkManifest = false;
+        } else if (arg == "--allow-partial") {
+            options.allowPartial = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
             usage(argv[0], 2);
@@ -95,8 +100,22 @@ main(int argc, char **argv)
     if (paths.size() != 2)
         usage(argv[0], 2);
 
-    const RunArtifact fresh = RunArtifact::load(paths[0]);
-    const RunArtifact baseline = RunArtifact::load(paths[1]);
+    // Unreadable or malformed artifacts are reported, not aborted:
+    // CI log output should say which file is broken and why.
+    const auto fresh_result = RunArtifact::load(paths[0]);
+    if (!fresh_result.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     fresh_result.error().describe().c_str());
+        return 1;
+    }
+    const auto baseline_result = RunArtifact::load(paths[1]);
+    if (!baseline_result.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     baseline_result.error().describe().c_str());
+        return 1;
+    }
+    const RunArtifact &fresh = fresh_result.value();
+    const RunArtifact &baseline = baseline_result.value();
 
     const DiffReport report =
         diffArtifacts(fresh, baseline, options);
