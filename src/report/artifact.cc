@@ -1,15 +1,10 @@
 #include "report/artifact.hh"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
 #include <ctime>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 
-#include <unistd.h>
-
+#include "robust/atomic_file.hh"
 #include "util/logging.hh"
 
 #ifndef IBP_GIT_SHA
@@ -210,48 +205,9 @@ RunArtifact::fromJson(const Json &json)
 Result<void>
 RunArtifact::write(const std::string &path) const
 {
-    const std::filesystem::path target(path);
-    if (target.has_parent_path()) {
-        std::error_code ec;
-        std::filesystem::create_directories(target.parent_path(), ec);
-        if (ec) {
-            return RunError::permanent(
-                "cannot create directory '" +
-                target.parent_path().string() +
-                "': " + ec.message());
-        }
-    }
-
-    // Crash safety: content lands in a temp file in the target
-    // directory (same filesystem, so the final rename is atomic),
-    // is flushed and fsynced, then renamed over the destination.
-    // Readers either see the old artifact or the complete new one.
-    const std::string temp = path + ".tmp";
-    std::FILE *file = std::fopen(temp.c_str(), "wb");
-    if (!file) {
-        return RunError::permanent("cannot open '" + temp +
-                                   "' for writing: " +
-                                   std::strerror(errno));
-    }
-    const std::string body = toJson().dump(2) + "\n";
-    const bool wrote =
-        std::fwrite(body.data(), 1, body.size(), file) ==
-            body.size() &&
-        std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
-    const int close_status = std::fclose(file);
-    if (!wrote || close_status != 0) {
-        std::remove(temp.c_str());
-        return RunError::permanent("failed writing artifact '" +
-                                   temp + "': " +
-                                   std::strerror(errno));
-    }
-    if (std::rename(temp.c_str(), path.c_str()) != 0) {
-        const std::string reason = std::strerror(errno);
-        std::remove(temp.c_str());
-        return RunError::permanent("cannot rename '" + temp +
-                                   "' to '" + path + "': " + reason);
-    }
-    return Result<void>();
+    // Crash safety is delegated to the shared tmp+fsync+rename path;
+    // readers either see the old artifact or the complete new one.
+    return writeFileAtomic(path, toJson().dump(2) + "\n");
 }
 
 Result<RunArtifact>

@@ -19,6 +19,10 @@ RunMetrics::operator=(const RunMetrics &other)
     _failures = other._failures;
     _runSeconds = other._runSeconds;
     _threads = other._threads;
+    _hasTraceSource = other._hasTraceSource;
+    _tracesGenerated = other._tracesGenerated;
+    _traceCacheHits = other._traceCacheHits;
+    _traceSeconds = other._traceSeconds;
     return *this;
 }
 
@@ -62,6 +66,45 @@ RunMetrics::recordThreads(unsigned count)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _threads = std::max(_threads, count);
+}
+
+void
+RunMetrics::recordTraceSource(unsigned generated, unsigned cache_hits,
+                              double seconds)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _hasTraceSource = true;
+    _tracesGenerated += generated;
+    _traceCacheHits += cache_hits;
+    _traceSeconds += seconds;
+}
+
+unsigned
+RunMetrics::tracesGenerated() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _tracesGenerated;
+}
+
+unsigned
+RunMetrics::traceCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _traceCacheHits;
+}
+
+double
+RunMetrics::traceSeconds() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _traceSeconds;
+}
+
+bool
+RunMetrics::hasTraceSource() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hasTraceSource;
 }
 
 std::vector<CellMetrics>
@@ -172,6 +215,16 @@ RunMetrics::toJson() const
         }
         json.set("failures", std::move(failures_json));
     }
+
+    // Only emitted when a trace source was recorded, for the same
+    // baseline byte-compatibility reason as "failures".
+    if (hasTraceSource()) {
+        Json source = Json::object();
+        source.set("generated", tracesGenerated());
+        source.set("cache_hits", traceCacheHits());
+        source.set("seconds", traceSeconds());
+        json.set("trace_source", std::move(source));
+    }
     return json;
 }
 
@@ -210,6 +263,13 @@ RunMetrics::fromJson(const Json &json)
                 entry.numberOr("attempts", 1));
             metrics.recordFailure(failure);
         }
+    }
+    if (json.contains("trace_source")) {
+        const Json &source = json.at("trace_source");
+        metrics.recordTraceSource(
+            static_cast<unsigned>(source.numberOr("generated", 0)),
+            static_cast<unsigned>(source.numberOr("cache_hits", 0)),
+            source.numberOr("seconds", 0.0));
     }
     return metrics;
 }

@@ -72,6 +72,17 @@ class RunMetrics
     /** Record the worker-thread count (the maximum is kept). */
     void recordThreads(unsigned count);
 
+    /**
+     * Record how the run's traces were obtained: @p generated ran
+     * the generator (trace-cache misses or no cache), @p cacheHits
+     * came from the on-disk trace cache, @p seconds is the wall time
+     * of the acquisition phase. Cumulative across runners; a warm
+     * fully-cached run shows tracesGenerated() == 0, which is what
+     * the CI cache-smoke gate asserts. Thread-safe.
+     */
+    void recordTraceSource(unsigned generated, unsigned cacheHits,
+                           double seconds);
+
     std::vector<CellMetrics> cells() const;
     std::size_t cellCount() const;
 
@@ -98,6 +109,18 @@ class RunMetrics
 
     unsigned threads() const;
 
+    /** Traces produced by the generator (0 on a fully warm cache). */
+    unsigned tracesGenerated() const;
+
+    /** Traces served from the on-disk trace cache. */
+    unsigned traceCacheHits() const;
+
+    /** Wall time of the trace acquisition phase(s), in seconds. */
+    double traceSeconds() const;
+
+    /** True when recordTraceSource() was ever called. */
+    bool hasTraceSource() const;
+
     Json toJson() const;
     static RunMetrics fromJson(const Json &json);
 
@@ -107,6 +130,10 @@ class RunMetrics
     std::vector<FailureRecord> _failures;
     double _runSeconds = 0.0;
     unsigned _threads = 0;
+    bool _hasTraceSource = false;
+    unsigned _tracesGenerated = 0;
+    unsigned _traceCacheHits = 0;
+    double _traceSeconds = 0.0;
 };
 
 } // namespace ibp

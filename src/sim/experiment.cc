@@ -10,6 +10,7 @@
 #include "robust/fault_injection.hh"
 #include "robust/retry.hh"
 #include "synth/benchmark_suite.hh"
+#include "trace/trace_cache.hh"
 #include "util/logging.hh"
 
 namespace ibp {
@@ -77,12 +78,23 @@ ExperimentContext::ExperimentContext(std::string slug,
         } else if (arg.rfind("--cell-deadline=", 0) == 0) {
             retry.cellDeadlineSeconds =
                 parsePositiveNumber(arg, arg.substr(16));
+        } else if (arg == "--trace-cache") {
+            TraceCache::configureGlobal(TraceCache::kDefaultDirectory);
+        } else if (arg.rfind("--trace-cache=", 0) == 0) {
+            const std::string dir(arg.substr(14));
+            if (dir.empty())
+                fatal("--trace-cache requires a directory");
+            TraceCache::configureGlobal(dir);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--quick] [--csv=DIR] [--json=DIR]\n"
                 "          [--checkpoint=PATH] [--retries=N]\n"
-                "          [--cell-deadline=SECONDS]\n",
-                argv[0]);
+                "          [--cell-deadline=SECONDS]\n"
+                "          [--trace-cache[=DIR]]\n"
+                "\n"
+                "--trace-cache reuses generated traces across runs "
+                "from DIR\n(default %s; also via IBP_TRACE_CACHE).\n",
+                argv[0], TraceCache::kDefaultDirectory);
             std::exit(0);
         } else {
             fatal("unknown option '%s'", argv[i]);

@@ -15,6 +15,9 @@
  *                      from it after a crash (docs/ROBUSTNESS.md)
  *   --retries=N        attempts per cell for transient failures
  *   --cell-deadline=S  per-cell wall-clock deadline in seconds
+ *   --trace-cache[=DIR] reuse generated traces across runs via the
+ *                      on-disk trace cache (default DIR:
+ *                      out/trace-cache; docs/PERFORMANCE.md)
  *
  * and prints wall-clock timing so regressions in the simulation
  * engine are visible. With --json, the artifact additionally records

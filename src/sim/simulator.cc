@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "robust/error.hh"
+#include "util/logging.hh"
 
 namespace ibp {
 
@@ -26,7 +27,7 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
         // few microseconds, so a deadline overrun is caught fast
         // even on the small traces of quick runs.
         if ((++step & 0x3ffu) == 0 && options.cancel &&
-            options.cancel->load(std::memory_order_relaxed)) {
+            options.cancel->cancelled()) {
             throw RunException(RunError::timeout(
                 "simulation of '" + trace.name() +
                 "' cancelled by watchdog"));
@@ -65,6 +66,79 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
             std::chrono::steady_clock::now() - start)
             .count();
     return result;
+}
+
+std::vector<SimResult>
+simulateMany(std::span<IndirectPredictor *const> predictors,
+             const Trace &trace, const SimOptions &options)
+{
+    std::vector<SimResult> results(predictors.size());
+    if (predictors.empty())
+        return results;
+    for (std::size_t i = 0; i < predictors.size(); ++i) {
+        IBP_ASSERT(predictors[i] != nullptr,
+                   "simulateMany: null predictor at index %zu", i);
+        results[i].benchmark = trace.name();
+        results[i].predictor = predictors[i]->name();
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // The record stream is walked once; the per-predictor work is
+    // the inner loop, so every predictor sees exactly the sequence
+    // simulate() would have fed it and the counters must match it
+    // bit for bit.
+    std::uint64_t seen = 0;
+    std::uint64_t step = 0;
+    for (const auto &record : trace) {
+        if ((++step & 0x3ffu) == 0 && options.cancel &&
+            options.cancel->cancelled()) {
+            throw RunException(RunError::timeout(
+                "simulation of '" + trace.name() +
+                "' cancelled by watchdog"));
+        }
+        if (record.kind == BranchKind::Conditional) {
+            for (IndirectPredictor *predictor : predictors) {
+                predictor->observeConditional(record.pc, record.taken,
+                                              record.target);
+            }
+            continue;
+        }
+        if (!record.isPredictedIndirect())
+            continue; // returns are handled by a return-address stack
+
+        ++seen;
+        const bool counted = seen > options.warmupBranches;
+        for (std::size_t i = 0; i < predictors.size(); ++i) {
+            IndirectPredictor *predictor = predictors[i];
+            const Prediction prediction = predictor->predict(record.pc);
+            if (counted) {
+                SimResult &result = results[i];
+                ++result.branches;
+                if (!prediction.correctFor(record.target)) {
+                    ++result.misses;
+                    if (!prediction.valid)
+                        ++result.noPrediction;
+                }
+            }
+            predictor->update(record.pc, record.target);
+        }
+    }
+
+    // One traversal produced all results, so the wall time is shared
+    // state: split it evenly so aggregate cell-seconds telemetry
+    // stays comparable with the per-cell path.
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        static_cast<double>(predictors.size());
+    for (std::size_t i = 0; i < predictors.size(); ++i) {
+        results[i].tableOccupancy = predictors[i]->tableOccupancy();
+        results[i].tableCapacity = predictors[i]->tableCapacity();
+        results[i].seconds = seconds;
+    }
+    return results;
 }
 
 } // namespace ibp

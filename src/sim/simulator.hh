@@ -16,7 +16,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/predictor.hh"
 #include "trace/trace.hh"
@@ -57,6 +59,40 @@ struct SimResult
     }
 };
 
+/**
+ * Epoch-tagged cooperative cancellation token.
+ *
+ * A watchdog cancelling "whatever the worker is doing" with a plain
+ * bool is racy: after attempt N's deadline expires, the watchdog can
+ * store the flag *after* the worker has already cleared it and
+ * started attempt N+1, spuriously cancelling a healthy attempt. The
+ * token closes that race by naming the victim: the owner thread
+ * bumps `armed` to a fresh epoch before each attempt, the watchdog
+ * requests cancellation *of the epoch it observed*, and the poll
+ * only fires when the requested epoch matches the attempt currently
+ * running. A stale request aimed at a finished attempt matches
+ * nothing and is ignored.
+ */
+struct CancelToken
+{
+    /** Epoch the watchdog wants cancelled (atomic store); 0 = none. */
+    std::atomic<std::uint64_t> requested{0};
+
+    /**
+     * Epoch of the attempt currently running. Written by the owner
+     * thread before each attempt and read only on that thread, so it
+     * needs no atomicity; 0 means no attempt is armed.
+     */
+    std::uint64_t armed = 0;
+
+    bool
+    cancelled() const
+    {
+        return armed != 0 &&
+               requested.load(std::memory_order_relaxed) == armed;
+    }
+};
+
 /** Extra knobs for a simulation run. */
 struct SimOptions
 {
@@ -68,13 +104,14 @@ struct SimOptions
     bool perSiteMisses = false;
 
     /**
-     * Cooperative cancellation flag, polled every few thousand
+     * Cooperative cancellation token, polled every few thousand
      * records (the poll is a relaxed atomic load, invisible next to
-     * the predictor work). When it flips true - the SuiteRunner
-     * watchdog does this on a per-cell deadline - simulate() throws
-     * RunException with a timeout RunError. nullptr disables.
+     * the predictor work). When the token reports cancelled - the
+     * SuiteRunner watchdog requests this on a per-cell deadline -
+     * simulate() throws RunException with a timeout RunError.
+     * nullptr disables.
      */
-    const std::atomic<bool> *cancel = nullptr;
+    const CancelToken *cancel = nullptr;
 };
 
 /** Per-site miss accounting (populated when requested). */
@@ -88,6 +125,31 @@ struct SiteMissStats
 SimResult simulate(IndirectPredictor &predictor, const Trace &trace,
                    const SimOptions &options = {},
                    SiteMissStats *siteStats = nullptr);
+
+/**
+ * Single-pass multi-predictor engine: run every predictor of
+ * @p predictors over @p trace in ONE trace traversal, from cold
+ * state, producing exactly the SimResult counters simulate() would
+ * have produced per predictor (the predictors are independent, so
+ * feeding them the same record stream is observationally identical -
+ * the differential test in tests/sim pins this bit-for-bit).
+ *
+ * This is how SuiteRunner feeds all columns of a sweep from one
+ * traversal per benchmark instead of one per cell, which removes the
+ * dominant memory-bandwidth cost of wide sweeps. Restrictions versus
+ * the per-cell path: one shared cancellation token covers the whole
+ * traversal (a timeout aborts all predictors at once - callers fall
+ * back to per-cell isolation, see docs/PERFORMANCE.md), per-site
+ * stats are not supported, and each result's `seconds` is the
+ * traversal wall time divided evenly across predictors (only the
+ * aggregate is physically meaningful).
+ *
+ * Null predictor pointers are not allowed. An empty span returns an
+ * empty vector without touching the trace.
+ */
+std::vector<SimResult>
+simulateMany(std::span<IndirectPredictor *const> predictors,
+             const Trace &trace, const SimOptions &options = {});
 
 } // namespace ibp
 

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "robust/fault_injection.hh"
+#include "trace/trace_cache.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -99,20 +100,107 @@ SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
                          bool emit_conditionals)
     : _names(std::move(benchmarks))
 {
+    const auto start = std::chrono::steady_clock::now();
     const RetryPolicy policy = retryPolicyFromEnv();
-    for (const auto &name : _names) {
-        auto made = runWithRetries(policy, [&](unsigned attempt) {
-            FaultInjector::global().check("trace", name, attempt);
-            return generateBenchmarkTrace(name, emit_conditionals);
-        });
-        if (made.ok()) {
-            _traces.emplace(name, std::move(made).value());
+    TraceCache *cache = TraceCache::global();
+
+    // Per-benchmark outcome, index-aligned with _names so the
+    // parallel workers never touch a shared container.
+    struct Acquired
+    {
+        bool ok = false;
+        bool fromCache = false;
+        Trace trace;
+        RunError error;
+    };
+    std::vector<Acquired> acquired(_names.size());
+
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        while (true) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= _names.size())
+                return;
+            const std::string &name = _names[index];
+            Acquired &slot = acquired[index];
+            std::string key;
+            if (cache) {
+                key = benchmarkTraceCacheKey(name, emit_conditionals);
+                auto hit = cache->load(key);
+                // Any load error is simply a miss. The name check
+                // rejects a foreign file dropped into the cache
+                // directory under our key.
+                if (hit.ok() && hit.value().name() == name) {
+                    slot.trace = std::move(hit).value();
+                    slot.ok = true;
+                    slot.fromCache = true;
+                    continue;
+                }
+            }
+            auto made = runWithRetries(policy, [&](unsigned attempt) {
+                FaultInjector::global().check("trace", name, attempt);
+                return generateBenchmarkTrace(name, emit_conditionals);
+            });
+            if (!made.ok()) {
+                slot.error = made.error();
+                continue;
+            }
+            slot.trace = std::move(made).value();
+            slot.ok = true;
+            if (cache) {
+                // Best effort: a full disk degrades the cache, not
+                // the run.
+                auto stored = cache->store(key, slot.trace);
+                if (!stored.ok()) {
+                    warn("trace cache store for '%s' failed: %s",
+                         name.c_str(),
+                         stored.error().describe().c_str());
+                }
+            }
+        }
+    };
+
+    const unsigned thread_count = static_cast<unsigned>(
+        std::min<std::size_t>(simulationThreads(), _names.size()));
+    if (thread_count <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(thread_count);
+        try {
+            for (unsigned t = 0; t < thread_count; ++t)
+                threads.emplace_back(worker);
+        } catch (const std::system_error &exception) {
+            warn("thread construction failed after %zu of %u trace "
+                 "workers (%s); continuing degraded",
+                 threads.size(), thread_count, exception.what());
+        }
+        if (threads.empty())
+            worker();
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    for (std::size_t i = 0; i < _names.size(); ++i) {
+        const std::string &name = _names[i];
+        Acquired &slot = acquired[i];
+        if (slot.ok) {
+            _traces.emplace(name, std::move(slot.trace));
+            if (slot.fromCache)
+                ++_traceStats.cacheHits;
+            else
+                ++_traceStats.generated;
         } else {
             warn("trace generation for '%s' failed: %s", name.c_str(),
-                 made.error().describe().c_str());
-            _failedTraces.emplace(name, made.error());
+                 slot.error.describe().c_str());
+            _failedTraces.emplace(name, slot.error);
         }
     }
+    _traceStats.seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
 }
 
 SuiteRunner
@@ -169,6 +257,8 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         const Trace *trace;
         const std::string *benchmark;
         double missPercent = 0.0;
+        /** Completed by the single-pass phase; skipped per-cell. */
+        bool done = false;
         bool failed = false;
         RunError error;
     };
@@ -206,20 +296,45 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                 }
             }
             jobs.push_back(
-                Job{&column, &trace(name), &name, 0.0, false, {}});
+                Job{&column, &trace(name), &name, 0.0, false, false,
+                    {}});
         }
     }
 
     const unsigned thread_count = static_cast<unsigned>(
         std::min<std::size_t>(simulationThreads(), jobs.size()));
 
-    // One slot per worker carries the watchdog state: the deadline
-    // of the attempt the worker is currently running and the cancel
-    // flag simulate() polls.
+    // One slot per worker carries the watchdog state. The attempt
+    // currently running is published as an *epoch*: the worker bumps
+    // it before arming a deadline, and the watchdog requests
+    // cancellation of the epoch it observed, so a request that lands
+    // after the attempt already finished names a dead epoch and the
+    // next attempt's poll ignores it (the stale-cancel race the old
+    // plain bool had).
     struct WorkerSlot
     {
+        /** Epoch of the armed attempt, 0 when idle. */
+        std::atomic<std::uint64_t> epoch{0};
         std::atomic<std::int64_t> deadlineNs{0};
-        std::atomic<bool> cancel{false};
+        CancelToken token;
+        /** Owner-thread counter; never reused within a slot. */
+        std::uint64_t lastEpoch = 0;
+
+        void
+        arm(std::int64_t deadline_at)
+        {
+            token.armed = ++lastEpoch;
+            epoch.store(token.armed, std::memory_order_release);
+            deadlineNs.store(deadline_at, std::memory_order_release);
+        }
+
+        void
+        disarm()
+        {
+            deadlineNs.store(0, std::memory_order_relaxed);
+            epoch.store(0, std::memory_order_release);
+            token.armed = 0;
+        }
     };
     std::vector<WorkerSlot> slots(std::max(1u, thread_count));
 
@@ -234,17 +349,166 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                 wd_cv.wait_for(lock, std::chrono::milliseconds(20));
                 const std::int64_t now = nowNs();
                 for (auto &slot : slots) {
+                    // Consistent (epoch, deadline) snapshot: if the
+                    // worker swapped attempts between the two epoch
+                    // reads, skip this tick and re-check in 20ms
+                    // rather than cancel with a mismatched pair.
+                    const std::uint64_t e1 =
+                        slot.epoch.load(std::memory_order_acquire);
+                    if (e1 == 0)
+                        continue;
                     const std::int64_t deadline =
-                        slot.deadlineNs.load(std::memory_order_relaxed);
-                    if (deadline != 0 && now >= deadline)
-                        slot.cancel.store(true,
-                                          std::memory_order_relaxed);
+                        slot.deadlineNs.load(std::memory_order_acquire);
+                    const std::uint64_t e2 =
+                        slot.epoch.load(std::memory_order_acquire);
+                    if (e1 != e2 || deadline == 0 || now < deadline)
+                        continue;
+                    slot.token.requested.store(
+                        e1, std::memory_order_relaxed);
                 }
             }
         });
     }
 
     const auto grid_start = std::chrono::steady_clock::now();
+
+    // Shared by both phases: record one finished cell.
+    const auto finishCell = [&](Job &job, const SimResult &result) {
+        job.missPercent = result.missPercent();
+        job.done = true;
+        if (metrics) {
+            // One record per finished cell - never inside the
+            // per-branch simulation loop.
+            CellMetrics cell;
+            cell.column = job.column->label;
+            cell.benchmark = *job.benchmark;
+            cell.branches = result.branches;
+            cell.seconds = result.seconds;
+            cell.tableOccupancy = result.tableOccupancy;
+            cell.tableCapacity = result.tableCapacity;
+            metrics->recordCell(cell);
+        }
+        if (journal) {
+            const auto appended = journal->append(CheckpointCell{
+                grid_id, job.column->label, *job.benchmark,
+                job.missPercent});
+            if (!appended.ok()) {
+                warn("checkpoint append failed for %s/%s: %s",
+                     job.column->label.c_str(), job.benchmark->c_str(),
+                     appended.error().describe().c_str());
+            }
+        }
+    };
+
+    const auto spawn = [&](const std::function<void(unsigned)> &work,
+                           unsigned want) -> unsigned {
+        if (want <= 1) {
+            work(0);
+            return 1;
+        }
+        std::vector<std::thread> threads;
+        threads.reserve(want);
+        try {
+            for (unsigned t = 0; t < want; ++t)
+                threads.emplace_back(work, t);
+        } catch (const std::system_error &exception) {
+            // Thread creation can fail under resource pressure; the
+            // workers already spawned will drain the whole queue, so
+            // degrade instead of dying.
+            warn("thread construction failed after %zu of %u workers "
+                 "(%s); continuing degraded",
+                 threads.size(), want, exception.what());
+        }
+        if (threads.empty()) {
+            warn("falling back to serial execution");
+            work(0);
+        }
+        const unsigned used =
+            static_cast<unsigned>(std::max<std::size_t>(
+                1, threads.size()));
+        for (auto &thread : threads)
+            thread.join();
+        return used;
+    };
+
+    unsigned threads_used = 1;
+
+    // Phase 1 (opportunistic): feed all pending columns of a
+    // benchmark from ONE trace traversal. Skipped entirely when the
+    // fault injector is armed - injected "sim" faults are per-cell
+    // by construction - and any failure inside a group (factory
+    // error, watchdog cancellation, anything the engine throws)
+    // simply leaves its jobs pending for phase 2, which re-runs them
+    // under the full per-cell retry/deadline isolation. Results are
+    // bit-identical either way (see simulateMany()).
+    if (session.singlePass && !FaultInjector::global().armed() &&
+        !jobs.empty()) {
+        std::vector<std::vector<std::size_t>> groups;
+        std::map<std::string, std::size_t> group_of;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            const auto [it, fresh] = group_of.try_emplace(
+                *jobs[j].benchmark, groups.size());
+            if (fresh)
+                groups.emplace_back();
+            groups[it->second].push_back(j);
+        }
+
+        std::atomic<std::size_t> next_group{0};
+        const auto group_worker = [&](unsigned slot_index) {
+            WorkerSlot &slot = slots[slot_index];
+            while (true) {
+                const std::size_t g = next_group.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (g >= groups.size())
+                    return;
+                const std::vector<std::size_t> &members = groups[g];
+                try {
+                    std::vector<std::unique_ptr<IndirectPredictor>>
+                        predictors;
+                    std::vector<IndirectPredictor *> raw;
+                    predictors.reserve(members.size());
+                    raw.reserve(members.size());
+                    for (const std::size_t j : members) {
+                        auto predictor = jobs[j].column->make();
+                        if (!predictor) {
+                            throw RunException(RunError::permanent(
+                                "predictor factory for '" +
+                                jobs[j].column->label +
+                                "' returned null"));
+                        }
+                        raw.push_back(predictor.get());
+                        predictors.push_back(std::move(predictor));
+                    }
+                    if (deadline_ns > 0) {
+                        // The whole-group deadline is the sum of the
+                        // per-cell budgets it replaces.
+                        slot.arm(nowNs() +
+                                 deadline_ns *
+                                     static_cast<std::int64_t>(
+                                         members.size()));
+                    }
+                    SimOptions options;
+                    options.cancel = &slot.token;
+                    const std::vector<SimResult> results = simulateMany(
+                        raw, *jobs[members.front()].trace, options);
+                    slot.disarm();
+                    for (std::size_t i = 0; i < members.size(); ++i)
+                        finishCell(jobs[members[i]], results[i]);
+                } catch (...) {
+                    // Leave the group's jobs pending; phase 2 gives
+                    // each cell its own isolated retries.
+                    slot.disarm();
+                }
+            }
+        };
+        threads_used = std::max(
+            threads_used,
+            spawn(group_worker,
+                  static_cast<unsigned>(std::min<std::size_t>(
+                      thread_count, groups.size()))));
+    }
+
+    // Phase 2: per-cell isolation for everything still pending.
     std::atomic<std::size_t> next{0};
     const auto worker = [&](unsigned slot_index) {
         WorkerSlot &slot = slots[slot_index];
@@ -254,29 +518,24 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             if (index >= jobs.size())
                 return;
             Job &job = jobs[index];
+            if (job.done)
+                continue;
             const std::string fault_key = std::to_string(grid_id) +
                                           "/" + job.column->label +
                                           "/" + *job.benchmark;
             auto outcome =
                 runWithRetries(session.retry, [&](unsigned attempt) {
-                    slot.cancel.store(false,
-                                      std::memory_order_relaxed);
-                    if (deadline_ns > 0) {
-                        slot.deadlineNs.store(
-                            nowNs() + deadline_ns,
-                            std::memory_order_relaxed);
-                    }
-                    // The deadline must clear on every exit path or
-                    // the watchdog would cancel the *next* cell.
-                    struct ClearDeadline
+                    if (deadline_ns > 0)
+                        slot.arm(nowNs() + deadline_ns);
+                    // The attempt must disarm on every exit path or
+                    // the watchdog would target a dead epoch (and the
+                    // old plain-bool design would have cancelled the
+                    // *next* attempt).
+                    struct Disarm
                     {
-                        std::atomic<std::int64_t> &deadline;
-                        ~ClearDeadline()
-                        {
-                            deadline.store(0,
-                                           std::memory_order_relaxed);
-                        }
-                    } clear{slot.deadlineNs};
+                        WorkerSlot &slot;
+                        ~Disarm() { slot.disarm(); }
+                    } disarm{slot};
                     FaultInjector::global().check("sim", fault_key,
                                                   attempt);
                     auto predictor = job.column->make();
@@ -286,7 +545,7 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                             job.column->label + "' returned null"));
                     }
                     SimOptions options;
-                    options.cancel = &slot.cancel;
+                    options.cancel = &slot.token;
                     return simulate(*predictor, *job.trace, options);
                 });
             if (!outcome.ok()) {
@@ -301,57 +560,20 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                 }
                 continue;
             }
-            const SimResult &result = outcome.value();
-            job.missPercent = result.missPercent();
-            if (metrics) {
-                // One record per finished cell - never inside the
-                // per-branch simulation loop.
-                CellMetrics cell;
-                cell.column = job.column->label;
-                cell.benchmark = *job.benchmark;
-                cell.branches = result.branches;
-                cell.seconds = result.seconds;
-                cell.tableOccupancy = result.tableOccupancy;
-                cell.tableCapacity = result.tableCapacity;
-                metrics->recordCell(cell);
-            }
-            if (journal) {
-                const auto appended = journal->append(CheckpointCell{
-                    grid_id, job.column->label, *job.benchmark,
-                    job.missPercent});
-                if (!appended.ok()) {
-                    warn("checkpoint append failed for %s: %s",
-                         fault_key.c_str(),
-                         appended.error().describe().c_str());
-                }
-            }
+            finishCell(job, outcome.value());
         }
     };
 
-    unsigned threads_used = 1;
-    if (thread_count <= 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(thread_count);
-        try {
-            for (unsigned t = 0; t < thread_count; ++t)
-                threads.emplace_back(worker, t);
-        } catch (const std::system_error &exception) {
-            // Thread creation can fail under resource pressure; the
-            // workers already spawned will drain the whole queue, so
-            // degrade instead of dying.
-            warn("thread construction failed after %zu of %u workers "
-                 "(%s); continuing degraded",
-                 threads.size(), thread_count, exception.what());
-        }
-        if (threads.empty()) {
-            warn("falling back to serial execution");
-            worker(0);
-        }
-        threads_used = std::max<std::size_t>(1, threads.size());
-        for (auto &thread : threads)
-            thread.join();
+    std::size_t pending = 0;
+    for (const auto &job : jobs) {
+        if (!job.done)
+            ++pending;
+    }
+    if (pending > 0) {
+        threads_used = std::max(
+            threads_used,
+            spawn(worker, static_cast<unsigned>(std::min<std::size_t>(
+                              thread_count, pending))));
     }
 
     if (watchdog.joinable()) {
@@ -369,6 +591,14 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - grid_start)
                 .count());
+        // Once per runner: whether this run paid the trace
+        // generation cost or rode the cache (the CI cache-smoke job
+        // asserts on these counters).
+        if (!_traceStatsPublished.exchange(true)) {
+            metrics->recordTraceSource(_traceStats.generated,
+                                       _traceStats.cacheHits,
+                                       _traceStats.seconds);
+        }
     }
 
     for (auto &job : jobs) {

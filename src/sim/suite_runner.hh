@@ -2,12 +2,14 @@
  * @file
  * Run predictor configurations across the benchmark suite.
  *
- * A SuiteRunner generates and caches the synthetic traces of a set of
- * benchmarks, then evaluates (configuration x benchmark) grids in
- * parallel across hardware threads. It knows the paper's averaging
- * groups (Table 3) and can render results as per-benchmark or
- * per-group ResultTables, which is how every bench binary reproduces
- * its figure or table.
+ * A SuiteRunner acquires the synthetic traces of a set of benchmarks
+ * (in parallel, through the on-disk trace cache when one is
+ * configured), then evaluates (configuration x benchmark) grids in
+ * parallel across hardware threads - by default feeding all columns
+ * of a benchmark from a single trace traversal (simulateMany). It
+ * knows the paper's averaging groups (Table 3) and can render
+ * results as per-benchmark or per-group ResultTables, which is how
+ * every bench binary reproduces its figure or table.
  *
  * Fault tolerance (docs/ROBUSTNESS.md): every cell runs isolated -
  * an error in one (configuration x benchmark) pair is caught,
@@ -21,6 +23,7 @@
 #ifndef IBP_SIM_SUITE_RUNNER_HH
 #define IBP_SIM_SUITE_RUNNER_HH
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -111,6 +114,27 @@ struct RunSession
     RetryPolicy retry;
     /** Next grid id; run() consumes one per call. */
     unsigned nextGridId = 0;
+    /**
+     * Allow the single-pass multi-predictor engine (simulateMany):
+     * all pending columns of a benchmark are fed from one trace
+     * traversal, and any failure (injected fault, factory error,
+     * watchdog cancellation) falls back to the per-cell isolated
+     * path, so results and isolation semantics are identical either
+     * way (docs/PERFORMANCE.md). Tests set this to false to force
+     * the per-cell reference path.
+     */
+    bool singlePass = true;
+};
+
+/** How this runner's traces were obtained (cache vs generator). */
+struct TraceSourceStats
+{
+    /** Traces produced by running the generator (cache misses). */
+    unsigned generated = 0;
+    /** Traces served from the on-disk trace cache. */
+    unsigned cacheHits = 0;
+    /** Wall time of the whole acquisition phase, in seconds. */
+    double seconds = 0.0;
 };
 
 class SuiteRunner
@@ -122,10 +146,15 @@ class SuiteRunner
      *                          the generated traces (needed only by
      *                          predictors that consume them).
      *
-     * Trace generation runs under the session-independent retry
-     * policy from the environment; a benchmark whose trace cannot be
-     * generated stays in benchmarks() but every later run() marks
-     * its cells failed instead of aborting the suite.
+     * Traces are acquired in parallel across simulationThreads()
+     * workers: each benchmark first consults the on-disk trace cache
+     * when one is configured (TraceCache::global(), i.e.
+     * `--trace-cache` / IBP_TRACE_CACHE), and only misses run the
+     * generator - under the session-independent retry policy from
+     * the environment - then populate the cache for the next run. A
+     * benchmark whose trace cannot be obtained stays in benchmarks()
+     * but every later run() marks its cells failed instead of
+     * aborting the suite.
      */
     explicit SuiteRunner(std::vector<std::string> benchmarks,
                          bool emitConditionals = false);
@@ -146,6 +175,17 @@ class SuiteRunner
     const std::map<std::string, RunError> &failedBenchmarks() const
     {
         return _failedTraces;
+    }
+
+    /**
+     * Where this runner's traces came from. A warm cache shows
+     * generated == 0; run() publishes these counters into the
+     * session's RunMetrics once per runner, so artifacts record
+     * whether a run paid the generation cost.
+     */
+    const TraceSourceStats &traceSourceStats() const
+    {
+        return _traceStats;
     }
 
     /**
@@ -193,6 +233,11 @@ class SuiteRunner
     std::vector<std::string> _names;
     std::map<std::string, Trace> _traces;
     std::map<std::string, RunError> _failedTraces;
+    TraceSourceStats _traceStats;
+    // One-shot publication latch for the trace-source telemetry;
+    // its presence also makes SuiteRunner non-copyable, which is
+    // intentional (runners hold the full trace corpus).
+    mutable std::atomic<bool> _traceStatsPublished{false};
 };
 
 /**

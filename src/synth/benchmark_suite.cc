@@ -1,7 +1,9 @@
 #include "synth/benchmark_suite.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "util/logging.hh"
 
@@ -203,17 +205,80 @@ eventScale()
     return std::clamp(scale <= 0 ? 1.0 : scale, 0.01, 100.0);
 }
 
+namespace {
+
+/** Scaled event count a default-length generation run emits. */
+std::uint64_t
+scaledEvents(const BenchmarkProfile &profile)
+{
+    return std::max<std::uint64_t>(
+        1000, static_cast<std::uint64_t>(
+                  static_cast<double>(profile.defaultEvents) *
+                  eventScale()));
+}
+
+} // namespace
+
 Trace
 generateBenchmarkTrace(const std::string &name, bool emitConditionals)
 {
     const BenchmarkProfile &profile = benchmarkProfile(name);
     GeneratorOptions options;
-    options.events = std::max<std::uint64_t>(
-        1000, static_cast<std::uint64_t>(
-                  static_cast<double>(profile.defaultEvents) *
-                  eventScale()));
+    options.events = scaledEvents(profile);
     options.emitConditionals = emitConditionals;
     return generateTrace(profile, options);
+}
+
+std::string
+benchmarkTraceCacheKey(const std::string &name, bool emitConditionals)
+{
+    const BenchmarkProfile &profile = benchmarkProfile(name);
+    const GeneratorOptions defaults;
+
+    // Canonical description of everything the generated bytes depend
+    // on. Doubles are printed with %.17g so any representable change
+    // to a knob changes the key.
+    std::ostringstream desc;
+    const auto num = [&desc](const char *field, double value) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        desc << field << '=' << buf << '|';
+    };
+    desc << "gen=" << kTraceGeneratorVersion << '|'
+         << "name=" << profile.name << '|'
+         << "seed=" << profile.seed << '|'
+         << "events=" << scaledEvents(profile) << '|'
+         << "cond=" << (emitConditionals ? 1 : 0) << '|'
+         << "condcap=" << defaults.conditionalCap << '|'
+         << "suite=" << static_cast<int>(profile.suite) << '|'
+         << "sites90=" << profile.sites90 << '|'
+         << "sites100=" << profile.sites100 << '|';
+    num("instr", profile.instrPerIndirect);
+    num("condpi", profile.condPerIndirect);
+    num("vcall", profile.virtualCallFraction);
+    num("btb", profile.btbMissTarget);
+    num("floor", profile.floorMissTarget);
+    num("selfcorr", profile.selfCorrelatedFraction);
+    num("opred", profile.overridePredictability);
+    num("odom", profile.overrideDominance);
+    num("oskew", profile.overrideTargetSkew);
+    num("omono", profile.overrideMonoFraction);
+    num("ostick", profile.overrideStickiness);
+    num("ophase", profile.overridePhaseMutation);
+    desc << "operiod=" << profile.overridePhasePeriod;
+
+    // FNV-1a 64: stable across platforms, and collisions between
+    // *different* configurations of the same benchmark would need
+    // ~2^32 entries - far beyond the handful a suite ever has.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : desc.str()) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return name + "-" + hex;
 }
 
 } // namespace ibp

@@ -48,6 +48,26 @@ double eventScale();
 Trace generateBenchmarkTrace(const std::string &name,
                              bool emitConditionals = false);
 
+/**
+ * Version stamp of the synthetic trace generator. Part of every
+ * trace-cache key: bump it whenever program_model.cc, deriveKnobs(),
+ * or the baked-in tunings change the bytes generateBenchmarkTrace()
+ * produces, so stale cache entries miss instead of silently serving
+ * output of the previous generator.
+ */
+constexpr unsigned kTraceGeneratorVersion = 1;
+
+/**
+ * Content address of the trace generateBenchmarkTrace(@p name,
+ * @p emitConditionals) would produce under the current environment
+ * (IBP_EVENTS scale included): `<name>-<16 hex digits>`, an FNV-1a
+ * hash of the generator version, every profile field, the scaled
+ * event count, the seed and the conditionals flag. Identical
+ * configurations collide on purpose - that is the cache hit.
+ */
+std::string benchmarkTraceCacheKey(const std::string &name,
+                                   bool emitConditionals = false);
+
 } // namespace ibp
 
 #endif // IBP_SYNTH_BENCHMARK_SUITE_HH

@@ -1,0 +1,75 @@
+#include "trace/trace_cache.hh"
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "robust/atomic_file.hh"
+#include "trace/trace_io.hh"
+
+namespace ibp {
+
+namespace {
+
+std::unique_ptr<TraceCache> &
+globalSlot()
+{
+    // Armed lazily from the environment so tools and tests that
+    // never touch the option plumbing still get caching by exporting
+    // IBP_TRACE_CACHE=<dir>.
+    static std::unique_ptr<TraceCache> cache = [] {
+        const char *env = std::getenv("IBP_TRACE_CACHE");
+        return (env && *env) ? std::make_unique<TraceCache>(env)
+                             : nullptr;
+    }();
+    return cache;
+}
+
+} // namespace
+
+TraceCache::TraceCache(std::string directory)
+    : _directory(std::move(directory))
+{
+}
+
+TraceCache *
+TraceCache::global()
+{
+    return globalSlot().get();
+}
+
+void
+TraceCache::configureGlobal(const std::string &directory)
+{
+    globalSlot() = directory.empty()
+                       ? nullptr
+                       : std::make_unique<TraceCache>(directory);
+}
+
+std::string
+TraceCache::pathFor(const std::string &key) const
+{
+    return _directory + "/" + key + ".ibpt";
+}
+
+Result<Trace>
+TraceCache::load(const std::string &key) const
+{
+    // loadTrace() already classifies a missing file, bad magic, a
+    // truncated stream, or an implausible record count as permanent
+    // errors; every one of them reads as "miss" to the caller.
+    return loadTrace(pathFor(key));
+}
+
+Result<void>
+TraceCache::store(const std::string &key, const Trace &trace) const
+{
+    std::ostringstream body(std::ios::binary);
+    const auto serialised = writeTraceBinary(trace, body);
+    if (!serialised.ok())
+        return serialised.error();
+    return writeFileAtomic(pathFor(key), body.str());
+}
+
+} // namespace ibp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Content-addressed on-disk cache of generated traces.
+ *
+ * Regenerating the 17 synthetic benchmark traces is the dominant
+ * startup cost of every bench binary; the cache makes it a one-time
+ * cost per configuration. Entries are stored in the existing `.ibpt`
+ * binary format under a single directory, one file per *key* - an
+ * opaque content address computed by the producer from everything
+ * that determines the trace bytes (see benchmarkTraceCacheKey() in
+ * src/synth, which hashes the generator version, the full benchmark
+ * profile, the scaled event count, the seed and the
+ * emit-conditionals flag). A configuration change therefore changes
+ * the key and misses cleanly; stale entries are never consulted and
+ * the directory can be deleted at any time.
+ *
+ * Writes go through the shared tmp+fsync+atomic-rename path, so
+ * concurrent producers and a crash mid-store can never leave a
+ * truncated entry behind; a corrupt entry (torn by external
+ * interference) fails the binary reader's validation and is treated
+ * as a miss. See docs/PERFORMANCE.md.
+ */
+
+#ifndef IBP_TRACE_TRACE_CACHE_HH
+#define IBP_TRACE_TRACE_CACHE_HH
+
+#include <string>
+
+#include "robust/error.hh"
+#include "trace/trace.hh"
+
+namespace ibp {
+
+class TraceCache
+{
+  public:
+    /** Default directory used by `--trace-cache` with no value. */
+    static constexpr const char *kDefaultDirectory = "out/trace-cache";
+
+    explicit TraceCache(std::string directory);
+
+    /**
+     * The process-wide cache, armed from the IBP_TRACE_CACHE
+     * environment variable (its value is the cache directory) on
+     * first use, or by configureGlobal(). nullptr when disabled.
+     */
+    static TraceCache *global();
+
+    /**
+     * Re-point the process-wide cache at @p directory ("" disables).
+     * Not thread-safe against concurrent global() users; call from
+     * startup or single-threaded test setup only.
+     */
+    static void configureGlobal(const std::string &directory);
+
+    const std::string &directory() const { return _directory; }
+
+    /** File an entry for @p key lives in: `<dir>/<key>.ibpt`. */
+    std::string pathFor(const std::string &key) const;
+
+    /**
+     * Load the entry for @p key. A missing, truncated, or otherwise
+     * malformed entry is a permanent RunError - callers treat any
+     * error as a cache miss and regenerate.
+     */
+    Result<Trace> load(const std::string &key) const;
+
+    /**
+     * Durably store @p trace under @p key (tmp+fsync+rename; the
+     * directory is created if needed). Failures are reported, not
+     * fatal: a full disk degrades the cache, never the run.
+     */
+    Result<void> store(const std::string &key,
+                       const Trace &trace) const;
+
+  private:
+    std::string _directory;
+};
+
+} // namespace ibp
+
+#endif // IBP_TRACE_TRACE_CACHE_HH

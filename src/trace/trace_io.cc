@@ -1,10 +1,13 @@
 #include "trace/trace_io.hh"
 
 #include <array>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
+#include <new>
 #include <ostream>
 #include <sstream>
 
@@ -109,10 +112,35 @@ readTraceBinaryOrThrow(std::istream &in)
     if (!in)
         badTrace("truncated binary trace");
     const std::uint64_t count = readU64(in);
+    // The count comes straight from the file, so validate it against
+    // the bytes actually left in the stream before reserve() turns a
+    // corrupt header into a multi-exabyte allocation. Each record is
+    // 9 bytes on disk (pc + target + flags).
+    constexpr std::uint64_t record_bytes = 9;
+    const auto body_start = in.tellg();
+    if (body_start != std::istream::pos_type(-1)) {
+        in.seekg(0, std::ios::end);
+        const auto stream_end = in.tellg();
+        in.seekg(body_start);
+        if (stream_end != std::istream::pos_type(-1) &&
+            count > static_cast<std::uint64_t>(
+                        stream_end - body_start) /
+                        record_bytes) {
+            badTrace("trace record count " + std::to_string(count) +
+                     " exceeds the bytes remaining in the stream");
+        }
+    }
 
     Trace trace(name);
     trace.setSeed(seed);
-    trace.reserve(count);
+    try {
+        trace.reserve(count);
+    } catch (const std::bad_alloc &) {
+        // Unseekable streams skip the size check above; a count too
+        // large to reserve is still corrupt input, not an abort.
+        badTrace("trace record count " + std::to_string(count) +
+                 " is too large to allocate");
+    }
     for (std::uint64_t i = 0; i < count; ++i) {
         BranchRecord record;
         record.pc = readU32(in);
@@ -127,16 +155,24 @@ readTraceBinaryOrThrow(std::istream &in)
     return trace;
 }
 
-/** strtoul wrapper that rejects garbage instead of throwing or
- * silently parsing a prefix. */
+/** strtoull wrapper that rejects garbage instead of throwing or
+ * silently parsing a prefix, and rejects values that do not fit an
+ * Addr instead of truncating them to a different address. */
 Addr
 parseAddr(const std::string &text, std::uint64_t line_no)
 {
     char *end = nullptr;
-    const unsigned long value = std::strtoul(text.c_str(), &end, 0);
+    errno = 0;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 0);
     if (end == text.c_str() || *end != '\0') {
         badTrace("malformed address '" + text + "' on text trace line " +
                  std::to_string(line_no));
+    }
+    if (errno == ERANGE ||
+        value > std::numeric_limits<Addr>::max()) {
+        badTrace("address '" + text + "' out of range on text trace "
+                 "line " + std::to_string(line_no));
     }
     return static_cast<Addr>(value);
 }
@@ -156,9 +192,14 @@ readTraceTextOrThrow(std::istream &in)
             std::string key;
             meta >> key;
             if (key == "name") {
+                // The writer emits the full name, which may contain
+                // spaces; take the rest of the line, not one token.
                 std::string name;
-                meta >> name;
-                trace.setName(name);
+                std::getline(meta, name);
+                const auto start = name.find_first_not_of(' ');
+                trace.setName(start == std::string::npos
+                                  ? ""
+                                  : name.substr(start));
             } else if (key == "seed") {
                 std::uint64_t seed = 0;
                 meta >> seed;
@@ -215,6 +256,11 @@ readTraceBinary(std::istream &in)
         return readTraceBinaryOrThrow(in);
     } catch (const RunException &exception) {
         return exception.error();
+    } catch (const std::bad_alloc &) {
+        // A corrupt input must never escape the Result boundary as
+        // an allocation failure and abort the process.
+        return RunError::permanent(
+            "out of memory reading binary trace");
     }
 }
 
@@ -241,6 +287,9 @@ readTraceText(std::istream &in)
         return readTraceTextOrThrow(in);
     } catch (const RunException &exception) {
         return exception.error();
+    } catch (const std::bad_alloc &) {
+        return RunError::permanent(
+            "out of memory reading text trace");
     }
 }
 

@@ -248,18 +248,27 @@ TEST_F(FaultToleranceTest, PartialCheckpointOnlySkipsJournalledCells)
               reference.get("btb", "self"));
 }
 
-TEST_F(FaultToleranceTest, SimulateHonoursCancellationFlag)
+/** Enough records to comfortably cross the cancellation poll period. */
+Trace
+longTrace(const std::string &name)
 {
-    // Comfortably more records than the poll period.
-    Trace trace("cancel-me");
+    Trace trace(name);
     for (unsigned i = 0; i < 40000; ++i) {
         trace.append({0x1000 + (i % 64) * 4, 0x2000 + (i % 8) * 16,
                       BranchKind::IndirectCall, true});
     }
+    return trace;
+}
+
+TEST_F(FaultToleranceTest, SimulateHonoursCancellationToken)
+{
+    const Trace trace = longTrace("cancel-me");
     BtbPredictor predictor(TableSpec::unconstrained(), true);
-    std::atomic<bool> cancel{true};
+    CancelToken token;
+    token.armed = 1;
+    token.requested.store(1);
     SimOptions options;
-    options.cancel = &cancel;
+    options.cancel = &token;
     try {
         simulate(predictor, trace, options);
         FAIL() << "cancelled simulation completed";
@@ -268,6 +277,35 @@ TEST_F(FaultToleranceTest, SimulateHonoursCancellationFlag)
         EXPECT_NE(exception.error().message.find("watchdog"),
                   std::string::npos);
     }
+}
+
+TEST_F(FaultToleranceTest, StaleCancelRequestDoesNotKillNextAttempt)
+{
+    // Regression test for the stale-cancel race: the watchdog decides
+    // to cancel attempt N, but its request lands after the worker has
+    // already finished N and armed attempt N+1. With the old plain
+    // cancel flag that request killed the healthy new attempt; the
+    // epoch-tagged token must ignore it because it names a dead
+    // epoch.
+    const Trace trace = longTrace("stale-cancel");
+    BtbPredictor predictor(TableSpec::unconstrained(), true);
+    CancelToken token;
+    token.armed = 2;           // attempt N+1 is running...
+    token.requested.store(1);  // ...the request targets attempt N.
+    EXPECT_FALSE(token.cancelled());
+    SimOptions options;
+    options.cancel = &token;
+    EXPECT_NO_THROW(simulate(predictor, trace, options));
+
+    // A request that names the running epoch still cancels it.
+    token.requested.store(2);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_THROW(simulate(predictor, trace, options), RunException);
+
+    // An idle token (nothing armed) never reports cancelled, no
+    // matter what stale request it carries.
+    token.armed = 0;
+    EXPECT_FALSE(token.cancelled());
 }
 
 TEST_F(FaultToleranceTest, WatchdogCancelsOverDeadlineCells)

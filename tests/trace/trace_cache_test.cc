@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the content-addressed on-disk trace cache: store/load
+ * round trips, miss behaviour on absent and corrupt entries, key
+ * sensitivity of the producer-side hash, and the global arming
+ * switch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "synth/benchmark_suite.hh"
+#include "trace/trace_cache.hh"
+
+namespace ibp {
+namespace {
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _dir = testing::TempDir() + "/ibp_trace_cache_test";
+        std::filesystem::remove_all(_dir);
+    }
+    void
+    TearDown() override
+    {
+        TraceCache::configureGlobal("");
+        std::filesystem::remove_all(_dir);
+    }
+
+    std::string _dir;
+};
+
+Trace
+sampleTrace(const std::string &name)
+{
+    Trace trace(name);
+    trace.setSeed(42);
+    trace.append({0x1000, 0x2000, BranchKind::IndirectCall, true});
+    trace.append({0x1004, 0x3000, BranchKind::IndirectJump, true});
+    return trace;
+}
+
+TEST_F(TraceCacheTest, StoreThenLoadRoundTrips)
+{
+    const TraceCache cache(_dir);
+    const Trace original = sampleTrace("bench");
+    ASSERT_TRUE(cache.store("bench-abc123", original).ok());
+    const auto loaded = cache.load("bench-abc123");
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value(), original);
+    EXPECT_EQ(loaded.value().name(), "bench");
+    EXPECT_EQ(loaded.value().seed(), 42u);
+}
+
+TEST_F(TraceCacheTest, StoreIsByteIdenticalAcrossCalls)
+{
+    const TraceCache cache(_dir);
+    const Trace original = sampleTrace("bench");
+    ASSERT_TRUE(cache.store("k", original).ok());
+    std::ifstream first_file(cache.pathFor("k"), std::ios::binary);
+    const std::string first(
+        (std::istreambuf_iterator<char>(first_file)),
+        std::istreambuf_iterator<char>());
+    ASSERT_TRUE(cache.store("k", original).ok());
+    std::ifstream second_file(cache.pathFor("k"), std::ios::binary);
+    const std::string second(
+        (std::istreambuf_iterator<char>(second_file)),
+        std::istreambuf_iterator<char>());
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(TraceCacheTest, AbsentEntryIsAMiss)
+{
+    const TraceCache cache(_dir);
+    EXPECT_FALSE(cache.load("never-stored").ok());
+}
+
+TEST_F(TraceCacheTest, CorruptEntryIsAMissNotACrash)
+{
+    const TraceCache cache(_dir);
+    ASSERT_TRUE(cache.store("k", sampleTrace("bench")).ok());
+    // Truncate the entry as external interference would.
+    std::filesystem::resize_file(cache.pathFor("k"), 10);
+    EXPECT_FALSE(cache.load("k").ok());
+}
+
+TEST_F(TraceCacheTest, StoreLeavesNoTempFileBehind)
+{
+    const TraceCache cache(_dir);
+    ASSERT_TRUE(cache.store("k", sampleTrace("bench")).ok());
+    unsigned files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(_dir)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST_F(TraceCacheTest, GlobalConfigureArmsAndDisarms)
+{
+    TraceCache::configureGlobal(_dir);
+    ASSERT_NE(TraceCache::global(), nullptr);
+    EXPECT_EQ(TraceCache::global()->directory(), _dir);
+    TraceCache::configureGlobal("");
+    EXPECT_EQ(TraceCache::global(), nullptr);
+}
+
+TEST(TraceCacheKey, DistinguishesEveryInput)
+{
+    // The key is the content address: benchmarks, the conditional
+    // flag, and the event scale must all produce distinct keys, and
+    // the same configuration must reproduce the same key.
+    setenv("IBP_EVENTS", "0.05", 1);
+    const std::string base = benchmarkTraceCacheKey("idl", false);
+    EXPECT_EQ(benchmarkTraceCacheKey("idl", false), base);
+    EXPECT_EQ(base.rfind("idl-", 0), 0u)
+        << "key should start with the benchmark name: " << base;
+    EXPECT_NE(benchmarkTraceCacheKey("idl", true), base);
+    EXPECT_NE(benchmarkTraceCacheKey("self", false), base);
+    const std::string self_key = benchmarkTraceCacheKey("self", false);
+    EXPECT_NE(benchmarkTraceCacheKey("self", true), self_key);
+
+    setenv("IBP_EVENTS", "0.10", 1);
+    EXPECT_NE(benchmarkTraceCacheKey("idl", false), base)
+        << "a different event scale must change the key";
+    unsetenv("IBP_EVENTS");
+}
+
+} // namespace
+} // namespace ibp

@@ -94,6 +94,38 @@ TEST(TraceMalformed, ImplausibleNameLengthIsAnError)
     ASSERT_FALSE(result.ok());
 }
 
+TEST(TraceMalformed, HugeRecordCountIsAnErrorNotAnAllocation)
+{
+    // Regression test: the record count is attacker-controlled input
+    // and used to reach reserve() unvalidated, so a corrupt header
+    // could demand a multi-exabyte allocation and abort the process.
+    // It must be rejected against the bytes actually remaining.
+    std::string bytes = validBinaryTrace();
+    // Count field sits after magic (4) + version (4) + seed (8) +
+    // name length (4) + name ("sample", 6 bytes).
+    const std::size_t count_at = 26;
+    for (std::size_t i = 0; i < 8; ++i)
+        bytes[count_at + i] = static_cast<char>(0xff);
+    const auto result = readBinary(bytes);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind, ErrorKind::Permanent);
+    EXPECT_NE(result.error().message.find("exceeds"),
+              std::string::npos);
+}
+
+TEST(TraceMalformed, CountLargerThanBodyIsAnError)
+{
+    // Off-by-one flavour: claiming even one more record than the
+    // stream holds must fail up front, not mid-parse.
+    std::string bytes = validBinaryTrace();
+    const std::size_t count_at = 26;
+    bytes[count_at] = 3; // file holds 2 records
+    const auto result = readBinary(bytes);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("exceeds"),
+              std::string::npos);
+}
+
 TEST(TraceMalformed, GarbageTextLineIsAnError)
 {
     std::istringstream in("icall 0x10 0x20 1\nthis is not a record\n");
@@ -111,6 +143,38 @@ TEST(TraceMalformed, NonNumericAddressIsAnError)
     ASSERT_FALSE(result.ok());
     EXPECT_NE(result.error().message.find("malformed address"),
               std::string::npos);
+}
+
+TEST(TraceMalformed, OversizedAddressIsAnErrorNotATruncation)
+{
+    // Regression test: strtoull's ERANGE went unchecked and values
+    // wider than Addr were silently truncated, so a 33-bit address
+    // used to alias a different 32-bit one instead of failing.
+    std::istringstream in("icall 0x1ffffffff 0x20 1\n");
+    const auto result = readTraceText(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("out of range"),
+              std::string::npos);
+}
+
+TEST(TraceMalformed, ErangeAddressIsAnError)
+{
+    // Wider than unsigned long long itself: strtoull reports ERANGE
+    // and clamps to ULLONG_MAX, which must not parse either.
+    std::istringstream in(
+        "icall 0xffffffffffffffffffff 0x20 1\n");
+    const auto result = readTraceText(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("out of range"),
+              std::string::npos);
+}
+
+TEST(TraceMalformed, MaxAddressStillParses)
+{
+    std::istringstream in("icall 0xffffffff 0x20 1\n");
+    const auto result = readTraceText(in);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value()[0].pc, 0xffffffffu);
 }
 
 TEST(TraceMalformed, UnknownKindNameIsAnError)

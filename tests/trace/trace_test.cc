@@ -98,6 +98,20 @@ TEST(TraceIo, TextReaderSkipsBlankLinesAndComments)
     EXPECT_EQ(trace[0].target, 0x20u);
 }
 
+TEST(TraceIo, TextRoundTripPreservesNameWithSpaces)
+{
+    // Regression test: the text reader used `meta >> name`, which
+    // stops at the first space, so "SPEC95 gcc -O2" came back as
+    // "SPEC95" and the round trip silently renamed the trace.
+    Trace original("SPEC95 gcc -O2");
+    original.append({0x10, 0x20, BranchKind::IndirectCall, true});
+    std::stringstream buffer;
+    ASSERT_TRUE(writeTraceText(original, buffer).ok());
+    const Trace loaded = readTraceText(buffer).value();
+    EXPECT_EQ(loaded.name(), "SPEC95 gcc -O2");
+    EXPECT_EQ(loaded, original);
+}
+
 TEST(TraceIo, BinaryRoundTripOfEmptyTrace)
 {
     Trace empty("nothing");

@@ -21,6 +21,10 @@
  *   --allow-partial       accept a fresh artifact that records
  *                         failed cells (by default a partial run
  *                         fails the gate; see docs/ROBUSTNESS.md)
+ *   --require-cached      fail unless the fresh artifact shows that
+ *                         every trace came from the trace cache
+ *                         (zero generator runs; the CI cache-smoke
+ *                         job uses this, see docs/PERFORMANCE.md)
  *
  * Exits 0 when the fresh artifact is within tolerance, 1 on a
  * regression or unreadable artifact, 2 on usage errors. See
@@ -48,7 +52,8 @@ usage(const char *argv0, int code)
         stderr,
         "usage: %s FRESH.json BASELINE.json [--abs=X] [--rel=Y]\n"
         "          [--min-throughput=B] [--throughput-ratio=R]\n"
-        "          [--no-manifest] [--allow-partial]\n",
+        "          [--no-manifest] [--allow-partial]\n"
+        "          [--require-cached]\n",
         argv0);
     std::exit(code);
 }
@@ -72,6 +77,7 @@ int
 main(int argc, char **argv)
 {
     DiffOptions options;
+    bool require_cached = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
@@ -90,6 +96,8 @@ main(int argc, char **argv)
             options.checkManifest = false;
         } else if (arg == "--allow-partial") {
             options.allowPartial = true;
+        } else if (arg == "--require-cached") {
+            require_cached = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
             usage(argv[0], 2);
@@ -116,6 +124,29 @@ main(int argc, char **argv)
     }
     const RunArtifact &fresh = fresh_result.value();
     const RunArtifact &baseline = baseline_result.value();
+
+    if (require_cached) {
+        // The warm-run gate: the artifact must prove the run touched
+        // the trace cache and never the generator.
+        if (!fresh.metrics.hasTraceSource()) {
+            std::fprintf(stderr,
+                         "--require-cached: %s records no trace-source "
+                         "telemetry (run with --trace-cache)\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        if (fresh.metrics.tracesGenerated() != 0 ||
+            fresh.metrics.traceCacheHits() == 0) {
+            std::fprintf(stderr,
+                         "--require-cached: %s generated %u trace(s) "
+                         "and hit the cache %u time(s); expected a "
+                         "fully warm cache\n",
+                         paths[0].c_str(),
+                         fresh.metrics.tracesGenerated(),
+                         fresh.metrics.traceCacheHits());
+            return 1;
+        }
+    }
 
     const DiffReport report =
         diffArtifacts(fresh, baseline, options);
