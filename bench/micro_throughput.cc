@@ -1,19 +1,40 @@
 /**
  * @file
- * Google-benchmark microbenchmarks: simulation throughput of each
- * predictor family (one predict() + update() pair per iteration,
- * driven by a real synthetic trace). Not a paper experiment - this
- * guards the simulation engine's performance, which bounds how large
- * the reproduction sweeps can be.
+ * Simulation-engine throughput benchmarks. Two modes:
+ *
+ *  - Default: google-benchmark microbenchmarks (one predict() +
+ *    update() pair per iteration, driven by a real synthetic trace),
+ *    for interactive profiling of each predictor family.
+ *
+ *  - Artifact mode (any --json=DIR argument): measures whole-cell
+ *    simulate() throughput of a Figure-18-style predictor mix twice -
+ *    once with the flat-table implementation and once with the
+ *    retained std::unordered_map reference tables (see
+ *    core/table_spec.hh) - and writes a BENCH_micro run artifact.
+ *    Only the flat cells are recorded into the telemetry, so the
+ *    artifact's branches_per_second is the flat-table aggregate and
+ *    CI can hold it to a floor with report_diff --min-throughput;
+ *    the emitted table carries both sides plus the speedup.
+ *
+ * Not a paper experiment - this guards the simulation engine's
+ * performance, which bounds how large the reproduction sweeps can be.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/btb.hh"
 #include "core/factory.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
 #include "synth/benchmark_suite.hh"
+#include "util/format.hh"
 
 namespace {
 
@@ -103,6 +124,150 @@ BM_Hybrid(benchmark::State &state)
 }
 BENCHMARK(BM_Hybrid);
 
+// ---------------------------------------------------------------
+// Artifact mode: flat vs reference whole-cell throughput.
+
+struct MixCell
+{
+    const char *label;
+    std::function<std::unique_ptr<ibp::IndirectPredictor>()> make;
+};
+
+/** The Figure-18 organisations at 4K entries plus BTB and hybrid. */
+std::vector<MixCell>
+fig18Mix()
+{
+    using namespace ibp;
+    return {
+        {"btb",
+         [] {
+             return std::make_unique<BtbPredictor>(
+                 TableSpec::fullyAssoc(4096), true);
+         }},
+        {"unconstrained",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 unconstrainedTwoLevel(6));
+         }},
+        {"tagless",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 paperTwoLevel(3, TableSpec::tagless(4096)));
+         }},
+        {"assoc4",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 paperTwoLevel(3, TableSpec::setAssoc(4096, 4)));
+         }},
+        {"fullassoc",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 paperTwoLevel(3, TableSpec::fullyAssoc(4096)));
+         }},
+        {"hybrid",
+         [] {
+             return std::make_unique<HybridPredictor>(paperHybrid(
+                 3, 1, TableSpec::setAssoc(2048, 4)));
+         }},
+    };
+}
+
+/**
+ * Best-of-@p reps whole-cell simulate() run under the current table
+ * implementation. Fresh predictor per rep (cold tables every time,
+ * like a real sweep cell); best rather than mean discards scheduler
+ * noise.
+ */
+ibp::SimResult
+bestOf(const MixCell &cell, unsigned reps)
+{
+    ibp::SimResult best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        auto predictor = cell.make();
+        const ibp::SimResult result =
+            ibp::simulate(*predictor, benchTrace());
+        if (rep == 0 || result.seconds < best.seconds)
+            best = result;
+    }
+    return best;
+}
+
+int
+artifactMain(int argc, char **argv)
+{
+    using namespace ibp;
+    return runExperiment(
+        "BENCH_micro",
+        "Simulation throughput: flat tables vs reference",
+        argc, argv, [](ExperimentContext &context) {
+            const unsigned reps = context.quick() ? 2 : 3;
+            const TableImpl initial = tableImplementation();
+            const auto mix = fig18Mix();
+
+            ResultTable table(
+                "Whole-cell throughput on porky-100k (Mbranches/s)",
+                "predictor");
+            table.addColumn("flat");
+            table.addColumn("reference");
+            table.addColumn("speedup");
+
+            double flat_seconds = 0.0;
+            double reference_seconds = 0.0;
+            for (const MixCell &cell : mix) {
+                setTableImplementation(TableImpl::Reference);
+                const SimResult reference = bestOf(cell, reps);
+                setTableImplementation(TableImpl::Flat);
+                const SimResult flat = bestOf(cell, reps);
+
+                const double flat_rate =
+                    static_cast<double>(flat.branches) /
+                    flat.seconds / 1e6;
+                const double reference_rate =
+                    static_cast<double>(reference.branches) /
+                    reference.seconds / 1e6;
+                table.set(cell.label, "flat", flat_rate);
+                table.set(cell.label, "reference", reference_rate);
+                table.set(cell.label, "speedup",
+                          flat_rate / reference_rate);
+
+                // Only the flat side lands in the telemetry: the
+                // artifact's branches_per_second is then the flat
+                // aggregate, which the CI throughput floor gates.
+                context.metrics().recordCell(
+                    CellMetrics{cell.label, "porky-100k",
+                                flat.branches, flat.seconds,
+                                flat.tableOccupancy,
+                                flat.tableCapacity});
+                flat_seconds += flat.seconds;
+                reference_seconds += reference.seconds;
+            }
+            context.metrics().recordRunWindow(flat_seconds);
+            setTableImplementation(initial);
+
+            context.emit(table);
+            context.note(
+                "Aggregate flat speedup over the mix: " +
+                formatFixed(reference_seconds /
+                                std::max(flat_seconds, 1e-12),
+                            2) +
+                "x (best-of-" + std::to_string(reps) +
+                " per cell, cold predictor per rep).");
+        });
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]).rfind("--json=", 0) == 0)
+            return artifactMain(argc, argv);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,8 +1,10 @@
 #include "core/factory.hh"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
-#include <map>
-#include <sstream>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "robust/error.hh"
@@ -96,70 +98,137 @@ parseTableSpec(const std::string &text)
 
 namespace {
 
-using Options = std::map<std::string, std::string>;
-
-Options
-parseOptions(const std::string &text)
+/**
+ * Predictor-spec options as a small sorted vector of string_view
+ * pairs into the spec text. Sweeps construct thousands of predictors
+ * from specs; the previous std::map<std::string, std::string> paid a
+ * node allocation plus a string copy per option per construction,
+ * all for lookups over a handful of keys. The views stay valid as
+ * long as the spec string a SpecOptions was parsed from (the caller
+ * keeps it alive for the whole construction).
+ */
+class SpecOptions
 {
-    Options options;
-    std::stringstream stream(text);
-    std::string item;
-    while (std::getline(stream, item, ',')) {
-        if (item.empty())
-            continue;
-        const auto eq = item.find('=');
-        if (eq == std::string::npos)
-            badSpec("predictor option '" + item +
-                    "': expected key=value");
-        options[item.substr(0, eq)] = item.substr(eq + 1);
+  public:
+    SpecOptions() = default;
+
+    explicit SpecOptions(std::string_view text)
+    {
+        while (!text.empty()) {
+            const auto comma = text.find(',');
+            const std::string_view item = text.substr(0, comma);
+            text = comma == std::string_view::npos
+                       ? std::string_view{}
+                       : text.substr(comma + 1);
+            if (item.empty())
+                continue;
+            const auto eq = item.find('=');
+            if (eq == std::string_view::npos) {
+                badSpec("predictor option '" + std::string(item) +
+                        "': expected key=value");
+            }
+            set(item.substr(0, eq), item.substr(eq + 1));
+        }
     }
-    return options;
-}
+
+    /** Insert or overwrite (last assignment wins, like map[]=). */
+    void
+    set(std::string_view key, std::string_view value)
+    {
+        const auto it = lowerBound(key);
+        if (it != _entries.end() && it->first == key)
+            it->second = value;
+        else
+            _entries.insert(it, {key, value});
+    }
+
+    const std::string_view *
+    find(std::string_view key) const
+    {
+        const auto it = lowerBound(key);
+        if (it == _entries.end() || it->first != key)
+            return nullptr;
+        return &it->second;
+    }
+
+    std::string_view
+    get(std::string_view key, std::string_view fallback) const
+    {
+        const std::string_view *value = find(key);
+        return value == nullptr ? fallback : *value;
+    }
+
+  private:
+    using Entry = std::pair<std::string_view, std::string_view>;
+
+    std::vector<Entry>::iterator
+    lowerBound(std::string_view key)
+    {
+        return std::lower_bound(
+            _entries.begin(), _entries.end(), key,
+            [](const Entry &entry, std::string_view probe) {
+                return entry.first < probe;
+            });
+    }
+
+    std::vector<Entry>::const_iterator
+    lowerBound(std::string_view key) const
+    {
+        return std::lower_bound(
+            _entries.begin(), _entries.end(), key,
+            [](const Entry &entry, std::string_view probe) {
+                return entry.first < probe;
+            });
+    }
+
+    std::vector<Entry> _entries; // sorted by key
+};
 
 unsigned
-toUnsigned(const Options &options, const std::string &key,
+toUnsigned(const SpecOptions &options, std::string_view key,
            unsigned fallback)
 {
-    const auto it = options.find(key);
-    if (it == options.end())
+    const std::string_view *value = options.find(key);
+    if (value == nullptr)
         return fallback;
-    return static_cast<unsigned>(
-        std::strtoul(it->second.c_str(), nullptr, 10));
+    unsigned parsed = 0;
+    std::from_chars(value->data(), value->data() + value->size(),
+                    parsed);
+    return parsed;
 }
 
-std::string
-toText(const Options &options, const std::string &key,
-       const std::string &fallback)
+std::string_view
+toText(const SpecOptions &options, std::string_view key,
+       std::string_view fallback)
 {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
+    return options.get(key, fallback);
 }
 
 InterleaveKind
-parseInterleave(const std::string &name)
+parseInterleave(std::string_view name)
 {
     if (name == "concat")   return InterleaveKind::Concat;
     if (name == "straight") return InterleaveKind::Straight;
     if (name == "reverse")  return InterleaveKind::Reverse;
     if (name == "pingpong") return InterleaveKind::PingPong;
-    badSpec("unknown interleave kind '" + name + "'");
+    badSpec("unknown interleave kind '" + std::string(name) + "'");
 }
 
 CompressorKind
-parseCompressor(const std::string &name)
+parseCompressor(std::string_view name)
 {
     if (name == "select")   return CompressorKind::BitSelect;
     if (name == "fold")     return CompressorKind::FoldXor;
     if (name == "shiftxor") return CompressorKind::ShiftXor;
-    badSpec("unknown compressor kind '" + name + "'");
+    badSpec("unknown compressor kind '" + std::string(name) + "'");
 }
 
 TwoLevelConfig
-twoLevelFromOptions(const Options &options)
+twoLevelFromOptions(const SpecOptions &options)
 {
-    const std::string table_text =
-        toText(options, "table", "unconstrained");
-    const std::string precision =
+    const std::string table_text(
+        toText(options, "table", "unconstrained"));
+    const std::string_view precision =
         toText(options, "precision",
                table_text == "unconstrained" ? "full" : "limited");
 
@@ -194,14 +263,19 @@ twoLevelFromOptions(const Options &options)
 std::unique_ptr<IndirectPredictor>
 makePredictorFromSpec(const std::string &spec)
 {
+    // The SpecOptions views point into `spec`, which outlives every
+    // use below (the configs copy what they keep).
     const auto colon = spec.find(':');
-    const std::string head = spec.substr(0, colon);
-    const Options options = parseOptions(
-        colon == std::string::npos ? "" : spec.substr(colon + 1));
+    const std::string_view head =
+        std::string_view(spec).substr(0, colon);
+    const SpecOptions options(
+        colon == std::string::npos
+            ? std::string_view{}
+            : std::string_view(spec).substr(colon + 1));
 
     if (head == "btb" || head == "btb2bc") {
-        const TableSpec table =
-            parseTableSpec(toText(options, "table", "unconstrained"));
+        const TableSpec table = parseTableSpec(
+            std::string(toText(options, "table", "unconstrained")));
         return std::make_unique<BtbPredictor>(table, head == "btb2bc");
     }
     if (head == "twolevel") {
@@ -209,10 +283,10 @@ makePredictorFromSpec(const std::string &spec)
             twoLevelFromOptions(options));
     }
     if (head == "hybrid") {
-        Options first = options;
-        Options second = options;
-        first["p"] = toText(options, "p1", "3");
-        second["p"] = toText(options, "p2", "7");
+        SpecOptions first = options;
+        SpecOptions second = options;
+        first.set("p", toText(options, "p1", "3"));
+        second.set("p", toText(options, "p2", "7"));
         HybridConfig config = HybridConfig::twoComponent(
             twoLevelFromOptions(first), twoLevelFromOptions(second));
         config.confidenceBits = toUnsigned(options, "conf", 2);
@@ -220,8 +294,8 @@ makePredictorFromSpec(const std::string &spec)
             config.meta = MetaKind::Selector;
         return std::make_unique<HybridPredictor>(config);
     }
-    badSpec("unknown predictor kind '" + head + "' in spec '" +
-            spec + "'");
+    badSpec("unknown predictor kind '" + std::string(head) +
+            "' in spec '" + spec + "'");
 }
 
 Result<std::unique_ptr<IndirectPredictor>>

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Open-addressing flat hash map shared by every predictor table.
+ *
+ * The paper's design space is a large sweep over table geometries, so
+ * one table probe is the innermost operation of the whole experiment
+ * engine. std::unordered_map pays a node allocation per entry and a
+ * pointer chase per probe; FlatMap stores everything in a single
+ * arena (docs/PERFORMANCE.md):
+ *
+ *  - power-of-two capacity, linear probing on the low hash bits;
+ *  - a one-byte tag per slot (0 = empty, else 0x80 | top 7 hash
+ *    bits), so a probe usually rejects non-matching slots without
+ *    touching the slot array at all;
+ *  - tombstone-free deletion: erase() backward-shifts the cluster
+ *    that follows the hole (Knuth's Algorithm R), so probe distance
+ *    never degrades under erase/insert churn;
+ *  - one allocation per growth holding tag array + slot array,
+ *    rehashed at 7/8 load.
+ *
+ * Slots are stored by value and moved with plain assignment, so both
+ * Key and Value must be trivially copyable and default-constructible
+ * (true for every use: TableEntry, SatCounter, pool indices). Not
+ * thread-safe; the simulator owns one predictor per worker.
+ */
+
+#ifndef IBP_CORE_FLAT_TABLE_HH
+#define IBP_CORE_FLAT_TABLE_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace ibp {
+
+/** Default hasher: SplitMix64 finalizer over an integral key. */
+template <typename K>
+struct FlatHash
+{
+    static_assert(std::is_integral_v<K>,
+                  "FlatHash needs an integral key; pass a hasher");
+
+    std::size_t
+    operator()(const K &key) const
+    {
+        return static_cast<std::size_t>(
+            mix64(static_cast<std::uint64_t>(key)));
+    }
+};
+
+template <typename K, typename V, typename Hasher = FlatHash<K>>
+class FlatMap
+{
+    struct Slot
+    {
+        K key{};
+        V value{};
+    };
+
+  public:
+    FlatMap() = default;
+
+    FlatMap(const FlatMap &other) { *this = other; }
+
+    FlatMap &
+    operator=(const FlatMap &other)
+    {
+        if (this == &other)
+            return *this;
+        _hasher = other._hasher;
+        if (other._capacity == 0) {
+            _arena.reset();
+            _tags = nullptr;
+            _slots = nullptr;
+            _capacity = 0;
+            _mask = 0;
+            _size = 0;
+            return *this;
+        }
+        allocate(other._capacity);
+        std::memcpy(_tags, other._tags, _capacity);
+        std::memcpy(static_cast<void *>(_slots), other._slots,
+                    _capacity * sizeof(Slot));
+        _size = other._size;
+        return *this;
+    }
+
+    FlatMap(FlatMap &&other) noexcept { swap(other); }
+
+    FlatMap &
+    operator=(FlatMap &&other) noexcept
+    {
+        swap(other);
+        return *this;
+    }
+
+    void
+    swap(FlatMap &other) noexcept
+    {
+        std::swap(_arena, other._arena);
+        std::swap(_tags, other._tags);
+        std::swap(_slots, other._slots);
+        std::swap(_capacity, other._capacity);
+        std::swap(_mask, other._mask);
+        std::swap(_size, other._size);
+        std::swap(_hasher, other._hasher);
+    }
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    std::size_t capacity() const { return _capacity; }
+
+    /** Drop all entries; keeps the arena for reuse. */
+    void
+    clear()
+    {
+        // Stale slot payloads behind a zero tag are never compared,
+        // so clearing the tag array alone empties the map.
+        if (_capacity != 0)
+            std::memset(_tags, 0, _capacity);
+        _size = 0;
+    }
+
+    /** Pre-size so @p count entries fit without rehashing. */
+    void
+    reserve(std::size_t count)
+    {
+        if (count == 0)
+            return;
+        // Invert the 7/8 load ceiling, then round up to a power of
+        // two no smaller than the minimum capacity.
+        const std::size_t needed =
+            std::bit_ceil(count + count / 7 + 1);
+        if (needed > _capacity)
+            rehash(std::max(needed, kMinCapacity));
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        if (_size == 0)
+            return nullptr;
+        const std::size_t hash = _hasher(key);
+        const std::uint8_t tag = tagFor(hash);
+        std::size_t index = hash & _mask;
+        while (true) {
+            const std::uint8_t t = _tags[index];
+            if (t == kEmptyTag)
+                return nullptr;
+            if (t == tag && _slots[index].key == key)
+                return &_slots[index].value;
+            index = (index + 1) & _mask;
+        }
+    }
+
+    V *
+    find(const K &key)
+    {
+        return const_cast<V *>(
+            static_cast<const FlatMap *>(this)->find(key));
+    }
+
+    bool contains(const K &key) const { return find(key) != nullptr; }
+
+    /**
+     * Find the entry for @p key, default-constructing it if absent
+     * (the try_emplace of this container). The returned reference is
+     * valid until the next insert or erase.
+     */
+    V &
+    findOrInsert(const K &key, bool &inserted)
+    {
+        if (_capacity == 0 || (_size + 1) * 8 > _capacity * 7)
+            rehash(_capacity == 0 ? kMinCapacity : _capacity * 2);
+        const std::size_t hash = _hasher(key);
+        const std::uint8_t tag = tagFor(hash);
+        std::size_t index = hash & _mask;
+        while (true) {
+            const std::uint8_t t = _tags[index];
+            if (t == kEmptyTag) {
+                _tags[index] = tag;
+                Slot &slot = _slots[index];
+                slot.key = key;
+                slot.value = V{};
+                ++_size;
+                inserted = true;
+                return slot.value;
+            }
+            if (t == tag && _slots[index].key == key) {
+                inserted = false;
+                return _slots[index].value;
+            }
+            index = (index + 1) & _mask;
+        }
+    }
+
+    /** Remove @p key; false when absent. Never leaves tombstones. */
+    bool
+    erase(const K &key)
+    {
+        if (_size == 0)
+            return false;
+        const std::size_t hash = _hasher(key);
+        const std::uint8_t tag = tagFor(hash);
+        std::size_t index = hash & _mask;
+        while (true) {
+            const std::uint8_t t = _tags[index];
+            if (t == kEmptyTag)
+                return false;
+            if (t == tag && _slots[index].key == key)
+                break;
+            index = (index + 1) & _mask;
+        }
+        backwardShift(index);
+        return true;
+    }
+
+    /** Visit every (key, value) pair, in unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < _capacity; ++i) {
+            if (_tags[i] != kEmptyTag)
+                fn(_slots[i].key, _slots[i].value);
+        }
+    }
+
+  private:
+    static constexpr std::uint8_t kEmptyTag = 0;
+    static constexpr std::size_t kMinCapacity = 16;
+
+    static std::uint8_t
+    tagFor(std::size_t hash)
+    {
+        // Top 7 hash bits, disjoint from the low index bits; the
+        // high bit keeps any real tag distinct from kEmptyTag.
+        return static_cast<std::uint8_t>(
+            0x80u | (hash >> (sizeof(std::size_t) * 8 - 7)));
+    }
+
+    void
+    allocate(std::size_t capacity)
+    {
+        // Checked here rather than at class scope so FlatMap members
+        // of a class whose nested value type is still incomplete at
+        // the member declaration (NSDMIs unparsed) still work.
+        static_assert(std::is_trivially_copyable_v<Slot>,
+                      "FlatMap slots are moved by assignment");
+        static_assert(std::is_trivially_destructible_v<Slot>,
+                      "FlatMap never runs slot destructors");
+        static_assert(std::is_default_constructible_v<Slot>,
+                      "FlatMap inserts default-constructed values");
+        IBP_ASSERT(isPowerOfTwo(capacity),
+                   "flat-map capacity %zu not a power of two",
+                   capacity);
+        static_assert(alignof(Slot) <= alignof(std::max_align_t),
+                      "arena relies on operator new[] alignment");
+        const std::size_t slots_offset =
+            (capacity + alignof(Slot) - 1) & ~(alignof(Slot) - 1);
+        _arena = std::make_unique_for_overwrite<std::byte[]>(
+            slots_offset + capacity * sizeof(Slot));
+        _tags = reinterpret_cast<std::uint8_t *>(_arena.get());
+        std::memset(_tags, 0, capacity);
+        _slots = reinterpret_cast<Slot *>(_arena.get() + slots_offset);
+        for (std::size_t i = 0; i < capacity; ++i)
+            new (&_slots[i]) Slot();
+        _capacity = capacity;
+        _mask = capacity - 1;
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::unique_ptr<std::byte[]> old_arena = std::move(_arena);
+        const std::uint8_t *old_tags = _tags;
+        const Slot *old_slots = _slots;
+        const std::size_t old_capacity = _capacity;
+        allocate(new_capacity);
+        _size = 0;
+        for (std::size_t i = 0; i < old_capacity; ++i) {
+            if (old_tags[i] != kEmptyTag)
+                insertFresh(old_slots[i]);
+        }
+    }
+
+    /** Insert a slot known to be absent (rehash path). */
+    void
+    insertFresh(const Slot &slot)
+    {
+        const std::size_t hash = _hasher(slot.key);
+        std::size_t index = hash & _mask;
+        while (_tags[index] != kEmptyTag)
+            index = (index + 1) & _mask;
+        _tags[index] = tagFor(hash);
+        _slots[index] = slot;
+        ++_size;
+    }
+
+    /**
+     * Close the hole at @p hole by shifting the following cluster
+     * back. An entry at j whose home slot lies cyclically in
+     * (hole, j] must stay put (it would become unreachable in front
+     * of its home); everything else slides into the hole.
+     */
+    void
+    backwardShift(std::size_t hole)
+    {
+        std::size_t i = hole;
+        std::size_t j = hole;
+        while (true) {
+            j = (j + 1) & _mask;
+            if (_tags[j] == kEmptyTag)
+                break;
+            const std::size_t home = _hasher(_slots[j].key) & _mask;
+            const bool stays = i <= j ? (home > i && home <= j)
+                                      : (home > i || home <= j);
+            if (!stays) {
+                _slots[i] = _slots[j];
+                _tags[i] = _tags[j];
+                i = j;
+            }
+        }
+        _tags[i] = kEmptyTag;
+        --_size;
+    }
+
+    std::unique_ptr<std::byte[]> _arena;
+    std::uint8_t *_tags = nullptr;
+    Slot *_slots = nullptr;
+    std::size_t _capacity = 0;
+    std::size_t _mask = 0;
+    std::size_t _size = 0;
+    [[no_unique_address]] Hasher _hasher{};
+};
+
+} // namespace ibp
+
+#endif // IBP_CORE_FLAT_TABLE_HH

@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/flat_table.hh"
+#include "core/table_spec.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -47,7 +49,13 @@ class HistoryBuffer
     at(unsigned i) const
     {
         IBP_ASSERT(i < depth(), "history index %u depth %u", i, depth());
-        return _targets[(_head + i) % depth()];
+        // _head and i are both < depth, so one conditional subtract
+        // replaces the modulo (depth is rarely a power of two, so
+        // the division was real work in the per-branch key build).
+        unsigned index = _head + i;
+        if (index >= depth())
+            index -= depth();
+        return _targets[index];
     }
 
     /** Shift in a new most-recent target. */
@@ -56,7 +64,7 @@ class HistoryBuffer
     {
         if (_targets.empty())
             return;
-        _head = (_head + depth() - 1) % depth();
+        _head = (_head == 0 ? depth() : _head) - 1;
         _targets[_head] = target;
     }
 
@@ -85,7 +93,9 @@ class HistoryRegister
      * @param sharingBits the paper's s parameter, in [2, 32].
      */
     HistoryRegister(unsigned depth, unsigned sharingBits = 32)
-        : _depth(depth), _sharingBits(sharingBits), _global(depth)
+        : _depth(depth), _sharingBits(sharingBits),
+          _flat(tableImplementation() == TableImpl::Flat),
+          _global(depth)
     {
         IBP_ASSERT(sharingBits >= 2 && sharingBits <= 32,
                    "history sharing s=%u outside [2, 32]", sharingBits);
@@ -122,13 +132,16 @@ class HistoryRegister
     {
         _global.clear();
         _sets.clear();
+        _buffers.clear();
+        _refSets.clear();
+        _memoValid = false;
     }
 
     /** Number of distinct history sets touched so far. */
     std::size_t
     touchedSets() const
     {
-        return isGlobal() ? 1 : _sets.size();
+        return isGlobal() ? 1 : (_flat ? _sets.size() : _refSets.size());
     }
 
   private:
@@ -137,15 +150,45 @@ class HistoryRegister
     {
         if (isGlobal())
             return _global;
-        auto [it, inserted] =
-            _sets.try_emplace(setId(pc), _depth);
-        return it->second;
+        if (!_flat) {
+            // The retained node-based original (the differential
+            // oracle): one unordered_map probe per consultation.
+            auto [it, inserted] =
+                _refSets.try_emplace(setId(pc), _depth);
+            return it->second;
+        }
+        // Flat path: the FlatMap holds pool indices (trivially
+        // copyable), the buffers themselves live in _buffers. A
+        // branch consults its set twice back to back (key build in
+        // predict(), push in update()), so a one-entry memo turns
+        // the second probe into a compare. Pool indices are stable
+        // (buffers are only appended), so the memo survives FlatMap
+        // growth.
+        const std::uint32_t set = setId(pc);
+        if (_memoValid && _memoSet == set)
+            return _buffers[_memoIndex];
+        bool inserted = false;
+        std::uint32_t &slot = _sets.findOrInsert(set, inserted);
+        if (inserted) {
+            slot = static_cast<std::uint32_t>(_buffers.size());
+            _buffers.emplace_back(_depth);
+        }
+        _memoValid = true;
+        _memoSet = set;
+        _memoIndex = slot;
+        return _buffers[_memoIndex];
     }
 
     unsigned _depth;
     unsigned _sharingBits;
+    bool _flat;
+    bool _memoValid = false;
+    std::uint32_t _memoSet = 0;
+    std::uint32_t _memoIndex = 0;
     HistoryBuffer _global;
-    std::unordered_map<std::uint32_t, HistoryBuffer> _sets;
+    FlatMap<std::uint32_t, std::uint32_t> _sets;
+    std::vector<HistoryBuffer> _buffers;
+    std::unordered_map<std::uint32_t, HistoryBuffer> _refSets;
 };
 
 } // namespace ibp

@@ -49,7 +49,8 @@ HybridConfig::twoComponent(const TwoLevelConfig &first,
 }
 
 HybridPredictor::HybridPredictor(const HybridConfig &config)
-    : _config(config)
+    : _config(config),
+      _flatSelector(tableImplementation() == TableImpl::Flat)
 {
     _config.validate();
     for (auto component : _config.components) {
@@ -69,8 +70,13 @@ HybridPredictor::selectorCounter(Addr pc)
 {
     if (!_selectorTable.empty())
         return _selectorTable[(pc >> 2) & (_selectorTable.size() - 1)];
-    auto [it, inserted] = _selectorMap.try_emplace(pc, SatCounter(2));
-    return it->second;
+    if (!_flatSelector) {
+        auto [it, inserted] =
+            _refSelectorMap.try_emplace(pc, SatCounter(2));
+        return it->second;
+    }
+    bool inserted = false;
+    return _selectorMap.findOrInsert(pc, inserted);
 }
 
 Prediction
@@ -153,6 +159,7 @@ HybridPredictor::reset()
     for (auto &counter : _selectorTable)
         counter.reset();
     _selectorMap.clear();
+    _refSelectorMap.clear();
     _cacheValid = false;
     _lastChosen = -1;
 }

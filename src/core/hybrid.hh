@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/flat_table.hh"
 #include "core/predictor.hh"
 #include "core/two_level.hh"
 #include "util/sat_counter.hh"
@@ -97,9 +98,15 @@ class HybridPredictor : public IndirectPredictor
     HybridConfig _config;
     std::vector<std::unique_ptr<TwoLevelPredictor>> _components;
 
-    // Selector-mode state.
+    // Selector-mode state. The unconstrained per-branch map is a
+    // FlatMap: a default-constructed SatCounter is the same 2-bit
+    // zero counter the bounded table is filled with. The reference
+    // implementation keeps the original node map (_flatSelector is
+    // captured at construction from tableImplementation()).
+    bool _flatSelector = true;
     std::vector<SatCounter> _selectorTable;
-    std::unordered_map<Addr, SatCounter> _selectorMap;
+    FlatMap<Addr, SatCounter> _selectorMap;
+    std::unordered_map<Addr, SatCounter> _refSelectorMap;
 
     // predict()/update() pairs share the component predictions.
     bool _cacheValid = false;

@@ -21,6 +21,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/flat_table.hh"
 #include "core/history_register.hh"
 #include "core/pattern.hh"
 #include "util/sat_counter.hh"
@@ -56,7 +57,11 @@ class NextBranchPredictor
 
     void reset();
     std::string name() const;
-    std::size_t entries() const { return _entries.size(); }
+    std::size_t
+    entries() const
+    {
+        return _flat ? _entries.size() : _refEntries.size();
+    }
 
   private:
     struct Entry
@@ -66,10 +71,14 @@ class NextBranchPredictor
         HysteresisBit hysteresis;
     };
 
+    Entry &findOrInsertEntry(const Key &key, bool &inserted);
+
     bool _hysteresis;
+    bool _flat;
     PatternBuilder _builder;
     HistoryRegister _history;
-    std::unordered_map<Key, Entry, KeyHash> _entries;
+    FlatMap<Key, Entry, KeyHash> _entries;
+    std::unordered_map<Key, Entry, KeyHash> _refEntries;
 };
 
 } // namespace ibp

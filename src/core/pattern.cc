@@ -4,6 +4,7 @@
 #include <array>
 #include <sstream>
 
+#include "core/table_spec.hh"
 #include "util/logging.hh"
 
 namespace ibp {
@@ -108,10 +109,85 @@ PatternSpec::describe() const
     return out.str();
 }
 
+namespace {
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define IBP_HAVE_PDEP 1
+#include <immintrin.h>
+
+[[gnu::target("bmi2")]] std::uint64_t
+scatterPdep(std::uint64_t value, std::uint64_t mask)
+{
+    return _pdep_u64(value, mask);
+}
+
+// One CPUID probe per process; BMI2 has been ubiquitous since
+// Haswell but the build stays generic x86-64.
+const bool kHavePdep = __builtin_cpu_supports("bmi2") != 0;
+#endif
+
+/**
+ * Deposit the low bits of @p value into the set bit positions of
+ * @p mask, lowest first (PDEP semantics; hardware PDEP when the CPU
+ * has BMI2). The masks here have at most b bits set, so the
+ * portable loop is short and branch-light.
+ */
+std::uint64_t
+scatterBits(std::uint64_t value, std::uint64_t mask)
+{
+#if defined(IBP_HAVE_PDEP)
+    if (kHavePdep)
+        return scatterPdep(value, mask);
+#endif
+    std::uint64_t out = 0;
+    while (mask != 0) {
+        const std::uint64_t bit = mask & (~mask + 1);
+        if (value & 1)
+            out |= bit;
+        value >>= 1;
+        mask ^= bit;
+    }
+    return out;
+}
+
+} // namespace
+
 PatternBuilder::PatternBuilder(const PatternSpec &spec)
-    : _spec(spec), _bits(spec.resolvedBitsPerTarget())
+    : _spec(spec), _bits(spec.resolvedBitsPerTarget()),
+      _flat(tableImplementation() == TableImpl::Flat)
 {
     _spec.validate();
+
+    // Precompute the round-robin destination masks (see _scatter).
+    // Position j of the pattern takes bit j/p of target
+    // order[j % p]; inverting that per target gives a regular
+    // stride-p scatter starting at the target's slot in the order.
+    if (_spec.precision == PrecisionMode::Limited &&
+        _spec.compressor != CompressorKind::ShiftXor &&
+        _spec.interleave != InterleaveKind::Concat &&
+        _spec.pathLength > 0) {
+        const unsigned p = _spec.pathLength;
+        _scatter.assign(p, 0);
+        for (unsigned q = 0; q < p; ++q) {
+            unsigned target = 0;
+            switch (_spec.interleave) {
+              case InterleaveKind::Straight:
+                target = q;
+                break;
+              case InterleaveKind::Reverse:
+                target = p - 1 - q;
+                break;
+              case InterleaveKind::PingPong:
+                target = (q % 2 == 0) ? q / 2 : p - 1 - q / 2;
+                break;
+              case InterleaveKind::Concat:
+                panic("unreachable interleave kind");
+            }
+            for (unsigned round = 0; round < _bits; ++round)
+                _scatter[target] |= std::uint64_t{1}
+                                    << (q + round * p);
+        }
+    }
 }
 
 std::uint64_t
@@ -132,43 +208,39 @@ PatternBuilder::compressTarget(Addr target) const
 }
 
 std::uint64_t
-PatternBuilder::interleavedPattern(const HistoryBuffer &history) const
+PatternBuilder::referenceInterleavedPattern(
+    const HistoryBuffer &history) const
 {
+    // The retained seed implementation, the differential oracle for
+    // the scatter-mask assembly below: compress every target, then
+    // place the pattern bit by bit with an explicit round/slot
+    // schedule.
     const unsigned p = _spec.pathLength;
     const unsigned total = _bits * p;
 
-    // Compress each of the p most recent targets once.
     std::array<std::uint64_t, 64> compressed{};
     IBP_ASSERT(p <= compressed.size(), "path length %u", p);
     for (unsigned i = 0; i < p; ++i)
         compressed[i] = compressTarget(history.at(i));
 
     if (_spec.interleave == InterleaveKind::Concat) {
-        // Newest target (index 0) in the least-significant bits.
         std::uint64_t pattern = 0;
         for (unsigned i = 0; i < p; ++i)
             pattern |= compressed[i] << (i * _bits);
         return pattern;
     }
 
-    // Round-robin bit assembly (Figure 15). Within each round the
-    // targets contribute one bit each, in scheme order; the pattern is
-    // filled LSB-first, so the ordering decides which targets are
-    // represented most precisely in the low-order (index) bits.
     std::array<unsigned, 64> order{};
     switch (_spec.interleave) {
       case InterleaveKind::Straight:
-        // Most recent targets first (most precise in the index).
         for (unsigned q = 0; q < p; ++q)
             order[q] = q;
         break;
       case InterleaveKind::Reverse:
-        // Oldest targets first.
         for (unsigned q = 0; q < p; ++q)
             order[q] = p - 1 - q;
         break;
       case InterleaveKind::PingPong:
-        // Alternate newest, oldest, second-newest, second-oldest, ...
         for (unsigned q = 0; q < p; ++q)
             order[q] = (q % 2 == 0) ? q / 2 : p - 1 - q / 2;
         break;
@@ -184,6 +256,32 @@ PatternBuilder::interleavedPattern(const HistoryBuffer &history) const
             (compressed[order[slot]] >> round) & 1;
         pattern |= bit << j;
     }
+    return pattern;
+}
+
+std::uint64_t
+PatternBuilder::interleavedPattern(const HistoryBuffer &history) const
+{
+    const unsigned p = _spec.pathLength;
+
+    if (_spec.interleave == InterleaveKind::Concat) {
+        // Newest target (index 0) in the least-significant bits.
+        std::uint64_t pattern = 0;
+        for (unsigned i = 0; i < p; ++i)
+            pattern |= compressTarget(history.at(i)) << (i * _bits);
+        return pattern;
+    }
+
+    // Round-robin bit assembly (Figure 15). Within each round the
+    // targets contribute one bit each, in scheme order; the pattern
+    // is filled LSB-first, so the ordering decides which targets are
+    // represented most precisely in the low-order (index) bits. The
+    // constructor folded the whole schedule into one scatter mask
+    // per target (this runs once per simulated branch).
+    std::uint64_t pattern = 0;
+    for (unsigned i = 0; i < p; ++i)
+        pattern |=
+            scatterBits(compressTarget(history.at(i)), _scatter[i]);
     return pattern;
 }
 
@@ -214,6 +312,8 @@ PatternBuilder::assemblePattern(const HistoryBuffer &history) const
         return 0;
     if (_spec.compressor == CompressorKind::ShiftXor)
         return shiftXorPattern(history);
+    if (!_flat)
+        return referenceInterleavedPattern(history);
     return interleavedPattern(history);
 }
 
@@ -228,8 +328,9 @@ PatternBuilder::buildKey(Addr pc, const HistoryBuffer &history) const
 
     if (_spec.precision == PrecisionMode::Full) {
         // Exact (hashed) key over the address part and the p most
-        // recent full targets.
-        std::array<std::uint64_t, 66> words{};
+        // recent full targets. Only the first `count` words are
+        // written and read, so the array stays uninitialised.
+        std::array<std::uint64_t, 66> words;
         unsigned count = 0;
         if (_spec.includeBranchAddress)
             words[count++] = addr_part;

@@ -14,7 +14,9 @@
 #ifndef IBP_CORE_PATTERN_HH
 #define IBP_CORE_PATTERN_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/history_register.hh"
 #include "core/key.hh"
@@ -145,10 +147,32 @@ class PatternBuilder
 
   private:
     std::uint64_t interleavedPattern(const HistoryBuffer &history) const;
+    std::uint64_t
+    referenceInterleavedPattern(const HistoryBuffer &history) const;
     std::uint64_t shiftXorPattern(const HistoryBuffer &history) const;
 
     PatternSpec _spec;
     unsigned _bits; // resolved bits per target
+
+    /**
+     * Captured from tableImplementation() at construction: the
+     * Reference build keeps the seed's bit-by-bit interleaving
+     * (referenceInterleavedPattern) so the differential tests pin
+     * the precomputed-scatter assembly against the original, and so
+     * the flat-vs-reference throughput comparison measures the whole
+     * per-branch engine rather than table storage alone.
+     */
+    bool _flat;
+
+    /**
+     * Round-robin interleaving, precomputed: _scatter[i] has one bit
+     * set per destination position of target i's compressed bits
+     * (ascending, so depositing bit r of the compressed target into
+     * the r-th set position reproduces the Figure-15 assembly). Built
+     * once per PatternBuilder; the per-branch assembly is then p
+     * bit-scatters instead of b*p divide-and-mask steps.
+     */
+    std::vector<std::uint64_t> _scatter;
 };
 
 } // namespace ibp

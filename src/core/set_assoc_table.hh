@@ -6,11 +6,21 @@
  * bits are stored as the tag. Conflict misses arise when more live
  * patterns index into a set than it has ways. One-way associativity
  * is a direct-mapped tagged table.
+ *
+ * Alongside the full 64-bit tags the table keeps a one-byte tag
+ * digest per way (0 = never-allocated, else 0x80 | 7 hash bits of
+ * the tag) in a contiguous side array, FlatMap-style: a probe scans
+ * the byte array and only dereferences a 32-byte Way on a digest
+ * match, which rejects almost every non-matching way with one cache
+ * line per set. Behaviour is identical to the digest-free
+ * ReferenceSetAssocTable (core/reference_tables.hh) — the full tag
+ * and the valid bit are still what decide a hit.
  */
 
 #ifndef IBP_CORE_SET_ASSOC_TABLE_HH
 #define IBP_CORE_SET_ASSOC_TABLE_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/table.hh"
@@ -51,11 +61,15 @@ class SetAssocTable : public TargetTable
         TableEntry entry;
     };
 
+    static std::uint8_t digestOf(std::uint64_t tag);
+
     unsigned _ways;
     std::uint64_t _sets;
     unsigned _indexBits;
     EntryCounterSpec _counters;
     std::vector<Way> _storage; // _sets * _ways, set-major
+    /** One-byte tag digest per way, same set-major layout. */
+    std::vector<std::uint8_t> _digests;
     std::uint64_t _clock = 0;
 };
 

@@ -6,13 +6,18 @@
  * nothing is ever evicted. Used to measure the intrinsic
  * predictability of indirect branches before resource constraints
  * are introduced.
+ *
+ * Entries live in a FlatMap (open addressing, one arena) instead of
+ * the node-based std::unordered_map the original implementation
+ * used; ReferenceUnconstrainedTable in core/reference_tables.hh
+ * keeps that original, and the differential tests pin the two
+ * bit-identical.
  */
 
 #ifndef IBP_CORE_UNCONSTRAINED_TABLE_HH
 #define IBP_CORE_UNCONSTRAINED_TABLE_HH
 
-#include <unordered_map>
-
+#include "core/flat_table.hh"
 #include "core/table.hh"
 
 namespace ibp {
@@ -28,20 +33,20 @@ class UnconstrainedTable : public TargetTable
     const TableEntry *
     probe(const Key &key) const override
     {
-        const auto it = _entries.find(key);
-        return it == _entries.end() ? nullptr : &it->second;
+        return _entries.find(key);
     }
 
     TableEntry &
     access(const Key &key, bool &replaced) override
     {
-        auto [it, inserted] = _entries.try_emplace(key);
+        bool inserted = false;
+        TableEntry &entry = _entries.findOrInsert(key, inserted);
         if (inserted) {
-            it->second.resetFor(_counters.confidenceBits,
-                                _counters.chosenBits);
+            entry.resetFor(_counters.confidenceBits,
+                           _counters.chosenBits);
         }
         replaced = inserted;
-        return it->second;
+        return entry;
     }
 
     std::uint64_t occupancy() const override { return _entries.size(); }
@@ -51,7 +56,7 @@ class UnconstrainedTable : public TargetTable
 
   private:
     EntryCounterSpec _counters;
-    std::unordered_map<Key, TableEntry, KeyHash> _entries;
+    FlatMap<Key, TableEntry, KeyHash> _entries;
 };
 
 } // namespace ibp

@@ -22,7 +22,10 @@ RunMetrics::operator=(const RunMetrics &other)
     _hasTraceSource = other._hasTraceSource;
     _tracesGenerated = other._tracesGenerated;
     _traceCacheHits = other._traceCacheHits;
+    _traceMmapHits = other._traceMmapHits;
+    _traceStreamHits = other._traceStreamHits;
     _traceSeconds = other._traceSeconds;
+    _tableImpl = other._tableImpl;
     return *this;
 }
 
@@ -69,14 +72,23 @@ RunMetrics::recordThreads(unsigned count)
 }
 
 void
-RunMetrics::recordTraceSource(unsigned generated, unsigned cache_hits,
-                              double seconds)
+RunMetrics::recordTraceSource(unsigned generated, unsigned mmap_hits,
+                              unsigned stream_hits, double seconds)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _hasTraceSource = true;
     _tracesGenerated += generated;
-    _traceCacheHits += cache_hits;
+    _traceCacheHits += mmap_hits + stream_hits;
+    _traceMmapHits += mmap_hits;
+    _traceStreamHits += stream_hits;
     _traceSeconds += seconds;
+}
+
+void
+RunMetrics::recordTableImpl(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _tableImpl = name;
 }
 
 unsigned
@@ -91,6 +103,44 @@ RunMetrics::traceCacheHits() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     return _traceCacheHits;
+}
+
+unsigned
+RunMetrics::traceMmapHits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _traceMmapHits;
+}
+
+unsigned
+RunMetrics::traceStreamHits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _traceStreamHits;
+}
+
+std::string
+RunMetrics::traceReadPath() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_traceCacheHits == 0)
+        return _tracesGenerated > 0 ? "generated" : "none";
+    if (_traceMmapHits > 0 && _traceStreamHits == 0)
+        return "mmap";
+    if (_traceStreamHits > 0 && _traceMmapHits == 0)
+        return "stream";
+    if (_traceMmapHits > 0 && _traceStreamHits > 0)
+        return "mixed";
+    // Hits whose transport predates the mmap/stream split (a legacy
+    // artifact loaded through fromJson).
+    return "cache";
+}
+
+std::string
+RunMetrics::tableImpl() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _tableImpl;
 }
 
 double
@@ -222,9 +272,18 @@ RunMetrics::toJson() const
         Json source = Json::object();
         source.set("generated", tracesGenerated());
         source.set("cache_hits", traceCacheHits());
+        source.set("mmap_hits", traceMmapHits());
+        source.set("stream_hits", traceStreamHits());
+        source.set("read_path", traceReadPath());
         source.set("seconds", traceSeconds());
         json.set("trace_source", std::move(source));
     }
+
+    // Likewise emitted only when recorded, so artifacts produced
+    // before the flat/reference toggle keep their bytes.
+    const std::string table_impl = tableImpl();
+    if (!table_impl.empty())
+        json.set("table_impl", table_impl);
     return json;
 }
 
@@ -266,11 +325,22 @@ RunMetrics::fromJson(const Json &json)
     }
     if (json.contains("trace_source")) {
         const Json &source = json.at("trace_source");
+        const auto mmap_hits =
+            static_cast<unsigned>(source.numberOr("mmap_hits", 0));
+        const auto stream_hits =
+            static_cast<unsigned>(source.numberOr("stream_hits", 0));
         metrics.recordTraceSource(
             static_cast<unsigned>(source.numberOr("generated", 0)),
-            static_cast<unsigned>(source.numberOr("cache_hits", 0)),
-            source.numberOr("seconds", 0.0));
+            mmap_hits, stream_hits, source.numberOr("seconds", 0.0));
+        // Legacy artifacts carry only the aggregate hit count; keep
+        // it without inventing a transport split (traceReadPath()
+        // reports "cache" for these).
+        const auto cache_hits =
+            static_cast<unsigned>(source.numberOr("cache_hits", 0));
+        if (cache_hits > mmap_hits + stream_hits)
+            metrics._traceCacheHits = cache_hits;
     }
+    metrics._tableImpl = json.stringOr("table_impl", "");
     return metrics;
 }
 

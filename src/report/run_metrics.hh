@@ -74,14 +74,26 @@ class RunMetrics
 
     /**
      * Record how the run's traces were obtained: @p generated ran
-     * the generator (trace-cache misses or no cache), @p cacheHits
-     * came from the on-disk trace cache, @p seconds is the wall time
-     * of the acquisition phase. Cumulative across runners; a warm
-     * fully-cached run shows tracesGenerated() == 0, which is what
-     * the CI cache-smoke gate asserts. Thread-safe.
+     * the generator (trace-cache misses or no cache), @p mmapHits
+     * were served zero-copy from mmap'ed `.ibpm` cache entries,
+     * @p streamHits were parsed from legacy `.ibpt` stream entries,
+     * @p seconds is the wall time of the acquisition phase.
+     * Cumulative across runners; a warm fully-cached run shows
+     * tracesGenerated() == 0, which is what the CI cache-smoke gate
+     * asserts (and --require-mmap additionally demands
+     * mmapHits > 0 == streamHits). Thread-safe.
      */
-    void recordTraceSource(unsigned generated, unsigned cacheHits,
-                           double seconds);
+    void recordTraceSource(unsigned generated, unsigned mmapHits,
+                           unsigned streamHits, double seconds);
+
+    /**
+     * Record which predictor-table implementation produced the run
+     * ("flat" or "reference", see core/table_spec.hh). Shows up as
+     * "table_impl" in the artifact so a regression-gate comparison
+     * against a baseline produced by the other implementation is
+     * visible in the diff context.
+     */
+    void recordTableImpl(const std::string &name);
 
     std::vector<CellMetrics> cells() const;
     std::size_t cellCount() const;
@@ -112,14 +124,30 @@ class RunMetrics
     /** Traces produced by the generator (0 on a fully warm cache). */
     unsigned tracesGenerated() const;
 
-    /** Traces served from the on-disk trace cache. */
+    /** Traces served from the on-disk trace cache (all transports). */
     unsigned traceCacheHits() const;
+
+    /** Cache hits served zero-copy via mmap. */
+    unsigned traceMmapHits() const;
+
+    /** Cache hits parsed from legacy stream entries. */
+    unsigned traceStreamHits() const;
+
+    /**
+     * Dominant trace read path: "generated", "mmap", "stream",
+     * "mixed" (both cache transports), "cache" (hits from an
+     * artifact predating the transport split), or "none".
+     */
+    std::string traceReadPath() const;
 
     /** Wall time of the trace acquisition phase(s), in seconds. */
     double traceSeconds() const;
 
     /** True when recordTraceSource() was ever called. */
     bool hasTraceSource() const;
+
+    /** Table implementation recorded for this run ("" if never). */
+    std::string tableImpl() const;
 
     Json toJson() const;
     static RunMetrics fromJson(const Json &json);
@@ -133,7 +161,10 @@ class RunMetrics
     bool _hasTraceSource = false;
     unsigned _tracesGenerated = 0;
     unsigned _traceCacheHits = 0;
+    unsigned _traceMmapHits = 0;
+    unsigned _traceStreamHits = 0;
     double _traceSeconds = 0.0;
+    std::string _tableImpl;
 };
 
 } // namespace ibp

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <string_view>
 
+#include "core/table_spec.hh"
 #include "robust/fault_injection.hh"
 #include "robust/retry.hh"
 #include "synth/benchmark_suite.hh"
@@ -137,6 +138,7 @@ ExperimentContext::ExperimentContext(std::string slug,
     _session.retry = retry;
 
     _metrics.recordThreads(simulationThreads());
+    _metrics.recordTableImpl(tableImplName());
 }
 
 void

@@ -5,7 +5,30 @@
 #include "robust/error.hh"
 #include "util/logging.hh"
 
+// Pull upcoming records toward L1 while the predictor works on the
+// current one. The records are a dense read-only array (often a view
+// of an mmap'ed cache file, so the first touch is a page-cache read,
+// not a generator store), which makes a modest lookahead worthwhile.
+#if defined(__GNUC__) || defined(__clang__)
+#define IBP_PREFETCH(address) __builtin_prefetch((address), 0, 1)
+#else
+#define IBP_PREFETCH(address) ((void)0)
+#endif
+
 namespace ibp {
+
+namespace {
+
+constexpr std::size_t kPrefetchDistance = 16;
+
+[[noreturn]] void
+throwCancelled(const Trace &trace)
+{
+    throw RunException(RunError::timeout(
+        "simulation of '" + trace.name() + "' cancelled by watchdog"));
+}
+
+} // namespace
 
 SimResult
 simulate(IndirectPredictor &predictor, const Trace &trace,
@@ -15,23 +38,33 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
     result.benchmark = trace.name();
     result.predictor = predictor.name();
 
+    if (site_stats != nullptr && trace.siteCountHint() != 0)
+        site_stats->sites.reserve(trace.siteCountHint());
+
     // Two clock reads bracket the whole loop; the per-branch path
     // stays untouched so telemetry cannot skew throughput.
     const auto start = std::chrono::steady_clock::now();
 
+    // Hoisted out of the loop so the iteration works on registers:
+    // the cancel token pointer and the record array never change
+    // mid-run, and the compiler cannot prove that through the
+    // by-reference options struct on its own.
+    const CancelToken *const cancel = options.cancel;
+    const BranchRecord *const records = trace.data();
+    const std::size_t count = trace.size();
+
     std::uint64_t seen = 0;
-    std::uint64_t step = 0;
-    for (const auto &record : trace) {
+    for (std::size_t i = 0; i < count; ++i) {
         // One increment-and-mask per record keeps the cancellation
         // poll off the hot path's critical work; 1K records is a
         // few microseconds, so a deadline overrun is caught fast
         // even on the small traces of quick runs.
-        if ((++step & 0x3ffu) == 0 && options.cancel &&
-            options.cancel->cancelled()) {
-            throw RunException(RunError::timeout(
-                "simulation of '" + trace.name() +
-                "' cancelled by watchdog"));
-        }
+        if (((i + 1) & 0x3ffu) == 0 && cancel && cancel->cancelled())
+            throwCancelled(trace);
+        if (i + kPrefetchDistance < count)
+            IBP_PREFETCH(records + i + kPrefetchDistance);
+
+        const BranchRecord &record = records[i];
         if (record.kind == BranchKind::Conditional) {
             predictor.observeConditional(record.pc, record.taken,
                                          record.target);
@@ -44,17 +77,22 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
         const Prediction prediction = predictor.predict(record.pc);
         const bool counted = seen > options.warmupBranches;
         if (counted) {
+            const bool correct = prediction.correctFor(record.target);
             ++result.branches;
-            if (!prediction.correctFor(record.target)) {
+            if (!correct) {
                 ++result.misses;
                 if (!prediction.valid)
                     ++result.noPrediction;
             }
-        }
-        if (site_stats && counted) {
-            ++site_stats->executions[record.pc];
-            if (!prediction.correctFor(record.target))
-                ++site_stats->misses[record.pc];
+            if (site_stats) {
+                bool inserted = false;
+                SiteMissStats::SiteCounts &counts =
+                    site_stats->sites.findOrInsert(record.pc,
+                                                   inserted);
+                ++counts.executions;
+                if (!correct)
+                    ++counts.misses;
+            }
         }
         predictor.update(record.pc, record.target);
     }
@@ -84,23 +122,28 @@ simulateMany(std::span<IndirectPredictor *const> predictors,
 
     const auto start = std::chrono::steady_clock::now();
 
+    const CancelToken *const cancel = options.cancel;
+    const BranchRecord *const records = trace.data();
+    const std::size_t count = trace.size();
+    const std::size_t predictor_count = predictors.size();
+
     // The record stream is walked once; the per-predictor work is
     // the inner loop, so every predictor sees exactly the sequence
     // simulate() would have fed it and the counters must match it
     // bit for bit.
     std::uint64_t seen = 0;
-    std::uint64_t step = 0;
-    for (const auto &record : trace) {
-        if ((++step & 0x3ffu) == 0 && options.cancel &&
-            options.cancel->cancelled()) {
-            throw RunException(RunError::timeout(
-                "simulation of '" + trace.name() +
-                "' cancelled by watchdog"));
-        }
+    for (std::size_t i = 0; i < count; ++i) {
+        if (((i + 1) & 0x3ffu) == 0 && cancel && cancel->cancelled())
+            throwCancelled(trace);
+        if (i + kPrefetchDistance < count)
+            IBP_PREFETCH(records + i + kPrefetchDistance);
+
+        const BranchRecord &record = records[i];
         if (record.kind == BranchKind::Conditional) {
-            for (IndirectPredictor *predictor : predictors) {
-                predictor->observeConditional(record.pc, record.taken,
-                                              record.target);
+            for (std::size_t p = 0; p < predictor_count; ++p) {
+                predictors[p]->observeConditional(record.pc,
+                                                  record.taken,
+                                                  record.target);
             }
             continue;
         }
@@ -109,11 +152,11 @@ simulateMany(std::span<IndirectPredictor *const> predictors,
 
         ++seen;
         const bool counted = seen > options.warmupBranches;
-        for (std::size_t i = 0; i < predictors.size(); ++i) {
-            IndirectPredictor *predictor = predictors[i];
+        for (std::size_t p = 0; p < predictor_count; ++p) {
+            IndirectPredictor *predictor = predictors[p];
             const Prediction prediction = predictor->predict(record.pc);
             if (counted) {
-                SimResult &result = results[i];
+                SimResult &result = results[p];
                 ++result.branches;
                 if (!prediction.correctFor(record.target)) {
                     ++result.misses;

@@ -15,11 +15,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/flat_table.hh"
 #include "core/predictor.hh"
 #include "trace/trace.hh"
 
@@ -114,11 +114,36 @@ struct SimOptions
     const CancelToken *cancel = nullptr;
 };
 
-/** Per-site miss accounting (populated when requested). */
+/**
+ * Per-site miss accounting (populated when requested). Both counters
+ * for a site live in one FlatMap slot, so the hot loop pays a single
+ * hash probe per branch instead of two ordered-map walks; simulate()
+ * pre-sizes the map from Trace::siteCountHint() so collection never
+ * rehashes mid-run.
+ */
 struct SiteMissStats
 {
-    std::map<Addr, std::uint64_t> executions;
-    std::map<Addr, std::uint64_t> misses;
+    struct SiteCounts
+    {
+        std::uint64_t executions = 0;
+        std::uint64_t misses = 0;
+    };
+
+    FlatMap<Addr, SiteCounts> sites;
+
+    std::uint64_t
+    executions(Addr pc) const
+    {
+        const SiteCounts *counts = sites.find(pc);
+        return counts == nullptr ? 0 : counts->executions;
+    }
+
+    std::uint64_t
+    misses(Addr pc) const
+    {
+        const SiteCounts *counts = sites.find(pc);
+        return counts == nullptr ? 0 : counts->misses;
+    }
 };
 
 /** Run @p predictor over @p trace from a cold state. */

@@ -186,11 +186,16 @@ SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
         const std::string &name = _names[i];
         Acquired &slot = acquired[i];
         if (slot.ok) {
-            _traces.emplace(name, std::move(slot.trace));
-            if (slot.fromCache)
+            if (slot.fromCache) {
                 ++_traceStats.cacheHits;
-            else
+                if (slot.trace.readPath() == TraceReadPath::Mmap)
+                    ++_traceStats.mmapHits;
+                else
+                    ++_traceStats.streamHits;
+            } else {
                 ++_traceStats.generated;
+            }
+            _traces.emplace(name, std::move(slot.trace));
         } else {
             warn("trace generation for '%s' failed: %s", name.c_str(),
                  slot.error.describe().c_str());
@@ -596,7 +601,8 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         // asserts on these counters).
         if (!_traceStatsPublished.exchange(true)) {
             metrics->recordTraceSource(_traceStats.generated,
-                                       _traceStats.cacheHits,
+                                       _traceStats.mmapHits,
+                                       _traceStats.streamHits,
                                        _traceStats.seconds);
         }
     }

@@ -131,8 +131,12 @@ struct TraceSourceStats
 {
     /** Traces produced by running the generator (cache misses). */
     unsigned generated = 0;
-    /** Traces served from the on-disk trace cache. */
+    /** Traces served from the on-disk trace cache (all transports). */
     unsigned cacheHits = 0;
+    /** Cache hits served zero-copy from an mmap'ed `.ibpm` entry. */
+    unsigned mmapHits = 0;
+    /** Cache hits parsed from a legacy `.ibpt` stream entry. */
+    unsigned streamHits = 0;
     /** Wall time of the whole acquisition phase, in seconds. */
     double seconds = 0.0;
 };

@@ -817,6 +817,9 @@ ProgramModel::Impl::generate(const GeneratorOptions &options,
                                       BranchKind::Return, true});
         }
     }
+    // Lets simulate() pre-size its per-site accounting instead of
+    // growing it during the measured loop.
+    trace.setSiteCountHint(static_cast<std::uint32_t>(sites.size()));
     return trace;
 }
 

@@ -1,12 +1,25 @@
 #include "trace/trace.hh"
 
+#include <algorithm>
+
 namespace ibp {
+
+const char *
+traceReadPathName(TraceReadPath path)
+{
+    switch (path) {
+      case TraceReadPath::Generated: return "generated";
+      case TraceReadPath::Stream:    return "stream";
+      case TraceReadPath::Mmap:      return "mmap";
+    }
+    return "unknown";
+}
 
 std::uint64_t
 Trace::countPredictedIndirect() const
 {
     std::uint64_t count = 0;
-    for (const auto &record : _records)
+    for (const auto &record : records())
         count += record.isPredictedIndirect() ? 1 : 0;
     return count;
 }
@@ -15,9 +28,17 @@ std::uint64_t
 Trace::countKind(BranchKind kind) const
 {
     std::uint64_t count = 0;
-    for (const auto &record : _records)
+    for (const auto &record : records())
         count += record.kind == kind ? 1 : 0;
     return count;
+}
+
+bool
+Trace::operator==(const Trace &other) const
+{
+    return _name == other._name && _seed == other._seed &&
+           size() == other.size() &&
+           std::equal(begin(), end(), other.begin());
 }
 
 } // namespace ibp

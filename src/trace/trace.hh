@@ -7,17 +7,38 @@
 #define IBP_TRACE_TRACE_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/branch_record.hh"
 
 namespace ibp {
 
+/** How a trace's records reached memory (artifact telemetry). */
+enum class TraceReadPath : std::uint8_t
+{
+    Generated = 0, ///< Produced by the synthetic generator.
+    Stream = 1,    ///< Parsed from the legacy .ibpt stream format.
+    Mmap = 2,      ///< Zero-copy view of an mmap'ed .ibpm cache file.
+};
+
+/** "generated" / "stream" / "mmap". */
+const char *traceReadPathName(TraceReadPath path);
+
 /**
  * A branch trace: an ordered sequence of BranchRecord plus metadata
  * identifying the (synthetic) benchmark it came from. Traces are
  * value types; the simulator only ever reads them.
+ *
+ * Records live in one of two places: an owned vector (generated or
+ * parsed traces) or a borrowed read-only view whose lifetime is held
+ * by a shared backing object (the mmap'ed cache file — see
+ * trace/trace_mmap.hh). Readers only ever touch data()/size(), so
+ * the two are indistinguishable; a mutation (append/reserve) on a
+ * view-backed trace first materialises a private copy.
  */
 class Trace
 {
@@ -32,20 +53,77 @@ class Trace
     std::uint64_t seed() const { return _seed; }
     void setSeed(std::uint64_t seed) { _seed = seed; }
 
-    void reserve(std::size_t n) { _records.reserve(n); }
-    void append(const BranchRecord &record) { _records.push_back(record); }
+    /**
+     * Number of distinct indirect branch sites the generator emitted
+     * (0 when unknown). Pre-sizes per-site accounting in simulate().
+     */
+    std::uint32_t siteCountHint() const { return _siteCountHint; }
+    void setSiteCountHint(std::uint32_t count) { _siteCountHint = count; }
 
-    const std::vector<BranchRecord> &records() const { return _records; }
-    std::size_t size() const { return _records.size(); }
-    bool empty() const { return _records.empty(); }
+    /** Transport the records arrived by; metadata only, not
+     * identity (excluded from operator==). */
+    TraceReadPath readPath() const { return _readPath; }
+    void setReadPath(TraceReadPath path) { _readPath = path; }
+
+    void
+    reserve(std::size_t n)
+    {
+        materialise();
+        _owned.reserve(n);
+    }
+
+    void
+    append(const BranchRecord &record)
+    {
+        materialise();
+        _owned.push_back(record);
+    }
+
+    const BranchRecord *
+    data() const
+    {
+        return _backing ? _view : _owned.data();
+    }
+
+    std::size_t
+    size() const
+    {
+        return _backing ? _viewSize : _owned.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    std::span<const BranchRecord>
+    records() const
+    {
+        return {data(), size()};
+    }
 
     const BranchRecord &operator[](std::size_t i) const
     {
-        return _records[i];
+        return data()[i];
     }
 
-    auto begin() const { return _records.begin(); }
-    auto end() const { return _records.end(); }
+    const BranchRecord *begin() const { return data(); }
+    const BranchRecord *end() const { return data() + size(); }
+
+    /**
+     * Build a trace over a borrowed record array; @p backing keeps
+     * the storage (e.g. an mmap'ed file) alive for as long as any
+     * copy of the returned trace exists.
+     */
+    static Trace
+    fromView(std::string name, std::uint64_t seed,
+             std::shared_ptr<const void> backing,
+             const BranchRecord *records, std::size_t count)
+    {
+        Trace trace(std::move(name));
+        trace._seed = seed;
+        trace._backing = std::move(backing);
+        trace._view = records;
+        trace._viewSize = count;
+        return trace;
+    }
 
     /** Count records of the kinds predicted as indirect branches. */
     std::uint64_t countPredictedIndirect() const;
@@ -53,12 +131,35 @@ class Trace
     /** Count records of one specific kind. */
     std::uint64_t countKind(BranchKind kind) const;
 
-    bool operator==(const Trace &other) const = default;
+    /**
+     * Trace identity: name, seed and records. Transport metadata
+     * (read path, site-count hint, owned-vs-view storage) is
+     * excluded, so a cache round trip compares equal to the
+     * generated original.
+     */
+    bool operator==(const Trace &other) const;
 
   private:
+    /** Copy a borrowed view into owned storage before mutating. */
+    void
+    materialise()
+    {
+        if (!_backing)
+            return;
+        _owned.assign(_view, _view + _viewSize);
+        _backing.reset();
+        _view = nullptr;
+        _viewSize = 0;
+    }
+
     std::string _name;
     std::uint64_t _seed = 0;
-    std::vector<BranchRecord> _records;
+    std::uint32_t _siteCountHint = 0;
+    TraceReadPath _readPath = TraceReadPath::Generated;
+    std::vector<BranchRecord> _owned;
+    std::shared_ptr<const void> _backing;
+    const BranchRecord *_view = nullptr;
+    std::size_t _viewSize = 0;
 };
 
 } // namespace ibp

@@ -7,6 +7,7 @@
 
 #include "robust/atomic_file.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_mmap.hh"
 
 namespace ibp {
 
@@ -50,26 +51,42 @@ TraceCache::configureGlobal(const std::string &directory)
 std::string
 TraceCache::pathFor(const std::string &key) const
 {
+    return _directory + "/" + key + ".ibpm";
+}
+
+std::string
+TraceCache::streamPathFor(const std::string &key) const
+{
     return _directory + "/" + key + ".ibpt";
 }
 
 Result<Trace>
 TraceCache::load(const std::string &key) const
 {
-    // loadTrace() already classifies a missing file, bad magic, a
-    // truncated stream, or an implausible record count as permanent
-    // errors; every one of them reads as "miss" to the caller.
-    return loadTrace(pathFor(key));
+    // Both readers classify a missing file, bad magic, version skew,
+    // a bad checksum, or truncation as permanent errors; every one
+    // of them reads as "miss" to the caller. A corrupt or
+    // foreign-platform .ibpm entry degrades to the stream entry (if
+    // any) rather than to regeneration.
+    auto mapped = loadTraceMmap(pathFor(key));
+    if (mapped.ok())
+        return mapped;
+    auto streamed = loadTrace(streamPathFor(key));
+    if (streamed.ok())
+        streamed.value().setReadPath(TraceReadPath::Stream);
+    return streamed;
 }
 
 Result<void>
 TraceCache::store(const std::string &key, const Trace &trace) const
 {
+    if (traceMmapSupported())
+        return saveTraceMmap(trace, pathFor(key));
     std::ostringstream body(std::ios::binary);
     const auto serialised = writeTraceBinary(trace, body);
     if (!serialised.ok())
         return serialised.error();
-    return writeFileAtomic(pathFor(key), body.str());
+    return writeFileAtomic(streamPathFor(key), body.str());
 }
 
 } // namespace ibp

@@ -4,15 +4,22 @@
  *
  * Regenerating the 17 synthetic benchmark traces is the dominant
  * startup cost of every bench binary; the cache makes it a one-time
- * cost per configuration. Entries are stored in the existing `.ibpt`
- * binary format under a single directory, one file per *key* - an
- * opaque content address computed by the producer from everything
- * that determines the trace bytes (see benchmarkTraceCacheKey() in
- * src/synth, which hashes the generator version, the full benchmark
- * profile, the scaled event count, the seed and the
- * emit-conditionals flag). A configuration change therefore changes
- * the key and misses cleanly; stale entries are never consulted and
- * the directory can be deleted at any time.
+ * cost per configuration. Entries are stored in the zero-copy mmap
+ * `.ibpm` format (see trace/trace_mmap.hh) under a single directory,
+ * one file per *key* - an opaque content address computed by the
+ * producer from everything that determines the trace bytes (see
+ * benchmarkTraceCacheKey() in src/synth, which hashes the generator
+ * version, the full benchmark profile, the scaled event count, the
+ * seed and the emit-conditionals flag). A configuration change
+ * therefore changes the key and misses cleanly; stale entries are
+ * never consulted and the directory can be deleted at any time.
+ *
+ * A warm load mmaps the entry read-only and hands the simulator a
+ * borrowed view (Trace::readPath() == TraceReadPath::Mmap). When the
+ * `.ibpm` entry is absent or fails validation, load() falls back to
+ * a legacy `.ibpt` stream entry at the same key; when the platform
+ * cannot produce the mmap format at all (big-endian, no POSIX mmap),
+ * store() degrades to the stream format.
  *
  * Writes go through the shared tmp+fsync+atomic-rename path, so
  * concurrent producers and a crash mid-store can never leave a
@@ -55,8 +62,12 @@ class TraceCache
 
     const std::string &directory() const { return _directory; }
 
-    /** File an entry for @p key lives in: `<dir>/<key>.ibpt`. */
+    /** File an entry for @p key lives in: `<dir>/<key>.ibpm`. */
     std::string pathFor(const std::string &key) const;
+
+    /** Legacy stream-format entry: `<dir>/<key>.ibpt`. Consulted as
+     * a load fallback; written only when mmap is unsupported. */
+    std::string streamPathFor(const std::string &key) const;
 
     /**
      * Load the entry for @p key. A missing, truncated, or otherwise

@@ -1,0 +1,264 @@
+#include "trace/trace_mmap.hh"
+
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "robust/atomic_file.hh"
+#include "util/bits.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IBP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define IBP_HAVE_MMAP 0
+#endif
+
+namespace ibp {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'B', 'P', 'M', 'A', 'P', '2', '\0'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kChecksumOffset = 56;
+constexpr std::size_t kRecordAlign = 16;
+
+// The on-disk record is BranchRecord's in-memory layout. Pin that
+// layout down so a compiler/ABI change fails the build, not the
+// reader.
+static_assert(sizeof(BranchRecord) == 12);
+static_assert(offsetof(BranchRecord, pc) == 0);
+static_assert(offsetof(BranchRecord, target) == 4);
+static_assert(offsetof(BranchRecord, kind) == 8);
+static_assert(offsetof(BranchRecord, taken) == 9);
+static_assert(std::is_trivially_copyable_v<BranchRecord>);
+
+constexpr std::size_t
+alignUp(std::size_t value, std::size_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+[[maybe_unused]] void
+putU32(std::string &blob, std::size_t offset, std::uint32_t value)
+{
+    std::memcpy(blob.data() + offset, &value, sizeof(value));
+}
+
+[[maybe_unused]] void
+putU64(std::string &blob, std::size_t offset, std::uint64_t value)
+{
+    std::memcpy(blob.data() + offset, &value, sizeof(value));
+}
+
+[[maybe_unused]] std::uint32_t
+getU32(const char *base, std::size_t offset)
+{
+    std::uint32_t value = 0;
+    std::memcpy(&value, base + offset, sizeof(value));
+    return value;
+}
+
+[[maybe_unused]] std::uint64_t
+getU64(const char *base, std::size_t offset)
+{
+    std::uint64_t value = 0;
+    std::memcpy(&value, base + offset, sizeof(value));
+    return value;
+}
+
+/** FNV-1a over the first 56 header bytes (7 little-endian words). */
+[[maybe_unused]] std::uint64_t
+headerChecksum(const char *base)
+{
+    std::uint64_t words[7];
+    std::memcpy(words, base, kChecksumOffset);
+    return fnv1a64(words, 7, 0xcbf29ce484222325ULL);
+}
+
+[[maybe_unused]] RunError
+badFile(const std::string &path, const std::string &what)
+{
+    return RunError::permanent("mmap trace '" + path + "': " + what);
+}
+
+#if IBP_HAVE_MMAP
+
+/** Owns one read-only file mapping; unmapped with the last Trace
+ * copy that references it. */
+struct Mapping
+{
+    void *base = nullptr;
+    std::size_t length = 0;
+
+    Mapping(void *base, std::size_t length)
+        : base(base), length(length)
+    {
+    }
+
+    Mapping(const Mapping &) = delete;
+    Mapping &operator=(const Mapping &) = delete;
+
+    ~Mapping()
+    {
+        if (base != nullptr)
+            ::munmap(base, length);
+    }
+};
+
+#endif // IBP_HAVE_MMAP
+
+} // namespace
+
+bool
+traceMmapSupported()
+{
+    return IBP_HAVE_MMAP != 0 &&
+           std::endian::native == std::endian::little;
+}
+
+Result<std::string>
+encodeTraceMmap(const Trace &trace)
+{
+    if (!traceMmapSupported()) {
+        return RunError::permanent(
+            "mmap trace format unsupported on this platform");
+    }
+
+    const std::size_t name_bytes = trace.name().size();
+    const std::size_t records_offset =
+        alignUp(kHeaderBytes + name_bytes, kRecordAlign);
+    const std::size_t count = trace.size();
+
+    // Zero-filled up front so padding (header gap, name tail, record
+    // tail bytes) is deterministic: storing the same trace twice
+    // must produce byte-identical files.
+    std::string blob(records_offset + count * sizeof(BranchRecord),
+                     '\0');
+    std::memcpy(blob.data(), kMagic, sizeof(kMagic));
+    putU32(blob, 8, kVersion);
+    putU32(blob, 12, kEndianTag);
+    putU32(blob, 16, sizeof(BranchRecord));
+    putU32(blob, 20, kHeaderBytes);
+    putU64(blob, 24, trace.seed());
+    putU64(blob, 32, count);
+    putU32(blob, 40, static_cast<std::uint32_t>(name_bytes));
+    putU32(blob, 44, trace.siteCountHint());
+    putU64(blob, 48, records_offset);
+    putU64(blob, kChecksumOffset, headerChecksum(blob.data()));
+    std::memcpy(blob.data() + kHeaderBytes, trace.name().data(),
+                name_bytes);
+
+    // Field-by-field rather than one bulk memcpy of the array, so
+    // the two padding bytes of every record stay zero even if the
+    // in-memory copies carry garbage there.
+    char *out = blob.data() + records_offset;
+    for (const BranchRecord &record : trace.records()) {
+        std::memcpy(out + 0, &record.pc, sizeof(record.pc));
+        std::memcpy(out + 4, &record.target, sizeof(record.target));
+        out[8] = static_cast<char>(record.kind);
+        out[9] = record.taken ? 1 : 0;
+        out += sizeof(BranchRecord);
+    }
+    return blob;
+}
+
+Result<void>
+saveTraceMmap(const Trace &trace, const std::string &path)
+{
+    auto blob = encodeTraceMmap(trace);
+    if (!blob.ok())
+        return blob.error();
+    return writeFileAtomic(path, blob.value());
+}
+
+#if IBP_HAVE_MMAP
+
+Result<Trace>
+loadTraceMmap(const std::string &path)
+{
+    if (!traceMmapSupported())
+        return badFile(path, "format unsupported on this platform");
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return badFile(path, "cannot open");
+
+    struct stat info = {};
+    if (::fstat(fd, &info) != 0 || info.st_size < 0) {
+        ::close(fd);
+        return badFile(path, "cannot stat");
+    }
+    const std::size_t file_size = static_cast<std::size_t>(info.st_size);
+    if (file_size < kHeaderBytes) {
+        ::close(fd);
+        return badFile(path, "truncated header");
+    }
+
+    void *base =
+        ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (base == MAP_FAILED)
+        return badFile(path, "mmap failed");
+    auto mapping = std::make_shared<Mapping>(base, file_size);
+
+    const char *bytes = static_cast<const char *>(base);
+    if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0)
+        return badFile(path, "bad magic");
+    if (getU32(bytes, 8) != kVersion)
+        return badFile(path, "version skew");
+    if (getU32(bytes, 12) != kEndianTag)
+        return badFile(path, "foreign endianness");
+    if (getU32(bytes, 16) != sizeof(BranchRecord))
+        return badFile(path, "record size mismatch");
+    if (getU32(bytes, 20) != kHeaderBytes)
+        return badFile(path, "header size mismatch");
+    if (getU64(bytes, kChecksumOffset) != headerChecksum(bytes))
+        return badFile(path, "header checksum mismatch");
+
+    const std::uint64_t seed = getU64(bytes, 24);
+    const std::uint64_t count = getU64(bytes, 32);
+    const std::uint32_t name_bytes = getU32(bytes, 40);
+    const std::uint32_t site_hint = getU32(bytes, 44);
+    const std::uint64_t records_offset = getU64(bytes, 48);
+
+    if (records_offset % kRecordAlign != 0)
+        return badFile(path, "misaligned record array");
+    if (records_offset != alignUp(kHeaderBytes + name_bytes,
+                                  kRecordAlign) ||
+        records_offset > file_size) {
+        return badFile(path, "bad records offset");
+    }
+    if (count > (file_size - records_offset) / sizeof(BranchRecord))
+        return badFile(path, "truncated record array");
+
+    std::string name(bytes + kHeaderBytes, name_bytes);
+    const auto *records = reinterpret_cast<const BranchRecord *>(
+        bytes + records_offset);
+    Trace trace = Trace::fromView(std::move(name), seed,
+                                  std::move(mapping), records,
+                                  static_cast<std::size_t>(count));
+    trace.setSiteCountHint(site_hint);
+    trace.setReadPath(TraceReadPath::Mmap);
+    return trace;
+}
+
+#else // !IBP_HAVE_MMAP
+
+Result<Trace>
+loadTraceMmap(const std::string &path)
+{
+    return badFile(path, "format unsupported on this platform");
+}
+
+#endif // IBP_HAVE_MMAP
+
+} // namespace ibp

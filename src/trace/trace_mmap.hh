@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Zero-copy mmap trace format (`.ibpm`, cache format v2).
+ *
+ * The legacy `.ibpt` stream format deserialises every record through
+ * an istream, so a warm trace-cache hit still pays a full parse plus
+ * a vector copy per benchmark. The v2 format instead lays the record
+ * array out on disk exactly as BranchRecord is laid out in memory
+ * (little-endian, 12 bytes per record, explicitly zeroed padding),
+ * 16-byte aligned behind a 64-byte header, so a reader can mmap the
+ * file read-only and hand the simulator a borrowed view of the page
+ * cache - no parse, no copy, and the records are shared between
+ * concurrent worker processes by the kernel.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *        0     8  magic "IBPMAP2\0"
+ *        8     4  version (2)
+ *       12     4  endian tag (0x01020304 as stored)
+ *       16     4  record size in bytes (sizeof(BranchRecord) == 12)
+ *       20     4  header size in bytes (64)
+ *       24     8  generator seed
+ *       32     8  record count
+ *       40     4  benchmark-name byte count
+ *       44     4  site-count hint
+ *       48     8  records offset (align16(64 + nameBytes))
+ *       56     8  FNV-1a checksum of the first 56 header bytes
+ *       64     -  name bytes, zero padding to the records offset,
+ *                 then the record array
+ *
+ * Every validation failure (bad magic, version skew, foreign
+ * endianness, checksum mismatch, truncation, misaligned or
+ * out-of-bounds records) is a permanent RunError; the trace cache
+ * treats all of them as a miss and falls back to the `.ibpt` stream
+ * reader or regeneration. See docs/PERFORMANCE.md.
+ */
+
+#ifndef IBP_TRACE_TRACE_MMAP_HH
+#define IBP_TRACE_TRACE_MMAP_HH
+
+#include <string>
+
+#include "robust/error.hh"
+#include "trace/trace.hh"
+
+namespace ibp {
+
+/**
+ * True when this platform can produce and consume `.ibpm` files:
+ * little-endian, 12-byte BranchRecord layout, POSIX mmap. On other
+ * platforms the cache transparently sticks to the stream format.
+ */
+bool traceMmapSupported();
+
+/**
+ * Serialise @p trace to the v2 byte layout. Deterministic: the same
+ * trace always encodes to the same bytes (padding is zeroed).
+ * Fails (permanent) when the platform is unsupported.
+ */
+Result<std::string> encodeTraceMmap(const Trace &trace);
+
+/**
+ * Map @p path read-only and wrap its record array in a Trace view
+ * (readPath() == TraceReadPath::Mmap). The mapping stays alive for
+ * as long as any copy of the returned Trace does. Any validation
+ * failure is a permanent RunError.
+ */
+Result<Trace> loadTraceMmap(const std::string &path);
+
+/** encodeTraceMmap() + crash-safe atomic write to @p path. */
+Result<void> saveTraceMmap(const Trace &trace, const std::string &path);
+
+} // namespace ibp
+
+#endif // IBP_TRACE_TRACE_MMAP_HH

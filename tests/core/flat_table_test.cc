@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests of the shared open-addressing FlatMap: randomized
+ * equivalence against a std::unordered_map oracle, growth and load
+ * invariants, and the backward-shift deletion edge cases (cluster
+ * middles, wraparound across the table end) that tombstone-free
+ * erase has to get right.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flat_table.hh"
+#include "core/key.hh"
+#include "core/table.hh"
+
+namespace ibp {
+namespace {
+
+/** Identity hash: places key k at slot k & mask, for handcrafting
+ *  probe clusters in the deletion tests. */
+struct IdentityHash
+{
+    std::size_t
+    operator()(const std::uint64_t &key) const
+    {
+        return static_cast<std::size_t>(key);
+    }
+};
+
+TEST(FlatMap, EmptyMapBehaviour)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), 0u);
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_FALSE(map.contains(42));
+    EXPECT_FALSE(map.erase(42));
+    map.clear(); // clear on a never-allocated map is a no-op
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, int> map;
+    bool inserted = false;
+    map.findOrInsert(1, inserted) = 10;
+    EXPECT_TRUE(inserted);
+    map.findOrInsert(2, inserted) = 20;
+    EXPECT_TRUE(inserted);
+    map.findOrInsert(1, inserted) = 11;
+    EXPECT_FALSE(inserted);
+
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(1), nullptr);
+    EXPECT_EQ(*map.find(1), 11);
+    ASSERT_NE(map.find(2), nullptr);
+    EXPECT_EQ(*map.find(2), 20);
+    EXPECT_EQ(map.find(3), nullptr);
+
+    EXPECT_TRUE(map.erase(1));
+    EXPECT_FALSE(map.erase(1));
+    EXPECT_EQ(map.find(1), nullptr);
+    EXPECT_EQ(map.size(), 1u);
+
+    // A new value after erase starts default-constructed.
+    map.findOrInsert(1, inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*map.find(1), 0);
+}
+
+TEST(FlatMap, GrowthKeepsEveryEntryAndLoadInvariant)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    bool inserted = false;
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        map.findOrInsert(k * 977, inserted) = k;
+    EXPECT_EQ(map.size(), 10000u);
+    // Power-of-two capacity under the 7/8 load ceiling.
+    EXPECT_EQ(map.capacity() & (map.capacity() - 1), 0u);
+    EXPECT_LE(map.size() * 8, map.capacity() * 7);
+    for (std::uint64_t k = 0; k < 10000; ++k) {
+        const std::uint64_t *value = map.find(k * 977);
+        ASSERT_NE(value, nullptr);
+        EXPECT_EQ(*value, k);
+    }
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.reserve(1000);
+    const std::size_t capacity = map.capacity();
+    EXPECT_GE(capacity, 1024u);
+    bool inserted = false;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map.findOrInsert(k, inserted);
+    EXPECT_EQ(map.capacity(), capacity);
+    EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatMap, ClearKeepsArenaDropsEntries)
+{
+    FlatMap<std::uint64_t, int> map;
+    bool inserted = false;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map.findOrInsert(k, inserted) = static_cast<int>(k);
+    const std::size_t capacity = map.capacity();
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.capacity(), capacity);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(map.find(k), nullptr);
+    // Stale payloads behind cleared tags must not resurface.
+    map.findOrInsert(7, inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*map.find(7), 0);
+}
+
+TEST(FlatMap, BackwardShiftKeepsClusterReachable)
+{
+    // Capacity 16 (the minimum): home slots are key & 15. Build the
+    // cluster [5]=5, [6]=6, [7]=21 (home 5, displaced past 6).
+    FlatMap<std::uint64_t, int, IdentityHash> map;
+    bool inserted = false;
+    map.findOrInsert(5, inserted) = 50;
+    map.findOrInsert(6, inserted) = 60;
+    map.findOrInsert(21, inserted) = 210;
+    ASSERT_EQ(map.capacity(), 16u);
+
+    // Erasing the cluster head must slide 21 back toward its home
+    // slot; a tombstone-style hole would leave it findable, but a
+    // naive shift of everything would break key 6 (home 6 must not
+    // move in front of slot 6).
+    EXPECT_TRUE(map.erase(5));
+    EXPECT_EQ(map.find(5), nullptr);
+    ASSERT_NE(map.find(6), nullptr);
+    EXPECT_EQ(*map.find(6), 60);
+    ASSERT_NE(map.find(21), nullptr);
+    EXPECT_EQ(*map.find(21), 210);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, BackwardShiftAcrossWraparound)
+{
+    // Cluster wrapping the table end: [14]=14, [15]=15, and 30
+    // (home 14) displaced around the corner into slot 0.
+    FlatMap<std::uint64_t, int, IdentityHash> map;
+    bool inserted = false;
+    map.findOrInsert(14, inserted) = 1;
+    map.findOrInsert(15, inserted) = 2;
+    map.findOrInsert(30, inserted) = 3;
+    ASSERT_EQ(map.capacity(), 16u);
+
+    EXPECT_TRUE(map.erase(14));
+    // 15 stays at its home slot; 30 must wrap back into slot 14.
+    ASSERT_NE(map.find(15), nullptr);
+    EXPECT_EQ(*map.find(15), 2);
+    ASSERT_NE(map.find(30), nullptr);
+    EXPECT_EQ(*map.find(30), 3);
+    EXPECT_EQ(map.find(14), nullptr);
+
+    // The hole left at slot 0 must terminate later probes cleanly.
+    EXPECT_EQ(map.find(46), nullptr); // home 14, would probe 14,15,0
+}
+
+TEST(FlatMap, EraseMiddleOfCluster)
+{
+    // All five keys share home slot 3; erasing from the middle must
+    // keep the tail reachable.
+    FlatMap<std::uint64_t, int, IdentityHash> map;
+    bool inserted = false;
+    const std::uint64_t keys[] = {3, 19, 35, 51, 67};
+    for (int i = 0; i < 5; ++i)
+        map.findOrInsert(keys[i], inserted) = i;
+    EXPECT_TRUE(map.erase(35));
+    for (int i = 0; i < 5; ++i) {
+        if (keys[i] == 35) {
+            EXPECT_EQ(map.find(keys[i]), nullptr);
+        } else {
+            ASSERT_NE(map.find(keys[i]), nullptr);
+            EXPECT_EQ(*map.find(keys[i]), i);
+        }
+    }
+}
+
+TEST(FlatMap, RandomizedOracleEquivalence)
+{
+    // Mixed insert/overwrite/erase/lookup churn over a small key
+    // space (forcing collisions and repeated erase/reinsert of the
+    // same slots), mirrored into std::unordered_map.
+    std::mt19937 rng(0xf1a7);
+    FlatMap<std::uint64_t, std::uint32_t> map;
+    std::unordered_map<std::uint64_t, std::uint32_t> oracle;
+    for (int op = 0; op < 200000; ++op) {
+        const std::uint64_t key = rng() % 512;
+        switch (rng() % 4) {
+          case 0:
+          case 1: { // insert or overwrite
+            const std::uint32_t value = rng();
+            bool inserted = false;
+            map.findOrInsert(key, inserted) = value;
+            EXPECT_EQ(inserted, oracle.find(key) == oracle.end());
+            oracle[key] = value;
+            break;
+          }
+          case 2: { // erase
+            EXPECT_EQ(map.erase(key), oracle.erase(key) == 1);
+            break;
+          }
+          case 3: { // lookup
+            const std::uint32_t *value = map.find(key);
+            const auto it = oracle.find(key);
+            if (it == oracle.end()) {
+                EXPECT_EQ(value, nullptr);
+            } else {
+                ASSERT_NE(value, nullptr);
+                EXPECT_EQ(*value, it->second);
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(map.size(), oracle.size());
+    }
+
+    // Full-content sweep both ways.
+    std::size_t visited = 0;
+    map.forEach([&](const std::uint64_t &key, std::uint32_t value) {
+        const auto it = oracle.find(key);
+        ASSERT_NE(it, oracle.end());
+        EXPECT_EQ(value, it->second);
+        ++visited;
+    });
+    EXPECT_EQ(visited, oracle.size());
+}
+
+TEST(FlatMap, CopyAndMovePreserveContents)
+{
+    FlatMap<std::uint64_t, int> map;
+    bool inserted = false;
+    for (std::uint64_t k = 0; k < 50; ++k)
+        map.findOrInsert(k, inserted) = static_cast<int>(k * 3);
+
+    FlatMap<std::uint64_t, int> copy(map);
+    EXPECT_EQ(copy.size(), 50u);
+    for (std::uint64_t k = 0; k < 50; ++k) {
+        ASSERT_NE(copy.find(k), nullptr);
+        EXPECT_EQ(*copy.find(k), static_cast<int>(k * 3));
+    }
+    // The copy is independent storage.
+    copy.findOrInsert(7, inserted) = -1;
+    EXPECT_EQ(*map.find(7), 21);
+
+    FlatMap<std::uint64_t, int> moved(std::move(map));
+    EXPECT_EQ(moved.size(), 50u);
+    ASSERT_NE(moved.find(49), nullptr);
+    EXPECT_EQ(*moved.find(49), 147);
+}
+
+TEST(FlatMap, KeyAndTableEntryInstantiation)
+{
+    // The predictor-table instantiation: 128-bit Key with explicit
+    // KeyHash, TableEntry values.
+    FlatMap<Key, TableEntry, KeyHash> map;
+    bool inserted = false;
+    const std::uint64_t words[2] = {0x1234, 0x5678};
+    const Key hashed = makeHashedKey(words, 2);
+    TableEntry &entry = map.findOrInsert(hashed, inserted);
+    EXPECT_TRUE(inserted);
+    entry.target = 0xbeef;
+    entry.valid = true;
+    map.findOrInsert(makeExactKey(99), inserted);
+    EXPECT_TRUE(inserted);
+
+    const TableEntry *probe = map.find(hashed);
+    ASSERT_NE(probe, nullptr);
+    EXPECT_EQ(probe->target, 0xbeefu);
+    EXPECT_TRUE(probe->valid);
+    EXPECT_TRUE(map.contains(makeExactKey(99)));
+    EXPECT_FALSE(map.contains(makeExactKey(100)));
+}
+
+} // namespace
+} // namespace ibp

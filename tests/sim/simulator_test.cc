@@ -98,10 +98,11 @@ TEST(Simulator, PerSiteStatsBreakDownMisses)
     BtbPredictor btb;
     SiteMissStats sites;
     simulate(btb, mixedTrace(), {}, &sites);
-    EXPECT_EQ(sites.executions.at(0x100), 3u);
-    EXPECT_EQ(sites.executions.at(0x200), 1u);
-    EXPECT_EQ(sites.misses.at(0x100), 3u);
-    EXPECT_EQ(sites.misses.at(0x200), 1u);
+    EXPECT_EQ(sites.executions(0x100), 3u);
+    EXPECT_EQ(sites.executions(0x200), 1u);
+    EXPECT_EQ(sites.misses(0x100), 3u);
+    EXPECT_EQ(sites.misses(0x200), 1u);
+    EXPECT_EQ(sites.executions(0xdead), 0u); // absent site reads 0
 }
 
 TEST(Simulator, ResultCarriesNamesAndOccupancy)

@@ -36,7 +36,7 @@ main(int argc, char **argv)
             break;
         const double miss =
             100.0 *
-            static_cast<double>(site_misses.misses[site.pc]) /
+            static_cast<double>(site_misses.misses(site.pc)) /
             static_cast<double>(
                 std::max<std::uint64_t>(1, site.executions));
         std::printf("0x%08x %9llu %8u %9.2f %9.2f\n", site.pc,

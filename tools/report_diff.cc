@@ -25,6 +25,10 @@
  *                         every trace came from the trace cache
  *                         (zero generator runs; the CI cache-smoke
  *                         job uses this, see docs/PERFORMANCE.md)
+ *   --require-mmap        like --require-cached, but additionally
+ *                         every cache hit must have been served
+ *                         zero-copy from an mmap'ed .ibpm entry
+ *                         (no legacy stream fallbacks)
  *
  * Exits 0 when the fresh artifact is within tolerance, 1 on a
  * regression or unreadable artifact, 2 on usage errors. See
@@ -53,7 +57,7 @@ usage(const char *argv0, int code)
         "usage: %s FRESH.json BASELINE.json [--abs=X] [--rel=Y]\n"
         "          [--min-throughput=B] [--throughput-ratio=R]\n"
         "          [--no-manifest] [--allow-partial]\n"
-        "          [--require-cached]\n",
+        "          [--require-cached] [--require-mmap]\n",
         argv0);
     std::exit(code);
 }
@@ -78,6 +82,7 @@ main(int argc, char **argv)
 {
     DiffOptions options;
     bool require_cached = false;
+    bool require_mmap = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
@@ -98,6 +103,9 @@ main(int argc, char **argv)
             options.allowPartial = true;
         } else if (arg == "--require-cached") {
             require_cached = true;
+        } else if (arg == "--require-mmap") {
+            require_cached = true;
+            require_mmap = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
             usage(argv[0], 2);
@@ -144,6 +152,24 @@ main(int argc, char **argv)
                          paths[0].c_str(),
                          fresh.metrics.tracesGenerated(),
                          fresh.metrics.traceCacheHits());
+            return 1;
+        }
+    }
+
+    if (require_mmap) {
+        // The zero-copy gate: every hit must have been served by the
+        // mmap reader, proving the .ibpm path (not the stream
+        // fallback) is what the warm run actually exercised.
+        if (fresh.metrics.traceMmapHits() == 0 ||
+            fresh.metrics.traceStreamHits() != 0) {
+            std::fprintf(stderr,
+                         "--require-mmap: %s served %u mmap and %u "
+                         "stream cache hit(s) (read_path '%s'); "
+                         "expected every hit via mmap\n",
+                         paths[0].c_str(),
+                         fresh.metrics.traceMmapHits(),
+                         fresh.metrics.traceStreamHits(),
+                         fresh.metrics.traceReadPath().c_str());
             return 1;
         }
     }
