@@ -21,7 +21,7 @@
 
 namespace ibp {
 
-class BtbPredictor : public IndirectPredictor
+class BtbPredictor final : public IndirectPredictor
 {
   public:
     /**

@@ -120,13 +120,14 @@ HybridPredictor::predict(Addr pc)
 void
 HybridPredictor::update(Addr pc, Addr actual)
 {
-    // Re-derive component predictions if the caller skipped predict().
-    if (!_cacheValid || _cachePc != pc) {
-        for (std::size_t i = 0; i < _components.size(); ++i)
-            _cachePreds[i] = _components[i]->predict(pc);
-    }
-
     if (_config.meta == MetaKind::Selector) {
+        // Re-derive the component predictions if the caller skipped
+        // predict(). Only the selector consumes them here; confidence
+        // metaprediction trains purely through the components.
+        if (!_cacheValid || _cachePc != pc) {
+            for (std::size_t i = 0; i < _components.size(); ++i)
+                _cachePreds[i] = _components[i]->predict(pc);
+        }
         const bool first = _cachePreds[0].correctFor(actual);
         const bool second = _cachePreds[1].correctFor(actual);
         SatCounter &counter = selectorCounter(pc);
@@ -149,6 +150,18 @@ HybridPredictor::observeConditional(Addr pc, bool taken, Addr target)
 {
     for (auto &component : _components)
         component->observeConditional(pc, taken, target);
+}
+
+bool
+HybridPredictor::joinSweepKernel(SweepKernel &kernel)
+{
+    // Each component keeps its own history when solo, but every one
+    // of them observes the same branch stream, so sharing a group
+    // register per signature (and one commit per branch) is
+    // observationally identical.
+    for (auto &component : _components)
+        component->joinSweepKernel(kernel);
+    return true;
 }
 
 void

@@ -70,7 +70,7 @@ struct HybridConfig
                                      const TwoLevelConfig &second);
 };
 
-class HybridPredictor : public IndirectPredictor
+class HybridPredictor final : public IndirectPredictor
 {
   public:
     explicit HybridPredictor(const HybridConfig &config);
@@ -78,6 +78,7 @@ class HybridPredictor : public IndirectPredictor
     Prediction predict(Addr pc) override;
     void update(Addr pc, Addr actual) override;
     void observeConditional(Addr pc, bool taken, Addr target) override;
+    bool joinSweepKernel(SweepKernel &kernel) override;
     void reset() override;
     std::string name() const override;
 

@@ -320,16 +320,12 @@ PatternBuilder::assemblePattern(const HistoryBuffer &history) const
 Key
 PatternBuilder::buildKey(Addr pc, const HistoryBuffer &history) const
 {
-    // The address part of the key: bits h.. of the branch address
-    // (h = 2 keeps the full word-aligned address and gives the
-    // per-address tables the paper settles on).
-    const std::uint64_t addr_part =
-        _spec.tableSharing >= 32 ? 0 : (pc >> _spec.tableSharing);
-
     if (_spec.precision == PrecisionMode::Full) {
         // Exact (hashed) key over the address part and the p most
         // recent full targets. Only the first `count` words are
         // written and read, so the array stays uninitialised.
+        const std::uint64_t addr_part =
+            _spec.tableSharing >= 32 ? 0 : (pc >> _spec.tableSharing);
         std::array<std::uint64_t, 66> words;
         unsigned count = 0;
         if (_spec.includeBranchAddress)
@@ -339,10 +335,51 @@ PatternBuilder::buildKey(Addr pc, const HistoryBuffer &history) const
         return makeHashedKey(words.data(), count);
     }
 
-    const std::uint64_t pattern = assemblePattern(history);
+    return keyFromPattern(pc, assemblePattern(history));
+}
+
+bool
+PatternBuilder::fastAssemblyEligible() const
+{
+    return _flat && _spec.precision == PrecisionMode::Limited &&
+           _spec.compressor == CompressorKind::BitSelect &&
+           _spec.pathLength > 0;
+}
+
+std::uint64_t
+PatternBuilder::assembleFromCompressed(
+    const std::uint64_t *compressed) const
+{
+    IBP_ASSERT(fastAssemblyEligible(), "fast assembly ineligible");
+    const unsigned p = _spec.pathLength;
+
+    if (_spec.interleave == InterleaveKind::Concat) {
+        const std::uint64_t mask = lowMask(_bits);
+        std::uint64_t pattern = 0;
+        for (unsigned i = 0; i < p; ++i)
+            pattern |= (compressed[i] & mask) << (i * _bits);
+        return pattern;
+    }
+
+    // _scatter[i] has exactly _bits set positions, so any extra high
+    // bits in a wider-than-b cache entry are never deposited.
+    std::uint64_t pattern = 0;
+    for (unsigned i = 0; i < p; ++i)
+        pattern |= scatterBits(compressed[i], _scatter[i]);
+    return pattern;
+}
+
+Key
+PatternBuilder::keyFromPattern(Addr pc, std::uint64_t pattern) const
+{
     if (!_spec.includeBranchAddress)
         return makeExactKey(pattern);
 
+    // The address part of the key: bits h.. of the branch address
+    // (h = 2 keeps the full word-aligned address and gives the
+    // per-address tables the paper settles on).
+    const std::uint64_t addr_part =
+        _spec.tableSharing >= 32 ? 0 : (pc >> _spec.tableSharing);
     const std::uint64_t addr30 = addr_part & lowMask(30);
     if (_spec.keyMix == KeyMix::Xor)
         return makeExactKey(pattern ^ addr30);

@@ -103,6 +103,9 @@ struct PatternSpec
     /** Omitting the branch address is a rejected variant (3.3). */
     bool includeBranchAddress = true;
 
+    /** Field-wise equality (sweep kernels deduplicate recipes). */
+    bool operator==(const PatternSpec &other) const = default;
+
     /** The resolved b for this spec (applies the auto rule). */
     unsigned resolvedBitsPerTarget() const;
 
@@ -138,6 +141,31 @@ class PatternBuilder
 
     /** The full lookup key for branch @p pc under @p history. */
     Key buildKey(Addr pc, const HistoryBuffer &history) const;
+
+    /**
+     * True when this recipe can assemble its pattern from an external
+     * cache of bit-selected targets (assembleFromCompressed): flat
+     * build, limited precision, BitSelect compressor, p > 0. Sweep
+     * kernels share one such cache across every column of a group.
+     */
+    bool fastAssemblyEligible() const;
+
+    /**
+     * Assemble the pattern from @p compressed, the per-target
+     * bit-selections bitsRange(target_i, a, B) for i in [0, p)
+     * (newest first) with B >= this recipe's b and the same a. Wider
+     * entries are fine: the scatter masks (and the Concat mask)
+     * consume exactly b low bits. Only valid when
+     * fastAssemblyEligible(); bit-identical to assemblePattern().
+     */
+    std::uint64_t
+    assembleFromCompressed(const std::uint64_t *compressed) const;
+
+    /**
+     * Mix an already-assembled limited-precision pattern with the
+     * branch address into the final key (the tail of buildKey()).
+     */
+    Key keyFromPattern(Addr pc, std::uint64_t pattern) const;
 
     /**
      * Number of low key bits that index a table of @p sets sets; the

@@ -25,6 +25,8 @@
 
 namespace ibp {
 
+class SweepKernel;
+
 /** Outcome of a prediction lookup. */
 struct Prediction
 {
@@ -65,6 +67,21 @@ class IndirectPredictor
         (void)pc;
         (void)taken;
         (void)target;
+    }
+
+    /**
+     * Offer this predictor a fused sweep kernel (sweep_kernel.hh):
+     * a predictor that accepts delegates its first-level history to
+     * the kernel (the simulation loop then calls the kernel's
+     * commit/observeConditional instead of per-predictor pushes) and
+     * must bind its key recipes via SweepKernel::bind(). Default:
+     * decline and keep private history - correct for any family.
+     */
+    virtual bool
+    joinSweepKernel(SweepKernel &kernel)
+    {
+        (void)kernel;
+        return false;
     }
 
     /** Forget all state (tables, histories, counters). */

@@ -34,6 +34,8 @@ struct TableSpec
     /** Associativity for SetAssoc. */
     unsigned ways = 1;
 
+    bool operator==(const TableSpec &other) const = default;
+
     /** Validate; calls fatal() on user error. */
     void validate() const;
 

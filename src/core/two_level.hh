@@ -29,6 +29,9 @@
 
 namespace ibp {
 
+class SweepHistoryGroup;
+class SweepKeyVariant;
+
 /** What gets shifted into the history per executed indirect branch. */
 enum class HistoryElement
 {
@@ -63,9 +66,17 @@ struct TwoLevelConfig
 
     void validate() const;
     std::string describe() const;
+
+    /**
+     * Exact configuration equality. Two predictors with equal
+     * configurations are identical state machines: fed the same
+     * branch stream they hold the same tables, histories and
+     * counters forever (the property SweepKernel::dedupe() exploits).
+     */
+    bool operator==(const TwoLevelConfig &other) const = default;
 };
 
-class TwoLevelPredictor : public IndirectPredictor
+class TwoLevelPredictor final : public IndirectPredictor
 {
   public:
     explicit TwoLevelPredictor(const TwoLevelConfig &config);
@@ -73,16 +84,18 @@ class TwoLevelPredictor : public IndirectPredictor
     Prediction predict(Addr pc) override;
     void update(Addr pc, Addr actual) override;
     void observeConditional(Addr pc, bool taken, Addr target) override;
+    bool joinSweepKernel(SweepKernel &kernel) override;
+
     void reset() override;
     std::string name() const override;
 
     std::uint64_t tableCapacity() const override
     {
-        return _table->capacity();
+        return stateOwner()->_table->capacity();
     }
     std::uint64_t tableOccupancy() const override
     {
-        return _table->occupancy();
+        return stateOwner()->_table->occupancy();
     }
 
     const TwoLevelConfig &config() const { return _config; }
@@ -94,10 +107,63 @@ class TwoLevelPredictor : public IndirectPredictor
     void pushHistory(Addr pc, Addr target);
     void invalidateKeyCache() { _cacheValid = false; }
 
+    /** The predictor whose table actually holds this column's state:
+     *  the dedup primary when this is a replica, else this. */
+    const TwoLevelPredictor *
+    stateOwner() const
+    {
+        return _sweepPrimary != nullptr ? _sweepPrimary : this;
+    }
+
+    /** The raw table lookup predict() performs when it owns state. */
+    Prediction lookup(Addr pc);
+
+    /** Bound-mode predict: memoized per (group version, pc) so dedup
+     *  replicas can mirror the primary's pre-update answer. */
+    Prediction sharedPredict(Addr pc);
+
     TwoLevelConfig _config;
     PatternBuilder _builder;
     HistoryRegister _history;
     std::unique_ptr<TargetTable> _table;
+
+    /**
+     * Bound mode (joinSweepKernel accepted): the first-level history
+     * lives in the shared group, pushHistory() is a no-op (the
+     * simulation loop commits once per branch through the kernel) and
+     * currentKey() delegates to the shared, version-memoized variant.
+     * The local key cache below is bypassed - pushes no longer happen
+     * here, so it would never be invalidated.
+     */
+    SweepHistoryGroup *_sweepGroup = nullptr;
+    SweepKeyVariant *_sweepVariant = nullptr;
+
+    /**
+     * State deduplication (SweepKernel::dedupe()): when an
+     * earlier-joined column has an equal TwoLevelConfig, this
+     * predictor becomes its *replica* - predict() mirrors the
+     * primary's memoized per-record prediction, update() is a
+     * no-op, and occupancy/capacity report the
+     * primary's table. Identical configurations fed the identical
+     * record stream evolve identically, so every mirrored answer is
+     * bit-for-bit what this column's own table would have produced.
+     */
+    TwoLevelPredictor *_sweepPrimary = nullptr;
+
+    /** Set by SweepKernel::dedupe() on a primary that acquired at
+     *  least one replica: only then is the prediction memo below
+     *  maintained (columns nobody mirrors skip the memo stores). */
+    bool _replicated = false;
+
+    friend class SweepKernel;
+
+    // Prediction memo (sharedPredict): built by the replicated
+    // primary's own predict() before its update trains the table,
+    // read by replicas later in the same record's member loop.
+    std::uint64_t _predMemoVersion = 0;
+    Addr _predMemoPc = 0;
+    bool _predMemoValid = false;
+    Prediction _predMemo;
 
     // predict()/update() pairs reuse the same key; cache it so the
     // pattern is assembled once per dynamic branch.

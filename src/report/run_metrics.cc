@@ -26,6 +26,8 @@ RunMetrics::operator=(const RunMetrics &other)
     _traceStreamHits = other._traceStreamHits;
     _traceSeconds = other._traceSeconds;
     _tableImpl = other._tableImpl;
+    _hasSweepKernel = other._hasSweepKernel;
+    _sweepKernel = other._sweepKernel;
     return *this;
 }
 
@@ -89,6 +91,37 @@ RunMetrics::recordTableImpl(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _tableImpl = name;
+}
+
+void
+RunMetrics::recordSweepKernel(const SweepKernelStats &stats)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _hasSweepKernel = true;
+    _sweepKernel.groupsFused += stats.groupsFused;
+    _sweepKernel.groupsPerCell += stats.groupsPerCell;
+    _sweepKernel.predictorsBound += stats.predictorsBound;
+    _sweepKernel.predictorsUnbound += stats.predictorsUnbound;
+    _sweepKernel.predictorsDeduped += stats.predictorsDeduped;
+    _sweepKernel.fallbackFactory += stats.fallbackFactory;
+    _sweepKernel.fallbackCancelled += stats.fallbackCancelled;
+    _sweepKernel.fallbackInjected += stats.fallbackInjected;
+    _sweepKernel.fallbackInjectorArmed += stats.fallbackInjectorArmed;
+    _sweepKernel.fallbackError += stats.fallbackError;
+}
+
+bool
+RunMetrics::hasSweepKernel() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hasSweepKernel;
+}
+
+SweepKernelStats
+RunMetrics::sweepKernel() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _sweepKernel;
 }
 
 unsigned
@@ -242,6 +275,11 @@ RunMetrics::toJson() const
         entry.set("benchmark", cell.benchmark);
         entry.set("branches", cell.branches);
         entry.set("seconds", cell.seconds);
+        entry.set("group_seconds", cell.groupSeconds);
+        // Only emitted when true, so per-cell artifacts don't carry
+        // a redundant false for every cell.
+        if (cell.secondsSynthetic)
+            entry.set("seconds_synthetic", true);
         entry.set("table_occupancy", cell.tableOccupancy);
         entry.set("table_capacity", cell.tableCapacity);
         cells_json.push(std::move(entry));
@@ -280,6 +318,25 @@ RunMetrics::toJson() const
     }
 
     // Likewise emitted only when recorded, so artifacts produced
+    // before the fused engine existed keep their schema.
+    if (hasSweepKernel()) {
+        const SweepKernelStats sweep = sweepKernel();
+        Json kernel = Json::object();
+        kernel.set("groups_fused", sweep.groupsFused);
+        kernel.set("groups_per_cell", sweep.groupsPerCell);
+        kernel.set("predictors_bound", sweep.predictorsBound);
+        kernel.set("predictors_unbound", sweep.predictorsUnbound);
+        kernel.set("predictors_deduped", sweep.predictorsDeduped);
+        kernel.set("fallback_factory_error", sweep.fallbackFactory);
+        kernel.set("fallback_cancelled", sweep.fallbackCancelled);
+        kernel.set("fallback_fault_injected", sweep.fallbackInjected);
+        kernel.set("fallback_injector_armed",
+                   sweep.fallbackInjectorArmed);
+        kernel.set("fallback_error", sweep.fallbackError);
+        json.set("sweep_kernel", std::move(kernel));
+    }
+
+    // Likewise emitted only when recorded, so artifacts produced
     // before the flat/reference toggle keep their bytes.
     const std::string table_impl = tableImpl();
     if (!table_impl.empty())
@@ -303,6 +360,14 @@ RunMetrics::fromJson(const Json &json)
             cell.benchmark = entry.stringOr("benchmark", "");
             cell.branches = entry.at("branches").asUint();
             cell.seconds = entry.numberOr("seconds", 0.0);
+            // Artifacts predating the fused engine carry no
+            // group_seconds; for those the cell time is its own
+            // traversal time.
+            cell.groupSeconds =
+                entry.numberOr("group_seconds", cell.seconds);
+            cell.secondsSynthetic =
+                entry.contains("seconds_synthetic") &&
+                entry.at("seconds_synthetic").asBool();
             cell.tableOccupancy =
                 entry.at("table_occupancy").asUint();
             cell.tableCapacity = entry.at("table_capacity").asUint();
@@ -339,6 +404,31 @@ RunMetrics::fromJson(const Json &json)
             static_cast<unsigned>(source.numberOr("cache_hits", 0));
         if (cache_hits > mmap_hits + stream_hits)
             metrics._traceCacheHits = cache_hits;
+    }
+    if (json.contains("sweep_kernel")) {
+        const Json &kernel = json.at("sweep_kernel");
+        SweepKernelStats sweep;
+        sweep.groupsFused = static_cast<unsigned>(
+            kernel.numberOr("groups_fused", 0));
+        sweep.groupsPerCell = static_cast<unsigned>(
+            kernel.numberOr("groups_per_cell", 0));
+        sweep.predictorsBound = static_cast<unsigned>(
+            kernel.numberOr("predictors_bound", 0));
+        sweep.predictorsUnbound = static_cast<unsigned>(
+            kernel.numberOr("predictors_unbound", 0));
+        sweep.predictorsDeduped = static_cast<unsigned>(
+            kernel.numberOr("predictors_deduped", 0));
+        sweep.fallbackFactory = static_cast<unsigned>(
+            kernel.numberOr("fallback_factory_error", 0));
+        sweep.fallbackCancelled = static_cast<unsigned>(
+            kernel.numberOr("fallback_cancelled", 0));
+        sweep.fallbackInjected = static_cast<unsigned>(
+            kernel.numberOr("fallback_fault_injected", 0));
+        sweep.fallbackInjectorArmed = static_cast<unsigned>(
+            kernel.numberOr("fallback_injector_armed", 0));
+        sweep.fallbackError = static_cast<unsigned>(
+            kernel.numberOr("fallback_error", 0));
+        metrics.recordSweepKernel(sweep);
     }
     metrics._tableImpl = json.stringOr("table_impl", "");
     return metrics;

@@ -33,9 +33,52 @@ struct CellMetrics
     std::string column;
     std::string benchmark;
     std::uint64_t branches = 0;
+    /** Per-cell wall time. Synthetic (an even split of the shared
+     *  traversal time) when secondsSynthetic is set. */
     double seconds = 0.0;
+    /** Wall time of the traversal that produced this cell: equals
+     *  `seconds` for an isolated per-cell run, the undivided group
+     *  time when the cell came out of a fused traversal. */
+    double groupSeconds = 0.0;
+    /** True when `seconds` is a synthetic even split of
+     *  groupSeconds (fused single-pass engine). */
+    bool secondsSynthetic = false;
     std::uint64_t tableOccupancy = 0;
     std::uint64_t tableCapacity = 0;
+};
+
+/**
+ * Telemetry of the fused sweep engine (docs/PERFORMANCE.md): how many
+ * benchmark chunks ran fused versus falling back to the per-cell
+ * isolated path, and why. Counters are cumulative across run() calls
+ * of one session, mirroring the trace-source counters.
+ */
+struct SweepKernelStats
+{
+    /** Chunks simulated by the fused single-pass engine. */
+    unsigned groupsFused = 0;
+    /** Chunks that fell back to the per-cell path (sum of the
+     *  per-reason counters below). */
+    unsigned groupsPerCell = 0;
+    /** Predictors that joined a SweepKernel (shared history). */
+    unsigned predictorsBound = 0;
+    /** Predictors in fused chunks that declined to join (they still
+     *  rode the shared traversal with private history). */
+    unsigned predictorsUnbound = 0;
+    /** Two-level columns deduplicated into replicas of an
+     *  equal-configuration primary (SweepKernel::dedupe()). */
+    unsigned predictorsDeduped = 0;
+    /** Fallback cause: a predictor factory threw. */
+    unsigned fallbackFactory = 0;
+    /** Fallback cause: the watchdog cancelled the fused traversal. */
+    unsigned fallbackCancelled = 0;
+    /** Fallback cause: an injected fault at the "fused" site. */
+    unsigned fallbackInjected = 0;
+    /** Fallback cause: a sim-armed fault injector disabled the fused
+     *  engine wholesale (per-cell attempt accounting must hold). */
+    unsigned fallbackInjectorArmed = 0;
+    /** Fallback cause: any other error during the fused attempt. */
+    unsigned fallbackError = 0;
 };
 
 /**
@@ -149,6 +192,18 @@ class RunMetrics
     /** Table implementation recorded for this run ("" if never). */
     std::string tableImpl() const;
 
+    /**
+     * Record fused-engine telemetry for one grid run. Cumulative
+     * across calls (counters add up). Thread-safe.
+     */
+    void recordSweepKernel(const SweepKernelStats &stats);
+
+    /** True when recordSweepKernel() was ever called. */
+    bool hasSweepKernel() const;
+
+    /** Aggregated fused-engine telemetry (zeros if never recorded). */
+    SweepKernelStats sweepKernel() const;
+
     Json toJson() const;
     static RunMetrics fromJson(const Json &json);
 
@@ -165,6 +220,8 @@ class RunMetrics
     unsigned _traceStreamHits = 0;
     double _traceSeconds = 0.0;
     std::string _tableImpl;
+    bool _hasSweepKernel = false;
+    SweepKernelStats _sweepKernel;
 };
 
 } // namespace ibp

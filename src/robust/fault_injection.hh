@@ -8,8 +8,9 @@
  *
  *   spec   := clause ("," clause)*
  *   clause := SITE ":" PROB [":" KIND] | "seed=" N
- *   SITE   := "trace" | "sim" | "artifact"   (free-form; these are
- *                                             the sites wired today)
+ *   SITE   := "trace" | "sim" | "fused" | "artifact"
+ *                            (free-form; these are the sites wired
+ *                             today - see docs/ROBUSTNESS.md)
  *   PROB   := failure probability per attempt, in [0, 1]
  *   KIND   := "transient" (default) | "permanent"
  *
@@ -71,6 +72,20 @@ class FaultInjector
     static void configureGlobal(const std::string &spec);
 
     bool armed() const { return !_sites.empty(); }
+
+    /** True when a clause names @p site (fused-path gating: a
+     *  sim-armed injector must force the per-cell reference path,
+     *  but arming only other sites should not). */
+    bool
+    armedFor(const std::string &site) const
+    {
+        for (const FaultSite &armed_site : _sites) {
+            if (armed_site.site == site)
+                return true;
+        }
+        return false;
+    }
+
     std::uint64_t seed() const { return _seed; }
     const std::vector<FaultSite> &sites() const { return _sites; }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/sweep_kernel.hh"
 #include "robust/error.hh"
 #include "util/logging.hh"
 
@@ -103,6 +104,7 @@ simulate(IndirectPredictor &predictor, const Trace &trace,
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
+    result.groupSeconds = result.seconds;
     return result;
 }
 
@@ -126,6 +128,7 @@ simulateMany(std::span<IndirectPredictor *const> predictors,
     const BranchRecord *const records = trace.data();
     const std::size_t count = trace.size();
     const std::size_t predictor_count = predictors.size();
+    SweepKernel *const kernel = options.kernel;
 
     // The record stream is walked once; the per-predictor work is
     // the inner loop, so every predictor sees exactly the sequence
@@ -145,6 +148,11 @@ simulateMany(std::span<IndirectPredictor *const> predictors,
                                                   record.taken,
                                                   record.target);
             }
+            // Bound predictors suppressed their own pushes; advance
+            // the shared histories once, after all of them looked.
+            if (kernel != nullptr)
+                kernel->observeConditional(record.pc, record.taken,
+                                           record.target);
             continue;
         }
         if (!record.isPredictedIndirect())
@@ -166,20 +174,31 @@ simulateMany(std::span<IndirectPredictor *const> predictors,
             }
             predictor->update(record.pc, record.target);
         }
+        // Solo predictors push history inside update() *after*
+        // consuming the key they cached pre-push; committing the
+        // shared histories once, after every bound predictor
+        // trained, reproduces exactly that order.
+        if (kernel != nullptr)
+            kernel->commit(record.pc, record.target);
     }
 
     // One traversal produced all results, so the wall time is shared
-    // state: split it evenly so aggregate cell-seconds telemetry
-    // stays comparable with the per-cell path.
-    const double seconds =
+    // state: record the real group time and split it evenly so
+    // aggregate cell-seconds telemetry stays comparable with the
+    // per-cell path (the quotient is synthetic - consumers branch on
+    // sharedTraversal). predictors is non-empty here (guarded above).
+    const double group_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
-            .count() /
-        static_cast<double>(predictors.size());
+            .count();
+    const double seconds =
+        group_seconds / static_cast<double>(predictors.size());
     for (std::size_t i = 0; i < predictors.size(); ++i) {
         results[i].tableOccupancy = predictors[i]->tableOccupancy();
         results[i].tableCapacity = predictors[i]->tableCapacity();
         results[i].seconds = seconds;
+        results[i].groupSeconds = group_seconds;
+        results[i].sharedTraversal = true;
     }
     return results;
 }

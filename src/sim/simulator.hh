@@ -25,6 +25,8 @@
 
 namespace ibp {
 
+class SweepKernel;
+
 /** Outcome of one predictor/trace run. */
 struct SimResult
 {
@@ -36,8 +38,17 @@ struct SimResult
     std::uint64_t noPrediction = 0;
     std::uint64_t tableOccupancy = 0;
     std::uint64_t tableCapacity = 0;
-    /** Wall time of the simulation loop, in seconds. */
+    /** Wall time of the simulation loop, in seconds. For a shared
+     *  traversal (simulateMany) this is the group wall time divided
+     *  evenly - synthetic, only the aggregate is physical. */
     double seconds = 0.0;
+    /** Wall time of the whole traversal that produced this result;
+     *  equals `seconds` for a solo simulate(), the undivided group
+     *  time for a shared traversal. */
+    double groupSeconds = 0.0;
+    /** True when this result came out of a shared traversal, i.e.
+     *  `seconds` is synthetic (see groupSeconds). */
+    bool sharedTraversal = false;
 
     /** Misprediction rate in percent (the paper's metric). */
     double
@@ -112,6 +123,18 @@ struct SimOptions
      * nullptr disables.
      */
     const CancelToken *cancel = nullptr;
+
+    /**
+     * Fused sweep kernel driving the shared first-level history of
+     * the predictors in this run (simulateMany only). When set, the
+     * traversal calls kernel->observeConditional() after offering a
+     * conditional to the predictors and kernel->commit() after the
+     * per-predictor update loop of each indirect branch; predictors
+     * bound to the kernel suppress their own history pushes. The
+     * caller owns kernel lifetime and must have bound the predictors
+     * (SweepKernel::tryJoin) and called finalize(). nullptr disables.
+     */
+    SweepKernel *kernel = nullptr;
 };
 
 /**
@@ -165,9 +188,14 @@ SimResult simulate(IndirectPredictor &predictor, const Trace &trace,
  * the per-cell path: one shared cancellation token covers the whole
  * traversal (a timeout aborts all predictors at once - callers fall
  * back to per-cell isolation, see docs/PERFORMANCE.md), per-site
- * stats are not supported, and each result's `seconds` is the
- * traversal wall time divided evenly across predictors (only the
- * aggregate is physically meaningful).
+ * stats are not supported, and each result's `seconds` is synthetic:
+ * the traversal wall time divided evenly across predictors, with the
+ * real shared wall time in `groupSeconds` and `sharedTraversal` set
+ * (only the aggregate of `seconds` is physically meaningful).
+ *
+ * When options.kernel is set, predictors bound to it share their
+ * first-level history through the kernel (see SimOptions::kernel);
+ * the counters remain bit-identical to the unfused run.
  *
  * Null predictor pointers are not allowed. An empty span returns an
  * empty vector without touching the trace.

@@ -11,6 +11,7 @@
 #include <system_error>
 #include <thread>
 
+#include "core/sweep_kernel.hh"
 #include "robust/fault_injection.hh"
 #include "trace/trace_cache.hh"
 #include "util/logging.hh"
@@ -100,30 +101,31 @@ SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
                          bool emit_conditionals)
     : _names(std::move(benchmarks))
 {
-    const auto start = std::chrono::steady_clock::now();
+    // An unknown benchmark name is a startup configuration error and
+    // must fatal() on the calling thread, not inside a pool task.
+    for (const auto &name : _names)
+        benchmarkProfile(name);
+
+    _acquireStart = std::chrono::steady_clock::now();
+    _acquire.resize(_names.size());
+    _acquireRemaining = _names.size();
+
+    Executor &executor = Executor::global();
+    executor.ensureWorkers(simulationThreads());
+    _acquireBatch = std::make_unique<Executor::Batch>(executor);
+
     const RetryPolicy policy = retryPolicyFromEnv();
     TraceCache *cache = TraceCache::global();
+    // Snapshot the injector BY VALUE: acquisition outlives this
+    // constructor, and tests re-arm the global right after it
+    // returns - the tasks must keep the configuration they were
+    // spawned under.
+    const FaultInjector injector = FaultInjector::global();
 
-    // Per-benchmark outcome, index-aligned with _names so the
-    // parallel workers never touch a shared container.
-    struct Acquired
-    {
-        bool ok = false;
-        bool fromCache = false;
-        Trace trace;
-        RunError error;
-    };
-    std::vector<Acquired> acquired(_names.size());
-
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&]() {
-        while (true) {
-            const std::size_t index =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (index >= _names.size())
-                return;
-            const std::string &name = _names[index];
-            Acquired &slot = acquired[index];
+    for (std::size_t i = 0; i < _names.size(); ++i) {
+        _acquireBatch->spawn([this, i, emit_conditionals, policy,
+                              cache, injector]() {
+            const std::string &name = _names[i];
             std::string key;
             if (cache) {
                 key = benchmarkTraceCacheKey(name, emit_conditionals);
@@ -132,80 +134,131 @@ SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
                 // rejects a foreign file dropped into the cache
                 // directory under our key.
                 if (hit.ok() && hit.value().name() == name) {
-                    slot.trace = std::move(hit).value();
-                    slot.ok = true;
-                    slot.fromCache = true;
-                    continue;
+                    finishAcquire(i, true, true,
+                                  std::move(hit).value(), RunError{});
+                    return;
                 }
             }
             auto made = runWithRetries(policy, [&](unsigned attempt) {
-                FaultInjector::global().check("trace", name, attempt);
+                injector.check("trace", name, attempt);
                 return generateBenchmarkTrace(name, emit_conditionals);
             });
             if (!made.ok()) {
-                slot.error = made.error();
-                continue;
+                finishAcquire(i, false, false, Trace{}, made.error());
+                return;
             }
-            slot.trace = std::move(made).value();
-            slot.ok = true;
+            Trace trace = std::move(made).value();
             if (cache) {
                 // Best effort: a full disk degrades the cache, not
                 // the run.
-                auto stored = cache->store(key, slot.trace);
+                auto stored = cache->store(key, trace);
                 if (!stored.ok()) {
                     warn("trace cache store for '%s' failed: %s",
                          name.c_str(),
                          stored.error().describe().c_str());
                 }
             }
-        }
-    };
-
-    const unsigned thread_count = static_cast<unsigned>(
-        std::min<std::size_t>(simulationThreads(), _names.size()));
-    if (thread_count <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(thread_count);
-        try {
-            for (unsigned t = 0; t < thread_count; ++t)
-                threads.emplace_back(worker);
-        } catch (const std::system_error &exception) {
-            warn("thread construction failed after %zu of %u trace "
-                 "workers (%s); continuing degraded",
-                 threads.size(), thread_count, exception.what());
-        }
-        if (threads.empty())
-            worker();
-        for (auto &thread : threads)
-            thread.join();
+            finishAcquire(i, true, false, std::move(trace),
+                          RunError{});
+        });
     }
+}
 
-    for (std::size_t i = 0; i < _names.size(); ++i) {
-        const std::string &name = _names[i];
-        Acquired &slot = acquired[i];
-        if (slot.ok) {
-            if (slot.fromCache) {
+SuiteRunner::~SuiteRunner()
+{
+    // _acquireBatch is the first-destroyed member and its destructor
+    // waits, but be explicit: no acquisition task may outlive the
+    // members it writes to.
+    if (_acquireBatch)
+        _acquireBatch->wait();
+}
+
+void
+SuiteRunner::finishAcquire(std::size_t index, bool ok, bool from_cache,
+                           Trace trace, const RunError &error)
+{
+    const std::string &name = _names[index];
+    std::vector<std::function<void(const Trace *)>> continuations;
+    const Trace *published = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(_acquireMutex);
+        if (ok) {
+            if (from_cache) {
                 ++_traceStats.cacheHits;
-                if (slot.trace.readPath() == TraceReadPath::Mmap)
+                if (trace.readPath() == TraceReadPath::Mmap)
                     ++_traceStats.mmapHits;
                 else
                     ++_traceStats.streamHits;
             } else {
                 ++_traceStats.generated;
             }
-            _traces.emplace(name, std::move(slot.trace));
+            // std::map nodes are pointer-stable, so handing the
+            // address to continuations is safe for the runner's
+            // lifetime (duplicate names keep the first trace).
+            const auto [it, inserted] =
+                _traces.emplace(name, std::move(trace));
+            published = &it->second;
         } else {
             warn("trace generation for '%s' failed: %s", name.c_str(),
-                 slot.error.describe().c_str());
-            _failedTraces.emplace(name, slot.error);
+                 error.describe().c_str());
+            _failedTraces.emplace(name, error);
+        }
+        AcquireSlot &slot = _acquire[index];
+        slot.done = true;
+        slot.trace = published;
+        continuations.swap(slot.continuations);
+        if (--_acquireRemaining == 0) {
+            _traceStats.seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - _acquireStart)
+                    .count();
         }
     }
-    _traceStats.seconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    _acquireCv.notify_all();
+    // Continuations run outside the lock: they spawn simulation work
+    // (SuiteRunner::run overlapping with acquisition) and must not
+    // hold up other finishing tasks.
+    for (auto &continuation : continuations)
+        continuation(published);
+}
+
+void
+SuiteRunner::onTraceReady(
+    std::size_t index,
+    std::function<void(const Trace *)> continuation) const
+{
+    const Trace *published = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(_acquireMutex);
+        AcquireSlot &slot = _acquire[index];
+        if (!slot.done) {
+            slot.continuations.push_back(std::move(continuation));
+            return;
+        }
+        published = slot.trace;
+    }
+    continuation(published);
+}
+
+void
+SuiteRunner::waitAcquisition() const
+{
+    std::unique_lock<std::mutex> lock(_acquireMutex);
+    _acquireCv.wait(lock, [&] { return _acquireRemaining == 0; });
+}
+
+const std::map<std::string, RunError> &
+SuiteRunner::failedBenchmarks() const
+{
+    waitAcquisition();
+    return _failedTraces;
+}
+
+const TraceSourceStats &
+SuiteRunner::traceSourceStats() const
+{
+    waitAcquisition();
+    return _traceStats;
 }
 
 SuiteRunner
@@ -226,6 +279,7 @@ SuiteRunner::fullSuite(bool emit_conditionals)
 const Trace &
 SuiteRunner::trace(const std::string &benchmark) const
 {
+    waitAcquisition();
     const auto it = _traces.find(benchmark);
     IBP_ASSERT(it != _traces.end(), "benchmark '%s' not loaded",
                benchmark.c_str());
@@ -256,10 +310,16 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
     const std::int64_t deadline_ns = static_cast<std::int64_t>(
         session.retry.cellDeadlineSeconds * 1e9);
 
+    Executor &executor = Executor::global();
+    executor.ensureWorkers(simulationThreads());
+
     struct Job
     {
         const SweepColumn *column;
-        const Trace *trace;
+        /** Filled once this benchmark's acquisition lands (the fused
+         *  phase consumes the trace through its continuation before
+         *  that, so it can start the moment the trace exists). */
+        const Trace *trace = nullptr;
         const std::string *benchmark;
         double missPercent = 0.0;
         /** Completed by the single-pass phase; skipped per-cell. */
@@ -273,25 +333,11 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
     jobs.reserve(columns.size() * _names.size());
     for (const auto &column : columns) {
         for (const auto &name : _names) {
-            // A benchmark whose trace never materialised fails every
-            // cell up front - no point retrying the simulation.
-            const auto failed_trace = _failedTraces.find(name);
-            if (failed_trace != _failedTraces.end()) {
-                const RunError &cause = failed_trace->second;
-                grid.setFailed(FailedCell{column.label, name,
-                                          cause.describe(), cause.kind,
-                                          cause.attempts});
-                if (metrics) {
-                    metrics->recordFailure(
-                        FailureRecord{column.label, name,
-                                      cause.describe(),
-                                      errorKindName(cause.kind),
-                                      cause.attempts});
-                }
-                continue;
-            }
             // Resume: a journalled cell is restored verbatim, not
             // recomputed (it carries the full-precision miss rate).
+            // Benchmarks whose acquisition fails are resolved after
+            // the acquisition barrier below - their cells fail
+            // without ever simulating.
             if (journal) {
                 const auto restored =
                     journal->lookup(grid_id, column.label, name);
@@ -300,16 +346,14 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                     continue;
                 }
             }
-            jobs.push_back(
-                Job{&column, &trace(name), &name, 0.0, false, false,
-                    {}});
+            jobs.push_back(Job{&column, nullptr, &name, 0.0, false,
+                               false, {}});
         }
     }
 
-    const unsigned thread_count = static_cast<unsigned>(
-        std::min<std::size_t>(simulationThreads(), jobs.size()));
-
-    // One slot per worker carries the watchdog state. The attempt
+    // One slot per pool worker (plus one for off-pool callers, e.g.
+    // inline execution when the pool degraded to zero workers)
+    // carries the watchdog state. The attempt
     // currently running is published as an *epoch*: the worker bumps
     // it before arming a deadline, and the watchdog requests
     // cancellation of the epoch it observed, so a request that lands
@@ -341,7 +385,20 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             token.armed = 0;
         }
     };
-    std::vector<WorkerSlot> slots(std::max(1u, thread_count));
+    // publishedWorkers() is monotonic and a worker's index is always
+    // below it, so indexing is stable for the whole run; the extra
+    // slot serves any off-pool thread. Tasks on one worker run
+    // sequentially, so each slot has one owner at a time.
+    const unsigned published_workers = executor.publishedWorkers();
+    std::vector<WorkerSlot> slots(published_workers + 1);
+    const auto slotFor = [&slots, published_workers]() -> WorkerSlot & {
+        const int index = Executor::currentWorkerIndex();
+        if (index < 0 ||
+            static_cast<unsigned>(index) >= published_workers) {
+            return slots[published_workers];
+        }
+        return slots[static_cast<unsigned>(index)];
+    };
 
     std::mutex wd_mutex;
     std::condition_variable wd_cv;
@@ -389,6 +446,8 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             cell.benchmark = *job.benchmark;
             cell.branches = result.branches;
             cell.seconds = result.seconds;
+            cell.groupSeconds = result.groupSeconds;
+            cell.secondsSynthetic = result.sharedTraversal;
             cell.tableOccupancy = result.tableOccupancy;
             cell.tableCapacity = result.tableCapacity;
             metrics->recordCell(cell);
@@ -405,49 +464,33 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         }
     };
 
-    const auto spawn = [&](const std::function<void(unsigned)> &work,
-                           unsigned want) -> unsigned {
-        if (want <= 1) {
-            work(0);
-            return 1;
-        }
-        std::vector<std::thread> threads;
-        threads.reserve(want);
-        try {
-            for (unsigned t = 0; t < want; ++t)
-                threads.emplace_back(work, t);
-        } catch (const std::system_error &exception) {
-            // Thread creation can fail under resource pressure; the
-            // workers already spawned will drain the whole queue, so
-            // degrade instead of dying.
-            warn("thread construction failed after %zu of %u workers "
-                 "(%s); continuing degraded",
-                 threads.size(), want, exception.what());
-        }
-        if (threads.empty()) {
-            warn("falling back to serial execution");
-            work(0);
-        }
-        const unsigned used =
-            static_cast<unsigned>(std::max<std::size_t>(
-                1, threads.size()));
-        for (auto &thread : threads)
-            thread.join();
-        return used;
-    };
-
-    unsigned threads_used = 1;
+    // Fused-path telemetry (satellite: mirror trace_source). Chunks
+    // run concurrently, so the counters are atomic; a "group" here is
+    // one fused chunk (split-on-idle can divide a benchmark's columns
+    // across several chunks, each fused independently).
+    std::atomic<unsigned> fused_groups{0};
+    std::atomic<unsigned> fallback_factory{0};
+    std::atomic<unsigned> fallback_cancelled{0};
+    std::atomic<unsigned> fallback_injected{0};
+    std::atomic<unsigned> fallback_error{0};
+    std::atomic<unsigned> predictors_bound{0};
+    std::atomic<unsigned> predictors_unbound{0};
+    std::atomic<unsigned> predictors_deduped{0};
+    unsigned fallback_injector_armed = 0;
 
     // Phase 1 (opportunistic): feed all pending columns of a
-    // benchmark from ONE trace traversal. Skipped entirely when the
-    // fault injector is armed - injected "sim" faults are per-cell
-    // by construction - and any failure inside a group (factory
-    // error, watchdog cancellation, anything the engine throws)
-    // simply leaves its jobs pending for phase 2, which re-runs them
-    // under the full per-cell retry/deadline isolation. Results are
-    // bit-identical either way (see simulateMany()).
-    if (session.singlePass && !FaultInjector::global().armed() &&
-        !jobs.empty()) {
+    // benchmark from ONE trace traversal with a fused sweep kernel,
+    // each chunk becoming runnable the moment its trace lands
+    // (onTraceReady continuation -> executor task). Skipped when the
+    // fault injector arms the "sim" site - those faults are per-cell
+    // by construction - while the dedicated "fused" site injects
+    // into this phase to test the fallback. Any failure inside a
+    // chunk (factory error, watchdog cancellation, injected fault,
+    // anything the engine throws) simply leaves its jobs pending for
+    // phase 2, which re-runs them under the full per-cell
+    // retry/deadline isolation. Results are bit-identical either way
+    // (see simulateMany()).
+    if (session.singlePass && !jobs.empty()) {
         std::vector<std::vector<std::size_t>> groups;
         std::map<std::string, std::size_t> group_of;
         for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -458,128 +501,244 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             groups[it->second].push_back(j);
         }
 
-        std::atomic<std::size_t> next_group{0};
-        const auto group_worker = [&](unsigned slot_index) {
-            WorkerSlot &slot = slots[slot_index];
-            while (true) {
-                const std::size_t g = next_group.fetch_add(
-                    1, std::memory_order_relaxed);
-                if (g >= groups.size())
-                    return;
-                const std::vector<std::size_t> &members = groups[g];
-                try {
+        if (FaultInjector::global().armedFor("sim")) {
+            fallback_injector_armed =
+                static_cast<unsigned>(groups.size());
+        } else {
+            Executor::Batch batch(executor);
+
+            // One fused chunk: build the members' predictors, bind
+            // them to a kernel, run the shared traversal. Declared as
+            // a std::function so split-off halves can re-enter it.
+            std::function<void(const Trace *,
+                               std::vector<std::size_t>)>
+                runChunk = [&](const Trace *chunk_trace,
+                               std::vector<std::size_t> members) {
+                    // Split-on-idle: while other workers are parked,
+                    // hand them half of this chunk. Each half fuses
+                    // independently; per-column results do not depend
+                    // on chunk composition, so splitting cannot
+                    // change any counter.
+                    while (members.size() > 1 &&
+                           executor.idleWorkers() > 0) {
+                        const std::size_t keep = members.size() / 2;
+                        std::vector<std::size_t> given(
+                            members.begin() +
+                                static_cast<std::ptrdiff_t>(keep),
+                            members.end());
+                        members.resize(keep);
+                        batch.spawn([&runChunk, chunk_trace,
+                                     given = std::move(given)]() mutable {
+                            runChunk(chunk_trace, std::move(given));
+                        });
+                    }
+
+                    const std::string &benchmark =
+                        *jobs[members.front()].benchmark;
+                    try {
+                        FaultInjector::global().check(
+                            "fused",
+                            std::to_string(grid_id) + "/" + benchmark);
+                    } catch (const RunException &) {
+                        fallback_injected.fetch_add(
+                            1, std::memory_order_relaxed);
+                        return;
+                    }
+
                     std::vector<std::unique_ptr<IndirectPredictor>>
                         predictors;
                     std::vector<IndirectPredictor *> raw;
                     predictors.reserve(members.size());
                     raw.reserve(members.size());
-                    for (const std::size_t j : members) {
-                        auto predictor = jobs[j].column->make();
-                        if (!predictor) {
-                            throw RunException(RunError::permanent(
-                                "predictor factory for '" +
-                                jobs[j].column->label +
-                                "' returned null"));
+                    try {
+                        for (const std::size_t j : members) {
+                            auto predictor = jobs[j].column->make();
+                            if (!predictor) {
+                                throw RunException(RunError::permanent(
+                                    "predictor factory for '" +
+                                    jobs[j].column->label +
+                                    "' returned null"));
+                            }
+                            raw.push_back(predictor.get());
+                            predictors.push_back(std::move(predictor));
                         }
-                        raw.push_back(predictor.get());
-                        predictors.push_back(std::move(predictor));
+                    } catch (...) {
+                        fallback_factory.fetch_add(
+                            1, std::memory_order_relaxed);
+                        return;
                     }
-                    if (deadline_ns > 0) {
-                        // The whole-group deadline is the sum of the
-                        // per-cell budgets it replaces.
-                        slot.arm(nowNs() +
-                                 deadline_ns *
-                                     static_cast<std::int64_t>(
-                                         members.size()));
+
+                    SweepKernel kernel;
+                    for (IndirectPredictor *predictor : raw)
+                        kernel.tryJoin(*predictor);
+                    kernel.finalize();
+
+                    WorkerSlot &slot = slotFor();
+                    try {
+                        if (deadline_ns > 0) {
+                            // The whole-chunk deadline is the sum of
+                            // the per-cell budgets it replaces.
+                            slot.arm(nowNs() +
+                                     deadline_ns *
+                                         static_cast<std::int64_t>(
+                                             members.size()));
+                        }
+                        SimOptions options;
+                        options.cancel = &slot.token;
+                        options.kernel = &kernel;
+                        const std::vector<SimResult> results =
+                            simulateMany(raw, *chunk_trace, options);
+                        slot.disarm();
+                        for (std::size_t i = 0; i < members.size();
+                             ++i) {
+                            finishCell(jobs[members[i]], results[i]);
+                        }
+                        fused_groups.fetch_add(
+                            1, std::memory_order_relaxed);
+                        predictors_bound.fetch_add(
+                            kernel.joinedPredictors(),
+                            std::memory_order_relaxed);
+                        predictors_unbound.fetch_add(
+                            kernel.declinedPredictors(),
+                            std::memory_order_relaxed);
+                        predictors_deduped.fetch_add(
+                            kernel.dedupedPredictors(),
+                            std::memory_order_relaxed);
+                    } catch (const RunException &exception) {
+                        // Leave the chunk's jobs pending; phase 2
+                        // gives each cell its own isolated retries.
+                        slot.disarm();
+                        if (exception.error().kind ==
+                            ErrorKind::Timeout) {
+                            fallback_cancelled.fetch_add(
+                                1, std::memory_order_relaxed);
+                        } else {
+                            fallback_error.fetch_add(
+                                1, std::memory_order_relaxed);
+                        }
+                    } catch (...) {
+                        slot.disarm();
+                        fallback_error.fetch_add(
+                            1, std::memory_order_relaxed);
                     }
-                    SimOptions options;
-                    options.cancel = &slot.token;
-                    const std::vector<SimResult> results = simulateMany(
-                        raw, *jobs[members.front()].trace, options);
-                    slot.disarm();
-                    for (std::size_t i = 0; i < members.size(); ++i)
-                        finishCell(jobs[members[i]], results[i]);
-                } catch (...) {
-                    // Leave the group's jobs pending; phase 2 gives
-                    // each cell its own isolated retries.
-                    slot.disarm();
-                }
+                };
+
+            // Acquisition slot index of each benchmark name (first
+            // occurrence wins, matching finishAcquire).
+            std::map<std::string, std::size_t> name_index;
+            for (std::size_t i = 0; i < _names.size(); ++i)
+                name_index.try_emplace(_names[i], i);
+
+            for (const auto &members : groups) {
+                const std::size_t index =
+                    name_index.at(*jobs[members.front()].benchmark);
+                // defer() reserves the chunk in the batch before the
+                // trace exists, so batch.wait() below cannot return
+                // while any chunk is still gated on acquisition.
+                batch.defer();
+                onTraceReady(index, [&batch, &runChunk,
+                                     members](const Trace *trace) {
+                    if (trace == nullptr) {
+                        // Acquisition failed; the jobs are resolved
+                        // as failed cells after the barrier below.
+                        batch.cancelDeferred();
+                        return;
+                    }
+                    batch.spawnDeferred([&runChunk, trace, members]() {
+                        runChunk(trace, members);
+                    });
+                });
             }
-        };
-        threads_used = std::max(
-            threads_used,
-            spawn(group_worker,
-                  static_cast<unsigned>(std::min<std::size_t>(
-                      thread_count, groups.size()))));
+            batch.wait();
+        }
+    }
+
+    // Acquisition barrier: phase 2 (and failed-trace resolution)
+    // needs every outcome, not just the ones phase 1 consumed.
+    waitAcquisition();
+    for (auto &job : jobs) {
+        if (job.done || job.failed)
+            continue;
+        const auto failed_trace = _failedTraces.find(*job.benchmark);
+        if (failed_trace != _failedTraces.end()) {
+            // A benchmark whose trace never materialised fails every
+            // cell up front - no point retrying the simulation.
+            const RunError &cause = failed_trace->second;
+            job.failed = true;
+            job.error = cause;
+            job.error.message = cause.describe();
+            if (metrics) {
+                metrics->recordFailure(
+                    FailureRecord{job.column->label, *job.benchmark,
+                                  cause.describe(),
+                                  errorKindName(cause.kind),
+                                  cause.attempts});
+            }
+            continue;
+        }
+        job.trace = &_traces.at(*job.benchmark);
     }
 
     // Phase 2: per-cell isolation for everything still pending.
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&](unsigned slot_index) {
-        WorkerSlot &slot = slots[slot_index];
-        while (true) {
-            const std::size_t index =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (index >= jobs.size())
-                return;
-            Job &job = jobs[index];
-            if (job.done)
+    {
+        Executor::Batch batch(executor);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            if (jobs[j].done || jobs[j].failed)
                 continue;
-            const std::string fault_key = std::to_string(grid_id) +
-                                          "/" + job.column->label +
-                                          "/" + *job.benchmark;
-            auto outcome =
-                runWithRetries(session.retry, [&](unsigned attempt) {
-                    if (deadline_ns > 0)
-                        slot.arm(nowNs() + deadline_ns);
-                    // The attempt must disarm on every exit path or
-                    // the watchdog would target a dead epoch (and the
-                    // old plain-bool design would have cancelled the
-                    // *next* attempt).
-                    struct Disarm
-                    {
-                        WorkerSlot &slot;
-                        ~Disarm() { slot.disarm(); }
-                    } disarm{slot};
-                    FaultInjector::global().check("sim", fault_key,
-                                                  attempt);
-                    auto predictor = job.column->make();
-                    if (!predictor) {
-                        throw RunException(RunError::permanent(
-                            "predictor factory for '" +
-                            job.column->label + "' returned null"));
+            batch.spawn([&, j]() {
+                Job &job = jobs[j];
+                WorkerSlot &slot = slotFor();
+                const std::string fault_key =
+                    std::to_string(grid_id) + "/" +
+                    job.column->label + "/" + *job.benchmark;
+                auto outcome = runWithRetries(
+                    session.retry, [&](unsigned attempt) {
+                        if (deadline_ns > 0)
+                            slot.arm(nowNs() + deadline_ns);
+                        // The attempt must disarm on every exit path
+                        // or the watchdog would target a dead epoch
+                        // (and the old plain-bool design would have
+                        // cancelled the *next* attempt).
+                        struct Disarm
+                        {
+                            WorkerSlot &slot;
+                            ~Disarm() { slot.disarm(); }
+                        } disarm{slot};
+                        FaultInjector::global().check("sim", fault_key,
+                                                      attempt);
+                        auto predictor = job.column->make();
+                        if (!predictor) {
+                            throw RunException(RunError::permanent(
+                                "predictor factory for '" +
+                                job.column->label +
+                                "' returned null"));
+                        }
+                        SimOptions options;
+                        options.cancel = &slot.token;
+                        return simulate(*predictor, *job.trace,
+                                        options);
+                    });
+                if (!outcome.ok()) {
+                    job.failed = true;
+                    job.error = outcome.error();
+                    if (metrics) {
+                        metrics->recordFailure(FailureRecord{
+                            job.column->label, *job.benchmark,
+                            job.error.message,
+                            errorKindName(job.error.kind),
+                            job.error.attempts});
                     }
-                    SimOptions options;
-                    options.cancel = &slot.token;
-                    return simulate(*predictor, *job.trace, options);
-                });
-            if (!outcome.ok()) {
-                job.failed = true;
-                job.error = outcome.error();
-                if (metrics) {
-                    metrics->recordFailure(FailureRecord{
-                        job.column->label, *job.benchmark,
-                        job.error.message,
-                        errorKindName(job.error.kind),
-                        job.error.attempts});
+                    return;
                 }
-                continue;
-            }
-            finishCell(job, outcome.value());
+                finishCell(job, outcome.value());
+            });
         }
-    };
+        batch.wait();
+    }
 
-    std::size_t pending = 0;
-    for (const auto &job : jobs) {
-        if (!job.done)
-            ++pending;
-    }
-    if (pending > 0) {
-        threads_used = std::max(
-            threads_used,
-            spawn(worker, static_cast<unsigned>(std::min<std::size_t>(
-                              thread_count, pending))));
-    }
+    const unsigned threads_used = std::max(
+        1u, static_cast<unsigned>(std::min<std::size_t>(
+                executor.workerCount(), jobs.size())));
 
     if (watchdog.joinable()) {
         {
@@ -604,6 +763,33 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                                        _traceStats.mmapHits,
                                        _traceStats.streamHits,
                                        _traceStats.seconds);
+        }
+        // Fused-path observability, mirroring trace_source: how many
+        // chunks the fused engine served and why any fell back.
+        if (session.singlePass && !jobs.empty()) {
+            SweepKernelStats sweep;
+            sweep.groupsFused =
+                fused_groups.load(std::memory_order_relaxed);
+            sweep.fallbackFactory =
+                fallback_factory.load(std::memory_order_relaxed);
+            sweep.fallbackCancelled =
+                fallback_cancelled.load(std::memory_order_relaxed);
+            sweep.fallbackInjected =
+                fallback_injected.load(std::memory_order_relaxed);
+            sweep.fallbackError =
+                fallback_error.load(std::memory_order_relaxed);
+            sweep.fallbackInjectorArmed = fallback_injector_armed;
+            sweep.groupsPerCell =
+                sweep.fallbackFactory + sweep.fallbackCancelled +
+                sweep.fallbackInjected + sweep.fallbackError +
+                sweep.fallbackInjectorArmed;
+            sweep.predictorsBound =
+                predictors_bound.load(std::memory_order_relaxed);
+            sweep.predictorsUnbound =
+                predictors_unbound.load(std::memory_order_relaxed);
+            sweep.predictorsDeduped =
+                predictors_deduped.load(std::memory_order_relaxed);
+            metrics->recordSweepKernel(sweep);
         }
     }
 

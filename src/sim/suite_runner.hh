@@ -24,9 +24,12 @@
 #define IBP_SIM_SUITE_RUNNER_HH
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +37,7 @@
 #include "report/run_metrics.hh"
 #include "robust/checkpoint.hh"
 #include "robust/retry.hh"
+#include "sim/executor.hh"
 #include "sim/simulator.hh"
 #include "synth/benchmark_suite.hh"
 #include "util/format.hh"
@@ -150,18 +154,26 @@ class SuiteRunner
      *                          the generated traces (needed only by
      *                          predictors that consume them).
      *
-     * Traces are acquired in parallel across simulationThreads()
-     * workers: each benchmark first consults the on-disk trace cache
-     * when one is configured (TraceCache::global(), i.e.
-     * `--trace-cache` / IBP_TRACE_CACHE), and only misses run the
-     * generator - under the session-independent retry policy from
-     * the environment - then populate the cache for the next run. A
-     * benchmark whose trace cannot be obtained stays in benchmarks()
-     * but every later run() marks its cells failed instead of
-     * aborting the suite.
+     * Traces are acquired *asynchronously* on the process-wide
+     * executor (Executor::global(), sized by simulationThreads()):
+     * the constructor validates the benchmark names, spawns one
+     * acquisition task per benchmark and returns immediately. Each
+     * task first consults the on-disk trace cache when one is
+     * configured (TraceCache::global(), i.e. `--trace-cache` /
+     * IBP_TRACE_CACHE), and only misses run the generator - under
+     * the session-independent retry policy from the environment -
+     * then populate the cache for the next run. run() overlaps
+     * simulation with acquisition (a benchmark's sweep group starts
+     * the moment its trace lands); the accessors below block until
+     * acquisition completes, and the destructor waits for any tasks
+     * still in flight. A benchmark whose trace cannot be obtained
+     * stays in benchmarks() but every later run() marks its cells
+     * failed instead of aborting the suite.
      */
     explicit SuiteRunner(std::vector<std::string> benchmarks,
                          bool emitConditionals = false);
+
+    ~SuiteRunner();
 
     /** The paper's 13-program AVG set (OO + C). */
     static SuiteRunner avgSuite(bool emitConditionals = false);
@@ -173,24 +185,22 @@ class SuiteRunner
     {
         return _names;
     }
+
+    /** Blocks until acquisition completes. */
     const Trace &trace(const std::string &benchmark) const;
 
-    /** Benchmark name -> error, for traces that failed to generate. */
-    const std::map<std::string, RunError> &failedBenchmarks() const
-    {
-        return _failedTraces;
-    }
+    /** Benchmark name -> error, for traces that failed to generate.
+     *  Blocks until acquisition completes. */
+    const std::map<std::string, RunError> &failedBenchmarks() const;
 
     /**
      * Where this runner's traces came from. A warm cache shows
      * generated == 0; run() publishes these counters into the
      * session's RunMetrics once per runner, so artifacts record
-     * whether a run paid the generation cost.
+     * whether a run paid the generation cost. Blocks until
+     * acquisition completes.
      */
-    const TraceSourceStats &traceSourceStats() const
-    {
-        return _traceStats;
-    }
+    const TraceSourceStats &traceSourceStats() const;
 
     /**
      * Simulate every (column x benchmark) pair, in parallel, with
@@ -234,6 +244,36 @@ class SuiteRunner
     coveredGroups() const;
 
   private:
+    /**
+     * Per-benchmark acquisition slot, index-aligned with _names.
+     * `continuations` holds callbacks registered by run() for
+     * benchmarks still in flight; they fire (outside the lock) the
+     * moment the trace lands, receiving a pointer into _traces -
+     * nullptr when acquisition failed.
+     */
+    struct AcquireSlot
+    {
+        bool done = false;
+        const Trace *trace = nullptr;
+        std::vector<std::function<void(const Trace *)>> continuations;
+    };
+
+    /** Acquisition task epilogue: publish one benchmark's outcome. */
+    void finishAcquire(std::size_t index, bool ok, bool from_cache,
+                       Trace trace, const RunError &error);
+
+    /**
+     * Run @p continuation with benchmark @p index's trace: inline
+     * right now if acquisition already finished, otherwise when it
+     * does (on the finishing task's thread).
+     */
+    void onTraceReady(
+        std::size_t index,
+        std::function<void(const Trace *)> continuation) const;
+
+    /** Block until every acquisition task published its outcome. */
+    void waitAcquisition() const;
+
     std::vector<std::string> _names;
     std::map<std::string, Trace> _traces;
     std::map<std::string, RunError> _failedTraces;
@@ -242,6 +282,21 @@ class SuiteRunner
     // its presence also makes SuiteRunner non-copyable, which is
     // intentional (runners hold the full trace corpus).
     mutable std::atomic<bool> _traceStatsPublished{false};
+
+    /** Guards _acquire/_traces/_failedTraces/_traceStats until
+     *  acquisition completes (immutable afterwards). */
+    mutable std::mutex _acquireMutex;
+    mutable std::condition_variable _acquireCv;
+    mutable std::vector<AcquireSlot> _acquire;
+    mutable std::size_t _acquireRemaining = 0;
+    std::chrono::steady_clock::time_point _acquireStart;
+
+    /**
+     * The in-flight acquisition tasks. Declared LAST so it is
+     * destroyed FIRST: the Batch destructor waits for the tasks,
+     * which reference every member above.
+     */
+    mutable std::unique_ptr<Executor::Batch> _acquireBatch;
 };
 
 /**
