@@ -17,14 +17,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+ablMetapredictionExperiment()
 {
-    return runExperiment(
-        "abl_meta", "Metaprediction ablation (section 6.1)", argc,
-        argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "abl_meta", "Metaprediction ablation (section 6.1)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
 
             const std::uint64_t comp = context.quick() ? 512 : 1024;
@@ -80,5 +82,6 @@ main(int argc, char **argv)
                 "Paper anchors: 2-bit confidence best (small "
                 "margins); per-pattern confidence beats the "
                 "per-branch BPST; component order barely matters.");
-        });
+        }});
+    return def;
 }

@@ -20,15 +20,17 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+ablVariationsExperiment()
 {
-    return runExperiment(
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
         "abl_variations", "Rejected design variants (sections "
-        "3.3/4.1)",
-        argc, argv, [](ExperimentContext &context) {
+        "3.3/4.1)", [](ExperimentContext &context) {
             // Conditional records are needed by the
             // conditional-targets variant.
             SuiteRunner runner(benchmarkGroups().avg, true);
@@ -108,5 +110,6 @@ main(int argc, char **argv)
                 "at p=8; conditional targets crowd out indirect "
                 "history; fold/shift-xor do not beat bit selection; "
                 "updating on every miss is worse.");
-        });
+        }});
+    return def;
 }

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The shared main() of every bench binary. Each CMake target
+ * compiles this file with IBP_BENCH_EXPERIMENT set to its
+ * experiment's accessor (suites.hh); the accessor registers the
+ * definition and runBenchMain() handles flags, daemon routing and
+ * execution (common_flags.hh).
+ */
+
+#include "common_flags.hh"
+#include "suites.hh"
+
+#ifndef IBP_BENCH_EXPERIMENT
+#error "compile with -DIBP_BENCH_EXPERIMENT=<accessor>"
+#endif
+
+int
+main(int argc, char **argv)
+{
+    return ibp::runBenchMain(IBP_BENCH_EXPERIMENT(), argc, argv);
+}

@@ -19,14 +19,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+extFutureWorkExperiment()
 {
-    return runExperiment(
-        "ext_future", "Future-work extensions (section 8.1)", argc,
-        argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "ext_future", "Future-work extensions (section 8.1)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const std::uint64_t total = context.quick() ? 1024 : 4096;
 
@@ -135,5 +137,6 @@ main(int argc, char **argv)
                 "Joint accuracy close to target accuracy means the "
                 "path usually determines the next indirect branch "
                 "too - the property run-ahead prediction needs.");
-        });
+        }});
+    return def;
 }

@@ -25,14 +25,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+extRelatedWorkExperiment()
 {
-    return runExperiment(
-        "ext_related", "Related-work comparison (section 7)", argc,
-        argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "ext_related", "Related-work comparison (section 7)", [](ExperimentContext &context) {
             // Conditional records are needed by the Target Cache.
             SuiteRunner runner(benchmarkGroups().avg, true);
 
@@ -100,5 +102,6 @@ main(int argc, char **argv)
                 "1998 field; ITTAGE shows what another decade of "
                 "refinement (tags, geometric histories, useful "
                 "counters) buys.");
-        });
+        }});
+    return def;
 }

@@ -15,13 +15,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig02Experiment()
 {
-    return runExperiment(
-        "fig02", "Unconstrained BTB vs BTB-2bc (Figure 2)", argc, argv,
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig02", "Unconstrained BTB vs BTB-2bc (Figure 2)",
         [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::fullSuite();
 
@@ -45,5 +48,6 @@ main(int argc, char **argv)
                 grid, columns));
             context.note("Paper anchors: AVG 28.1 (BTB) / 24.9 "
                          "(BTB-2bc); BTB-2bc wins nearly everywhere.");
-        });
+        }});
+    return def;
 }

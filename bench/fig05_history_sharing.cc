@@ -15,14 +15,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig05Experiment()
 {
-    return runExperiment(
-        "fig05", "History-pattern sharing sweep (Figure 5)", argc,
-        argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig05", "History-pattern sharing sweep (Figure 5)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::fullSuite();
 
             std::vector<SweepColumn> columns;
@@ -48,5 +50,6 @@ main(int argc, char **argv)
                 "Paper anchors: AVG 9.4 (s=2) -> 6.0 (global); "
                 "AVG-infreq is the only group preferring per-address "
                 "histories.");
-        });
+        }});
+    return def;
 }

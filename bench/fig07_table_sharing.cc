@@ -16,13 +16,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig07Experiment()
 {
-    return runExperiment(
-        "fig07", "History-table sharing sweep (Figure 7)", argc, argv,
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig07", "History-table sharing sweep (Figure 7)",
         [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::fullSuite();
 
@@ -47,5 +50,6 @@ main(int argc, char **argv)
                 grid, columns));
             context.note("Paper anchors: AVG 6.0 (h=2) -> 9.6 "
                          "(shared); per-address tables win.");
-        });
+        }});
+    return def;
 }

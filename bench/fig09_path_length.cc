@@ -16,13 +16,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig09Experiment()
 {
-    return runExperiment(
-        "fig09", "Path-length sweep p=0..18 (Figure 9)", argc, argv,
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig09", "Path-length sweep p=0..18 (Figure 9)",
         [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::fullSuite();
 
@@ -45,5 +48,6 @@ main(int argc, char **argv)
             context.note(
                 "Paper anchors: AVG 24.9 (p=0) -> 7.8 (p=3) -> "
                 "minimum 5.8 (p=6) -> rising through p=18.");
-        });
+        }});
+    return def;
 }

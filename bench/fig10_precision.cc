@@ -17,6 +17,8 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
 namespace {
@@ -34,12 +36,12 @@ limitedConfig(unsigned p, unsigned b)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig10Experiment()
 {
-    return runExperiment(
-        "fig10", "Limited-precision history patterns (Figure 10)",
-        argc, argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig10", "Limited-precision history patterns (Figure 10)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
 
@@ -94,5 +96,6 @@ main(int argc, char **argv)
                 "Paper anchors: b=8 overlaps full precision; small b "
                 "hurts short paths most; the b*p<=24 rule tracks the "
                 "full-precision curve.");
-        });
+        }});
+    return def;
 }

@@ -16,14 +16,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig11Experiment()
 {
-    return runExperiment(
-        "fig11", "Capacity misses: fully-assoc LRU tables (Figure 11)",
-        argc, argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig11", "Capacity misses: fully-assoc LRU tables (Figure 11)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
 
@@ -66,5 +68,6 @@ main(int argc, char **argv)
                 "Paper anchors: p=2 best at 256 entries (12.5%), p=3 "
                 "at 1K (8.5%), p=6 at 8K (6.6%); the winning path "
                 "length grows with the table.");
-        });
+        }});
+    return def;
 }

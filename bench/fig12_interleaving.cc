@@ -27,6 +27,8 @@
 #include "sim/simulator.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
 namespace {
@@ -74,12 +76,12 @@ sweepTable(ExperimentContext &context, SuiteRunner &runner,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig12Experiment()
 {
-    return runExperiment(
-        "fig12", "Interleaving vs concatenation (Figures 12-15)",
-        argc, argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig12", "Interleaving vs concatenation (Figures 12-15)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
             const unsigned max_p = context.quick() ? 6 : 12;
@@ -151,5 +153,6 @@ main(int argc, char **argv)
             context.note("Paper anchor: interleaving raises ixx "
                          "utilisation from 50% to 79%.");
             (void)avg;
-        });
+        }});
+    return def;
 }

@@ -18,14 +18,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig16Experiment()
 {
-    return runExperiment(
-        "fig16", "Associativity x size x path length (Figure 16)",
-        argc, argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig16", "Associativity x size x path length (Figure 16)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
 
@@ -78,5 +80,6 @@ main(int argc, char **argv)
                 "Paper anchors: best p grows with size; tagless "
                 "tables show positive interference at long paths "
                 "(sometimes beating 4-way for p >= 7).");
-        });
+        }});
+    return def;
 }

@@ -18,13 +18,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig17Experiment()
 {
-    return runExperiment(
-        "fig17", "Hybrid path-length grid (Figure 17)", argc, argv,
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig17", "Hybrid path-length grid (Figure 17)",
         [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
@@ -81,5 +84,6 @@ main(int argc, char **argv)
             context.note(
                 "Paper anchors: best cells pair short (1..3) with "
                 "long (5..12) paths; the grid is nearly symmetric.");
-        });
+        }});
+    return def;
 }

@@ -18,14 +18,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+fig18Experiment()
 {
-    return runExperiment(
-        "fig18", "Best non-hybrid predictor per size (Figure 18)",
-        argc, argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "fig18", "Best non-hybrid predictor per size (Figure 18)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
 
@@ -117,5 +119,6 @@ main(int argc, char **argv)
                 "for 1K+ tables; the winning path length grows with "
                 "size; fullassoc < assoc4 < assoc2 < tagless at "
                 "every size.");
-        });
+        }});
+    return def;
 }

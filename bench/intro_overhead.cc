@@ -25,6 +25,8 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
 namespace {
@@ -50,13 +52,13 @@ measuredConditionalMiss(const Trace &trace)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+introOverheadExperiment()
 {
-    return runExperiment(
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
         "intro_overhead",
-        "Indirect share of branch-miss overhead (section 1)", argc,
-        argv, [](ExperimentContext &context) {
+        "Indirect share of branch-miss overhead (section 1)", [](ExperimentContext &context) {
             // Conditional records are needed for the measured
             // conditional-predictor rates.
             SuiteRunner runner(benchmarkGroups().avg, true);
@@ -170,5 +172,6 @@ main(int argc, char **argv)
                 "time reductions from a better indirect predictor on "
                 "a wide-issue machine - the same order as this "
                 "model's estimates for the hard benchmarks.");
-        });
+        }});
+    return def;
 }

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * The BENCH_micro experiment: whole-cell simulate() throughput of a
+ * Figure-18-style predictor mix, flat tables vs the retained
+ * reference tables, plus the three-engine (per-column / single-pass
+ * / fused) comparison on the Figure-17 row sweep. Lives in the
+ * suites library - separate from the google-benchmark loops in
+ * micro_throughput.cc - so the ibpd daemon can serve it like any
+ * paper experiment.
+ *
+ * Only the flat cells are recorded into the telemetry, so the
+ * artifact's branches_per_second is the flat-table aggregate and CI
+ * can hold it to a floor with report_diff --min-throughput; the
+ * emitted table carries both sides plus the speedup.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/btb.hh"
+#include "core/factory.hh"
+#include "core/sweep_kernel.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "synth/benchmark_suite.hh"
+#include "util/format.hh"
+
+#include "suites.hh"
+
+namespace {
+
+const ibp::Trace &
+benchTrace()
+{
+    static const ibp::Trace trace = [] {
+        ibp::GeneratorOptions options;
+        options.events = 100000;
+        return ibp::generateTrace(ibp::benchmarkProfile("porky"),
+                                  options);
+    }();
+    return trace;
+}
+
+struct MixCell
+{
+    std::string label;
+    std::function<std::unique_ptr<ibp::IndirectPredictor>()> make;
+};
+
+/** The Figure-18 organisations at 4K entries plus BTB and hybrid. */
+std::vector<MixCell>
+fig18Mix()
+{
+    using namespace ibp;
+    return {
+        {"btb",
+         [] {
+             return std::make_unique<BtbPredictor>(
+                 TableSpec::fullyAssoc(4096), true);
+         }},
+        {"unconstrained",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 unconstrainedTwoLevel(6));
+         }},
+        {"tagless",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 paperTwoLevel(3, TableSpec::tagless(4096)));
+         }},
+        {"assoc4",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 paperTwoLevel(3, TableSpec::setAssoc(4096, 4)));
+         }},
+        {"fullassoc",
+         [] {
+             return std::make_unique<TwoLevelPredictor>(
+                 paperTwoLevel(3, TableSpec::fullyAssoc(4096)));
+         }},
+        {"hybrid",
+         [] {
+             return std::make_unique<HybridPredictor>(paperHybrid(
+                 3, 1, TableSpec::setAssoc(2048, 4)));
+         }},
+    };
+}
+
+/**
+ * The Figure-17 row sweep the fused kernel exists for: p1=3 against
+ * every p2 in 0..12, 4-way component tables - 13 columns sharing one
+ * benchmark trace and (for the two-level first levels) one history
+ * specification group. The diagonal cell (p2 == 3) is the paper's
+ * non-hybrid predictor of twice the component size.
+ */
+std::vector<MixCell>
+fig17Row()
+{
+    using namespace ibp;
+    std::vector<MixCell> cells;
+    for (unsigned p2 = 0; p2 <= 12; ++p2) {
+        const std::string label = "p2=" + std::to_string(p2);
+        if (p2 == 3) {
+            cells.push_back({label, [] {
+                                 return std::make_unique<
+                                     TwoLevelPredictor>(paperTwoLevel(
+                                     3,
+                                     TableSpec::setAssoc(4096, 4)));
+                             }});
+        } else {
+            cells.push_back(
+                {label, [p2] {
+                     return std::make_unique<HybridPredictor>(
+                         paperHybrid(3, p2,
+                                     TableSpec::setAssoc(2048, 4)));
+                 }});
+        }
+    }
+    return cells;
+}
+
+/**
+ * Best-of-@p reps whole-cell simulate() run under the current table
+ * implementation. Fresh predictor per rep (cold tables every time,
+ * like a real sweep cell); best rather than mean discards scheduler
+ * noise.
+ */
+ibp::SimResult
+bestOf(const MixCell &cell, unsigned reps)
+{
+    ibp::SimResult best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        auto predictor = cell.make();
+        const ibp::SimResult result =
+            ibp::simulate(*predictor, benchTrace());
+        if (rep == 0 || result.seconds < best.seconds)
+            best = result;
+    }
+    return best;
+}
+
+} // namespace
+
+const ibp::ExperimentDef &
+microThroughputExperiment()
+{
+    using namespace ibp;
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "BENCH_micro",
+        "Simulation throughput: flat tables vs reference",
+        [](ExperimentContext &context) {
+            const unsigned reps = context.quick() ? 2 : 3;
+            const TableImpl initial = tableImplementation();
+            const auto mix = fig18Mix();
+
+            ResultTable table(
+                "Whole-cell throughput on porky-100k (Mbranches/s)",
+                "predictor");
+            table.addColumn("flat");
+            table.addColumn("reference");
+            table.addColumn("speedup");
+
+            double flat_seconds = 0.0;
+            double reference_seconds = 0.0;
+            for (const MixCell &cell : mix) {
+                setTableImplementation(TableImpl::Reference);
+                const SimResult reference = bestOf(cell, reps);
+                setTableImplementation(TableImpl::Flat);
+                const SimResult flat = bestOf(cell, reps);
+
+                const double flat_rate =
+                    static_cast<double>(flat.branches) /
+                    flat.seconds / 1e6;
+                const double reference_rate =
+                    static_cast<double>(reference.branches) /
+                    reference.seconds / 1e6;
+                table.set(cell.label, "flat", flat_rate);
+                table.set(cell.label, "reference", reference_rate);
+                table.set(cell.label, "speedup",
+                          flat_rate / reference_rate);
+
+                // Only the flat side lands in the telemetry: the
+                // artifact's branches_per_second is then the flat
+                // aggregate, which the CI throughput floor gates.
+                CellMetrics recorded;
+                recorded.column = cell.label;
+                recorded.benchmark = "porky-100k";
+                recorded.branches = flat.branches;
+                recorded.seconds = flat.seconds;
+                recorded.groupSeconds = flat.groupSeconds;
+                recorded.tableOccupancy = flat.tableOccupancy;
+                recorded.tableCapacity = flat.tableCapacity;
+                context.metrics().recordCell(recorded);
+                flat_seconds += flat.seconds;
+                reference_seconds += reference.seconds;
+            }
+            context.metrics().recordRunWindow(flat_seconds);
+            setTableImplementation(initial);
+
+            context.emit(table);
+            context.note(
+                "Aggregate flat speedup over the mix: " +
+                formatFixed(reference_seconds /
+                                std::max(flat_seconds, 1e-12),
+                            2) +
+                "x (best-of-" + std::to_string(reps) +
+                " per cell, cold predictor per rep).");
+
+            // ---------------------------------------------------
+            // The fig17 hybrid-grid mix, three engines: per-column
+            // (13 solo trace traversals), single-pass (one
+            // traversal, every predictor keeping private history -
+            // the engine sweeps used before the fused kernel), and
+            // fused (one traversal through a SweepKernel: shared
+            // histories, deduplicated key builds, replicated p1
+            // components). Counters are bit-identical across all
+            // three (tests/sim/fused_kernel_test.cc); only the time
+            // differs, and fused-over-single-pass is the speedup
+            // SuiteRunner's phase-1 engine banks on real sweeps.
+            setTableImplementation(TableImpl::Flat);
+            const auto row = fig17Row();
+            double solo_seconds = 0.0;
+            std::uint64_t row_branches = 0;
+            for (const MixCell &cell : row) {
+                const SimResult solo = bestOf(cell, reps);
+                solo_seconds += solo.seconds;
+                row_branches += solo.branches;
+            }
+            double single_pass_seconds = 0.0;
+            double fused_seconds = 0.0;
+            unsigned deduped = 0;
+            for (unsigned rep = 0; rep < reps; ++rep) {
+                for (const bool fuse : {false, true}) {
+                    std::vector<std::unique_ptr<IndirectPredictor>>
+                        predictors;
+                    std::vector<IndirectPredictor *> raw;
+                    for (const MixCell &cell : row) {
+                        predictors.push_back(cell.make());
+                        raw.push_back(predictors.back().get());
+                    }
+                    SweepKernel kernel;
+                    SimOptions options;
+                    if (fuse) {
+                        for (IndirectPredictor *predictor : raw)
+                            kernel.tryJoin(*predictor);
+                        kernel.finalize();
+                        deduped = kernel.dedupedPredictors();
+                        options.kernel = &kernel;
+                    }
+                    const std::vector<SimResult> results =
+                        simulateMany(raw, benchTrace(), options);
+                    const double seconds =
+                        results.front().groupSeconds;
+                    double &best =
+                        fuse ? fused_seconds : single_pass_seconds;
+                    if (rep == 0 || seconds < best)
+                        best = seconds;
+                }
+            }
+            setTableImplementation(initial);
+
+            ResultTable fig17_table(
+                "Figure-17 row sweep (p1=3, 13 columns) on "
+                "porky-100k: per-column vs single-pass vs fused",
+                "engine");
+            fig17_table.addColumn("seconds");
+            fig17_table.addColumn("Mbranches/s");
+            fig17_table.addColumn("speedup");
+            const auto rate = [row_branches](double seconds) {
+                return static_cast<double>(row_branches) /
+                       std::max(seconds, 1e-12) / 1e6;
+            };
+            fig17_table.set("per-column", "seconds", solo_seconds);
+            fig17_table.set("per-column", "Mbranches/s",
+                            rate(solo_seconds));
+            fig17_table.set("per-column", "speedup",
+                            single_pass_seconds /
+                                std::max(solo_seconds, 1e-12));
+            fig17_table.set("single-pass", "seconds",
+                            single_pass_seconds);
+            fig17_table.set("single-pass", "Mbranches/s",
+                            rate(single_pass_seconds));
+            fig17_table.set("single-pass", "speedup", 1.0);
+            fig17_table.set("fused", "seconds", fused_seconds);
+            fig17_table.set("fused", "Mbranches/s",
+                            rate(fused_seconds));
+            fig17_table.set("fused", "speedup",
+                            single_pass_seconds /
+                                std::max(fused_seconds, 1e-12));
+            context.emit(fig17_table);
+            context.note(
+                "Fused sweep-kernel speedup on the fig17 row mix: " +
+                formatFixed(single_pass_seconds /
+                                std::max(fused_seconds, 1e-12),
+                            2) +
+                "x aggregate throughput vs the single-pass engine "
+                "(shared first-level histories, deduplicated key "
+                "builds, " +
+                std::to_string(deduped) +
+                " replicated columns), " +
+                formatFixed(solo_seconds /
+                                std::max(fused_seconds, 1e-12),
+                            2) +
+                "x vs 13 per-column traversals.");
+        }});
+    return def;
+}

@@ -1,0 +1,30 @@
+#include "suites.hh"
+
+namespace ibp {
+
+void
+registerAllBenchExperiments()
+{
+    ablMetapredictionExperiment();
+    ablVariationsExperiment();
+    extFutureWorkExperiment();
+    extRelatedWorkExperiment();
+    fig02Experiment();
+    fig05Experiment();
+    fig07Experiment();
+    fig09Experiment();
+    fig10Experiment();
+    fig11Experiment();
+    fig12Experiment();
+    fig16Experiment();
+    fig17Experiment();
+    fig18Experiment();
+    introOverheadExperiment();
+    microThroughputExperiment();
+    table01Experiment();
+    table05Experiment();
+    table06Experiment();
+    tableA1Experiment();
+}
+
+} // namespace ibp

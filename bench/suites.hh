@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Accessors for every bench experiment definition.
+ *
+ * Each bench .cc file defines one accessor that registers its
+ * experiment in the process-wide registry (sim/experiment.hh) on
+ * first use and returns the stable definition. A bench binary pulls
+ * in exactly its own accessor (bench_main.cc); the ibpd daemon calls
+ * registerAllBenchExperiments() to be able to serve every suite.
+ */
+
+#ifndef IBP_BENCH_SUITES_HH
+#define IBP_BENCH_SUITES_HH
+
+#include "sim/experiment.hh"
+
+const ibp::ExperimentDef &ablMetapredictionExperiment();
+const ibp::ExperimentDef &ablVariationsExperiment();
+const ibp::ExperimentDef &extFutureWorkExperiment();
+const ibp::ExperimentDef &extRelatedWorkExperiment();
+const ibp::ExperimentDef &fig02Experiment();
+const ibp::ExperimentDef &fig05Experiment();
+const ibp::ExperimentDef &fig07Experiment();
+const ibp::ExperimentDef &fig09Experiment();
+const ibp::ExperimentDef &fig10Experiment();
+const ibp::ExperimentDef &fig11Experiment();
+const ibp::ExperimentDef &fig12Experiment();
+const ibp::ExperimentDef &fig16Experiment();
+const ibp::ExperimentDef &fig17Experiment();
+const ibp::ExperimentDef &fig18Experiment();
+const ibp::ExperimentDef &introOverheadExperiment();
+const ibp::ExperimentDef &microThroughputExperiment();
+const ibp::ExperimentDef &table01Experiment();
+const ibp::ExperimentDef &table05Experiment();
+const ibp::ExperimentDef &table06Experiment();
+const ibp::ExperimentDef &tableA1Experiment();
+
+namespace ibp {
+
+/** Register every bench experiment (the daemon's startup call). */
+void registerAllBenchExperiments();
+
+} // namespace ibp
+
+#endif // IBP_BENCH_SUITES_HH

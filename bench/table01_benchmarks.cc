@@ -18,14 +18,16 @@
 #include "synth/benchmark_suite.hh"
 #include "trace/trace_stats.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+table01Experiment()
 {
-    return runExperiment(
-        "table01", "Benchmark suite characteristics (Tables 1 and 2)",
-        argc, argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "table01", "Benchmark suite characteristics (Tables 1 and 2)", [](ExperimentContext &context) {
             ResultTable table("Synthetic benchmark characteristics",
                               "benchmark");
             for (const auto &label :
@@ -65,5 +67,6 @@ main(int argc, char **argv)
                          "N90=6 N100=543, go N90=2, self N100=1855; "
                          "conditional ratios above 8 saturate at the "
                          "emission cap.");
-        });
+        }});
+    return def;
 }

@@ -17,13 +17,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+table05Experiment()
 {
-    return runExperiment(
-        "table05", "Key mixing: concat vs xor (Table 5)", argc, argv,
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "table05", "Key mixing: concat vs xor (Table 5)",
         [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
@@ -67,5 +70,6 @@ main(int argc, char **argv)
             context.note("Paper anchors: differences of 0.01-0.5% "
                          "only; xor halves the tag storage and is "
                          "adopted.");
-        });
+        }});
+    return def;
 }

@@ -19,14 +19,16 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+table06Experiment()
 {
-    return runExperiment(
-        "table06", "Best hybrid predictors (Table 6 / Figure 18)",
-        argc, argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "table06", "Best hybrid predictors (Table 6 / Figure 18)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::avgSuite();
             const auto &avg = benchmarkGroups().avg;
 
@@ -108,5 +110,6 @@ main(int argc, char **argv)
                 "Paper anchors: 1K 4-way 8.98 (3.1); 8K 4-way 5.95 "
                 "(6.2); short+long combinations win, and the best "
                 "path lengths grow with table size.");
-        });
+        }});
+    return def;
 }

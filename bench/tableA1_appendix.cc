@@ -15,6 +15,8 @@
 #include "sim/experiment.hh"
 #include "sim/suite_runner.hh"
 
+#include "suites.hh"
+
 using namespace ibp;
 
 namespace {
@@ -36,12 +38,12 @@ bestPathLength(const std::string &org, std::uint64_t size)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+const ibp::ExperimentDef &
+tableA1Experiment()
 {
-    return runExperiment(
-        "tableA1", "Per-benchmark predictor grid (Table A-1)", argc,
-        argv, [](ExperimentContext &context) {
+    static const ibp::ExperimentDef &def =
+        ibp::registerExperiment({
+        "tableA1", "Per-benchmark predictor grid (Table A-1)", [](ExperimentContext &context) {
             SuiteRunner runner = SuiteRunner::fullSuite();
 
             std::vector<std::uint64_t> sizes = {256, 1024, 8192};
@@ -118,5 +120,6 @@ main(int argc, char **argv)
                 "assoc2 10.74, assoc4 9.82, fullassoc 8.48, hybrid "
                 "assoc4 8.98; per-benchmark spreads from idl (~1%) "
                 "to gcc (~25%).");
-        });
+        }});
+    return def;
 }

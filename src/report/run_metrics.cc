@@ -28,6 +28,8 @@ RunMetrics::operator=(const RunMetrics &other)
     _tableImpl = other._tableImpl;
     _hasSweepKernel = other._hasSweepKernel;
     _sweepKernel = other._sweepKernel;
+    _hasServe = other._hasServe;
+    _serve = other._serve;
     return *this;
 }
 
@@ -108,6 +110,33 @@ RunMetrics::recordSweepKernel(const SweepKernelStats &stats)
     _sweepKernel.fallbackInjected += stats.fallbackInjected;
     _sweepKernel.fallbackInjectorArmed += stats.fallbackInjectorArmed;
     _sweepKernel.fallbackError += stats.fallbackError;
+}
+
+void
+RunMetrics::recordServe(const ServeMetrics &stats)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _hasServe = true;
+    _serve.requests += stats.requests;
+    _serve.coalesced += stats.coalesced;
+    _serve.admissionRejects += stats.admissionRejects;
+    _serve.warm = _serve.warm || stats.warm;
+    _serve.queueSeconds =
+        std::max(_serve.queueSeconds, stats.queueSeconds);
+}
+
+bool
+RunMetrics::hasServe() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hasServe;
+}
+
+ServeMetrics
+RunMetrics::serve() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _serve;
 }
 
 bool
@@ -336,6 +365,22 @@ RunMetrics::toJson() const
         json.set("sweep_kernel", std::move(kernel));
     }
 
+    // Likewise emitted only when the run went through the ibpd
+    // daemon; in-process artifacts stay byte-identical to their
+    // pre-daemon schema, which is also what lets report_diff hold
+    // served-vs-in-process runs to zero tolerance outside this
+    // block.
+    if (hasServe()) {
+        const ServeMetrics stats = serve();
+        Json served = Json::object();
+        served.set("requests", stats.requests);
+        served.set("coalesced", stats.coalesced);
+        served.set("admission_rejects", stats.admissionRejects);
+        served.set("warm", stats.warm);
+        served.set("queue_seconds", stats.queueSeconds);
+        json.set("serve", std::move(served));
+    }
+
     // Likewise emitted only when recorded, so artifacts produced
     // before the flat/reference toggle keep their bytes.
     const std::string table_impl = tableImpl();
@@ -429,6 +474,20 @@ RunMetrics::fromJson(const Json &json)
         sweep.fallbackError = static_cast<unsigned>(
             kernel.numberOr("fallback_error", 0));
         metrics.recordSweepKernel(sweep);
+    }
+    if (json.contains("serve")) {
+        const Json &served = json.at("serve");
+        ServeMetrics stats;
+        stats.requests = static_cast<unsigned>(
+            served.numberOr("requests", 0));
+        stats.coalesced = static_cast<unsigned>(
+            served.numberOr("coalesced", 0));
+        stats.admissionRejects = static_cast<unsigned>(
+            served.numberOr("admission_rejects", 0));
+        stats.warm = served.contains("warm") &&
+                     served.at("warm").asBool();
+        stats.queueSeconds = served.numberOr("queue_seconds", 0.0);
+        metrics.recordServe(stats);
     }
     metrics._tableImpl = json.stringOr("table_impl", "");
     return metrics;

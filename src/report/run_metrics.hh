@@ -82,6 +82,32 @@ struct SweepKernelStats
 };
 
 /**
+ * Telemetry of the ibpd sweep daemon (docs/SERVICE.md), recorded by
+ * the server into artifacts it serves and by the client into the
+ * artifact it writes locally. Its presence is what distinguishes a
+ * daemon-served artifact from an in-process one (report_diff
+ * --require-served gates on it); everything else about a served
+ * artifact is bit-identical to the in-process run.
+ */
+struct ServeMetrics
+{
+    /** Requests this run absorbed: 1 for a dedicated job, more when
+     *  coalesced subscribers shared it. */
+    unsigned requests = 0;
+    /** Requests served by attaching to an existing identical job
+     *  instead of queueing a new execution. */
+    unsigned coalesced = 0;
+    /** Admission rejections (queue full) the request rode out with
+     *  retry-after backoff before being accepted. */
+    unsigned admissionRejects = 0;
+    /** True when the serving daemon paid zero trace generations for
+     *  this run (its warm state absorbed the acquisition cost). */
+    bool warm = false;
+    /** Wall time the request spent queued before its job started. */
+    double queueSeconds = 0.0;
+};
+
+/**
  * Record of one cell that permanently failed (all retries
  * exhausted, or a non-retryable error). Artifacts carrying any of
  * these are *partial*: report_diff rejects them unless explicitly
@@ -204,6 +230,21 @@ class RunMetrics
     /** Aggregated fused-engine telemetry (zeros if never recorded). */
     SweepKernelStats sweepKernel() const;
 
+    /**
+     * Record daemon-service telemetry for this run. Counters add up
+     * across calls (a coalesced request layers onto the job's own
+     * record); `warm` and `queueSeconds` keep the maximum.
+     * Thread-safe.
+     */
+    void recordServe(const ServeMetrics &stats);
+
+    /** True when recordServe() was ever called, i.e. the run was
+     *  served by (or through) an ibpd daemon. */
+    bool hasServe() const;
+
+    /** Daemon-service telemetry (zeros if never recorded). */
+    ServeMetrics serve() const;
+
     Json toJson() const;
     static RunMetrics fromJson(const Json &json);
 
@@ -222,6 +263,8 @@ class RunMetrics
     std::string _tableImpl;
     bool _hasSweepKernel = false;
     SweepKernelStats _sweepKernel;
+    bool _hasServe = false;
+    ServeMetrics _serve;
 };
 
 } // namespace ibp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * ibpd - the resident sweep daemon (docs/SERVICE.md).
+ *
+ * Registers every bench experiment, arms the process-wide trace
+ * cache (so the second client of any suite runs warm), binds the
+ * service socket, and serves until a SIGTERM/SIGINT or a client
+ * "shutdown" request drains it. Draining checkpoints the in-flight
+ * suite and persists queued requests; the next ibpd on the same
+ * state directory resumes them.
+ *
+ * Usage:
+ *   ibpd [--socket=PATH] [--state=DIR] [--queue-depth=N] [--quiet]
+ *
+ * The socket defaults to $IBP_DAEMON, else out/ibpd.sock - the same
+ * resolution every bench's --daemon flag uses. Exit code 0 after a
+ * clean drain, 1 on a startup failure.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "serve/server.hh"
+#include "trace/trace_cache.hh"
+
+#include "suites.hh"
+
+namespace {
+
+/** Self-pipe bridging async signals to the drain path: the handler
+ *  only write()s (async-signal-safe); a watcher thread does the
+ *  locking work of SweepServer::requestDrain(). */
+int g_signal_pipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool
+parseFlag(const std::string &arg, const char *name,
+          std::string *value)
+{
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    *value = arg.substr(prefix.size());
+    return true;
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: ibpd [--socket=PATH] [--state=DIR]\n"
+        "            [--queue-depth=N] [--quiet]\n"
+        "\n"
+        "Resident sweep daemon: serves bench runs over a unix\n"
+        "socket (see docs/SERVICE.md). Clients connect via the\n"
+        "benches' --daemon flag or the IBP_DAEMON variable.\n"
+        "SIGTERM drains gracefully: the in-flight suite is\n"
+        "checkpointed and queued requests persist; restarting with\n"
+        "the same --state resumes them.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ibp::ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (parseFlag(arg, "--socket", &value)) {
+            config.socketPath = value;
+        } else if (parseFlag(arg, "--state", &value)) {
+            config.stateDir = value;
+        } else if (parseFlag(arg, "--queue-depth", &value)) {
+            config.maxQueueDepth =
+                static_cast<std::size_t>(std::atoi(value.c_str()));
+        } else if (arg == "--quiet") {
+            config.echo = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "ibpd: unknown argument '%s'\n",
+                         arg.c_str());
+            printUsage();
+            return 1;
+        }
+    }
+
+    ibp::registerAllBenchExperiments();
+
+    // Warm state is the daemon's whole point: arm the trace cache
+    // unless the user already pinned one via the environment.
+    if (!std::getenv("IBP_TRACE_CACHE")) {
+        ibp::TraceCache::configureGlobal(config.stateDir +
+                                         "/trace-cache");
+    }
+
+    ibp::SweepServer server(config);
+    const auto started = server.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "ibpd: %s\n",
+                     started.error().describe().c_str());
+        return 1;
+    }
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::fprintf(stderr, "ibpd: pipe() failed: %s\n",
+                     std::strerror(errno));
+        return 1;
+    }
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    std::thread signal_watcher([&server] {
+        char byte = 0;
+        while (::read(g_signal_pipe[0], &byte, 1) < 0 &&
+               errno == EINTR) {
+        }
+        server.requestDrain();
+    });
+
+    // Blocks until a signal or a client "shutdown" drains us.
+    server.waitStopped();
+
+    // Wake the watcher if the drain came over the socket instead of
+    // a signal (requestDrain is idempotent).
+    onSignal(0);
+    signal_watcher.join();
+    return 0;
+}

@@ -1,0 +1,720 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "robust/atomic_file.hh"
+
+namespace ibp {
+
+namespace {
+
+Json
+errorFrame(const std::string &message)
+{
+    Json json = Json::object();
+    json.set("type", "error");
+    json.set("message", message);
+    return json;
+}
+
+Json
+drainedFrame()
+{
+    Json json = Json::object();
+    json.set("type", "drained");
+    return json;
+}
+
+/**
+ * Why the server refuses @p request, or "" when it is compatible
+ * with @p mine. A daemon-served artifact must be bit-identical to
+ * the client's in-process run, so every knob that shapes results
+ * has to match; git shas are only compared when both sides know
+ * theirs (release builds may not).
+ */
+std::string
+incompatibilityOf(const RunRequest &request, const RunRequest &mine)
+{
+    if (request.eventScale != mine.eventScale) {
+        return "event scale mismatch (client " +
+               std::to_string(request.eventScale) + ", server " +
+               std::to_string(mine.eventScale) + ")";
+    }
+    if (request.threads != mine.threads) {
+        return "thread count mismatch (client " +
+               std::to_string(request.threads) + ", server " +
+               std::to_string(mine.threads) + ")";
+    }
+    if (request.tableImpl != mine.tableImpl) {
+        return "table implementation mismatch (client '" +
+               request.tableImpl + "', server '" + mine.tableImpl +
+               "')";
+    }
+    const bool shas_known =
+        !request.gitSha.empty() && request.gitSha != "unknown" &&
+        !mine.gitSha.empty() && mine.gitSha != "unknown";
+    if (shas_known && request.gitSha != mine.gitSha) {
+        return "build mismatch (client " + request.gitSha +
+               ", server " + mine.gitSha + ")";
+    }
+    return "";
+}
+
+} // namespace
+
+SweepServer::SweepServer(ServerConfig config)
+    : _config(std::move(config)),
+      _socketPath(daemonSocketPath(_config.socketPath))
+{
+}
+
+SweepServer::~SweepServer()
+{
+    if (_started.load() && !_stopped.load()) {
+        requestDrain();
+        waitStopped();
+    }
+}
+
+Result<void>
+SweepServer::start()
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_config.stateDir, ec);
+    if (ec) {
+        return RunError::permanent("cannot create state dir '" +
+                                   _config.stateDir +
+                                   "': " + ec.message());
+    }
+    auto listening = listenDaemon(_socketPath);
+    if (!listening.ok())
+        return listening.error();
+    _listenFd = listening.value();
+    if (::pipe(_drainPipe) != 0) {
+        const RunError error = RunError::permanent(
+            std::string("pipe() failed: ") + std::strerror(errno));
+        ::close(_listenFd);
+        _listenFd = -1;
+        return error;
+    }
+    restorePending();
+    _started.store(true);
+    _acceptThread = std::thread([this] { acceptLoop(); });
+    _runnerThread = std::thread([this] { runnerLoop(); });
+    logLine("listening on %s (%zu experiments registered)",
+            _socketPath.c_str(), experimentSlugs().size());
+    return {};
+}
+
+void
+SweepServer::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0].fd = _listenFd;
+        fds[0].events = POLLIN;
+        fds[0].revents = 0;
+        fds[1].fd = _drainPipe[0];
+        fds[1].events = POLLIN;
+        fds[1].revents = 0;
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // drain requested
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(_connMutex);
+            _connections.push_back(conn);
+        }
+        conn->thread =
+            std::thread([this, conn] { serveConnection(conn); });
+        reapConnections();
+    }
+}
+
+void
+SweepServer::reapConnections()
+{
+    std::lock_guard<std::mutex> lock(_connMutex);
+    for (auto it = _connections.begin(); it != _connections.end();) {
+        // finished is set only after the serving thread's last
+        // statement touching shared state, so the join is immediate.
+        if ((*it)->finished.load(std::memory_order_acquire)) {
+            if ((*it)->thread.joinable())
+                (*it)->thread.join();
+            it = _connections.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SweepServer::serveConnection(const std::shared_ptr<Connection> &conn)
+{
+    const int fd = conn->fd;
+    auto frame = readFrame(fd);
+    if (frame.ok()) {
+        const Json &message = frame.value();
+        const std::string type = message.stringOr("type", "");
+        if (type == "ping") {
+            Json reply = Json::object();
+            reply.set("type", "pong");
+            reply.set("pid", static_cast<double>(::getpid()));
+            reply.set("experiments", experimentSlugs().size());
+            writeFrame(fd, reply);
+        } else if (type == "stats") {
+            handleStats(fd);
+        } else if (type == "shutdown") {
+            Json reply = Json::object();
+            reply.set("type", "shutting_down");
+            writeFrame(fd, reply);
+            requestDrain();
+        } else if (type == "run") {
+            auto request = RunRequest::fromJson(message);
+            if (!request.ok())
+                writeFrame(fd,
+                           errorFrame(request.error().describe()));
+            else
+                handleRun(fd, request.value());
+        } else {
+            writeFrame(fd, errorFrame("unknown request type '" +
+                                      type + "'"));
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        if (conn->fd >= 0) {
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+    conn->finished.store(true, std::memory_order_release);
+}
+
+void
+SweepServer::handleStats(int fd)
+{
+    const ServerStats counters = stats();
+    Json reply = Json::object();
+    reply.set("type", "stats");
+    reply.set("jobs_accepted", counters.jobsAccepted);
+    reply.set("requests_coalesced", counters.requestsCoalesced);
+    reply.set("requests_rejected", counters.requestsRejected);
+    reply.set("requests_incompatible",
+              counters.requestsIncompatible);
+    reply.set("jobs_completed", counters.jobsCompleted);
+    reply.set("jobs_drained", counters.jobsDrained);
+    reply.set("warm_hits", counters.warmHits);
+    reply.set("jobs_restored", counters.jobsRestored);
+    {
+        std::lock_guard<std::mutex> lock(_queueMutex);
+        reply.set("queue_depth", _queue.size());
+        reply.set("running",
+                  _running ? Json(_running->request.slug) : Json());
+    }
+    writeFrame(fd, reply);
+}
+
+void
+SweepServer::handleRun(int fd, const RunRequest &request)
+{
+    const RunRequest mine = makeRunRequest(request.slug,
+                                           request.quick);
+    const std::string reason = incompatibilityOf(request, mine);
+    if (!reason.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(_statsMutex);
+            ++_stats.requestsIncompatible;
+        }
+        logLine("refusing %s: %s", request.slug.c_str(),
+                reason.c_str());
+        Json reply = Json::object();
+        reply.set("type", "incompatible");
+        reply.set("reason", reason);
+        writeFrame(fd, reply);
+        return;
+    }
+    if (findExperiment(request.slug) == nullptr) {
+        writeFrame(fd, errorFrame("unknown experiment '" +
+                                  request.slug + "'"));
+        return;
+    }
+
+    std::shared_ptr<Job> job;
+    bool coalesced = false;
+    std::size_t queue_depth = 0;
+    {
+        std::lock_guard<std::mutex> lock(_queueMutex);
+        if (_draining) {
+            writeFrame(fd, drainedFrame());
+            return;
+        }
+        // Coalesce onto an identical queued or running job. The
+        // state check happens under the job's own mutex: a job that
+        // just finished (Done under job->mutex, _running not yet
+        // cleared) must not gain a rider that missed its artifact's
+        // serve record.
+        const std::string signature = request.signature();
+        auto try_attach = [&](const std::shared_ptr<Job> &candidate) {
+            if (!candidate ||
+                candidate->request.signature() != signature)
+                return false;
+            std::lock_guard<std::mutex> job_lock(candidate->mutex);
+            if (candidate->state != JobState::Queued &&
+                candidate->state != JobState::Running)
+                return false;
+            ++candidate->subscribers;
+            ++candidate->coalesced;
+            candidate->clientRejects += request.rejects;
+            job = candidate;
+            return true;
+        };
+        if (try_attach(_running)) {
+            coalesced = true;
+        } else {
+            for (const auto &queued : _queue) {
+                if (try_attach(queued)) {
+                    coalesced = true;
+                    break;
+                }
+            }
+        }
+        if (!coalesced) {
+            if (_queue.size() >= _config.maxQueueDepth) {
+                {
+                    std::lock_guard<std::mutex> stats_lock(
+                        _statsMutex);
+                    ++_stats.requestsRejected;
+                }
+                Json reply = Json::object();
+                reply.set("type", "rejected");
+                reply.set("retry_after_ms",
+                          _config.retryAfterSeconds * 1000.0);
+                writeFrame(fd, reply);
+                return;
+            }
+            job = std::make_shared<Job>();
+            job->id = _nextJobId++;
+            job->request = request;
+            job->subscribers = 1;
+            job->clientRejects = request.rejects;
+            job->enqueuedAt = std::chrono::steady_clock::now();
+            _queue.push_back(job);
+            _queueCv.notify_one();
+        }
+        queue_depth = _queue.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        if (coalesced)
+            ++_stats.requestsCoalesced;
+        else
+            ++_stats.jobsAccepted;
+    }
+    logLine("%s job %llu: %s%s", coalesced ? "joined" : "queued",
+            static_cast<unsigned long long>(job->id),
+            request.slug.c_str(), request.quick ? " (quick)" : "");
+
+    Json accepted = Json::object();
+    accepted.set("type", "accepted");
+    accepted.set("job", job->id);
+    accepted.set("coalesced", Json(coalesced));
+    accepted.set("queue_depth", queue_depth);
+    if (!writeFrame(fd, accepted).ok())
+        return;
+
+    // Stream progress until the job reaches a terminal state. The
+    // socket write happens OUTSIDE job->mutex so a slow client can
+    // never stall onCellFinished (which runs on worker threads).
+    std::size_t last_cells = 0;
+    std::unique_lock<std::mutex> lock(job->mutex);
+    for (;;) {
+        job->cv.wait(lock, [&] {
+            return job->state == JobState::Done ||
+                   job->state == JobState::Drained ||
+                   job->cellsDone != last_cells;
+        });
+        if (job->state == JobState::Done ||
+            job->state == JobState::Drained)
+            break;
+        last_cells = job->cellsDone;
+        lock.unlock();
+        Json progress = Json::object();
+        progress.set("type", "progress");
+        progress.set("job", job->id);
+        progress.set("cells", last_cells);
+        if (!writeFrame(fd, progress).ok())
+            return; // client went away; the job runs on
+        lock.lock();
+    }
+    const JobState state = job->state;
+    const ExperimentRunResult result = job->result;
+    lock.unlock();
+
+    if (state == JobState::Drained) {
+        writeFrame(fd, drainedFrame());
+        return;
+    }
+    if (result.exitCode == 1 || !result.artifact) {
+        writeFrame(fd, errorFrame(result.error.empty()
+                                      ? "experiment failed"
+                                      : result.error));
+        return;
+    }
+    Json reply = Json::object();
+    reply.set("type", "artifact");
+    reply.set("exit_code", result.exitCode);
+    reply.set("restored_cells", result.restoredCells);
+    reply.set("seconds", result.seconds);
+    reply.set("artifact", result.artifact->toJson());
+    writeFrame(fd, reply);
+}
+
+void
+SweepServer::runnerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(_queueMutex);
+            _queueCv.wait(lock, [&] {
+                return _draining || !_queue.empty();
+            });
+            if (_draining)
+                break;
+            auto best = _queue.begin();
+            for (auto it = std::next(best); it != _queue.end();
+                 ++it) {
+                if ((*it)->request.priority >
+                        (*best)->request.priority ||
+                    ((*it)->request.priority ==
+                         (*best)->request.priority &&
+                     (*it)->id < (*best)->id))
+                    best = it;
+            }
+            job = *best;
+            _queue.erase(best);
+            _running = job;
+        }
+        runJob(job);
+        {
+            std::lock_guard<std::mutex> lock(_queueMutex);
+            _running.reset();
+        }
+    }
+}
+
+void
+SweepServer::runJob(const std::shared_ptr<Job> &job)
+{
+    {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        job->state = JobState::Running;
+        job->queueSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - job->enqueuedAt)
+                .count();
+    }
+    logLine("running job %llu: %s",
+            static_cast<unsigned long long>(job->id),
+            job->request.slug.c_str());
+
+    ExperimentOptions options;
+    options.quick = job->request.quick;
+    options.echo = false;
+    options.checkpointPath = checkpointPathFor(job->request);
+    options.abort = &_drainFlag;
+    options.onCellFinished = [job] {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        ++job->cellsDone;
+        job->cv.notify_all();
+    };
+
+    const ExperimentDef *def = findExperiment(job->request.slug);
+    ExperimentRunResult result;
+    if (def == nullptr) {
+        result.exitCode = 1;
+        result.error =
+            "experiment '" + job->request.slug + "' vanished";
+    } else {
+        result = runExperimentInProcess(*def, options);
+    }
+
+    bool drained = false;
+    bool warm = false;
+    {
+        // One critical section decides the terminal state, reads the
+        // final subscriber counts, and stamps the serve telemetry:
+        // a late coalescing attach either lands before this (and is
+        // counted) or observes a terminal state (and starts a fresh
+        // job). The drain flag is read here too, so persistPending
+        // (which inspects state under this mutex) and this section
+        // agree on whether the job drained.
+        std::lock_guard<std::mutex> lock(job->mutex);
+        drained = _drainFlag.load(std::memory_order_acquire);
+        if (!drained && result.artifact) {
+            const RunMetrics &metrics = result.artifact->metrics;
+            ServeMetrics serve;
+            serve.requests = job->subscribers;
+            serve.coalesced = job->coalesced;
+            serve.admissionRejects = job->clientRejects;
+            serve.queueSeconds = job->queueSeconds;
+            serve.warm = metrics.hasTraceSource() &&
+                         metrics.tracesGenerated() == 0 &&
+                         metrics.traceCacheHits() > 0;
+            warm = serve.warm;
+            result.artifact->metrics.recordServe(serve);
+        }
+        job->result = result;
+        job->state =
+            drained ? JobState::Drained : JobState::Done;
+        job->cv.notify_all();
+    }
+
+    if (!drained && result.exitCode == 0) {
+        // A clean completion retires the job's journal; a drained or
+        // partial run keeps it so a restart resumes from it.
+        std::error_code ec;
+        std::filesystem::remove(checkpointPathFor(job->request), ec);
+    }
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        if (drained) {
+            ++_stats.jobsDrained;
+        } else {
+            ++_stats.jobsCompleted;
+            if (warm)
+                ++_stats.warmHits;
+        }
+    }
+    logLine("job %llu %s (%zu cells%s)",
+            static_cast<unsigned long long>(job->id),
+            drained ? "drained" : "finished", job->cellsDone,
+            warm ? ", warm" : "");
+}
+
+void
+SweepServer::requestDrain()
+{
+    if (_drainFlag.exchange(true, std::memory_order_acq_rel))
+        return;
+    logLine("drain requested");
+    std::size_t drained_queued = 0;
+    {
+        std::lock_guard<std::mutex> lock(_queueMutex);
+        _draining = true;
+        persistPendingLocked();
+        for (const auto &job : _queue) {
+            std::lock_guard<std::mutex> job_lock(job->mutex);
+            job->state = JobState::Drained;
+            job->cv.notify_all();
+            ++drained_queued;
+        }
+        _queue.clear();
+    }
+    if (drained_queued > 0) {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        _stats.jobsDrained += drained_queued;
+    }
+    _queueCv.notify_all();
+    if (_drainPipe[1] >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] const ssize_t n =
+            ::write(_drainPipe[1], &byte, 1);
+    }
+    // Unblock connection threads parked in readFrame. Only the read
+    // side: subscribers of the aborting run still need their
+    // "drained" frame written.
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (const auto &conn : _connections) {
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RD);
+        }
+    }
+}
+
+void
+SweepServer::waitStopped()
+{
+    if (!_started.load())
+        return;
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    if (_runnerThread.joinable())
+        _runnerThread.join();
+    // Connection threads exit once the runner has pushed every job
+    // to a terminal state. Copy the list out: their epilogues take
+    // _connMutex to close their fd.
+    for (;;) {
+        std::vector<std::shared_ptr<Connection>> remaining;
+        {
+            std::lock_guard<std::mutex> lock(_connMutex);
+            remaining.assign(_connections.begin(),
+                             _connections.end());
+            _connections.clear();
+        }
+        if (remaining.empty())
+            break;
+        for (const auto &conn : remaining) {
+            if (conn->thread.joinable())
+                conn->thread.join();
+        }
+    }
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+    for (int &fd : _drainPipe) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    ::unlink(_socketPath.c_str());
+    _stopped.store(true);
+    logLine("stopped");
+}
+
+ServerStats
+SweepServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(_statsMutex);
+    return _stats;
+}
+
+std::string
+SweepServer::checkpointPathFor(const RunRequest &request) const
+{
+    return _config.stateDir + "/" + request.slug +
+           (request.quick ? "-quick" : "") + ".ckpt";
+}
+
+void
+SweepServer::persistPendingLocked()
+{
+    const std::string path = _config.stateDir + "/pending.json";
+    Json jobs = Json::array();
+    auto persist = [&](const std::shared_ptr<Job> &job) {
+        if (!job)
+            return;
+        std::lock_guard<std::mutex> job_lock(job->mutex);
+        if (job->state == JobState::Done ||
+            job->state == JobState::Drained)
+            return;
+        jobs.push(job->request.toJson());
+    };
+    persist(_running);
+    for (const auto &job : _queue)
+        persist(job);
+    if (jobs.size() == 0) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        return;
+    }
+    const std::size_t count = jobs.size();
+    Json pending = Json::object();
+    pending.set("version", 1);
+    pending.set("jobs", std::move(jobs));
+    const auto written = writeFileAtomic(path, pending.dump(2));
+    if (written.ok()) {
+        logLine("persisted %zu pending request(s) to %s", count,
+                path.c_str());
+    } else {
+        logLine("WARNING: cannot persist pending requests: %s",
+                written.error().describe().c_str());
+    }
+}
+
+void
+SweepServer::restorePending()
+{
+    const std::string path = _config.stateDir + "/pending.json";
+    std::ifstream in(path);
+    if (!in)
+        return;
+    std::ostringstream text;
+    text << in.rdbuf();
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+
+    Json pending;
+    try {
+        pending = Json::parse(text.str());
+    } catch (const std::exception &error) {
+        logLine("WARNING: ignoring malformed %s: %s", path.c_str(),
+                error.what());
+        return;
+    }
+    if (!pending.contains("jobs") || !pending.at("jobs").isArray())
+        return;
+    const Json &jobs = pending.at("jobs");
+    std::size_t restored = 0;
+    std::lock_guard<std::mutex> lock(_queueMutex);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        auto request = RunRequest::fromJson(jobs.at(i));
+        if (!request.ok()) {
+            logLine("WARNING: dropping pending request: %s",
+                    request.error().describe().c_str());
+            continue;
+        }
+        if (findExperiment(request.value().slug) == nullptr) {
+            logLine("WARNING: dropping pending request for unknown "
+                    "experiment '%s'",
+                    request.value().slug.c_str());
+            continue;
+        }
+        auto job = std::make_shared<Job>();
+        job->id = _nextJobId++;
+        job->request = request.value();
+        job->subscribers = 0; // original clients are long gone
+        job->enqueuedAt = std::chrono::steady_clock::now();
+        _queue.push_back(job);
+        ++restored;
+    }
+    if (restored > 0) {
+        std::lock_guard<std::mutex> stats_lock(_statsMutex);
+        _stats.jobsRestored += restored;
+        logLine("restored %zu pending request(s); resuming from "
+                "their journals",
+                restored);
+    }
+}
+
+void
+SweepServer::logLine(const char *format, ...) const
+{
+    if (!_config.echo)
+        return;
+    std::fputs("[ibpd] ", stdout);
+    va_list args;
+    va_start(args, format);
+    std::vfprintf(stdout, format, args);
+    va_end(args);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+}
+
+} // namespace ibp

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The ibpd sweep server: a resident process that owns the warm
+ * simulation state - the process-wide Executor, the on-disk trace
+ * cache, and the experiment registry - and serves sweep requests
+ * from many concurrent clients over a unix-domain socket
+ * (docs/SERVICE.md).
+ *
+ * Design:
+ *
+ *  - One ACCEPT thread hands each connection to a short-lived
+ *    connection thread, which parses the single request frame and
+ *    streams reply frames (serve/protocol.hh).
+ *  - One JOB RUNNER thread executes queued jobs strictly one at a
+ *    time, in priority order (FIFO within a level). Serializing jobs
+ *    keeps every run bit-identical to its in-process twin - the full
+ *    worker pool serves one sweep, exactly as a bench binary would -
+ *    and makes coalescing trivial.
+ *  - ADMISSION CONTROL bounds the queue: a request that would push
+ *    the queued depth past the configured bound is rejected with a
+ *    retry-after hint instead of being buffered without limit.
+ *  - COALESCING: a request whose signature (slug + quick) matches a
+ *    queued or running job attaches to that job as an additional
+ *    subscriber; both clients receive the identical artifact of one
+ *    execution, and the artifact's metrics.serve.coalesced counts
+ *    the shared riders.
+ *  - GRACEFUL DRAIN: requestDrain() (SIGTERM in ibpd) stops
+ *    admission, aborts the running sweep at the next cell boundary
+ *    via RunSession::abort - completed cells are already in the
+ *    job's checkpoint journal - persists every unfinished request to
+ *    stateDir/pending.json, and notifies waiting subscribers with a
+ *    "drained" frame so they can retry or fall back. A restarted
+ *    server re-enqueues the pending requests and resumes them from
+ *    their journals.
+ */
+
+#ifndef IBP_SERVE_SERVER_HH
+#define IBP_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "robust/error.hh"
+#include "serve/protocol.hh"
+#include "sim/experiment.hh"
+
+namespace ibp {
+
+struct ServerConfig
+{
+    /** Socket to listen on ("" resolves via daemonSocketPath()). */
+    std::string socketPath;
+    /** Durable state: per-job checkpoint journals, pending.json. */
+    std::string stateDir = "out/ibpd-state";
+    /** Admission bound: maximum QUEUED (not running) jobs. */
+    std::size_t maxQueueDepth = 8;
+    /** Retry-after hint sent with admission rejections. */
+    double retryAfterSeconds = 0.25;
+    /** Log one line per lifecycle event to stdout. */
+    bool echo = true;
+};
+
+/** Cumulative counters, exposed over the "stats" request. */
+struct ServerStats
+{
+    std::uint64_t jobsAccepted = 0;
+    std::uint64_t requestsCoalesced = 0;
+    std::uint64_t requestsRejected = 0;
+    std::uint64_t requestsIncompatible = 0;
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t jobsDrained = 0;
+    /** Completed jobs that paid zero trace generations. */
+    std::uint64_t warmHits = 0;
+    std::uint64_t jobsRestored = 0;
+};
+
+class SweepServer
+{
+  public:
+    explicit SweepServer(ServerConfig config);
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /**
+     * Bind the socket, re-enqueue any requests a previous drain
+     * persisted, and start the accept and job-runner threads.
+     */
+    Result<void> start();
+
+    /**
+     * Begin a graceful drain (idempotent, non-blocking, callable
+     * from any thread including connection threads): stop admission,
+     * abort the running sweep at its next cell boundary, persist
+     * unfinished requests, wake every waiter. Completion is observed
+     * via waitStopped().
+     */
+    void requestDrain();
+
+    /** Block until every server thread has exited (requires a prior
+     *  or concurrent requestDrain()), then remove the socket. */
+    void waitStopped();
+
+    ServerStats stats() const;
+
+    const ServerConfig &config() const { return _config; }
+
+    /** Resolved socket path the server is (or will be) bound to. */
+    const std::string &socketPath() const { return _socketPath; }
+
+  private:
+    enum class JobState { Queued, Running, Done, Drained };
+
+    /** One queued/running execution plus its subscribers' view. */
+    struct Job
+    {
+        std::uint64_t id = 0;
+        RunRequest request;
+        /** Guards everything below; subscribers wait on cv. */
+        std::mutex mutex;
+        std::condition_variable cv;
+        JobState state = JobState::Queued;
+        std::size_t cellsDone = 0;
+        /** Sum of subscriber requests (1 per attach). */
+        unsigned subscribers = 0;
+        /** Subscribers beyond the first (shared riders). */
+        unsigned coalesced = 0;
+        /** Sum of the subscribers' reported admission rejections. */
+        unsigned clientRejects = 0;
+        double queueSeconds = 0.0;
+        std::chrono::steady_clock::time_point enqueuedAt;
+        ExperimentRunResult result;
+    };
+
+    /** One client connection and the thread serving it. */
+    struct Connection
+    {
+        std::thread thread;
+        std::atomic<bool> finished{false};
+        /** -1 once the serving thread has closed it. */
+        int fd = -1;
+    };
+
+    void acceptLoop();
+    void reapConnections();
+    void serveConnection(const std::shared_ptr<Connection> &conn);
+    void handleRun(int fd, const RunRequest &request);
+    void handleStats(int fd);
+    void runnerLoop();
+    void runJob(const std::shared_ptr<Job> &job);
+    std::string checkpointPathFor(const RunRequest &request) const;
+    void persistPendingLocked();
+    void restorePending();
+    void logLine(const char *format, ...) const;
+
+    ServerConfig _config;
+    std::string _socketPath;
+    int _listenFd = -1;
+    /** Self-pipe that wakes the accept loop's poll() on drain. */
+    int _drainPipe[2] = {-1, -1};
+
+    std::thread _acceptThread;
+    std::thread _runnerThread;
+
+    mutable std::mutex _connMutex;
+    std::list<std::shared_ptr<Connection>> _connections;
+
+    /** Guards the queue, _running, _draining and _nextJobId. */
+    mutable std::mutex _queueMutex;
+    std::condition_variable _queueCv;
+    std::vector<std::shared_ptr<Job>> _queue;
+    std::shared_ptr<Job> _running;
+    bool _draining = false;
+    std::uint64_t _nextJobId = 1;
+
+    /** The drain flag handed to every job's RunSession::abort. */
+    std::atomic<bool> _drainFlag{false};
+
+    mutable std::mutex _statsMutex;
+    ServerStats _stats;
+
+    std::atomic<bool> _started{false};
+    std::atomic<bool> _stopped{false};
+};
+
+} // namespace ibp
+
+#endif // IBP_SERVE_SERVER_HH

@@ -1,6 +1,7 @@
 #include "sim/executor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <new>
 #include <system_error>
 #include <unistd.h>
@@ -123,6 +124,37 @@ Executor::runTask(Task &task)
     }
     if (task.batch != nullptr)
         task.batch->finish();
+    // Completion side of the drain()/idleWait() ledger: every task
+    // passes through runTask exactly once (workers, inline
+    // degradation, and resize migration all end up here), so the
+    // decrement cannot double-count a migrated task.
+    if (_outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(_drainMutex);
+        _drainCv.notify_all();
+    }
+}
+
+void
+Executor::drain()
+{
+    if (_outstanding.load(std::memory_order_acquire) == 0)
+        return;
+    std::unique_lock<std::mutex> lock(_drainMutex);
+    _drainCv.wait(lock, [&] {
+        return _outstanding.load(std::memory_order_acquire) == 0;
+    });
+}
+
+bool
+Executor::idleWait(double timeout_seconds)
+{
+    if (_outstanding.load(std::memory_order_acquire) == 0)
+        return true;
+    std::unique_lock<std::mutex> lock(_drainMutex);
+    return _drainCv.wait_for(
+        lock, std::chrono::duration<double>(timeout_seconds), [&] {
+            return _outstanding.load(std::memory_order_acquire) == 0;
+        });
 }
 
 void
@@ -275,6 +307,10 @@ void
 Executor::Batch::spawn(std::function<void()> fn)
 {
     _pending.fetch_add(1, std::memory_order_acq_rel);
+    // The drain ledger counts a task from submission (here and in
+    // spawnDeferred), not from enqueueing: resize migration re-routes
+    // tasks through enqueue() without re-submitting them.
+    _executor._outstanding.fetch_add(1, std::memory_order_acq_rel);
     _executor.enqueue(Task{std::move(fn), this});
 }
 
@@ -287,6 +323,7 @@ Executor::Batch::defer()
 void
 Executor::Batch::spawnDeferred(std::function<void()> fn)
 {
+    _executor._outstanding.fetch_add(1, std::memory_order_acq_rel);
     _executor.enqueue(Task{std::move(fn), this});
 }
 

@@ -131,6 +131,37 @@ class Executor
     /** Pool index of the calling thread, -1 off-pool. */
     static int currentWorkerIndex();
 
+    /**
+     * Tasks currently queued or executing, including the transitive
+     * children of running tasks (a task that spawns counts its
+     * spawn immediately). 0 means the pool is quiescent *right now*;
+     * concurrent producers can re-busy it the next instant.
+     */
+    std::size_t outstandingTasks() const
+    {
+        return _outstanding.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Block until the pool is quiescent: every queued task (and
+     * every task those tasks spawned) has finished. The caller must
+     * have stopped submitting new work itself, but drain() tolerates
+     * *other* producers - it simply waits until the pool hits a
+     * moment of global idleness. Never tears workers down; the pool
+     * is immediately reusable. This is what the daemon's graceful
+     * drain runs before checkpointing, and what deterministic bench
+     * timing uses to fence preceding warm-up work. Must not be
+     * called from inside a pool task (it would wait on itself).
+     */
+    void drain();
+
+    /**
+     * drain() with a timeout: true when the pool reached quiescence
+     * within @p timeoutSeconds, false when work was still in flight
+     * when the clock ran out.
+     */
+    bool idleWait(double timeoutSeconds);
+
     ~Executor();
 
   private:
@@ -163,6 +194,11 @@ class Executor
     std::atomic<unsigned> _idle{0};
     std::atomic<unsigned> _rr{0};
     std::atomic<bool> _stopping{false};
+
+    /** Queued-or-running task count backing drain()/idleWait(). */
+    std::atomic<std::size_t> _outstanding{0};
+    std::mutex _drainMutex;
+    std::condition_variable _drainCv;
 
     /** Pid that constructed the pool; a fork()ed child (death
      *  tests) inherits the object but none of the threads, so its

@@ -1,17 +1,17 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
-#include <string_view>
+#include <map>
+#include <mutex>
 
 #include "core/table_spec.hh"
 #include "robust/fault_injection.hh"
-#include "robust/retry.hh"
 #include "synth/benchmark_suite.hh"
-#include "trace/trace_cache.hh"
 #include "util/logging.hh"
 
 namespace ibp {
@@ -21,212 +21,227 @@ namespace {
 // Output directories are created up front so a long sweep cannot
 // fail at the very end on a missing --csv/--json path.
 void
-ensureDirectory(const std::string &dir, const char *flag)
+ensureDirectory(const std::string &dir, const char *what)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
         throw RunException(RunError::permanent(
-            std::string(flag) + ": cannot create directory '" + dir +
+            std::string(what) + ": cannot create directory '" + dir +
             "': " + ec.message()));
     }
 }
 
-double
-parsePositiveNumber(const std::string_view arg,
-                    const std::string_view value)
+/** The process-wide experiment registry. Guarded for the daemon,
+ *  whose connection threads look experiments up concurrently;
+ *  registration itself happens at startup. std::map nodes are
+ *  pointer-stable, so handed-out ExperimentDef pointers survive
+ *  later registrations. */
+std::mutex &
+registryMutex()
 {
-    char *end = nullptr;
-    const std::string text(value);
-    const double parsed = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0' || parsed < 0.0) {
-        throw RunException(RunError::permanent(
-            "invalid value in '" + std::string(arg) + "'"));
-    }
-    return parsed;
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::map<std::string, ExperimentDef> &
+registrySlot()
+{
+    static std::map<std::string, ExperimentDef> defs;
+    return defs;
 }
 
 } // namespace
 
-ExperimentContext::ExperimentContext(std::string slug,
-                                     std::string title, int argc,
-                                     char **argv)
-    : _slug(std::move(slug)), _title(std::move(title))
+const ExperimentDef &
+registerExperiment(ExperimentDef def)
 {
-    std::string checkpoint_path;
-    RetryPolicy retry = retryPolicyFromEnv();
-    for (int i = 1; i < argc; ++i) {
-        const std::string_view arg(argv[i]);
-        if (arg == "--quick") {
-            _quick = true;
-        } else if (arg.rfind("--csv=", 0) == 0) {
-            _csvDir = std::string(arg.substr(6));
-            if (_csvDir.empty())
-                fatal("--csv requires a directory");
-        } else if (arg.rfind("--json=", 0) == 0) {
-            _jsonDir = std::string(arg.substr(7));
-            if (_jsonDir.empty())
-                fatal("--json requires a directory");
-        } else if (arg.rfind("--checkpoint=", 0) == 0) {
-            checkpoint_path = std::string(arg.substr(13));
-            if (checkpoint_path.empty())
-                fatal("--checkpoint requires a path");
-        } else if (arg.rfind("--retries=", 0) == 0) {
-            retry.maxAttempts = static_cast<unsigned>(
-                parsePositiveNumber(arg, arg.substr(10)));
-            if (retry.maxAttempts == 0)
-                retry.maxAttempts = 1;
-        } else if (arg.rfind("--cell-deadline=", 0) == 0) {
-            retry.cellDeadlineSeconds =
-                parsePositiveNumber(arg, arg.substr(16));
-        } else if (arg == "--trace-cache") {
-            TraceCache::configureGlobal(TraceCache::kDefaultDirectory);
-        } else if (arg.rfind("--trace-cache=", 0) == 0) {
-            const std::string dir(arg.substr(14));
-            if (dir.empty())
-                fatal("--trace-cache requires a directory");
-            TraceCache::configureGlobal(dir);
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "usage: %s [--quick] [--csv=DIR] [--json=DIR]\n"
-                "          [--checkpoint=PATH] [--retries=N]\n"
-                "          [--cell-deadline=SECONDS]\n"
-                "          [--trace-cache[=DIR]]\n"
-                "\n"
-                "--trace-cache reuses generated traces across runs "
-                "from DIR\n(default %s; also via IBP_TRACE_CACHE).\n",
-                argv[0], TraceCache::kDefaultDirectory);
-            std::exit(0);
-        } else {
-            fatal("unknown option '%s'", argv[i]);
-        }
-    }
-    // A quick run also shrinks the synthetic traces unless the user
-    // pinned the scale explicitly.
-    if (_quick && !std::getenv("IBP_EVENTS"))
+    std::lock_guard<std::mutex> lock(registryMutex());
+    auto &slot = registrySlot()[def.slug];
+    slot = std::move(def);
+    return slot;
+}
+
+const ExperimentDef *
+findExperiment(const std::string &slug)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    const auto &defs = registrySlot();
+    const auto it = defs.find(slug);
+    return it == defs.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+experimentSlugs()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> slugs;
+    slugs.reserve(registrySlot().size());
+    for (const auto &[slug, def] : registrySlot())
+        slugs.push_back(slug);
+    return slugs;
+}
+
+void
+applyQuickEventScale()
+{
+    if (!std::getenv("IBP_EVENTS"))
         setenv("IBP_EVENTS", "0.25", 1);
+}
 
-    if (!_csvDir.empty())
-        ensureDirectory(_csvDir, "--csv");
-    if (!_jsonDir.empty())
-        ensureDirectory(_jsonDir, "--json");
+ExperimentContext::ExperimentContext(std::string slug,
+                                     std::string title,
+                                     const ExperimentOptions &options)
+    : _slug(std::move(slug)), _title(std::move(title)),
+      _options(options)
+{
+    if (!_options.csvDir.empty())
+        ensureDirectory(_options.csvDir, "csv output");
+    if (!_options.jsonDir.empty())
+        ensureDirectory(_options.jsonDir, "json output");
 
-    if (!checkpoint_path.empty()) {
+    if (!_options.checkpointPath.empty()) {
         // The meta binds the journal to this experiment
-        // configuration; eventScale() is read after the --quick
-        // override above so a quick journal cannot resume a full run.
+        // configuration; eventScale() reflects any quick override
+        // applied by the front end, so a quick journal cannot resume
+        // a full run.
         CheckpointMeta meta;
         meta.slug = _slug;
         meta.gitSha = buildManifest().gitSha;
         meta.eventScale = eventScale();
-        meta.quick = _quick;
-        auto journal = CheckpointJournal::open(checkpoint_path, meta);
+        meta.quick = _options.quick;
+        auto journal =
+            CheckpointJournal::open(_options.checkpointPath, meta);
         if (!journal.ok()) {
             throw RunException(RunError::permanent(
-                "--checkpoint: " + journal.error().message));
+                "checkpoint: " + journal.error().message));
         }
         _journal = std::move(journal).value();
-        if (_journal->restoredCells() > 0) {
+        if (_journal->restoredCells() > 0 && _options.echo) {
             std::printf("(resuming: %zu cells restored from %s)\n\n",
                         _journal->restoredCells(),
-                        checkpoint_path.c_str());
+                        _options.checkpointPath.c_str());
         }
     }
 
     _session.metrics = &_metrics;
     _session.checkpoint = _journal.get();
-    _session.retry = retry;
+    _session.retry = _options.retry;
+    _session.abort = _options.abort;
+    _session.onCellFinished = _options.onCellFinished;
 
     _metrics.recordThreads(simulationThreads());
     _metrics.recordTableImpl(tableImplName());
 }
 
+std::size_t
+ExperimentContext::restoredCells() const
+{
+    return _journal ? _journal->restoredCells() : 0;
+}
+
 void
 ExperimentContext::emit(const ResultTable &table)
 {
-    table.print();
-    if (!_csvDir.empty()) {
-        const std::string path = _csvDir + "/" + _slug + "_" +
+    if (_options.echo)
+        table.print();
+    if (!_options.csvDir.empty()) {
+        const std::string path = _options.csvDir + "/" + _slug + "_" +
                                  std::to_string(_tableIndex) + ".csv";
         table.writeCsv(path);
-        std::printf("(csv written to %s)\n\n", path.c_str());
+        if (_options.echo)
+            std::printf("(csv written to %s)\n\n", path.c_str());
     }
-    if (!_jsonDir.empty())
-        _tables.push_back(table);
+    _tables.push_back(table);
     ++_tableIndex;
 }
 
 void
 ExperimentContext::note(const std::string &text)
 {
-    std::printf("%s\n\n", text.c_str());
-    std::fflush(stdout);
-    if (!_jsonDir.empty())
-        _notes.push_back(text);
+    if (_options.echo) {
+        std::printf("%s\n\n", text.c_str());
+        std::fflush(stdout);
+    }
+    _notes.push_back(text);
 }
 
-void
-ExperimentContext::finish(double total_seconds)
+RunArtifact
+ExperimentContext::buildArtifact(double total_seconds) const
 {
-    if (_jsonDir.empty())
-        return;
-    // If no grid run was timed (e.g. a trace-stats bench), fall back
-    // to the total wall time so throughput is still meaningful.
-    if (_metrics.runSeconds() <= 0.0)
-        _metrics.recordRunWindow(total_seconds);
-
     RunArtifact artifact;
     artifact.manifest = buildManifest();
     artifact.manifest.slug = _slug;
     artifact.manifest.title = _title;
     artifact.manifest.eventScale = eventScale();
     artifact.manifest.threads = simulationThreads();
-    artifact.manifest.quick = _quick;
+    artifact.manifest.quick = _options.quick;
     artifact.tables = _tables;
     artifact.notes = _notes;
     artifact.metrics = _metrics;
-
-    const std::string path = _jsonDir + "/" + _slug + ".json";
-    // Artifact writes retry like any other cell work: a transient
-    // (or injected) failure must not discard a finished sweep.
-    const auto written =
-        runWithRetries(_session.retry, [&](unsigned attempt) {
-            FaultInjector::global().check("artifact", path, attempt);
-            const auto result = artifact.write(path);
-            if (!result.ok())
-                throw RunException(result.error());
-        });
-    if (!written.ok()) {
-        throw RunException(RunError::permanent(
-            "artifact write failed: " + written.error().describe()));
-    }
-    std::printf("(json artifact written to %s)\n", path.c_str());
+    // If no grid run was timed (e.g. a trace-stats bench), fall back
+    // to the total wall time so throughput is still meaningful.
+    if (artifact.metrics.runSeconds() <= 0.0)
+        artifact.metrics.recordRunWindow(total_seconds);
+    return artifact;
 }
 
-int
-runExperiment(const std::string &slug, const std::string &title,
-              int argc, char **argv,
-              const std::function<void(ExperimentContext &)> &body)
+ExperimentRunResult
+runExperimentInProcess(const ExperimentDef &def,
+                       const ExperimentOptions &options)
 {
-    std::printf("=== %s: %s ===\n", slug.c_str(), title.c_str());
-    std::printf("(threads: %u, event scale: %.2f)\n\n",
-                simulationThreads(), eventScale());
+    ExperimentRunResult out;
+    if (options.echo) {
+        std::printf("=== %s: %s ===\n", def.slug.c_str(),
+                    def.title.c_str());
+        std::printf("(threads: %u, event scale: %.2f)\n\n",
+                    simulationThreads(), eventScale());
+    }
     const auto start = std::chrono::steady_clock::now();
-    std::size_t failed_cells = 0;
+    const auto elapsed = [&start]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
     try {
-        ExperimentContext context(slug, title, argc, argv);
-        body(context);
-        const double seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-        context.finish(seconds);
-        failed_cells = context.metrics().failureCount();
-        if (failed_cells > 0) {
+        ExperimentContext context(def.slug, def.title, options);
+        def.body(context);
+        out.restoredCells = context.restoredCells();
+        out.artifact = std::make_shared<RunArtifact>(
+            context.buildArtifact(elapsed()));
+
+        if (!options.jsonDir.empty()) {
+            const std::string path =
+                options.jsonDir + "/" + def.slug + ".json";
+            // Artifact writes retry like any other cell work: a
+            // transient (or injected) failure must not discard a
+            // finished sweep.
+            const auto written = runWithRetries(
+                options.retry, [&](unsigned attempt) {
+                    FaultInjector::global().check("artifact", path,
+                                                  attempt);
+                    const auto result = out.artifact->write(path);
+                    if (!result.ok())
+                        throw RunException(result.error());
+                });
+            if (!written.ok()) {
+                throw RunException(RunError::permanent(
+                    "artifact write failed: " +
+                    written.error().describe()));
+            }
+            if (options.echo)
+                std::printf("(json artifact written to %s)\n",
+                            path.c_str());
+        }
+
+        const std::size_t failed_cells =
+            out.artifact->metrics.failureCount();
+        if (failed_cells > 0 && options.echo) {
             std::fprintf(stderr,
                          "warning: %zu cell%s failed permanently:\n",
                          failed_cells, failed_cells == 1 ? "" : "s");
-            for (const auto &failure : context.metrics().failures()) {
+            for (const auto &failure :
+                 out.artifact->metrics.failures()) {
                 std::fprintf(stderr, "  [%s][%s] %s: %s\n",
                              failure.column.c_str(),
                              failure.benchmark.c_str(),
@@ -234,18 +249,22 @@ runExperiment(const std::string &slug, const std::string &title,
                              failure.error.c_str());
             }
         }
+        // Exit 3 = completed but partial; distinguishable from both
+        // a clean run (0) and a fatal failure (1) in scripts and CI.
+        out.exitCode = failed_cells > 0 ? 3 : 0;
     } catch (const std::exception &error) {
-        std::fprintf(stderr, "experiment failed: %s\n", error.what());
-        return 1;
+        out.error = error.what();
+        out.exitCode = 1;
+        if (options.echo)
+            std::fprintf(stderr, "experiment failed: %s\n",
+                         error.what());
     }
-    const auto elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - start);
-    std::printf("[%s done in %.1f s]\n", slug.c_str(),
-                static_cast<double>(elapsed.count()) / 1000.0);
-    // Exit 3 = completed but partial; distinguishable from both a
-    // clean run (0) and a fatal failure (1) in scripts and CI.
-    return failed_cells > 0 ? 3 : 0;
+    out.seconds = elapsed();
+    if (options.echo && out.exitCode != 1) {
+        std::printf("[%s done in %.1f s]\n", def.slug.c_str(),
+                    out.seconds);
+    }
+    return out;
 }
 
 } // namespace ibp

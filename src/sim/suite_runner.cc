@@ -126,39 +126,41 @@ SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
         _acquireBatch->spawn([this, i, emit_conditionals, policy,
                               cache, injector]() {
             const std::string &name = _names[i];
-            std::string key;
+            const auto generate = [&]() -> Result<Trace> {
+                return runWithRetries(policy, [&](unsigned attempt) {
+                    injector.check("trace", name, attempt);
+                    return generateBenchmarkTrace(name,
+                                                  emit_conditionals);
+                });
+            };
             if (cache) {
-                key = benchmarkTraceCacheKey(name, emit_conditionals);
-                auto hit = cache->load(key);
-                // Any load error is simply a miss. The name check
-                // rejects a foreign file dropped into the cache
-                // directory under our key.
-                if (hit.ok() && hit.value().name() == name) {
-                    finishAcquire(i, true, true,
-                                  std::move(hit).value(), RunError{});
+                // getOrGenerate coordinates concurrent callers of
+                // the same cold key (one generation, everyone else
+                // loads the stored entry) - load-or-generate-store
+                // would duplicate work the moment two daemon
+                // clients, or two runners in one process, race on a
+                // cold cache.
+                const std::string key =
+                    benchmarkTraceCacheKey(name, emit_conditionals);
+                auto acquired =
+                    cache->getOrGenerate(key, generate, name);
+                if (!acquired.ok()) {
+                    finishAcquire(i, false, false, Trace{},
+                                  acquired.error());
                     return;
                 }
+                const bool from_cache = acquired.value().fromCache;
+                finishAcquire(i, true, from_cache,
+                              std::move(acquired.value().trace),
+                              RunError{});
+                return;
             }
-            auto made = runWithRetries(policy, [&](unsigned attempt) {
-                injector.check("trace", name, attempt);
-                return generateBenchmarkTrace(name, emit_conditionals);
-            });
+            auto made = generate();
             if (!made.ok()) {
                 finishAcquire(i, false, false, Trace{}, made.error());
                 return;
             }
-            Trace trace = std::move(made).value();
-            if (cache) {
-                // Best effort: a full disk degrades the cache, not
-                // the run.
-                auto stored = cache->store(key, trace);
-                if (!stored.ok()) {
-                    warn("trace cache store for '%s' failed: %s",
-                         name.c_str(),
-                         stored.error().describe().c_str());
-                }
-            }
-            finishAcquire(i, true, false, std::move(trace),
+            finishAcquire(i, true, false, std::move(made).value(),
                           RunError{});
         });
     }
@@ -307,6 +309,17 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
     const unsigned grid_id = session.nextGridId++;
     RunMetrics *metrics = session.metrics;
     CheckpointJournal *journal = session.checkpoint;
+    // Drain support (docs/SERVICE.md): once the session's abort flag
+    // reads true, no NEW cell starts; cells already simulating finish
+    // and are journalled, unstarted cells stay absent from the grid.
+    const auto aborted = [&session]() {
+        return session.abort != nullptr &&
+               session.abort->load(std::memory_order_acquire);
+    };
+    const auto notifyCell = [&session]() {
+        if (session.onCellFinished)
+            session.onCellFinished();
+    };
     const std::int64_t deadline_ns = static_cast<std::int64_t>(
         session.retry.cellDeadlineSeconds * 1e9);
 
@@ -343,6 +356,7 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                     journal->lookup(grid_id, column.label, name);
                 if (restored) {
                     grid.set(column.label, name, *restored);
+                    notifyCell();
                     continue;
                 }
             }
@@ -462,6 +476,7 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                      appended.error().describe().c_str());
             }
         }
+        notifyCell();
     };
 
     // Fused-path telemetry (satellite: mirror trace_source). Chunks
@@ -514,6 +529,11 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                                std::vector<std::size_t>)>
                 runChunk = [&](const Trace *chunk_trace,
                                std::vector<std::size_t> members) {
+                    // Draining: leave the chunk's jobs pending;
+                    // phase 2 skips them again, so they stay
+                    // unstarted for the resumed run.
+                    if (aborted())
+                        return;
                     // Split-on-idle: while other workers are parked,
                     // hand them half of this chunk. Each half fuses
                     // independently; per-column results do not depend
@@ -674,6 +694,7 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                                   errorKindName(cause.kind),
                                   cause.attempts});
             }
+            notifyCell();
             continue;
         }
         job.trace = &_traces.at(*job.benchmark);
@@ -686,6 +707,10 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             if (jobs[j].done || jobs[j].failed)
                 continue;
             batch.spawn([&, j]() {
+                // Draining: leave the cell unstarted (not failed),
+                // so the resumed run picks it up.
+                if (aborted())
+                    return;
                 Job &job = jobs[j];
                 WorkerSlot &slot = slotFor();
                 const std::string fault_key =
@@ -728,6 +753,7 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                             errorKindName(job.error.kind),
                             job.error.attempts});
                     }
+                    notifyCell();
                     return;
                 }
                 finishCell(job, outcome.value());
@@ -798,10 +824,13 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             grid.setFailed(FailedCell{
                 job.column->label, *job.benchmark, job.error.message,
                 job.error.kind, job.error.attempts});
-        } else {
+        } else if (job.done) {
             grid.set(job.column->label, *job.benchmark,
                      job.missPercent);
         }
+        // Neither done nor failed: the drain flag stopped the cell
+        // before it started. It stays absent from the grid, exactly
+        // like a journal-restored run never saw it.
     }
     return grid;
 }

@@ -119,6 +119,22 @@ struct RunSession
     /** Next grid id; run() consumes one per call. */
     unsigned nextGridId = 0;
     /**
+     * Drain flag (may be null). While it reads true, run() stops
+     * STARTING cells: in-flight cells finish normally (and are
+     * journalled), unstarted cells are left absent from the grid -
+     * neither completed nor failed - so a drained sweep resumes
+     * from its checkpoint journal exactly where it stopped. Used by
+     * the ibpd daemon's graceful SIGTERM drain (docs/SERVICE.md).
+     */
+    const std::atomic<bool> *abort = nullptr;
+    /**
+     * Invoked once per resolved cell - completed, failed, or
+     * journal-restored - from whichever worker thread resolved it.
+     * The serve layer streams per-cell progress events with this;
+     * it must not block for long or throw.
+     */
+    std::function<void()> onCellFinished;
+    /**
      * Allow the single-pass multi-predictor engine (simulateMany):
      * all pending columns of a benchmark are fed from one trace
      * traversal, and any failure (injected fault, factory error,

@@ -8,6 +8,7 @@
 #include "robust/atomic_file.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_mmap.hh"
+#include "util/logging.hh"
 
 namespace ibp {
 
@@ -87,6 +88,113 @@ TraceCache::store(const std::string &key, const Trace &trace) const
     if (!serialised.ok())
         return serialised.error();
     return writeFileAtomic(streamPathFor(key), body.str());
+}
+
+Result<TraceAcquisition>
+TraceCache::loadValidated(const std::string &key,
+                          const std::string &expect_name) const
+{
+    auto hit = load(key);
+    if (!hit.ok())
+        return hit.error();
+    if (!expect_name.empty() && hit.value().name() != expect_name) {
+        return RunError::permanent(
+            "cache entry for key '" + key + "' names trace '" +
+            hit.value().name() + "', expected '" + expect_name + "'");
+    }
+    return TraceAcquisition{std::move(hit).value(), true};
+}
+
+Result<TraceAcquisition>
+TraceCache::getOrGenerate(
+    const std::string &key,
+    const std::function<Result<Trace>()> &generate,
+    const std::string &expect_name) const
+{
+    std::shared_ptr<Inflight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(_inflightMutex);
+        auto &slot = _inflight[key];
+        if (!slot) {
+            slot = std::make_shared<Inflight>();
+            leader = true;
+        }
+        flight = slot;
+    }
+
+    if (!leader) {
+        // Wait for the leader's verdict, then read its published
+        // entry from disk. The atomic store means the file is either
+        // absent or complete - never torn.
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        const bool stored = flight->storedToDisk;
+        const bool failed = flight->failed;
+        const RunError error = flight->error;
+        lock.unlock();
+        if (stored) {
+            auto loaded = loadValidated(key, expect_name);
+            if (loaded.ok())
+                return loaded;
+            warn("trace cache re-load after concurrent store of '%s' "
+                 "failed (%s); regenerating",
+                 key.c_str(), loaded.error().describe().c_str());
+        } else if (failed && !error.retryable()) {
+            // The leader's generation failed permanently; rerunning
+            // the same generator would fail the same way.
+            return error;
+        }
+        auto made = generate();
+        if (!made.ok())
+            return made.error();
+        return TraceAcquisition{std::move(made).value(), false};
+    }
+
+    // Leader: publish the outcome on every exit path so waiters can
+    // never hang, and retire the in-flight slot so a later cold pass
+    // (e.g. after an external cache wipe) elects a fresh leader.
+    bool stored_to_disk = false;
+    bool failed = false;
+    RunError error;
+    Result<TraceAcquisition> outcome = error; // overwritten below
+    auto hit = loadValidated(key, expect_name);
+    if (hit.ok()) {
+        stored_to_disk = true;
+        outcome = std::move(hit);
+    } else {
+        auto made = generate();
+        if (!made.ok()) {
+            failed = true;
+            error = made.error();
+            outcome = error;
+        } else {
+            Trace trace = std::move(made).value();
+            auto stored = store(key, trace);
+            if (stored.ok()) {
+                stored_to_disk = true;
+            } else {
+                // Best effort: a full disk degrades the cache (every
+                // waiter regenerates), never the run.
+                warn("trace cache store for key '%s' failed: %s",
+                     key.c_str(), stored.error().describe().c_str());
+            }
+            outcome = TraceAcquisition{std::move(trace), false};
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(_inflightMutex);
+        _inflight.erase(key);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->done = true;
+        flight->storedToDisk = stored_to_disk;
+        flight->failed = failed;
+        flight->error = error;
+    }
+    flight->cv.notify_all();
+    return outcome;
 }
 
 } // namespace ibp

@@ -31,12 +31,27 @@
 #ifndef IBP_TRACE_TRACE_CACHE_HH
 #define IBP_TRACE_TRACE_CACHE_HH
 
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "robust/error.hh"
 #include "trace/trace.hh"
 
 namespace ibp {
+
+/** Outcome of TraceCache::getOrGenerate. */
+struct TraceAcquisition
+{
+    Trace trace;
+    /** True when the trace was served from the on-disk cache (a
+     *  load, including one that waited for a concurrent generator);
+     *  false when this caller ran the generator itself. */
+    bool fromCache = false;
+};
 
 class TraceCache
 {
@@ -84,8 +99,52 @@ class TraceCache
     Result<void> store(const std::string &key,
                        const Trace &trace) const;
 
+    /**
+     * Load the entry for @p key, or run @p generate (and store the
+     * result) on a miss - with in-process coordination so concurrent
+     * callers of the same cold key produce ONE generation: the first
+     * caller becomes the leader (load, else generate + store), every
+     * other caller blocks until the leader publishes and then loads
+     * the freshly stored entry from disk, which the atomic
+     * tmp+fsync+rename write guarantees is never torn. This is what
+     * lets many daemon clients share one warm trace cache safely.
+     *
+     * @p expectName, when non-empty, rejects a loaded entry whose
+     * trace name differs (a foreign file under our key) as a miss.
+     *
+     * Degradation: if the leader's store fails (full disk) or its
+     * generation fails, waiters fall back to generating themselves;
+     * a permanent generation error from the leader is propagated to
+     * waiters without re-running the generator.
+     */
+    Result<TraceAcquisition>
+    getOrGenerate(const std::string &key,
+                  const std::function<Result<Trace>()> &generate,
+                  const std::string &expectName = "") const;
+
   private:
+    /** One in-flight cold-key generation; waiters block on cv. */
+    struct Inflight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        /** Leader outcome: entry on disk worth loading. */
+        bool storedToDisk = false;
+        /** Leader outcome: generation failed with this error. */
+        bool failed = false;
+        RunError error;
+    };
+
+    Result<TraceAcquisition>
+    loadValidated(const std::string &key,
+                  const std::string &expectName) const;
+
     std::string _directory;
+
+    /** Guards _inflight; per-key waiting happens on Inflight::cv. */
+    mutable std::mutex _inflightMutex;
+    mutable std::map<std::string, std::shared_ptr<Inflight>> _inflight;
 };
 
 } // namespace ibp

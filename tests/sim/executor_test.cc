@@ -169,5 +169,81 @@ TEST(ExecutorTest, ManySmallBatchesDrainCompletely)
     }
 }
 
+TEST(ExecutorTest, DrainWaitsForQueuedAndNestedWork)
+{
+    Executor &executor = Executor::global();
+    executor.ensureWorkers(4);
+    std::atomic<int> finished{0};
+    Executor::Batch batch(executor);
+    for (int i = 0; i < 32; ++i) {
+        batch.spawn([&]() {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            // Nested children submitted from inside a running task
+            // must also gate drain(): the ledger counts them the
+            // moment they are spawned, before the parent finishes.
+            batch.spawn([&]() {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                finished.fetch_add(1, std::memory_order_relaxed);
+            });
+            finished.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    executor.drain();
+    EXPECT_EQ(executor.outstandingTasks(), 0u);
+    EXPECT_EQ(finished.load(), 64);
+    batch.wait();
+}
+
+TEST(ExecutorTest, DrainReturnsImmediatelyWhenIdle)
+{
+    Executor &executor = Executor::global();
+    executor.ensureWorkers(2);
+    executor.drain(); // settle anything left over from other tests
+    const auto start = std::chrono::steady_clock::now();
+    executor.drain();
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(seconds, 0.5);
+    EXPECT_EQ(executor.outstandingTasks(), 0u);
+}
+
+TEST(ExecutorTest, IdleWaitTimesOutOnBlockedWork)
+{
+    Executor &executor = Executor::global();
+    executor.ensureWorkers(2);
+    std::mutex gate;
+    gate.lock();
+    Executor::Batch batch(executor);
+    batch.spawn([&gate]() {
+        std::lock_guard<std::mutex> hold(gate); // parked until unlock
+    });
+    EXPECT_FALSE(executor.idleWait(0.05));
+    EXPECT_GT(executor.outstandingTasks(), 0u);
+    gate.unlock();
+    EXPECT_TRUE(executor.idleWait(10.0));
+    EXPECT_EQ(executor.outstandingTasks(), 0u);
+    batch.wait();
+}
+
+TEST(ExecutorTest, DrainCoversInlineExecution)
+{
+    Executor &executor = Executor::global();
+    executor.ensureWorkers(0); // inline degradation path
+    std::atomic<int> count{0};
+    {
+        Executor::Batch batch(executor);
+        for (int i = 0; i < 8; ++i)
+            batch.spawn([&]() { ++count; });
+        batch.wait();
+    }
+    executor.drain();
+    EXPECT_EQ(count.load(), 8);
+    EXPECT_EQ(executor.outstandingTasks(), 0u);
+    executor.ensureWorkers(4);
+}
+
 } // namespace
 } // namespace ibp

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "synth/benchmark_suite.hh"
 #include "trace/trace_cache.hh"
@@ -133,6 +136,86 @@ TEST(TraceCacheKey, DistinguishesEveryInput)
     EXPECT_NE(benchmarkTraceCacheKey("idl", false), base)
         << "a different event scale must change the key";
     unsetenv("IBP_EVENTS");
+}
+
+TEST_F(TraceCacheTest, ConcurrentColdAcquireGeneratesOnce)
+{
+    // Load-bearing once multiple daemon clients share the cache: two
+    // threads racing on the same cold key must elect ONE generator;
+    // the other must be served a complete (never torn) stored entry.
+    const TraceCache cache(_dir);
+    std::atomic<int> generations{0};
+    std::atomic<bool> go{false};
+    const auto generate = [&]() -> Result<Trace> {
+        generations.fetch_add(1, std::memory_order_relaxed);
+        // Linger long enough that the second thread reliably finds
+        // the generation in flight rather than a finished entry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return sampleTrace("bench");
+    };
+
+    Result<TraceAcquisition> first = RunError::permanent("unset");
+    Result<TraceAcquisition> second = RunError::permanent("unset");
+    std::thread a([&]() {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        first = cache.getOrGenerate("cold-key", generate, "bench");
+    });
+    std::thread b([&]() {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        second = cache.getOrGenerate("cold-key", generate, "bench");
+    });
+    go.store(true, std::memory_order_release);
+    a.join();
+    b.join();
+
+    ASSERT_TRUE(first.ok()) << first.error().describe();
+    ASSERT_TRUE(second.ok()) << second.error().describe();
+    EXPECT_EQ(generations.load(), 1)
+        << "exactly one thread may run the generator";
+    // One generation plus one hit, and both sides hold the same
+    // fully-formed records (a torn read would fail the binary
+    // reader's validation inside load() and force a regeneration,
+    // which the generation count above would expose).
+    EXPECT_NE(first.value().fromCache, second.value().fromCache);
+    EXPECT_EQ(first.value().trace, second.value().trace);
+    EXPECT_EQ(first.value().trace.name(), "bench");
+
+    // Both traces must also match a fresh uncontended load of the
+    // stored entry byte for byte.
+    const auto reloaded = cache.load("cold-key");
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_EQ(reloaded.value(), first.value().trace);
+}
+
+TEST_F(TraceCacheTest, WarmAcquireHitsWithoutGenerating)
+{
+    const TraceCache cache(_dir);
+    ASSERT_TRUE(cache.store("warm-key", sampleTrace("bench")).ok());
+    std::atomic<int> generations{0};
+    const auto generate = [&]() -> Result<Trace> {
+        generations.fetch_add(1, std::memory_order_relaxed);
+        return sampleTrace("bench");
+    };
+    const auto acquired =
+        cache.getOrGenerate("warm-key", generate, "bench");
+    ASSERT_TRUE(acquired.ok());
+    EXPECT_TRUE(acquired.value().fromCache);
+    EXPECT_EQ(generations.load(), 0);
+}
+
+TEST_F(TraceCacheTest, AcquireRejectsForeignEntryName)
+{
+    const TraceCache cache(_dir);
+    ASSERT_TRUE(cache.store("key", sampleTrace("imposter")).ok());
+    const auto acquired = cache.getOrGenerate(
+        "key", [&]() -> Result<Trace> { return sampleTrace("real"); },
+        "real");
+    ASSERT_TRUE(acquired.ok());
+    EXPECT_FALSE(acquired.value().fromCache)
+        << "a foreign name under our key must read as a miss";
+    EXPECT_EQ(acquired.value().trace.name(), "real");
 }
 
 } // namespace

@@ -29,6 +29,12 @@
  *                         every cache hit must have been served
  *                         zero-copy from an mmap'ed .ibpm entry
  *                         (no legacy stream fallbacks)
+ *   --require-served      fail unless the fresh artifact carries the
+ *                         metrics.serve block, i.e. was produced
+ *                         through a resident ibpd daemon rather than
+ *                         a silent in-process fallback (the CI
+ *                         daemon-smoke job uses this; see
+ *                         docs/SERVICE.md)
  *
  * Exits 0 when the fresh artifact is within tolerance, 1 on a
  * regression or unreadable artifact, 2 on usage errors. See
@@ -57,7 +63,8 @@ usage(const char *argv0, int code)
         "usage: %s FRESH.json BASELINE.json [--abs=X] [--rel=Y]\n"
         "          [--min-throughput=B] [--throughput-ratio=R]\n"
         "          [--no-manifest] [--allow-partial]\n"
-        "          [--require-cached] [--require-mmap]\n",
+        "          [--require-cached] [--require-mmap]\n"
+        "          [--require-served]\n",
         argv0);
     std::exit(code);
 }
@@ -83,6 +90,7 @@ main(int argc, char **argv)
     DiffOptions options;
     bool require_cached = false;
     bool require_mmap = false;
+    bool require_served = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
@@ -106,6 +114,8 @@ main(int argc, char **argv)
         } else if (arg == "--require-mmap") {
             require_cached = true;
             require_mmap = true;
+        } else if (arg == "--require-served") {
+            require_served = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
             usage(argv[0], 2);
@@ -170,6 +180,20 @@ main(int argc, char **argv)
                          fresh.metrics.traceMmapHits(),
                          fresh.metrics.traceStreamHits(),
                          fresh.metrics.traceReadPath().c_str());
+            return 1;
+        }
+    }
+
+    if (require_served) {
+        // The daemon gate: the client falls back in-process so
+        // quietly that only the artifact itself can prove the run
+        // went through ibpd.
+        if (!fresh.metrics.hasServe()) {
+            std::fprintf(stderr,
+                         "--require-served: %s carries no serve "
+                         "telemetry; the run fell back to in-process "
+                         "execution (is ibpd up?)\n",
+                         paths[0].c_str());
             return 1;
         }
     }
