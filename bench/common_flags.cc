@@ -33,13 +33,18 @@ printUsage(const char *program)
         "          [--checkpoint=PATH] [--retries=N]\n"
         "          [--cell-deadline=SECONDS]\n"
         "          [--trace-cache[=DIR]] [--daemon[=SOCKET]]\n"
+        "          [--daemon-timeout=SECONDS]\n"
         "\n"
         "--trace-cache reuses generated traces across runs from "
         "DIR\n(default %s; also via IBP_TRACE_CACHE).\n"
         "--daemon routes the run through a resident ibpd daemon\n"
         "(socket from SOCKET, else $IBP_DAEMON, else %s), falling\n"
         "back to in-process execution when no daemon answers; see\n"
-        "docs/SERVICE.md.\n",
+        "docs/SERVICE.md.\n"
+        "--daemon-timeout bounds how long the client waits for each\n"
+        "reply frame (default $IBP_DAEMON_TIMEOUT, else 300; 0 =\n"
+        "forever): a hung daemon becomes a retry-then-fallback\n"
+        "instead of a hung bench.\n",
         program, TraceCache::kDefaultDirectory,
         kDefaultDaemonSocket);
 }
@@ -90,6 +95,9 @@ parseBenchFlags(int argc, char **argv)
             cli.daemonSocket = std::string(arg.substr(9));
             if (cli.daemonSocket.empty())
                 fatal("--daemon= requires a socket path");
+        } else if (arg.rfind("--daemon-timeout=", 0) == 0) {
+            cli.daemonTimeoutSeconds =
+                parsePositiveNumber(arg, arg.substr(17));
         } else if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
             std::exit(0);
@@ -113,6 +121,7 @@ runBenchMain(const ExperimentDef &def, int argc, char **argv)
     if (cli.useDaemon) {
         ClientOptions client;
         client.socketPath = cli.daemonSocket;
+        client.receiveTimeoutSeconds = cli.daemonTimeoutSeconds;
         return runExperimentViaDaemon(def, cli.options, client)
             .exitCode;
     }

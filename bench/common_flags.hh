@@ -32,6 +32,11 @@ struct BenchCli
     /** Socket from --daemon=SOCKET ("" = IBP_DAEMON, else the
      *  default; serve/protocol.hh). */
     std::string daemonSocket;
+    /** Per-frame receive deadline from --daemon-timeout=SECONDS
+     *  (negative = $IBP_DAEMON_TIMEOUT, else 300; 0 = wait
+     *  forever). Guards against a hung daemon blocking the bench
+     *  indefinitely; serve/client.hh. */
+    double daemonTimeoutSeconds = -1.0;
 };
 
 /**

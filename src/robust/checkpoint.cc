@@ -94,16 +94,18 @@ CheckpointJournal::open(const std::string &path,
                         }
                         continue;
                     }
-                    CheckpointCell cell;
-                    cell.grid = static_cast<unsigned>(
+                    const unsigned grid = static_cast<unsigned>(
                         entry.numberOr("grid", 0));
-                    cell.column = entry.stringOr("column", "");
-                    cell.benchmark =
-                        entry.stringOr("benchmark", "");
-                    cell.missPercent = entry.at("miss").asNumber();
-                    journal->_cells[Key{cell.grid, cell.column,
-                                        cell.benchmark}] =
-                        cell.missPercent;
+                    const Key key{grid, entry.stringOr("column", ""),
+                                  entry.stringOr("benchmark", "")};
+                    if (entry.contains("start")) {
+                        // A start with no later completion is an
+                        // attempt a prior incarnation died inside.
+                        journal->_priorStarts[key] += 1;
+                        continue;
+                    }
+                    journal->_cells[key] =
+                        entry.at("miss").asNumber();
                 } catch (const std::exception &) {
                     // A crash mid-append leaves one truncated final
                     // line; anything malformed before that means the
@@ -192,16 +194,60 @@ CheckpointJournal::append(const CheckpointCell &cell)
     std::lock_guard<std::mutex> lock(_mutex);
     _cells[Key{cell.grid, cell.column, cell.benchmark}] =
         cell.missPercent;
-    if (std::fwrite(line.data(), 1, line.size(), _file) !=
-            line.size() ||
+    return appendLines(line);
+}
+
+Result<void>
+CheckpointJournal::appendStart(const CheckpointStart &start)
+{
+    return appendStarts({start});
+}
+
+Result<void>
+CheckpointJournal::appendStarts(
+    const std::vector<CheckpointStart> &starts)
+{
+    if (starts.empty())
+        return Result<void>();
+    std::string lines;
+    for (const CheckpointStart &start : starts) {
+        Json entry = Json::object();
+        entry.set("start", true);
+        entry.set("grid", start.grid);
+        entry.set("column", start.column);
+        entry.set("benchmark", start.benchmark);
+        lines += entry.dump() + "\n";
+    }
+    // _priorStarts is deliberately NOT updated: the count is frozen
+    // at open() so it only reflects attempts of dead incarnations.
+    std::lock_guard<std::mutex> lock(_mutex);
+    return appendLines(lines);
+}
+
+unsigned
+CheckpointJournal::startedCountPrior(
+    unsigned grid, const std::string &column,
+    const std::string &benchmark) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _priorStarts.find(Key{grid, column, benchmark});
+    return it == _priorStarts.end() ? 0 : it->second;
+}
+
+/** Write raw @p lines, flushed and fsynced. Caller holds _mutex. */
+Result<void>
+CheckpointJournal::appendLines(const std::string &lines)
+{
+    if (std::fwrite(lines.data(), 1, lines.size(), _file) !=
+            lines.size() ||
         std::fflush(_file) != 0) {
         return RunError::permanent(
             "checkpoint: failed appending to '" + _path + "': " +
             std::strerror(errno));
     }
-    // One fsync per cell is cheap next to the seconds of simulation
-    // the line records, and bounds the loss after SIGKILL to the
-    // in-flight cell.
+    // One fsync per append is cheap next to the seconds of
+    // simulation the record represents, and bounds the loss after
+    // SIGKILL to the in-flight cell.
     fsync(fileno(_file));
     return Result<void>();
 }

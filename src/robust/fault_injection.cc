@@ -1,7 +1,9 @@
 #include "robust/fault_injection.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "util/logging.hh"
 
@@ -78,6 +80,14 @@ FaultInjector::parse(const std::string &spec)
                 site.kind = ErrorKind::Transient;
             } else if (kind == "permanent") {
                 site.kind = ErrorKind::Permanent;
+            } else if (kind == "crash") {
+                // Process-fatal kinds roll like transient faults so
+                // the retried incarnation of a cell can clear.
+                site.kind = ErrorKind::Transient;
+                site.action = FaultAction::Crash;
+            } else if (kind == "hang") {
+                site.kind = ErrorKind::Timeout;
+                site.action = FaultAction::Hang;
             } else {
                 return RunError::permanent(
                     "fault spec: unknown kind '" + kind + "' in '" +
@@ -132,22 +142,36 @@ FaultInjector::configureGlobal(const std::string &spec)
 bool
 FaultInjector::wouldFail(const std::string &site,
                          const std::string &key, unsigned attempt,
-                         ErrorKind *kind) const
+                         ErrorKind *kind, FaultAction *action) const
 {
-    for (const auto &armed : _sites) {
+    for (std::size_t index = 0; index < _sites.size(); ++index) {
+        const FaultSite &armed = _sites[index];
         if (armed.site != site || armed.probability <= 0.0)
             continue;
-        std::uint64_t hash = hashString(site, 0xcbf29ce484222325ULL);
+        // The clause index decorrelates clauses that share a site
+        // name (e.g. crash and hang both armed at "sim"): without
+        // it they would roll the same number, and the lower
+        // probability would be a pure subset of - shadowed by - the
+        // higher one. Index 0 keeps the historical decisions.
+        std::uint64_t hash = hashString(
+            site, 0xcbf29ce484222325ULL +
+                      0x632be59bd9b4e019ULL * index);
         hash = hashString(key, hash ^ _seed);
         // Permanent faults ignore the attempt number so they never
         // clear on retry; transient faults re-roll every attempt.
-        if (armed.kind == ErrorKind::Transient)
+        // Process-fatal actions re-roll too: the supervisor feeds the
+        // journalled start count into the attempt, so the retried
+        // incarnation of a crashed/hung cell can come up clean.
+        if (armed.kind == ErrorKind::Transient ||
+            armed.action != FaultAction::Throw)
             hash ^= 0x9e3779b97f4a7c15ULL * attempt;
         const double roll =
             static_cast<double>(mix(hash) >> 11) * 0x1.0p-53;
         if (roll < armed.probability) {
             if (kind)
                 *kind = armed.kind;
+            if (action)
+                *action = armed.action;
             return true;
         }
     }
@@ -159,8 +183,26 @@ FaultInjector::check(const std::string &site, const std::string &key,
                      unsigned attempt) const
 {
     ErrorKind kind = ErrorKind::Transient;
-    if (!wouldFail(site, key, attempt, &kind))
+    FaultAction action = FaultAction::Throw;
+    if (!wouldFail(site, key, attempt, &kind, &action))
         return;
+    if (action == FaultAction::Crash) {
+        warn("fault injection: crashing at %s/%s (attempt %u)",
+             site.c_str(), key.c_str(), attempt);
+        std::abort();
+    }
+    if (action == FaultAction::Hang) {
+        // Sleep far past any sane deadline in short slices,
+        // deliberately ignoring the cooperative cancel token: only
+        // an external hard kill (the supervisor's SIGKILL ceiling)
+        // clears an injected hang.
+        warn("fault injection: hanging at %s/%s (attempt %u)",
+             site.c_str(), key.c_str(), attempt);
+        for (int slice = 0; slice < 3600 * 20; ++slice) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    }
     const std::string message = "injected " +
                                 std::string(errorKindName(kind)) +
                                 " fault at " + site + "/" + key;

@@ -13,12 +13,23 @@
  *                             today - see docs/ROBUSTNESS.md)
  *   PROB   := failure probability per attempt, in [0, 1]
  *   KIND   := "transient" (default) | "permanent"
+ *           | "crash" | "hang"
  *
  * Examples:
  *
  *   IBP_FAULT_INJECT=sim:0.1                   10% transient sim faults
  *   IBP_FAULT_INJECT=trace:0.05:permanent      5% permanent trace faults
  *   IBP_FAULT_INJECT=sim:0.2,artifact:0.5,seed=7
+ *   IBP_FAULT_INJECT=sim:0.05:crash,sim:0.02:hang,seed=3
+ *
+ * `crash` and `hang` are process-fatal actions for chaos testing the
+ * multi-process supervisor (docs/SERVICE.md): instead of throwing,
+ * a tripped `crash` clause calls std::abort() and a tripped `hang`
+ * clause sleeps for ~an hour while ignoring cooperative
+ * cancellation, so only an external SIGKILL (the supervisor's hard
+ * deadline) can clear it. Both hash the attempt number like
+ * transient faults, so a retried incarnation of the same cell can
+ * come up clean.
  *
  * Decisions are a pure hash of (seed, site, key, attempt): two runs
  * with the same spec fault the same cells, and a transient fault can
@@ -39,12 +50,21 @@
 
 namespace ibp {
 
+/** What a tripped clause does to the calling process. */
+enum class FaultAction
+{
+    Throw, ///< raise RunException (transient/permanent kinds)
+    Crash, ///< std::abort() - exercises supervisor crash containment
+    Hang,  ///< sleep ~1h ignoring cancellation - needs a hard kill
+};
+
 /** One armed site: fail @p probability of attempts with @p kind. */
 struct FaultSite
 {
     std::string site;
     double probability = 0.0;
     ErrorKind kind = ErrorKind::Transient;
+    FaultAction action = FaultAction::Throw;
 };
 
 class FaultInjector
@@ -92,13 +112,16 @@ class FaultInjector
     /**
      * Decide deterministically whether (site, key, attempt) fails.
      * Throws RunException when it does; returns normally otherwise.
+     * A tripped `crash` clause never returns (std::abort); a tripped
+     * `hang` clause blocks for ~an hour, immune to cancellation.
      */
     void check(const std::string &site, const std::string &key,
                unsigned attempt = 1) const;
 
     /** check() without the throw (used by tests and diagnostics). */
     bool wouldFail(const std::string &site, const std::string &key,
-                   unsigned attempt, ErrorKind *kind = nullptr) const;
+                   unsigned attempt, ErrorKind *kind = nullptr,
+                   FaultAction *action = nullptr) const;
 
   private:
     std::vector<FaultSite> _sites;

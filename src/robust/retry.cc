@@ -30,6 +30,12 @@ retryPolicyFromEnv()
         if (seconds > 0.0)
             policy.cellDeadlineSeconds = seconds;
     }
+    if (const char *env = std::getenv("IBP_POISON_THRESHOLD")) {
+        const long threshold = std::atol(env);
+        if (threshold >= 1 && threshold <= 100)
+            policy.poisonThreshold =
+                static_cast<unsigned>(threshold);
+    }
     return policy;
 }
 

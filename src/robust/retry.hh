@@ -45,14 +45,22 @@ struct RetryPolicy
      */
     double cellDeadlineSeconds = 0.0;
 
+    /**
+     * A resumed cell whose journal shows this many start records
+     * from prior (dead) incarnations is poisoned: recorded as a
+     * timeout FailedCell without another attempt, so one cell that
+     * keeps killing the process cannot crash-loop the sweep.
+     */
+    unsigned poisonThreshold = 2;
+
     /** Backoff before attempt @p next (2-based), in seconds. */
     double backoffFor(unsigned next) const;
 };
 
 /**
- * Policy with the IBP_MAX_ATTEMPTS and IBP_CELL_DEADLINE environment
- * overrides applied (values are clamped to sane ranges; garbage
- * falls back to the defaults).
+ * Policy with the IBP_MAX_ATTEMPTS, IBP_CELL_DEADLINE and
+ * IBP_POISON_THRESHOLD environment overrides applied (values are
+ * clamped to sane ranges; garbage falls back to the defaults).
  */
 RetryPolicy retryPolicyFromEnv();
 

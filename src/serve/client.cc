@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <thread>
 
@@ -55,9 +56,23 @@ sleepSeconds(double seconds)
     }
 }
 
+/** Effective per-frame receive deadline (see ClientOptions). */
+double
+resolveReceiveTimeout(double configured)
+{
+    if (configured >= 0.0)
+        return configured;
+    if (const char *env = std::getenv("IBP_DAEMON_TIMEOUT")) {
+        const double seconds = std::atof(env);
+        if (seconds >= 0.0)
+            return seconds;
+    }
+    return 300.0;
+}
+
 Conversation
 converse(const std::string &socket_path, const RunRequest &request,
-         unsigned attempt, bool echo)
+         unsigned attempt, bool echo, double receive_timeout)
 {
     Conversation out;
     auto connected = connectDaemon(socket_path);
@@ -93,7 +108,7 @@ converse(const std::string &socket_path, const RunRequest &request,
         }
         for (;;) {
             injector.check("serve.io", request.slug, attempt);
-            auto frame = readFrame(fd);
+            auto frame = readFrame(fd, receive_timeout);
             if (!frame.ok()) {
                 end_progress_line();
                 out.verdict = Conversation::Verdict::RetryLater;
@@ -289,6 +304,8 @@ runExperimentViaDaemon(const ExperimentDef &def,
 
     const unsigned max_attempts =
         client.maxAttempts == 0 ? 1 : client.maxAttempts;
+    const double receive_timeout =
+        resolveReceiveTimeout(client.receiveTimeoutSeconds);
     std::string fallback_reason;
     unsigned attempt = 1;
     while (true) {
@@ -296,7 +313,8 @@ runExperimentViaDaemon(const ExperimentDef &def,
         RunRequest request = base;
         request.rejects = served.rejects;
         Conversation conversation =
-            converse(socket_path, request, attempt, options.echo);
+            converse(socket_path, request, attempt, options.echo,
+                     receive_timeout);
         if (conversation.verdict ==
             Conversation::Verdict::Served) {
             served.served = true;

@@ -47,6 +47,14 @@ struct ClientOptions
     /** Resubmissions after admission rejections before falling
      *  back (each sleeps the server's retry-after hint). */
     unsigned maxRejects = 64;
+    /** Receive deadline per reply frame, in seconds: a daemon that
+     *  goes silent for this long (hung, wedged, SIGSTOPped) is
+     *  treated as transient transport trouble instead of blocking
+     *  the client forever. Progress frames reset the clock, so long
+     *  sweeps are fine as long as cells keep resolving. Negative =
+     *  resolve from $IBP_DAEMON_TIMEOUT, else 300; 0 = no deadline
+     *  (wait forever). The benches expose this as --daemon-timeout. */
+    double receiveTimeoutSeconds = -1.0;
 };
 
 /** How a runExperimentViaDaemon() call was actually satisfied. */

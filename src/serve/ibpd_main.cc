@@ -10,11 +10,22 @@
  * state directory resumes them.
  *
  * Usage:
- *   ibpd [--socket=PATH] [--state=DIR] [--queue-depth=N] [--quiet]
+ *   ibpd [--socket=PATH] [--state=DIR] [--queue-depth=N]
+ *        [--lanes=N] [--cell-ceiling=SECONDS]
+ *        [--job-ceiling=SECONDS] [--heartbeat-timeout=SECONDS]
+ *        [--lane-retries=N] [--quiet]
  *
  * The socket defaults to $IBP_DAEMON, else out/ibpd.sock - the same
  * resolution every bench's --daemon flag uses. Exit code 0 after a
  * clean drain, 1 on a startup failure.
+ *
+ * Jobs run in supervised worker lane PROCESSES (--lanes, default 2):
+ * a crashing or hung experiment kills its lane, not the daemon, and
+ * resumes from its checkpoint journal on a fresh lane. --lanes=1
+ * serves jobs strictly one at a time (bit-identical to the
+ * in-process runner); --lanes=0 reverts to in-process execution
+ * with no isolation. The ceilings are hard wall-clock deadlines
+ * enforced with SIGKILL; see docs/ROBUSTNESS.md.
  */
 
 #include <csignal>
@@ -62,14 +73,25 @@ printUsage()
 {
     std::printf(
         "usage: ibpd [--socket=PATH] [--state=DIR]\n"
-        "            [--queue-depth=N] [--quiet]\n"
+        "            [--queue-depth=N] [--lanes=N]\n"
+        "            [--cell-ceiling=SECONDS]\n"
+        "            [--job-ceiling=SECONDS]\n"
+        "            [--heartbeat-timeout=SECONDS]\n"
+        "            [--lane-retries=N] [--quiet]\n"
         "\n"
         "Resident sweep daemon: serves bench runs over a unix\n"
         "socket (see docs/SERVICE.md). Clients connect via the\n"
         "benches' --daemon flag or the IBP_DAEMON variable.\n"
         "SIGTERM drains gracefully: the in-flight suite is\n"
         "checkpointed and queued requests persist; restarting with\n"
-        "the same --state resumes them.\n");
+        "the same --state resumes them.\n"
+        "\n"
+        "Jobs run in supervised worker lane processes (--lanes,\n"
+        "default 2; 0 = in-process, no isolation). A lane that\n"
+        "crashes or busts a ceiling is SIGKILLed and replaced; its\n"
+        "job resumes from the checkpoint journal. The ceilings are\n"
+        "hard wall-clock deadlines (0 = disabled); see\n"
+        "docs/ROBUSTNESS.md.\n");
 }
 
 } // namespace
@@ -78,6 +100,7 @@ int
 main(int argc, char **argv)
 {
     ibp::ServerConfig config;
+    config.lanes = 2; // the daemon defaults to crash isolation
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
@@ -88,6 +111,19 @@ main(int argc, char **argv)
         } else if (parseFlag(arg, "--queue-depth", &value)) {
             config.maxQueueDepth =
                 static_cast<std::size_t>(std::atoi(value.c_str()));
+        } else if (parseFlag(arg, "--lanes", &value)) {
+            config.lanes =
+                static_cast<unsigned>(std::atoi(value.c_str()));
+        } else if (parseFlag(arg, "--cell-ceiling", &value)) {
+            config.cellCeilingSeconds = std::atof(value.c_str());
+        } else if (parseFlag(arg, "--job-ceiling", &value)) {
+            config.jobCeilingSeconds = std::atof(value.c_str());
+        } else if (parseFlag(arg, "--heartbeat-timeout", &value)) {
+            config.heartbeatTimeoutSeconds =
+                std::atof(value.c_str());
+        } else if (parseFlag(arg, "--lane-retries", &value)) {
+            config.laneMaxRetries =
+                static_cast<unsigned>(std::atoi(value.c_str()));
         } else if (arg == "--quiet") {
             config.echo = false;
         } else if (arg == "--help" || arg == "-h") {

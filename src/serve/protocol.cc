@@ -1,10 +1,13 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -54,6 +57,54 @@ readAll(int fd, char *data, std::size_t size)
         const ssize_t n = ::recv(fd, data + got, size - got, 0);
         if (n < 0) {
             if (errno == EINTR)
+                continue;
+            return ioError("socket read failed");
+        }
+        if (n == 0) {
+            return RunError::transient(
+                "connection closed mid-frame");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+/** readAll against an absolute deadline: poll for readability with
+ *  the remaining budget before every recv (EINTR re-computes the
+ *  remainder instead of restarting the full timeout). */
+Result<void>
+readAllUntil(int fd, char *data, std::size_t size,
+             std::chrono::steady_clock::time_point deadline)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0) {
+            return RunError::transient(
+                "socket read timed out mid-frame");
+        }
+        pollfd poller;
+        poller.fd = fd;
+        poller.events = POLLIN;
+        poller.revents = 0;
+        const int ready = ::poll(
+            &poller, 1,
+            static_cast<int>(std::min<long long>(remaining,
+                                                 60 * 1000)));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("socket poll failed");
+        }
+        if (ready == 0)
+            continue; // re-check the deadline
+        const ssize_t n = ::recv(fd, data + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
                 continue;
             return ioError("socket read failed");
         }
@@ -141,6 +192,45 @@ readFrame(int fd)
     }
 }
 
+Result<Json>
+readFrame(int fd, double timeout_seconds)
+{
+    if (timeout_seconds <= 0.0)
+        return readFrame(fd);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    unsigned char prefix[4];
+    const auto got_prefix = readAllUntil(
+        fd, reinterpret_cast<char *>(prefix), sizeof(prefix),
+        deadline);
+    if (!got_prefix.ok())
+        return got_prefix.error();
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(prefix[0]) |
+        (static_cast<std::uint32_t>(prefix[1]) << 8) |
+        (static_cast<std::uint32_t>(prefix[2]) << 16) |
+        (static_cast<std::uint32_t>(prefix[3]) << 24);
+    if (size > kMaxFrameBytes) {
+        return RunError::transient(
+            "frame length " + std::to_string(size) +
+            " exceeds ceiling (corrupt stream?)");
+    }
+    std::string body(size, '\0');
+    const auto got_body =
+        readAllUntil(fd, body.data(), body.size(), deadline);
+    if (!got_body.ok())
+        return got_body.error();
+    try {
+        return Json::parse(body);
+    } catch (const std::exception &error) {
+        return RunError::transient(std::string("malformed frame: ") +
+                                   error.what());
+    }
+}
+
 Result<int>
 connectDaemon(const std::string &socket_path)
 {
@@ -153,7 +243,30 @@ connectDaemon(const std::string &socket_path)
         return ioError("socket() failed");
     if (::connect(fd, reinterpret_cast<sockaddr *>(&address),
                   sizeof(address)) != 0) {
-        const int cause = errno;
+        int cause = errno;
+        if (cause == EINTR) {
+            // POSIX: an interrupted connect() keeps completing in
+            // the background; calling connect() again would return
+            // EALREADY. Wait for writability and read the final
+            // status instead.
+            pollfd poller;
+            poller.fd = fd;
+            poller.events = POLLOUT;
+            poller.revents = 0;
+            int ready;
+            do {
+                ready = ::poll(&poller, 1, -1);
+            } while (ready < 0 && errno == EINTR);
+            int status = 0;
+            socklen_t length = sizeof(status);
+            if (ready > 0 &&
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &status,
+                             &length) == 0 &&
+                status == 0) {
+                return fd;
+            }
+            cause = status != 0 ? status : errno;
+        }
         ::close(fd);
         if (cause == ENOENT || cause == ECONNREFUSED) {
             return RunError::transient("no daemon at '" +

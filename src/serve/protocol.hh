@@ -59,6 +59,15 @@ Result<void> writeFrame(int fd, const Json &message);
  */
 Result<Json> readFrame(int fd);
 
+/**
+ * readFrame with a receive deadline: a frame that does not complete
+ * within @p timeoutSeconds of the call is a transient RunError whose
+ * message contains "timed out", so the client's retry/fallback
+ * ladder treats a hung daemon like any other transport failure.
+ * timeoutSeconds <= 0 blocks forever (plain readFrame).
+ */
+Result<Json> readFrame(int fd, double timeoutSeconds);
+
 /** Connect to the daemon socket. ENOENT/ECONNREFUSED (no daemon) is
  *  a transient RunError whose message starts with "no daemon". */
 Result<int> connectDaemon(const std::string &socketPath);

@@ -96,23 +96,56 @@ SweepServer::start()
                                    _config.stateDir +
                                    "': " + ec.message());
     }
+    // Fork the lane pool FIRST: before the listen socket, the drain
+    // pipe and our own threads exist, so the initial lanes inherit
+    // as little as possible and fork from the quietest process this
+    // server will ever be.
+    if (_config.lanes > 0) {
+        SupervisorConfig lanes;
+        lanes.lanes = _config.lanes;
+        lanes.cellCeilingSeconds = _config.cellCeilingSeconds;
+        lanes.jobCeilingSeconds = _config.jobCeilingSeconds;
+        lanes.heartbeatTimeoutSeconds =
+            _config.heartbeatTimeoutSeconds;
+        lanes.maxRetriesWithoutProgress = _config.laneMaxRetries;
+        lanes.retryBackoffSeconds = _config.laneRetryBackoffSeconds;
+        lanes.echo = _config.echo;
+        _supervisor = std::make_unique<LaneSupervisor>(lanes);
+        const auto started = _supervisor->start();
+        if (!started.ok()) {
+            _supervisor.reset();
+            return started;
+        }
+    }
     auto listening = listenDaemon(_socketPath);
-    if (!listening.ok())
+    if (!listening.ok()) {
+        if (_supervisor)
+            _supervisor->shutdown();
         return listening.error();
+    }
     _listenFd = listening.value();
     if (::pipe(_drainPipe) != 0) {
         const RunError error = RunError::permanent(
             std::string("pipe() failed: ") + std::strerror(errno));
         ::close(_listenFd);
         _listenFd = -1;
+        if (_supervisor)
+            _supervisor->shutdown();
         return error;
     }
     restorePending();
     _started.store(true);
+    const unsigned runners =
+        _config.lanes > 0 ? _config.lanes : 1u;
+    _runningJobs.assign(runners, nullptr);
     _acceptThread = std::thread([this] { acceptLoop(); });
-    _runnerThread = std::thread([this] { runnerLoop(); });
-    logLine("listening on %s (%zu experiments registered)",
-            _socketPath.c_str(), experimentSlugs().size());
+    for (unsigned lane = 0; lane < runners; ++lane) {
+        _runnerThreads.emplace_back(
+            [this, lane] { runnerLoop(lane); });
+    }
+    logLine("listening on %s (%zu experiments registered, %u %s)",
+            _socketPath.c_str(), experimentSlugs().size(), runners,
+            _config.lanes > 0 ? "lanes" : "in-process runner");
     return {};
 }
 
@@ -227,11 +260,27 @@ SweepServer::handleStats(int fd)
     reply.set("jobs_drained", counters.jobsDrained);
     reply.set("warm_hits", counters.warmHits);
     reply.set("jobs_restored", counters.jobsRestored);
+    reply.set("lanes", _config.lanes);
+    reply.set("lanes_forked", counters.lanesForked);
+    reply.set("lane_crashes", counters.laneCrashes);
+    reply.set("lane_kills", counters.laneKills);
+    reply.set("jobs_retried", counters.jobsRetried);
     {
         std::lock_guard<std::mutex> lock(_queueMutex);
         reply.set("queue_depth", _queue.size());
-        reply.set("running",
-                  _running ? Json(_running->request.slug) : Json());
+        // "running": first busy runner's slug (compat with the
+        // single-runner era); "running_jobs" lists all of them.
+        Json running_jobs = Json::array();
+        Json first;
+        for (const auto &job : _runningJobs) {
+            if (!job)
+                continue;
+            if (first.isNull())
+                first = Json(job->request.slug);
+            running_jobs.push(Json(job->request.slug));
+        }
+        reply.set("running", first);
+        reply.set("running_jobs", std::move(running_jobs));
     }
     writeFrame(fd, reply);
 }
@@ -290,9 +339,13 @@ SweepServer::handleRun(int fd, const RunRequest &request)
             job = candidate;
             return true;
         };
-        if (try_attach(_running)) {
-            coalesced = true;
-        } else {
+        for (const auto &running : _runningJobs) {
+            if (try_attach(running)) {
+                coalesced = true;
+                break;
+            }
+        }
+        if (!coalesced) {
             for (const auto &queued : _queue) {
                 if (try_attach(queued)) {
                     coalesced = true;
@@ -392,7 +445,7 @@ SweepServer::handleRun(int fd, const RunRequest &request)
 }
 
 void
-SweepServer::runnerLoop()
+SweepServer::runnerLoop(unsigned lane_index)
 {
     for (;;) {
         std::shared_ptr<Job> job;
@@ -415,18 +468,19 @@ SweepServer::runnerLoop()
             }
             job = *best;
             _queue.erase(best);
-            _running = job;
+            _runningJobs[lane_index] = job;
         }
-        runJob(job);
+        runJob(job, lane_index);
         {
             std::lock_guard<std::mutex> lock(_queueMutex);
-            _running.reset();
+            _runningJobs[lane_index].reset();
         }
     }
 }
 
 void
-SweepServer::runJob(const std::shared_ptr<Job> &job)
+SweepServer::runJob(const std::shared_ptr<Job> &job,
+                    unsigned lane_index)
 {
     {
         std::lock_guard<std::mutex> lock(job->mutex);
@@ -436,29 +490,49 @@ SweepServer::runJob(const std::shared_ptr<Job> &job)
                 std::chrono::steady_clock::now() - job->enqueuedAt)
                 .count();
     }
-    logLine("running job %llu: %s",
+    logLine("running job %llu: %s%s",
             static_cast<unsigned long long>(job->id),
-            job->request.slug.c_str());
+            job->request.slug.c_str(),
+            _supervisor ? " (lane)" : "");
 
-    ExperimentOptions options;
-    options.quick = job->request.quick;
-    options.echo = false;
-    options.checkpointPath = checkpointPathFor(job->request);
-    options.abort = &_drainFlag;
-    options.onCellFinished = [job] {
-        std::lock_guard<std::mutex> lock(job->mutex);
-        ++job->cellsDone;
-        job->cv.notify_all();
-    };
-
-    const ExperimentDef *def = findExperiment(job->request.slug);
     ExperimentRunResult result;
-    if (def == nullptr) {
-        result.exitCode = 1;
-        result.error =
-            "experiment '" + job->request.slug + "' vanished";
+    bool lane_drained = false;
+    if (_supervisor) {
+        // Supervised path: the lane process runs the experiment and
+        // streams progress + the artifact back; the monitor loop
+        // below us handles crashes, deadlines and retries. Progress
+        // counts restart per lane incarnation, so only move forward.
+        const LaneJobOutcome outcome = _supervisor->runJob(
+            lane_index, job->request, checkpointPathFor(job->request),
+            [job](std::size_t cells) {
+                std::lock_guard<std::mutex> lock(job->mutex);
+                if (cells > job->cellsDone) {
+                    job->cellsDone = cells;
+                    job->cv.notify_all();
+                }
+            });
+        result = outcome.result;
+        lane_drained = outcome.drained;
     } else {
-        result = runExperimentInProcess(*def, options);
+        ExperimentOptions options;
+        options.quick = job->request.quick;
+        options.echo = false;
+        options.checkpointPath = checkpointPathFor(job->request);
+        options.abort = &_drainFlag;
+        options.onCellFinished = [job] {
+            std::lock_guard<std::mutex> lock(job->mutex);
+            ++job->cellsDone;
+            job->cv.notify_all();
+        };
+
+        const ExperimentDef *def = findExperiment(job->request.slug);
+        if (def == nullptr) {
+            result.exitCode = 1;
+            result.error =
+                "experiment '" + job->request.slug + "' vanished";
+        } else {
+            result = runExperimentInProcess(*def, options);
+        }
     }
 
     bool drained = false;
@@ -472,7 +546,8 @@ SweepServer::runJob(const std::shared_ptr<Job> &job)
         // (which inspects state under this mutex) and this section
         // agree on whether the job drained.
         std::lock_guard<std::mutex> lock(job->mutex);
-        drained = _drainFlag.load(std::memory_order_acquire);
+        drained = lane_drained ||
+                  _drainFlag.load(std::memory_order_acquire);
         if (!drained && result.artifact) {
             const RunMetrics &metrics = result.artifact->metrics;
             ServeMetrics serve;
@@ -537,6 +612,10 @@ SweepServer::requestDrain()
         std::lock_guard<std::mutex> lock(_statsMutex);
         _stats.jobsDrained += drained_queued;
     }
+    // Lanes stop at their next cell boundary and report their jobs
+    // drained; their runner threads then observe _draining and exit.
+    if (_supervisor)
+        _supervisor->requestDrain();
     _queueCv.notify_all();
     if (_drainPipe[1] >= 0) {
         const char byte = 1;
@@ -562,8 +641,15 @@ SweepServer::waitStopped()
         return;
     if (_acceptThread.joinable())
         _acceptThread.join();
-    if (_runnerThread.joinable())
-        _runnerThread.join();
+    for (std::thread &runner : _runnerThreads) {
+        if (runner.joinable())
+            runner.join();
+    }
+    _runnerThreads.clear();
+    // Every job result has been consumed by now; the lanes are idle
+    // and EOF on their sockets is their exit signal.
+    if (_supervisor)
+        _supervisor->shutdown();
     // Connection threads exit once the runner has pushed every job
     // to a terminal state. Copy the list out: their epilogues take
     // _connMutex to close their fd.
@@ -600,8 +686,27 @@ SweepServer::waitStopped()
 ServerStats
 SweepServer::stats() const
 {
-    std::lock_guard<std::mutex> lock(_statsMutex);
-    return _stats;
+    ServerStats out;
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        out = _stats;
+    }
+    if (_supervisor) {
+        const LaneStats lanes = _supervisor->stats();
+        out.lanesForked = lanes.lanesForked;
+        out.laneCrashes = lanes.laneCrashes;
+        out.laneKills = lanes.laneKills;
+        out.jobsRetried = lanes.jobsRetried;
+    }
+    return out;
+}
+
+std::vector<LaneView>
+SweepServer::laneViews() const
+{
+    if (!_supervisor)
+        return {};
+    return _supervisor->laneViews();
 }
 
 std::string
@@ -625,7 +730,8 @@ SweepServer::persistPendingLocked()
             return;
         jobs.push(job->request.toJson());
     };
-    persist(_running);
+    for (const auto &job : _runningJobs)
+        persist(job);
     for (const auto &job : _queue)
         persist(job);
     if (jobs.size() == 0) {
@@ -657,19 +763,42 @@ SweepServer::restorePending()
     std::ostringstream text;
     text << in.rdbuf();
     in.close();
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
+
+    // Validate BEFORE touching the file: a corrupt or truncated
+    // pending.json (daemon died mid-write of a non-atomic editor
+    // save, disk full, ...) is quarantined aside for forensics, and
+    // startup proceeds - a bad state file must never brick the
+    // daemon or be silently destroyed.
+    const auto quarantine = [&](const std::string &why) {
+        const std::string aside = path + ".corrupt";
+        std::error_code rename_ec;
+        std::filesystem::rename(path, aside, rename_ec);
+        if (rename_ec) {
+            std::error_code remove_ec;
+            std::filesystem::remove(path, remove_ec);
+            logLine("WARNING: dropping malformed %s (%s); "
+                    "quarantine failed: %s",
+                    path.c_str(), why.c_str(),
+                    rename_ec.message().c_str());
+        } else {
+            logLine("WARNING: quarantined malformed %s to %s (%s)",
+                    path.c_str(), aside.c_str(), why.c_str());
+        }
+    };
 
     Json pending;
     try {
         pending = Json::parse(text.str());
     } catch (const std::exception &error) {
-        logLine("WARNING: ignoring malformed %s: %s", path.c_str(),
-                error.what());
+        quarantine(error.what());
         return;
     }
-    if (!pending.contains("jobs") || !pending.at("jobs").isArray())
+    if (!pending.contains("jobs") || !pending.at("jobs").isArray()) {
+        quarantine("no jobs array");
         return;
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
     const Json &jobs = pending.at("jobs");
     std::size_t restored = 0;
     std::lock_guard<std::mutex> lock(_queueMutex);

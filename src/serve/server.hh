@@ -11,11 +11,17 @@
  *  - One ACCEPT thread hands each connection to a short-lived
  *    connection thread, which parses the single request frame and
  *    streams reply frames (serve/protocol.hh).
- *  - One JOB RUNNER thread executes queued jobs strictly one at a
- *    time, in priority order (FIFO within a level). Serializing jobs
- *    keeps every run bit-identical to its in-process twin - the full
- *    worker pool serves one sweep, exactly as a bench binary would -
- *    and makes coalescing trivial.
+ *  - JOB RUNNER threads execute queued jobs in priority order (FIFO
+ *    within a level). With lanes == 0 a single runner executes jobs
+ *    in-process, strictly one at a time: the full worker pool serves
+ *    one sweep, exactly as a bench binary would, so every run is
+ *    bit-identical to its in-process twin. With lanes >= 1 each
+ *    runner drives one worker lane PROCESS through the lane
+ *    supervisor (serve/supervisor.hh): jobs are crash-isolated,
+ *    wall-clock deadlines are enforced with SIGKILL, and a dead lane
+ *    is replaced while its job resumes from the checkpoint journal.
+ *    A single job still owns a whole lane, so --lanes=1 artifacts
+ *    are bit-identical to the in-process runner's.
  *  - ADMISSION CONTROL bounds the queue: a request that would push
  *    the queued depth past the configured bound is rejected with a
  *    retry-after hint instead of being buffered without limit.
@@ -50,6 +56,7 @@
 
 #include "robust/error.hh"
 #include "serve/protocol.hh"
+#include "serve/supervisor.hh"
 #include "sim/experiment.hh"
 
 namespace ibp {
@@ -66,6 +73,20 @@ struct ServerConfig
     double retryAfterSeconds = 0.25;
     /** Log one line per lifecycle event to stdout. */
     bool echo = true;
+    /** Worker lane processes. 0 = run jobs in-process on one runner
+     *  thread (the embedded/test mode); >= 1 = supervised lanes with
+     *  crash isolation and hard deadlines (ibpd defaults to 2). */
+    unsigned lanes = 0;
+    /** SIGKILL a lane with no cell progress for this long; 0 off. */
+    double cellCeilingSeconds = 0.0;
+    /** SIGKILL a lane whose job runs past this (no retry); 0 off. */
+    double jobCeilingSeconds = 0.0;
+    /** SIGKILL a lane silent (no frame at all) for this long. */
+    double heartbeatTimeoutSeconds = 10.0;
+    /** Lane deaths tolerated per job without checkpoint progress. */
+    unsigned laneMaxRetries = 3;
+    /** Pause before re-dispatching a crashed job to a fresh lane. */
+    double laneRetryBackoffSeconds = 0.1;
 };
 
 /** Cumulative counters, exposed over the "stats" request. */
@@ -80,6 +101,11 @@ struct ServerStats
     /** Completed jobs that paid zero trace generations. */
     std::uint64_t warmHits = 0;
     std::uint64_t jobsRestored = 0;
+    /** Lane-pool counters (all zero with lanes == 0). */
+    std::uint64_t lanesForked = 0;
+    std::uint64_t laneCrashes = 0;
+    std::uint64_t laneKills = 0;
+    std::uint64_t jobsRetried = 0;
 };
 
 class SweepServer
@@ -116,6 +142,10 @@ class SweepServer
 
     /** Resolved socket path the server is (or will be) bound to. */
     const std::string &socketPath() const { return _socketPath; }
+
+    /** Lane pids + current slugs (empty with lanes == 0). Chaos
+     *  tests kill specific busy lanes through this. */
+    std::vector<LaneView> laneViews() const;
 
   private:
     enum class JobState { Queued, Running, Done, Drained };
@@ -155,8 +185,8 @@ class SweepServer
     void serveConnection(const std::shared_ptr<Connection> &conn);
     void handleRun(int fd, const RunRequest &request);
     void handleStats(int fd);
-    void runnerLoop();
-    void runJob(const std::shared_ptr<Job> &job);
+    void runnerLoop(unsigned laneIndex);
+    void runJob(const std::shared_ptr<Job> &job, unsigned laneIndex);
     std::string checkpointPathFor(const RunRequest &request) const;
     void persistPendingLocked();
     void restorePending();
@@ -169,16 +199,21 @@ class SweepServer
     int _drainPipe[2] = {-1, -1};
 
     std::thread _acceptThread;
-    std::thread _runnerThread;
+    /** One per lane; a single thread with lanes == 0. */
+    std::vector<std::thread> _runnerThreads;
+
+    /** Lane pool; null with lanes == 0 (in-process execution). */
+    std::unique_ptr<LaneSupervisor> _supervisor;
 
     mutable std::mutex _connMutex;
     std::list<std::shared_ptr<Connection>> _connections;
 
-    /** Guards the queue, _running, _draining and _nextJobId. */
+    /** Guards the queue, _runningJobs, _draining and _nextJobId. */
     mutable std::mutex _queueMutex;
     std::condition_variable _queueCv;
     std::vector<std::shared_ptr<Job>> _queue;
-    std::shared_ptr<Job> _running;
+    /** Job each runner thread is executing (index = lane). */
+    std::vector<std::shared_ptr<Job>> _runningJobs;
     bool _draining = false;
     std::uint64_t _nextJobId = 1;
 

@@ -1,0 +1,282 @@
+#include "serve/worker.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <dirent.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+#include "sim/executor.hh"
+#include "sim/experiment.hh"
+
+namespace ibp {
+
+namespace {
+
+/** Everything a lane's three threads share. Frame writes from the
+ *  main thread (result), sim worker threads (progress) and the
+ *  heartbeat thread interleave on one socket, so they serialise on
+ *  writeMutex; the reader thread is the socket's only reader. */
+struct LaneState
+{
+    int fd = -1;
+    std::mutex writeMutex;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Json> jobs;
+    bool quit = false;
+
+    /** Sticky daemon-wide drain: once set, the current job stops at
+     *  the next cell boundary and no further job will arrive. */
+    std::atomic<bool> abort{false};
+};
+
+void
+sendLaneFrame(LaneState &state, const Json &frame)
+{
+    std::lock_guard<std::mutex> lock(state.writeMutex);
+    // A failed write means the supervisor is gone; PDEATHSIG will
+    // reap this process, so the error itself needs no handling.
+    (void)writeFrame(state.fd, frame);
+}
+
+/** Close every inherited descriptor except stdio and @p keep_fd.
+ *  The child of a daemon inherits the listen socket, every client
+ *  connection, the drain pipe and its sibling lanes' sockets; any
+ *  of them held open here would defeat EOF-based shutdown. */
+void
+closeInheritedFds(int keep_fd)
+{
+    DIR *dir = ::opendir("/proc/self/fd");
+    if (dir == nullptr) {
+        // Conservative fallback: sweep a fixed range.
+        for (int fd = 3; fd < 1024; ++fd) {
+            if (fd != keep_fd)
+                ::close(fd);
+        }
+        return;
+    }
+    const int dir_fd = ::dirfd(dir);
+    while (dirent *entry = ::readdir(dir)) {
+        const int fd = std::atoi(entry->d_name);
+        if (fd <= 2 || fd == keep_fd || fd == dir_fd)
+            continue;
+        ::close(fd);
+    }
+    ::closedir(dir);
+}
+
+/** Sole reader of the lane socket: queues jobs for the main thread,
+ *  flips the drain flag, and turns "exit" or EOF into quit. */
+void
+readerLoop(LaneState &state)
+{
+    for (;;) {
+        auto frame = readFrame(state.fd);
+        std::string type;
+        if (frame.ok())
+            type = frame.value().stringOr("type", "");
+        if (!frame.ok() || type == "exit") {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.quit = true;
+            // EOF mid-job: wind the job down at the next cell
+            // boundary instead of finishing a sweep nobody will
+            // read. The supervisor escalates to SIGKILL anyway if
+            // this takes too long.
+            state.abort.store(true, std::memory_order_release);
+            state.cv.notify_all();
+            return;
+        }
+        if (type == "job") {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.jobs.push_back(std::move(frame).value());
+            state.cv.notify_all();
+        } else if (type == "drain") {
+            state.abort.store(true, std::memory_order_release);
+        }
+        // Unknown frame types are ignored: a newer supervisor may
+        // speak a slightly richer dialect.
+    }
+}
+
+void
+runLaneJob(LaneState &state, const Json &frame)
+{
+    Json reply = Json::object();
+    reply.set("type", "result");
+
+    const ExperimentDef *def = nullptr;
+    RunRequest request;
+    std::string error;
+    if (frame.contains("request")) {
+        auto parsed = RunRequest::fromJson(frame.at("request"));
+        if (parsed.ok()) {
+            request = std::move(parsed).value();
+            def = findExperiment(request.slug);
+            if (def == nullptr)
+                error = "lane: unknown experiment '" + request.slug +
+                        "'";
+        } else {
+            error = "lane: bad job frame: " + parsed.error().message;
+        }
+    } else {
+        error = "lane: job frame without a request";
+    }
+    if (def == nullptr) {
+        reply.set("exit_code", 1);
+        reply.set("error", error);
+        reply.set("drained",
+                  Json(state.abort.load(std::memory_order_acquire)));
+        sendLaneFrame(state, reply);
+        return;
+    }
+
+    ExperimentOptions options;
+    options.quick = request.quick;
+    options.checkpointPath = frame.stringOr("checkpoint", "");
+    options.echo = false;
+    options.abort = &state.abort;
+    std::atomic<std::size_t> cells{0};
+    options.onCellFinished = [&state, &cells] {
+        const std::size_t done =
+            cells.fetch_add(1, std::memory_order_relaxed) + 1;
+        Json progress = Json::object();
+        progress.set("type", "progress");
+        progress.set("cells", static_cast<double>(done));
+        sendLaneFrame(state, progress);
+    };
+
+    // Heartbeats run only while a job does: an idle lane writing
+    // unread frames would eventually fill the socket buffer, since
+    // the supervisor only reads during its per-job monitor loop.
+    std::atomic<bool> done{false};
+    std::thread heartbeat([&state, &done] {
+        auto last = std::chrono::steady_clock::now();
+        while (!done.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(25));
+            const auto now = std::chrono::steady_clock::now();
+            if (now - last < std::chrono::milliseconds(250))
+                continue;
+            last = now;
+            Json beat = Json::object();
+            beat.set("type", "heartbeat");
+            sendLaneFrame(state, beat);
+        }
+    });
+
+    const ExperimentRunResult result =
+        runExperimentInProcess(*def, options);
+
+    done.store(true, std::memory_order_release);
+    heartbeat.join();
+
+    reply.set("exit_code", result.exitCode);
+    reply.set("restored_cells",
+              static_cast<double>(result.restoredCells));
+    reply.set("seconds", result.seconds);
+    reply.set("drained",
+              Json(state.abort.load(std::memory_order_acquire)));
+    if (!result.error.empty())
+        reply.set("error", result.error);
+    if (result.artifact)
+        reply.set("artifact", result.artifact->toJson());
+    sendLaneFrame(state, reply);
+}
+
+} // namespace
+
+void
+runWorkerLane(int fd)
+{
+    LaneState state;
+    state.fd = fd;
+    std::thread reader([&state] { readerLoop(state); });
+    for (;;) {
+        Json job;
+        {
+            std::unique_lock<std::mutex> lock(state.mutex);
+            state.cv.wait(lock, [&state] {
+                return state.quit || !state.jobs.empty();
+            });
+            if (state.jobs.empty())
+                break; // quit, nothing pending
+            job = std::move(state.jobs.front());
+            state.jobs.pop_front();
+        }
+        runLaneJob(state, job);
+    }
+    reader.join();
+    // _exit, not exit: static destructors and atexit handlers of the
+    // parent image must not run in the child.
+    ::_exit(0);
+}
+
+Result<LaneProcess>
+spawnWorkerLane()
+{
+    int fds[2];
+    // A socketpair, not a pipe: the frame protocol reads and writes
+    // with recv/send, which demand a socket.
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        return RunError::permanent(
+            std::string("socketpair() failed: ") +
+            std::strerror(errno));
+    }
+    // Flush user-space stdio buffers: a fork would duplicate them
+    // and the child's exit path could emit the parent's pending
+    // output a second time.
+    std::fflush(nullptr);
+    const pid_t parent = ::getpid();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        const RunError error = RunError::transient(
+            std::string("fork() failed: ") + std::strerror(errno));
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return error;
+    }
+    if (pid == 0) {
+        // Child: become a lane. Die with the daemon, whatever kills
+        // it; close the window where the parent died before prctl.
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+        if (::getppid() != parent)
+            ::_exit(1);
+        // The daemon's signal handlers write to a pipe this child
+        // just closes; default dispositions are the predictable
+        // choice for a lane (a stray SIGTERM kills it, and the
+        // supervisor handles lane death as a matter of course).
+        std::signal(SIGTERM, SIG_DFL);
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGHUP, SIG_DFL);
+        ::close(fds[0]);
+        closeInheritedFds(fds[1]);
+        // The parent is multi-threaded; only this thread crossed the
+        // fork. Re-initialise every lock another parent thread may
+        // have held at the fork instant.
+        Executor::global().resetAfterFork();
+        resetExperimentRegistryAfterFork();
+        runWorkerLane(fds[1]);
+    }
+    ::close(fds[1]);
+    LaneProcess lane;
+    lane.pid = pid;
+    lane.fd = fds[0];
+    return lane;
+}
+
+} // namespace ibp

@@ -267,6 +267,35 @@ Executor::ensureWorkers(unsigned count)
     }
 }
 
+void
+Executor::resetAfterFork()
+{
+    const unsigned published =
+        _published.load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < published; ++i) {
+        // Leak the inherited struct wholesale: a parent thread may
+        // have held its mutex mid-enqueue at fork time, and its
+        // std::thread handle names a thread this process never had -
+        // running either destructor could block or abort.
+        if (_workers[i])
+            (void)_workers[i].release();
+    }
+    _published.store(0, std::memory_order_relaxed);
+    _active.store(0, std::memory_order_relaxed);
+    _idle.store(0, std::memory_order_relaxed);
+    _rr.store(0, std::memory_order_relaxed);
+    _stopping.store(false, std::memory_order_relaxed);
+    _outstanding.store(0, std::memory_order_relaxed);
+    new (&_drainMutex) std::mutex();
+    new (&_drainCv) std::condition_variable();
+    new (&_resizeMutex) std::mutex();
+    new (&_sleepMutex) std::mutex();
+    new (&_sleepCv) std::condition_variable();
+    _sleepEpoch = 0;
+    _ownerPid = static_cast<long>(::getpid());
+    tlWorkerIndex = -1;
+}
+
 Executor::~Executor()
 {
     // A fork()ed child (gtest death tests use fork, fatal() exits

@@ -162,6 +162,20 @@ class Executor
      */
     bool idleWait(double timeoutSeconds);
 
+    /**
+     * Re-initialise the pool in a freshly fork()ed child. The worker
+     * threads exist only in the parent, and a parent thread may have
+     * held any pool mutex at the instant of the fork, so the child
+     * must not touch the inherited state: the published worker
+     * structs are deliberately leaked (running their destructors
+     * could block on a mutex no thread of this process holds), every
+     * synchronisation primitive is re-constructed in place, and the
+     * counters reset so the next ensureWorkers() builds a fresh
+     * pool. Call immediately after fork(), before any executor use,
+     * from the child's only thread (worker lanes, docs/SERVICE.md).
+     */
+    void resetAfterFork();
+
     ~Executor();
 
   private:

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <new>
 
 #include "core/table_spec.hh"
 #include "robust/fault_injection.hh"
@@ -80,6 +81,12 @@ experimentSlugs()
     for (const auto &[slug, def] : registrySlot())
         slugs.push_back(slug);
     return slugs;
+}
+
+void
+resetExperimentRegistryAfterFork()
+{
+    new (&registryMutex()) std::mutex();
 }
 
 void

@@ -141,6 +141,16 @@ const ExperimentDef *findExperiment(const std::string &slug);
 /** Slugs of every registered experiment, sorted. */
 std::vector<std::string> experimentSlugs();
 
+/**
+ * Re-initialise the registry lock in a fork()ed child: a connection
+ * thread of the parent daemon may have held it at the instant of the
+ * fork, and the child would deadlock on the copied state the first
+ * time it looks an experiment up. The registered defs themselves are
+ * plain data and survive the fork intact. Call immediately after
+ * fork(), from the child's only thread (worker lanes).
+ */
+void resetExperimentRegistryAfterFork();
+
 /** Outcome of one in-process experiment run. */
 struct ExperimentRunResult
 {

@@ -359,6 +359,30 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                     notifyCell();
                     continue;
                 }
+                // Poisoning: a cell with this many start records but
+                // no completion killed (or hung) every prior
+                // incarnation that tried it. Another attempt would
+                // crash-loop the sweep, so record a timeout failure
+                // and move on (docs/ROBUSTNESS.md).
+                const unsigned prior = journal->startedCountPrior(
+                    grid_id, column.label, name);
+                if (prior >= session.retry.poisonThreshold) {
+                    const std::string message =
+                        "cell poisoned: " + std::to_string(prior) +
+                        " prior incarnations died inside it";
+                    if (metrics) {
+                        metrics->recordFailure(FailureRecord{
+                            column.label, name, message,
+                            errorKindName(ErrorKind::Timeout),
+                            prior});
+                    }
+                    grid.setFailed(FailedCell{column.label, name,
+                                              message,
+                                              ErrorKind::Timeout,
+                                              prior});
+                    notifyCell();
+                    continue;
+                }
             }
             jobs.push_back(Job{&column, nullptr, &name, 0.0, false,
                                false, {}});
@@ -565,6 +589,26 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                         return;
                     }
 
+                    if (journal) {
+                        // One batched start record per chunk member:
+                        // if the process dies inside this traversal,
+                        // the resuming run knows which cells were in
+                        // flight. A single fsync covers the chunk.
+                        std::vector<CheckpointStart> starts;
+                        starts.reserve(members.size());
+                        for (const std::size_t j : members) {
+                            starts.push_back(CheckpointStart{
+                                grid_id, jobs[j].column->label,
+                                *jobs[j].benchmark});
+                        }
+                        const auto marked =
+                            journal->appendStarts(starts);
+                        if (!marked.ok()) {
+                            warn("checkpoint start append failed: %s",
+                                 marked.error().describe().c_str());
+                        }
+                    }
+
                     std::vector<std::unique_ptr<IndirectPredictor>>
                         predictors;
                     std::vector<IndirectPredictor *> raw;
@@ -716,8 +760,32 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                 const std::string fault_key =
                     std::to_string(grid_id) + "/" +
                     job.column->label + "/" + *job.benchmark;
+                // Attempts of dead incarnations count: seeding the
+                // fault-injection attempt with the journalled start
+                // count lets a deterministic injected crash/hang
+                // clear when a fresh process retries the cell.
+                const unsigned prior_starts =
+                    journal ? journal->startedCountPrior(
+                                  grid_id, job.column->label,
+                                  *job.benchmark)
+                            : 0;
                 auto outcome = runWithRetries(
                     session.retry, [&](unsigned attempt) {
+                        if (journal) {
+                            const auto marked = journal->appendStart(
+                                CheckpointStart{grid_id,
+                                                job.column->label,
+                                                *job.benchmark});
+                            if (!marked.ok()) {
+                                warn("checkpoint start append failed"
+                                     " for %s/%s: %s",
+                                     job.column->label.c_str(),
+                                     job.benchmark->c_str(),
+                                     marked.error()
+                                         .describe()
+                                         .c_str());
+                            }
+                        }
                         if (deadline_ns > 0)
                             slot.arm(nowNs() + deadline_ns);
                         // The attempt must disarm on every exit path
@@ -729,8 +797,8 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                             WorkerSlot &slot;
                             ~Disarm() { slot.disarm(); }
                         } disarm{slot};
-                        FaultInjector::global().check("sim", fault_key,
-                                                      attempt);
+                        FaultInjector::global().check(
+                            "sim", fault_key, prior_starts + attempt);
                         auto predictor = job.column->make();
                         if (!predictor) {
                             throw RunException(RunError::permanent(

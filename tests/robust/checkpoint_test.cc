@@ -187,5 +187,46 @@ TEST(CheckpointTest, CreatesParentDirectories)
     EXPECT_TRUE(journal.value()->append({0, "c", "b", 1.0}).ok());
 }
 
+TEST(CheckpointTest, StartRecordsCountPriorIncarnationsOnly)
+{
+    const std::string path = tempJournal("starts");
+    {
+        const auto journal =
+            CheckpointJournal::open(path, sampleMeta());
+        ASSERT_TRUE(journal.ok());
+        // Incarnation 1: cell A started twice (two incarnations'
+        // worth written here for brevity), cell B started once and
+        // finished.
+        ASSERT_TRUE(
+            journal.value()->appendStart({0, "col", "idl"}).ok());
+        ASSERT_TRUE(
+            journal.value()->appendStart({0, "col", "idl"}).ok());
+        ASSERT_TRUE(journal.value()
+                        ->appendStarts({{0, "col", "gcc"}})
+                        .ok());
+        ASSERT_TRUE(
+            journal.value()->append({0, "col", "gcc", 7.25}).ok());
+        // The prior count is frozen at open: this session's own
+        // starts are not "prior incarnations".
+        EXPECT_EQ(
+            journal.value()->startedCountPrior(0, "col", "idl"), 0u);
+    }
+    const auto journal = CheckpointJournal::open(path, sampleMeta());
+    ASSERT_TRUE(journal.ok());
+    // Start lines are forensics, not results: only the finished
+    // cell restores.
+    EXPECT_EQ(journal.value()->restoredCells(), 1u);
+    EXPECT_TRUE(
+        journal.value()->lookup(0, "col", "gcc").has_value());
+    EXPECT_FALSE(
+        journal.value()->lookup(0, "col", "idl").has_value());
+    EXPECT_EQ(journal.value()->startedCountPrior(0, "col", "idl"),
+              2u);
+    EXPECT_EQ(journal.value()->startedCountPrior(0, "col", "gcc"),
+              1u);
+    EXPECT_EQ(journal.value()->startedCountPrior(1, "col", "idl"),
+              0u);
+}
+
 } // namespace
 } // namespace ibp

@@ -140,6 +140,57 @@ TEST(FaultInjectorTest, CheckThrowsClassifiedError)
     injector.check("artifact", "any", 1);
 }
 
+TEST(FaultSpecTest, ParsesCrashAndHangKinds)
+{
+    const auto parsed =
+        FaultInjector::parse("sim:0.05:crash,sim:0.02:hang,seed=3");
+    ASSERT_TRUE(parsed.ok());
+    const FaultInjector &injector = parsed.value();
+    ASSERT_EQ(injector.sites().size(), 2u);
+    EXPECT_EQ(injector.sites()[0].action, FaultAction::Crash);
+    EXPECT_EQ(injector.sites()[0].kind, ErrorKind::Transient);
+    EXPECT_EQ(injector.sites()[1].action, FaultAction::Hang);
+    EXPECT_EQ(injector.sites()[1].kind, ErrorKind::Timeout);
+}
+
+TEST(FaultInjectorTest, HangFaultsRollPerAttempt)
+{
+    // A hung cell is killed from outside and re-run on a fresh lane
+    // with a bumped effective attempt; the injected hang must be
+    // able to clear on that retry (at probability < 1) or chaos runs
+    // could never complete.
+    const FaultInjector injector =
+        FaultInjector::parse("sim:0.5:hang,seed=9").value();
+    bool cleared = false;
+    for (int i = 0; i < 100 && !cleared; ++i) {
+        const std::string key = "cell-" + std::to_string(i);
+        ErrorKind kind = ErrorKind::Transient;
+        FaultAction action = FaultAction::Throw;
+        if (!injector.wouldFail("sim", key, 1, &kind, &action))
+            continue;
+        EXPECT_EQ(kind, ErrorKind::Timeout);
+        EXPECT_EQ(action, FaultAction::Hang);
+        for (unsigned attempt = 2; attempt <= 5; ++attempt) {
+            if (!injector.wouldFail("sim", key, attempt)) {
+                cleared = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(cleared);
+}
+
+TEST(FaultInjectorDeathTest, CrashActionAbortsTheProcess)
+{
+    const FaultInjector injector =
+        FaultInjector::parse("sim:1:crash").value();
+    ErrorKind kind = ErrorKind::Permanent;
+    FaultAction action = FaultAction::Throw;
+    EXPECT_TRUE(injector.wouldFail("sim", "any", 1, &kind, &action));
+    EXPECT_EQ(action, FaultAction::Crash);
+    EXPECT_DEATH(injector.check("sim", "any", 1), "");
+}
+
 TEST(FaultInjectorTest, GlobalCanBeReconfigured)
 {
     FaultInjector::configureGlobal("sim:1.0");

@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -464,6 +465,35 @@ TEST_F(ServeServerTest, MissingDaemonFallsBackImmediately)
     ASSERT_EQ(result.exitCode, 0);
     ASSERT_NE(result.artifact, nullptr);
     EXPECT_FALSE(result.artifact->metrics.hasServe());
+}
+
+TEST_F(ServeServerTest, CorruptPendingFileIsQuarantinedNotFatal)
+{
+    trivialExperiment();
+    // A half-written pending.json (kill -9 during a drain, disk
+    // full...) must not brick the daemon: startup quarantines the
+    // file aside and continues with an empty queue.
+    std::filesystem::create_directories(_state);
+    {
+        std::ofstream out(_state + "/pending.json");
+        out << "{\"jobs\": [{\"slug\": \"TEST_serve_tr";
+    }
+    auto server = makeServer();
+    EXPECT_EQ(server->stats().jobsRestored, 0u);
+    EXPECT_FALSE(std::filesystem::exists(_state + "/pending.json"));
+    EXPECT_TRUE(std::filesystem::exists(_state +
+                                        "/pending.json.corrupt"));
+
+    // The daemon still serves normally afterwards.
+    ServedOutcome outcome;
+    const ExperimentRunResult result = runExperimentViaDaemon(
+        trivialExperiment(), quietOptions(), clientOptions(),
+        &outcome);
+    EXPECT_TRUE(outcome.served) << outcome.fallbackReason;
+    EXPECT_EQ(result.exitCode, 0);
+
+    server->requestDrain();
+    server->waitStopped();
 }
 
 TEST_F(ServeServerTest, DrainPersistsPendingAndRestartResumes)
