@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "serve/protocol.hh"
+#include "sim/result_store.hh"
 #include "trace/trace_cache.hh"
 #include "util/logging.hh"
 
@@ -32,11 +33,14 @@ printUsage(const char *program)
         "usage: %s [--quick] [--csv=DIR] [--json=DIR]\n"
         "          [--checkpoint=PATH] [--retries=N]\n"
         "          [--cell-deadline=SECONDS]\n"
-        "          [--trace-cache[=DIR]] [--daemon[=SOCKET]]\n"
+        "          [--trace-cache[=DIR]] [--result-store[=DIR]]\n"
+        "          [--daemon[=SOCKET]]\n"
         "          [--daemon-timeout=SECONDS]\n"
         "\n"
         "--trace-cache reuses generated traces across runs from "
         "DIR\n(default %s; also via IBP_TRACE_CACHE).\n"
+        "--result-store reuses per-cell simulation results across\n"
+        "runs from DIR (default %s; also via IBP_RESULT_STORE).\n"
         "--daemon routes the run through a resident ibpd daemon\n"
         "(socket from SOCKET, else $IBP_DAEMON, else %s), falling\n"
         "back to in-process execution when no daemon answers; see\n"
@@ -46,7 +50,7 @@ printUsage(const char *program)
         "forever): a hung daemon becomes a retry-then-fallback\n"
         "instead of a hung bench.\n",
         program, TraceCache::kDefaultDirectory,
-        kDefaultDaemonSocket);
+        ResultStore::kDefaultDirectory, kDefaultDaemonSocket);
 }
 
 } // namespace
@@ -88,6 +92,14 @@ parseBenchFlags(int argc, char **argv)
             if (dir.empty())
                 fatal("--trace-cache requires a directory");
             TraceCache::configureGlobal(dir);
+        } else if (arg == "--result-store") {
+            ResultStore::configureGlobal(
+                ResultStore::kDefaultDirectory);
+        } else if (arg.rfind("--result-store=", 0) == 0) {
+            const std::string dir(arg.substr(15));
+            if (dir.empty())
+                fatal("--result-store requires a directory");
+            ResultStore::configureGlobal(dir);
         } else if (arg == "--daemon") {
             cli.useDaemon = true;
         } else if (arg.rfind("--daemon=", 0) == 0) {

@@ -13,6 +13,7 @@
 
 #include "core/btb.hh"
 #include "sim/experiment.hh"
+#include "sim/spec_columns.hh"
 #include "sim/suite_runner.hh"
 
 #include "suites.hh"
@@ -29,16 +30,9 @@ fig02Experiment()
             SuiteRunner runner = SuiteRunner::fullSuite();
 
             const std::vector<SweepColumn> columns = {
-                {"BTB",
-                 []() {
-                     return std::make_unique<BtbPredictor>(
-                         TableSpec::unconstrained(), false);
-                 }},
-                {"BTB-2bc",
-                 []() {
-                     return std::make_unique<BtbPredictor>(
-                         TableSpec::unconstrained(), true);
-                 }},
+                btbColumn("BTB", TableSpec::unconstrained(), false),
+                btbColumn("BTB-2bc", TableSpec::unconstrained(),
+                          true),
             };
 
             const GridResult grid =

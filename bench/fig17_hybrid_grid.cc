@@ -16,6 +16,7 @@
 
 #include "core/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/spec_columns.hh"
 #include "sim/suite_runner.hh"
 
 #include "suites.hh"
@@ -50,24 +51,17 @@ fig17Experiment()
                     std::vector<SweepColumn> columns;
                     for (unsigned p2 = 0; p2 <= max_p; ++p2) {
                         if (p1 == p2) {
-                            columns.push_back(
-                                {std::to_string(p2), [p1, comp]() {
-                                     return std::make_unique<
-                                         TwoLevelPredictor>(
-                                         paperTwoLevel(
-                                             p1, TableSpec::setAssoc(
-                                                     2 * comp, 4)));
-                                 }});
+                            columns.push_back(specColumn(
+                                std::to_string(p2),
+                                paperTwoLevel(
+                                    p1, TableSpec::setAssoc(2 * comp,
+                                                            4))));
                         } else {
-                            columns.push_back(
-                                {std::to_string(p2),
-                                 [p1, p2, comp]() {
-                                     return std::make_unique<
-                                         HybridPredictor>(paperHybrid(
-                                         p1, p2,
-                                         TableSpec::setAssoc(comp,
-                                                             4)));
-                                 }});
+                            columns.push_back(specColumn(
+                                std::to_string(p2),
+                                paperHybrid(
+                                    p1, p2,
+                                    TableSpec::setAssoc(comp, 4))));
                         }
                     }
                     const GridResult grid =

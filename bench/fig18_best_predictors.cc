@@ -16,6 +16,7 @@
 #include "core/btb.hh"
 #include "core/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/spec_columns.hh"
 #include "sim/suite_runner.hh"
 
 #include "suites.hh"
@@ -60,11 +61,8 @@ fig18Experiment()
 
                 // BTB reference at this size (fully associative).
                 {
-                    std::vector<SweepColumn> columns = {
-                        {"btb", [size]() {
-                             return std::make_unique<BtbPredictor>(
-                                 TableSpec::fullyAssoc(size), true);
-                         }}};
+                    std::vector<SweepColumn> columns = {btbColumn(
+                        "btb", TableSpec::fullyAssoc(size), true)};
                     const GridResult grid =
                         runner.run(columns, context.session());
                     best.set(row, "btb", grid.average("btb", avg));
@@ -75,25 +73,18 @@ fig18Experiment()
                     const std::string org_name(org);
                     std::vector<SweepColumn> columns;
                     for (unsigned p : path_lengths) {
+                        TableSpec spec;
+                        if (org_name == "tagless")
+                            spec = TableSpec::tagless(size);
+                        else if (org_name == "assoc2")
+                            spec = TableSpec::setAssoc(size, 2);
+                        else if (org_name == "assoc4")
+                            spec = TableSpec::setAssoc(size, 4);
+                        else
+                            spec = TableSpec::fullyAssoc(size);
                         columns.push_back(
-                            {"p=" + std::to_string(p),
-                             [p, size, org_name]() {
-                                 TableSpec spec;
-                                 if (org_name == "tagless")
-                                     spec = TableSpec::tagless(size);
-                                 else if (org_name == "assoc2")
-                                     spec = TableSpec::setAssoc(size,
-                                                                2);
-                                 else if (org_name == "assoc4")
-                                     spec = TableSpec::setAssoc(size,
-                                                                4);
-                                 else
-                                     spec =
-                                         TableSpec::fullyAssoc(size);
-                                 return std::make_unique<
-                                     TwoLevelPredictor>(
-                                     paperTwoLevel(p, spec));
-                             }});
+                            specColumn("p=" + std::to_string(p),
+                                       paperTwoLevel(p, spec)));
                     }
                     const GridResult grid =
                         runner.run(columns, context.session());

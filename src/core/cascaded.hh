@@ -35,6 +35,8 @@ struct CascadeStage
 {
     unsigned pathLength = 0;
     TableSpec table;
+
+    bool operator==(const CascadeStage &other) const = default;
 };
 
 /** Configuration of the whole cascade. */
@@ -47,6 +49,9 @@ struct CascadedConfig
     bool filterAllocation = true;
 
     bool hysteresis = true;
+
+    /** Field-wise equality (content hashing keys on it). */
+    bool operator==(const CascadedConfig &other) const = default;
 
     void validate() const;
     std::string describe() const;

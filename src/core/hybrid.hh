@@ -62,6 +62,9 @@ struct HybridConfig
      */
     std::uint64_t selectorEntries = 0;
 
+    /** Field-wise equality (content hashing keys on it). */
+    bool operator==(const HybridConfig &other) const = default;
+
     void validate() const;
     std::string describe() const;
 

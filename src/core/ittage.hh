@@ -49,6 +49,9 @@ struct IttageConfig
     /** Tag width of the tagged components. */
     unsigned tagBits = 10;
 
+    /** Field-wise equality (content hashing keys on it). */
+    bool operator==(const IttageConfig &other) const = default;
+
     std::string describe() const;
 };
 

@@ -46,6 +46,9 @@ struct SharedHybridConfig
 
     bool hysteresis = true;
 
+    /** Field-wise equality (content hashing keys on it). */
+    bool operator==(const SharedHybridConfig &other) const = default;
+
     void validate() const;
     std::string describe() const;
 };

@@ -1,0 +1,166 @@
+#include "core/spec_codec.hh"
+
+#include <cstdio>
+
+namespace ibp {
+
+namespace {
+
+/**
+ * Family tags keep nested encodings unambiguous: a HybridConfig
+ * containing one component can never encode to the same bytes as
+ * that component alone. Tag values are part of the versioned format
+ * - never renumber, only append (and bump kSpecCodecVersion).
+ */
+enum SpecFamily : std::uint64_t
+{
+    kFamilyTable = 1,
+    kFamilyPattern = 2,
+    kFamilyTwoLevel = 3,
+    kFamilyHybrid = 4,
+    kFamilySharedHybrid = 5,
+    kFamilyCascaded = 6,
+    kFamilyIttage = 7,
+    kFamilyBtb = 8,
+};
+
+} // namespace
+
+void
+appendSpecWord(std::string &out, std::uint64_t word)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        out.push_back(static_cast<char>(word & 0xff));
+        word >>= 8;
+    }
+}
+
+std::uint64_t
+specBytesHash(const std::string &bytes)
+{
+    // Byte-wise FNV-1a 64 with the standard offset basis, matching
+    // the trace-cache key hash so both content addresses share one
+    // well-understood function.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    constexpr std::uint64_t prime = 0x100000001b3ULL;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= prime;
+    }
+    return hash;
+}
+
+void
+encodeSpec(const TableSpec &spec, std::string &out)
+{
+    appendSpecWord(out, kFamilyTable);
+    appendSpecWord(out, static_cast<std::uint64_t>(spec.kind));
+    appendSpecWord(out, spec.entries);
+    appendSpecWord(out, spec.ways);
+}
+
+void
+encodeSpec(const PatternSpec &spec, std::string &out)
+{
+    // Every declared field, verbatim - resolvedBitsPerTarget() is
+    // derived and must NOT be substituted for bitsPerTarget, or a
+    // config saying "auto" would alias one saying the resolved value
+    // while future auto-rule changes silently served stale cells.
+    appendSpecWord(out, kFamilyPattern);
+    appendSpecWord(out, spec.pathLength);
+    appendSpecWord(out, static_cast<std::uint64_t>(spec.precision));
+    appendSpecWord(out, spec.bitsPerTarget);
+    appendSpecWord(out, spec.lowBit);
+    appendSpecWord(out, static_cast<std::uint64_t>(spec.compressor));
+    appendSpecWord(out, static_cast<std::uint64_t>(spec.interleave));
+    appendSpecWord(out, static_cast<std::uint64_t>(spec.keyMix));
+    appendSpecWord(out, spec.tableSharing);
+    appendSpecWord(out, spec.includeBranchAddress ? 1 : 0);
+}
+
+void
+encodeSpec(const TwoLevelConfig &config, std::string &out)
+{
+    appendSpecWord(out, kFamilyTwoLevel);
+    encodeSpec(config.pattern, out);
+    appendSpecWord(out, config.historySharing);
+    encodeSpec(config.table, out);
+    appendSpecWord(out, config.hysteresis ? 1 : 0);
+    appendSpecWord(out, config.includeConditionalTargets ? 1 : 0);
+    appendSpecWord(out,
+                   static_cast<std::uint64_t>(config.historyElement));
+    appendSpecWord(out, config.confidenceBits);
+}
+
+void
+encodeSpec(const HybridConfig &config, std::string &out)
+{
+    appendSpecWord(out, kFamilyHybrid);
+    appendSpecWord(out, config.components.size());
+    for (const TwoLevelConfig &component : config.components)
+        encodeSpec(component, out);
+    appendSpecWord(out, static_cast<std::uint64_t>(config.meta));
+    appendSpecWord(out, config.confidenceBits);
+    appendSpecWord(out, config.selectorEntries);
+}
+
+void
+encodeSpec(const SharedHybridConfig &config, std::string &out)
+{
+    appendSpecWord(out, kFamilySharedHybrid);
+    appendSpecWord(out, config.pathLengths.size());
+    for (const unsigned p : config.pathLengths)
+        appendSpecWord(out, p);
+    appendSpecWord(out, config.entries);
+    appendSpecWord(out, config.ways);
+    appendSpecWord(out, config.confidenceBits);
+    appendSpecWord(out, config.chosenBits);
+    appendSpecWord(out, config.hysteresis ? 1 : 0);
+}
+
+void
+encodeSpec(const CascadedConfig &config, std::string &out)
+{
+    appendSpecWord(out, kFamilyCascaded);
+    appendSpecWord(out, config.stages.size());
+    for (const CascadeStage &stage : config.stages) {
+        appendSpecWord(out, stage.pathLength);
+        encodeSpec(stage.table, out);
+    }
+    appendSpecWord(out, config.filterAllocation ? 1 : 0);
+    appendSpecWord(out, config.hysteresis ? 1 : 0);
+}
+
+void
+encodeSpec(const IttageConfig &config, std::string &out)
+{
+    appendSpecWord(out, kFamilyIttage);
+    appendSpecWord(out, config.baseEntries);
+    appendSpecWord(out, config.componentEntries);
+    appendSpecWord(out, config.historyLengths.size());
+    for (const unsigned length : config.historyLengths)
+        appendSpecWord(out, length);
+    appendSpecWord(out, config.tagBits);
+}
+
+std::uint64_t
+btbSpecHash(const TableSpec &table, bool hysteresis)
+{
+    std::string out;
+    appendSpecWord(out, kSpecCodecVersion);
+    appendSpecWord(out, kFamilyBtb);
+    encodeSpec(table, out);
+    appendSpecWord(out, hysteresis ? 1 : 0);
+    return specBytesHash(out);
+}
+
+std::string
+specHashHex(std::uint64_t hash)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buffer;
+}
+
+} // namespace ibp

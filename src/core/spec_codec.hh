@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Canonical serialisation and content hashing of predictor specs.
+ *
+ * Every predictor configuration struct (TableSpec, TwoLevelConfig,
+ * HybridConfig, SharedHybridConfig, CascadedConfig, IttageConfig,
+ * plus the BTB's table+hysteresis pair) gets ONE versioned, stable
+ * byte encoding and an FNV-1a 64-bit hash over it. The hash is the
+ * content address the result store keys simulation cells on
+ * (src/sim/result_store.hh), so its contract is strict:
+ *
+ *  - equal configurations (operator==) encode to equal bytes and
+ *    hash equal - and, modulo 64-bit collisions, ONLY equal
+ *    configurations hash equal (every field is encoded, none is
+ *    derived or dropped);
+ *  - the encoding never depends on platform, locale, or field
+ *    ordering accidents: each field is appended as a fixed-width
+ *    little-endian word in declaration order, vectors as a length
+ *    word followed by their elements, nested specs with their own
+ *    family tag so component boundaries cannot alias;
+ *  - any change to the encoding (field added, enum reordered, rule
+ *    changed) MUST bump kSpecCodecVersion, which is folded into
+ *    every hash: old store entries then miss cleanly instead of
+ *    being served against a differently-shaped spec. The pinned
+ *    golden hashes in tests/core/spec_codec_test.cc exist to make
+ *    an accidental encoding change fail loudly.
+ *
+ * This codec also replaces the ad-hoc per-bench spec plumbing: the
+ * sweep-column helpers in src/sim/spec_columns.hh derive both the
+ * factory and the content hash from one config value.
+ */
+
+#ifndef IBP_CORE_SPEC_CODEC_HH
+#define IBP_CORE_SPEC_CODEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/cascaded.hh"
+#include "core/hybrid.hh"
+#include "core/ittage.hh"
+#include "core/shared_hybrid.hh"
+#include "core/table_spec.hh"
+#include "core/two_level.hh"
+
+namespace ibp {
+
+/**
+ * Version of the canonical byte encoding. Bump on ANY change to the
+ * encoded field set, field widths, enum values, or family tags; the
+ * version is hashed into every spec hash, so a bump conservatively
+ * invalidates all content-addressed result-store entries.
+ */
+constexpr std::uint32_t kSpecCodecVersion = 1;
+
+/** Append the canonical encoding of a spec to @p out. */
+void encodeSpec(const TableSpec &spec, std::string &out);
+void encodeSpec(const PatternSpec &spec, std::string &out);
+void encodeSpec(const TwoLevelConfig &config, std::string &out);
+void encodeSpec(const HybridConfig &config, std::string &out);
+void encodeSpec(const SharedHybridConfig &config, std::string &out);
+void encodeSpec(const CascadedConfig &config, std::string &out);
+void encodeSpec(const IttageConfig &config, std::string &out);
+
+/** Append one canonical little-endian 64-bit word. */
+void appendSpecWord(std::string &out, std::uint64_t word);
+
+/** FNV-1a 64 over @p bytes (standard offset basis and prime). */
+std::uint64_t specBytesHash(const std::string &bytes);
+
+/**
+ * The complete canonical byte string of one spec: a codec-version
+ * word followed by the spec's encoding. This is what specHash()
+ * hashes; exposed so tests can assert stability directly.
+ */
+template <typename Spec>
+std::string
+canonicalSpecBytes(const Spec &spec)
+{
+    std::string out;
+    appendSpecWord(out, kSpecCodecVersion);
+    encodeSpec(spec, out);
+    return out;
+}
+
+/** Content hash of one spec (codec version folded in). */
+template <typename Spec>
+std::uint64_t
+specHash(const Spec &spec)
+{
+    return specBytesHash(canonicalSpecBytes(spec));
+}
+
+/**
+ * Content hash of a BTB configuration. The BTB has no config struct
+ * of its own - it is a table organisation plus the 2-bit-counter
+ * flag - so the codec hashes that pair under its own family tag.
+ */
+std::uint64_t btbSpecHash(const TableSpec &table, bool hysteresis);
+
+/** 16-digit lowercase hex rendering of a spec hash. */
+std::string specHashHex(std::uint64_t hash);
+
+} // namespace ibp
+
+#endif // IBP_CORE_SPEC_CODEC_HH

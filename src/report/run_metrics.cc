@@ -30,6 +30,8 @@ RunMetrics::operator=(const RunMetrics &other)
     _sweepKernel = other._sweepKernel;
     _hasServe = other._hasServe;
     _serve = other._serve;
+    _hasResultStore = other._hasResultStore;
+    _resultStore = other._resultStore;
     return *this;
 }
 
@@ -137,6 +139,32 @@ RunMetrics::serve() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     return _serve;
+}
+
+void
+RunMetrics::recordResultStore(const ResultStoreStats &stats)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _hasResultStore = true;
+    _resultStore.hits += stats.hits;
+    _resultStore.misses += stats.misses;
+    _resultStore.stores += stats.stores;
+    _resultStore.invalidated += stats.invalidated;
+    _resultStore.journalWritebacks += stats.journalWritebacks;
+}
+
+bool
+RunMetrics::hasResultStore() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hasResultStore;
+}
+
+ResultStoreStats
+RunMetrics::resultStore() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _resultStore;
 }
 
 bool
@@ -381,6 +409,20 @@ RunMetrics::toJson() const
         json.set("serve", std::move(served));
     }
 
+    // Likewise emitted only when a result store was armed, so
+    // store-less artifacts (and the committed baselines) keep their
+    // bytes; the CI warm-store gate greps these counters.
+    if (hasResultStore()) {
+        const ResultStoreStats stats = resultStore();
+        Json store = Json::object();
+        store.set("hits", stats.hits);
+        store.set("misses", stats.misses);
+        store.set("stores", stats.stores);
+        store.set("invalidated", stats.invalidated);
+        store.set("journal_writebacks", stats.journalWritebacks);
+        json.set("result_store", std::move(store));
+    }
+
     // Likewise emitted only when recorded, so artifacts produced
     // before the flat/reference toggle keep their bytes.
     const std::string table_impl = tableImpl();
@@ -488,6 +530,21 @@ RunMetrics::fromJson(const Json &json)
                      served.at("warm").asBool();
         stats.queueSeconds = served.numberOr("queue_seconds", 0.0);
         metrics.recordServe(stats);
+    }
+    if (json.contains("result_store")) {
+        const Json &store = json.at("result_store");
+        ResultStoreStats stats;
+        stats.hits =
+            static_cast<unsigned>(store.numberOr("hits", 0));
+        stats.misses =
+            static_cast<unsigned>(store.numberOr("misses", 0));
+        stats.stores =
+            static_cast<unsigned>(store.numberOr("stores", 0));
+        stats.invalidated =
+            static_cast<unsigned>(store.numberOr("invalidated", 0));
+        stats.journalWritebacks = static_cast<unsigned>(
+            store.numberOr("journal_writebacks", 0));
+        metrics.recordResultStore(stats);
     }
     metrics._tableImpl = json.stringOr("table_impl", "");
     return metrics;

@@ -108,6 +108,32 @@ struct ServeMetrics
 };
 
 /**
+ * Telemetry of the content-addressed result store
+ * (sim/result_store.hh): how many grid cells were loaded instead of
+ * simulated, how many were computed and persisted, and how many
+ * stored entries were quarantined. Counters are cumulative across
+ * run() calls of one session, mirroring the trace-source counters.
+ * The CI warm-store gate asserts hits == cells with zero misses on
+ * a warm re-run (report_diff --require-result-cached).
+ */
+struct ResultStoreStats
+{
+    /** Cells restored from a stored entry instead of simulating. */
+    unsigned hits = 0;
+    /** Cells probed but absent from the store (then simulated). */
+    unsigned misses = 0;
+    /** Cells simulated and persisted into the store. */
+    unsigned stores = 0;
+    /** Stored entries that failed validation and were quarantined
+     *  to `<file>.corrupt` (then re-simulated). */
+    unsigned invalidated = 0;
+    /** Journal-restored cells written back into the store (exactly
+     *  once each); these are NOT hits - the checkpoint journal, not
+     *  the store, resurrected them. */
+    unsigned journalWritebacks = 0;
+};
+
+/**
  * Record of one cell that permanently failed (all retries
  * exhausted, or a non-retryable error). Artifacts carrying any of
  * these are *partial*: report_diff rejects them unless explicitly
@@ -245,6 +271,19 @@ class RunMetrics
     /** Daemon-service telemetry (zeros if never recorded). */
     ServeMetrics serve() const;
 
+    /**
+     * Record result-store telemetry for one grid run. Cumulative
+     * across calls (counters add up). Thread-safe.
+     */
+    void recordResultStore(const ResultStoreStats &stats);
+
+    /** True when recordResultStore() was ever called, i.e. the run
+     *  executed with an armed result store. */
+    bool hasResultStore() const;
+
+    /** Result-store telemetry (zeros if never recorded). */
+    ResultStoreStats resultStore() const;
+
     Json toJson() const;
     static RunMetrics fromJson(const Json &json);
 
@@ -265,6 +304,8 @@ class RunMetrics
     SweepKernelStats _sweepKernel;
     bool _hasServe = false;
     ServeMetrics _serve;
+    bool _hasResultStore = false;
+    ResultStoreStats _resultStore;
 };
 
 } // namespace ibp

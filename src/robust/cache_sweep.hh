@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Size-capped LRU-by-mtime sweep for on-disk cache directories.
+ *
+ * The trace cache and the result store are content-addressed: a
+ * configuration change mints new keys and the old entries are never
+ * consulted again, so both directories grow without bound. The sweep
+ * deletes oldest-first (by modification time) until the directory's
+ * regular files fit under a byte budget.
+ *
+ * Armed by the IBP_CACHE_MAX_BYTES environment variable - off by
+ * default - and invoked by the stores after each successful write.
+ * Eviction is ATOMIC UNLINK ONLY: an entry is either fully present
+ * or absent, never truncated or rewritten, so a concurrent reader
+ * that already opened (or mmap'ed) a victim keeps a valid view via
+ * POSIX unlink semantics, and one that loses the race to open sees
+ * a clean miss. See docs/PERFORMANCE.md.
+ */
+
+#ifndef IBP_ROBUST_CACHE_SWEEP_HH
+#define IBP_ROBUST_CACHE_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "robust/error.hh"
+
+namespace ibp {
+
+struct CacheSweepStats
+{
+    std::uint64_t bytesBefore = 0;
+    std::uint64_t bytesAfter = 0;
+    unsigned filesRemoved = 0;
+};
+
+/**
+ * The byte budget from IBP_CACHE_MAX_BYTES; 0 when unset, empty, or
+ * unparsable (sweeping disabled). Re-read on every call so tests can
+ * flip it between runs.
+ */
+std::uint64_t cacheMaxBytesFromEnv();
+
+/**
+ * Delete the oldest regular files directly inside @p directory until
+ * their total size is at most @p maxBytes. Subdirectories are left
+ * alone; a missing directory is a no-op. Unlink failures on a victim
+ * (e.g. an external concurrent delete) are skipped, not fatal.
+ */
+Result<CacheSweepStats>
+sweepDirectoryToBudget(const std::string &directory,
+                       std::uint64_t maxBytes);
+
+/**
+ * Convenience for the stores' post-write hook: sweep @p directory to
+ * the IBP_CACHE_MAX_BYTES budget when one is set, logging a warning
+ * on sweep failure. No-op when the variable is unset.
+ */
+void maybeSweepCacheDirectory(const std::string &directory);
+
+} // namespace ibp
+
+#endif // IBP_ROBUST_CACHE_SWEEP_HH

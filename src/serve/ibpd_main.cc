@@ -38,6 +38,7 @@
 #include <unistd.h>
 
 #include "serve/server.hh"
+#include "sim/result_store.hh"
 #include "trace/trace_cache.hh"
 
 #include "suites.hh"
@@ -140,10 +141,15 @@ main(int argc, char **argv)
     ibp::registerAllBenchExperiments();
 
     // Warm state is the daemon's whole point: arm the trace cache
-    // unless the user already pinned one via the environment.
+    // and the content-addressed result store unless the user already
+    // pinned them via the environment.
     if (!std::getenv("IBP_TRACE_CACHE")) {
         ibp::TraceCache::configureGlobal(config.stateDir +
                                          "/trace-cache");
+    }
+    if (!std::getenv("IBP_RESULT_STORE")) {
+        ibp::ResultStore::configureGlobal(config.stateDir +
+                                          "/result-store");
     }
 
     ibp::SweepServer server(config);

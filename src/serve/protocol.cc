@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -332,7 +333,47 @@ listenDaemon(const std::string &socket_path)
 std::string
 RunRequest::signature() const
 {
-    return slug + "|" + (quick ? "q" : "f");
+    // Every knob that shapes the artifact, canonically rendered.
+    // The old slug+quick signature let two requests differing only
+    // in event scale or table implementation coalesce onto one
+    // execution - one of them got the other's artifact. %.17g keeps
+    // distinct doubles distinct (to_string truncates at 6 digits).
+    char scale[32];
+    std::snprintf(scale, sizeof(scale), "%.17g", eventScale);
+    return slug + "|" + (quick ? "q" : "f") + "|e" + scale + "|t" +
+           std::to_string(threads) + "|i" + tableImpl + "|x" +
+           faultSpec;
+}
+
+std::string
+RunRequest::incompatibilityWith(const RunRequest &mine) const
+{
+    if (eventScale != mine.eventScale) {
+        return "event scale mismatch (client " +
+               std::to_string(eventScale) + ", server " +
+               std::to_string(mine.eventScale) + ")";
+    }
+    if (threads != mine.threads) {
+        return "thread count mismatch (client " +
+               std::to_string(threads) + ", server " +
+               std::to_string(mine.threads) + ")";
+    }
+    if (tableImpl != mine.tableImpl) {
+        return "table implementation mismatch (client '" + tableImpl +
+               "', server '" + mine.tableImpl + "')";
+    }
+    if (faultSpec != mine.faultSpec) {
+        return "fault injection mismatch (client '" + faultSpec +
+               "', server '" + mine.faultSpec + "')";
+    }
+    const bool shas_known = !gitSha.empty() && gitSha != "unknown" &&
+                            !mine.gitSha.empty() &&
+                            mine.gitSha != "unknown";
+    if (shas_known && gitSha != mine.gitSha) {
+        return "build mismatch (client " + gitSha + ", server " +
+               mine.gitSha + ")";
+    }
+    return "";
 }
 
 Json
@@ -348,6 +389,7 @@ RunRequest::toJson() const
     json.set("threads", threads);
     json.set("table_impl", tableImpl);
     json.set("git_sha", gitSha);
+    json.set("fault_inject", faultSpec);
     return json;
 }
 
@@ -369,6 +411,7 @@ RunRequest::fromJson(const Json &json)
         static_cast<unsigned>(json.numberOr("threads", 0));
     request.tableImpl = json.stringOr("table_impl", "");
     request.gitSha = json.stringOr("git_sha", "");
+    request.faultSpec = json.stringOr("fault_inject", "");
     return request;
 }
 
@@ -382,6 +425,8 @@ makeRunRequest(const std::string &slug, bool quick)
     request.threads = simulationThreads();
     request.tableImpl = tableImplName();
     request.gitSha = buildManifest().gitSha;
+    if (const char *env = std::getenv("IBP_FAULT_INJECT"))
+        request.faultSpec = env;
     return request;
 }
 

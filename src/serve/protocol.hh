@@ -99,10 +99,29 @@ struct RunRequest
     unsigned threads = 0;
     std::string tableImpl;
     std::string gitSha;
+    /** The client's IBP_FAULT_INJECT spec ("" = no injection). An
+     *  armed injector changes which cells fail, so it must match
+     *  like any other artifact-shaping knob. */
+    std::string faultSpec;
 
-    /** Coalescing signature: requests with equal signatures share
-     *  one execution (priority/rejects stay out on purpose). */
+    /**
+     * Coalescing signature: requests with equal signatures share one
+     * execution. Folds in EVERY artifact-affecting knob (slug, quick,
+     * event scale, threads, table implementation, fault-injection
+     * spec); priority/rejects stay out on purpose, and the git sha
+     * is left to the compatibility check (incompatibilityWith),
+     * which knows how to treat unknown shas.
+     */
     std::string signature() const;
+
+    /**
+     * Why a server whose own configuration is @p server must refuse
+     * this request, or "" when compatible. A daemon-served artifact
+     * must be bit-identical to the client's in-process run, so every
+     * knob that shapes results has to match; git shas are only
+     * compared when both sides know theirs (release builds may not).
+     */
+    std::string incompatibilityWith(const RunRequest &server) const;
 
     Json toJson() const;
     static Result<RunRequest> fromJson(const Json &json);

@@ -35,41 +35,6 @@ drainedFrame()
     return json;
 }
 
-/**
- * Why the server refuses @p request, or "" when it is compatible
- * with @p mine. A daemon-served artifact must be bit-identical to
- * the client's in-process run, so every knob that shapes results
- * has to match; git shas are only compared when both sides know
- * theirs (release builds may not).
- */
-std::string
-incompatibilityOf(const RunRequest &request, const RunRequest &mine)
-{
-    if (request.eventScale != mine.eventScale) {
-        return "event scale mismatch (client " +
-               std::to_string(request.eventScale) + ", server " +
-               std::to_string(mine.eventScale) + ")";
-    }
-    if (request.threads != mine.threads) {
-        return "thread count mismatch (client " +
-               std::to_string(request.threads) + ", server " +
-               std::to_string(mine.threads) + ")";
-    }
-    if (request.tableImpl != mine.tableImpl) {
-        return "table implementation mismatch (client '" +
-               request.tableImpl + "', server '" + mine.tableImpl +
-               "')";
-    }
-    const bool shas_known =
-        !request.gitSha.empty() && request.gitSha != "unknown" &&
-        !mine.gitSha.empty() && mine.gitSha != "unknown";
-    if (shas_known && request.gitSha != mine.gitSha) {
-        return "build mismatch (client " + request.gitSha +
-               ", server " + mine.gitSha + ")";
-    }
-    return "";
-}
-
 } // namespace
 
 SweepServer::SweepServer(ServerConfig config)
@@ -290,7 +255,7 @@ SweepServer::handleRun(int fd, const RunRequest &request)
 {
     const RunRequest mine = makeRunRequest(request.slug,
                                            request.quick);
-    const std::string reason = incompatibilityOf(request, mine);
+    const std::string reason = request.incompatibilityWith(mine);
     if (!reason.empty()) {
         {
             std::lock_guard<std::mutex> lock(_statsMutex);

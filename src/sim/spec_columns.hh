@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Spec-keyed sweep-column constructors.
+ *
+ * Before the result store, every bench hand-rolled its SweepColumns
+ * as (label, factory-lambda) pairs, so the configuration a column
+ * simulated existed only inside an opaque closure. These helpers
+ * deduplicate that plumbing: one config value produces BOTH the
+ * predictor factory and the canonical content hash
+ * (core/spec_codec.hh) that keys the column's cells in the
+ * content-addressed result store (sim/result_store.hh). The config
+ * is captured by value, so the factory provably constructs exactly
+ * what the hash describes.
+ */
+
+#ifndef IBP_SIM_SPEC_COLUMNS_HH
+#define IBP_SIM_SPEC_COLUMNS_HH
+
+#include <string>
+
+#include "core/cascaded.hh"
+#include "core/hybrid.hh"
+#include "core/ittage.hh"
+#include "core/shared_hybrid.hh"
+#include "core/table_spec.hh"
+#include "core/two_level.hh"
+#include "sim/suite_runner.hh"
+
+namespace ibp {
+
+/** A keyed column simulating a TwoLevelPredictor of @p config. */
+SweepColumn specColumn(std::string label,
+                       const TwoLevelConfig &config);
+
+/** A keyed column simulating a HybridPredictor of @p config. */
+SweepColumn specColumn(std::string label, const HybridConfig &config);
+
+/** A keyed column simulating a SharedHybridPredictor. */
+SweepColumn specColumn(std::string label,
+                       const SharedHybridConfig &config);
+
+/** A keyed column simulating a CascadedPredictor. */
+SweepColumn specColumn(std::string label,
+                       const CascadedConfig &config);
+
+/** A keyed column simulating an IttagePredictor. */
+SweepColumn specColumn(std::string label, const IttageConfig &config);
+
+/** A keyed column simulating a BtbPredictor (@p hysteresis selects
+ *  the 2-bit-counter update rule, i.e. the paper's BTB-2BC). */
+SweepColumn btbColumn(std::string label, const TableSpec &table,
+                      bool hysteresis);
+
+} // namespace ibp
+
+#endif // IBP_SIM_SPEC_COLUMNS_HH

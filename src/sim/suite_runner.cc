@@ -13,6 +13,7 @@
 
 #include "core/sweep_kernel.hh"
 #include "robust/fault_injection.hh"
+#include "sim/result_store.hh"
 #include "trace/trace_cache.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -99,7 +100,8 @@ GridResult::average(const std::string &column,
 
 SuiteRunner::SuiteRunner(std::vector<std::string> benchmarks,
                          bool emit_conditionals)
-    : _names(std::move(benchmarks))
+    : _names(std::move(benchmarks)),
+      _emitConditionals(emit_conditionals)
 {
     // An unknown benchmark name is a startup configuration error and
     // must fatal() on the calling thread, not inside a pool task.
@@ -339,6 +341,38 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         bool done = false;
         bool failed = false;
         RunError error;
+        /** Result-store cell key; empty = don't probe or persist
+         *  (store disabled, column unkeyed, or injector armed). */
+        std::string storeKey;
+    };
+
+    // Content-addressed result store (docs/PERFORMANCE.md): keyed
+    // columns probe it before simulating and persist what they
+    // compute. An armed fault injector bypasses the store wholesale -
+    // injected faults must reach a real simulation, and a faulted
+    // run must never pollute the store.
+    ResultStore *store = ResultStore::global();
+    if (FaultInjector::global().armed())
+        store = nullptr;
+    // hits/misses/invalidated/journalWritebacks are only touched in
+    // the single-threaded construction loop below; stores happen on
+    // worker threads and are counted separately via an atomic.
+    ResultStoreStats store_stats;
+    std::atomic<unsigned> store_writes{0};
+    // Cell keys need each benchmark's trace cache key, computable
+    // from the name alone (no need to wait for acquisition); cached
+    // because profile hashing is per-benchmark work, not per-cell.
+    std::map<std::string, std::string> trace_keys;
+    const auto traceKeyOf =
+        [&](const std::string &name) -> const std::string & {
+        auto it = trace_keys.find(name);
+        if (it == trace_keys.end()) {
+            it = trace_keys
+                     .emplace(name, benchmarkTraceCacheKey(
+                                        name, _emitConditionals))
+                     .first;
+        }
+        return it->second;
     };
 
     GridResult grid;
@@ -356,6 +390,37 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                     journal->lookup(grid_id, column.label, name);
                 if (restored) {
                     grid.set(column.label, name, *restored);
+                    // Checkpoint/result-store interplay: the journal
+                    // resurrected this cell, so it is NOT a store
+                    // hit - but its value is worth persisting so the
+                    // next journal-less warm run finds it. Written
+                    // back exactly once (contains() guards reruns of
+                    // the same journal); the journal records only
+                    // the miss rate, so the entry carries no
+                    // counters.
+                    if (store && column.specHash != 0) {
+                        const std::string key = ResultStore::cellKey(
+                            traceKeyOf(name), column.specHash);
+                        if (!store->contains(key)) {
+                            StoredResult entry;
+                            entry.benchmark = name;
+                            entry.hasCounters = false;
+                            entry.missPercent = *restored;
+                            const auto written =
+                                store->store(key, entry);
+                            if (written.ok()) {
+                                ++store_stats.journalWritebacks;
+                            } else {
+                                warn("result store write-back for "
+                                     "%s/%s failed: %s",
+                                     column.label.c_str(),
+                                     name.c_str(),
+                                     written.error()
+                                         .describe()
+                                         .c_str());
+                            }
+                        }
+                    }
                     notifyCell();
                     continue;
                 }
@@ -384,8 +449,63 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                     continue;
                 }
             }
+            // Warm probe: a keyed cell whose inputs (trace key x
+            // spec hash x simulator version x table impl) match a
+            // stored entry is loaded instead of simulated - the
+            // stored integer counters make the restored miss rate
+            // bit-identical to a cold computation. A quarantined
+            // entry counts as invalidated and the cell re-simulates.
+            std::string store_key;
+            if (store && column.specHash != 0) {
+                store_key = ResultStore::cellKey(traceKeyOf(name),
+                                                 column.specHash);
+                const auto loaded = store->load(store_key);
+                if (loaded.status == ResultStore::LoadStatus::Hit) {
+                    const StoredResult &cell = loaded.result;
+                    grid.set(column.label, name, cell.missPercent);
+                    ++store_stats.hits;
+                    if (metrics && cell.hasCounters) {
+                        CellMetrics restored_cell;
+                        restored_cell.column = column.label;
+                        restored_cell.benchmark = name;
+                        restored_cell.branches = cell.branches;
+                        restored_cell.seconds = cell.seconds;
+                        restored_cell.groupSeconds =
+                            cell.groupSeconds;
+                        restored_cell.secondsSynthetic =
+                            cell.sharedTraversal;
+                        restored_cell.tableOccupancy =
+                            cell.tableOccupancy;
+                        restored_cell.tableCapacity =
+                            cell.tableCapacity;
+                        metrics->recordCell(restored_cell);
+                    }
+                    if (journal) {
+                        // Journalled like any finished cell, so a
+                        // drained-and-resumed sweep stays coherent.
+                        const auto appended =
+                            journal->append(CheckpointCell{
+                                grid_id, column.label, name,
+                                cell.missPercent});
+                        if (!appended.ok()) {
+                            warn("checkpoint append failed for "
+                                 "%s/%s: %s",
+                                 column.label.c_str(), name.c_str(),
+                                 appended.error().describe().c_str());
+                        }
+                    }
+                    notifyCell();
+                    continue;
+                }
+                if (loaded.status ==
+                    ResultStore::LoadStatus::Invalidated) {
+                    ++store_stats.invalidated;
+                } else {
+                    ++store_stats.misses;
+                }
+            }
             jobs.push_back(Job{&column, nullptr, &name, 0.0, false,
-                               false, {}});
+                               false, {}, std::move(store_key)});
         }
     }
 
@@ -498,6 +618,33 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                 warn("checkpoint append failed for %s/%s: %s",
                      job.column->label.c_str(), job.benchmark->c_str(),
                      appended.error().describe().c_str());
+            }
+        }
+        // Persist the freshly computed cell (atomic write; a full
+        // disk degrades the store, never the run). Runs on worker
+        // threads, hence the atomic write counter.
+        if (store && !job.storeKey.empty()) {
+            StoredResult entry;
+            entry.benchmark = *job.benchmark;
+            entry.predictor = result.predictor;
+            entry.hasCounters = true;
+            entry.branches = result.branches;
+            entry.misses = result.misses;
+            entry.noPrediction = result.noPrediction;
+            entry.tableOccupancy = result.tableOccupancy;
+            entry.tableCapacity = result.tableCapacity;
+            entry.seconds = result.seconds;
+            entry.groupSeconds = result.groupSeconds;
+            entry.sharedTraversal = result.sharedTraversal;
+            entry.missPercent = job.missPercent;
+            const auto written = store->store(job.storeKey, entry);
+            if (written.ok()) {
+                store_writes.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                warn("result store write for %s/%s failed: %s",
+                     job.column->label.c_str(),
+                     job.benchmark->c_str(),
+                     written.error().describe().c_str());
             }
         }
         notifyCell();
@@ -884,6 +1031,15 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             sweep.predictorsDeduped =
                 predictors_deduped.load(std::memory_order_relaxed);
             metrics->recordSweepKernel(sweep);
+        }
+        // Result-store observability: recorded whenever the store
+        // was armed for this run (even an all-miss cold pass), so
+        // the CI warm-store gate can assert hits == cells with zero
+        // misses on the warm artifact.
+        if (store) {
+            store_stats.stores =
+                store_writes.load(std::memory_order_relaxed);
+            metrics->recordResultStore(store_stats);
         }
     }
 

@@ -53,6 +53,17 @@ struct SweepColumn
 {
     std::string label;
     PredictorFactory make;
+    /**
+     * Canonical content hash of the configuration `make` builds
+     * (core/spec_codec.hh), or 0 when unknown. A keyed column's
+     * cells are served by the content-addressed result store on
+     * warm runs; an unkeyed column always simulates. Use the
+     * helpers in sim/spec_columns.hh to build keyed columns -
+     * hand-rolled factories must guarantee the hash describes
+     * EXACTLY what the factory constructs, or the store would
+     * serve a different predictor's counters.
+     */
+    std::uint64_t specHash = 0;
 };
 
 /** One cell that failed permanently (isolation kept the grid alive). */
@@ -291,6 +302,10 @@ class SuiteRunner
     void waitAcquisition() const;
 
     std::vector<std::string> _names;
+    /** Snapshot of the constructor flag: together with a benchmark
+     *  name it reproduces the trace cache key, which run() folds
+     *  into result-store cell keys without waiting for the trace. */
+    bool _emitConditionals = false;
     std::map<std::string, Trace> _traces;
     std::map<std::string, RunError> _failedTraces;
     TraceSourceStats _traceStats;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "robust/atomic_file.hh"
+#include "robust/cache_sweep.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_mmap.hh"
 #include "util/logging.hh"
@@ -81,13 +82,25 @@ TraceCache::load(const std::string &key) const
 Result<void>
 TraceCache::store(const std::string &key, const Trace &trace) const
 {
-    if (traceMmapSupported())
-        return saveTraceMmap(trace, pathFor(key));
+    // A successful write sweeps the directory back under the
+    // IBP_CACHE_MAX_BYTES budget when one is set (off by default;
+    // eviction is atomic unlink only, so concurrent readers holding
+    // an open or mmap'ed entry are never corrupted).
+    if (traceMmapSupported()) {
+        const auto saved = saveTraceMmap(trace, pathFor(key));
+        if (saved.ok())
+            maybeSweepCacheDirectory(_directory);
+        return saved;
+    }
     std::ostringstream body(std::ios::binary);
     const auto serialised = writeTraceBinary(trace, body);
     if (!serialised.ok())
         return serialised.error();
-    return writeFileAtomic(streamPathFor(key), body.str());
+    const auto written =
+        writeFileAtomic(streamPathFor(key), body.str());
+    if (written.ok())
+        maybeSweepCacheDirectory(_directory);
+    return written;
 }
 
 Result<TraceAcquisition>

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests of the canonical spec codec (core/spec_codec.hh): encoding
+ * determinism, the hash-equality-iff-operator== contract (checked
+ * with per-field mutations and randomized configurations), and one
+ * pinned golden hash per spec family so an accidental encoding
+ * change - a reordered enum, a dropped field, a width change - fails
+ * loudly instead of silently serving stale result-store cells.
+ *
+ * If a golden hash changes on purpose, the change MUST come with a
+ * kSpecCodecVersion bump (which changes every golden at once).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/factory.hh"
+#include "core/spec_codec.hh"
+
+namespace ibp {
+namespace {
+
+TwoLevelConfig
+sampleTwoLevel()
+{
+    return paperTwoLevel(3, TableSpec::setAssoc(1024, 4));
+}
+
+TEST(SpecCodecTest, EncodingIsDeterministic)
+{
+    const TwoLevelConfig config = sampleTwoLevel();
+    EXPECT_EQ(canonicalSpecBytes(config), canonicalSpecBytes(config));
+    EXPECT_EQ(specHash(config), specHash(config));
+
+    const TwoLevelConfig copy = config;
+    EXPECT_EQ(canonicalSpecBytes(copy), canonicalSpecBytes(config));
+}
+
+TEST(SpecCodecTest, VersionWordLeadsTheEncoding)
+{
+    const std::string bytes = canonicalSpecBytes(TableSpec::tagless(64));
+    ASSERT_GE(bytes.size(), 8u);
+    std::uint64_t version = 0;
+    for (int byte = 7; byte >= 0; --byte) {
+        version = (version << 8) |
+                  static_cast<unsigned char>(bytes[byte]);
+    }
+    EXPECT_EQ(version, kSpecCodecVersion);
+}
+
+TEST(SpecCodecTest, EveryTableSpecFieldChangesTheHash)
+{
+    const TableSpec base = TableSpec::setAssoc(1024, 4);
+    const std::uint64_t hash = specHash(base);
+
+    TableSpec kind = base;
+    kind.kind = TableKind::Tagless;
+    EXPECT_NE(specHash(kind), hash);
+
+    TableSpec entries = base;
+    entries.entries = 2048;
+    EXPECT_NE(specHash(entries), hash);
+
+    TableSpec ways = base;
+    ways.ways = 2;
+    EXPECT_NE(specHash(ways), hash);
+}
+
+TEST(SpecCodecTest, EveryPatternSpecFieldChangesTheHash)
+{
+    const PatternSpec base;
+    const std::uint64_t hash = specHash(base);
+
+    PatternSpec mutated = base;
+    mutated.pathLength += 1;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.precision = PrecisionMode::Full;
+    EXPECT_NE(specHash(mutated), hash);
+
+    // The raw field is encoded, NOT the resolved value: a spec
+    // saying "auto" (0) must never alias one pinning the resolved
+    // width explicitly, or future auto-rule changes would silently
+    // serve stale cells.
+    mutated = base;
+    mutated.bitsPerTarget = base.resolvedBitsPerTarget();
+    ASSERT_NE(mutated.bitsPerTarget, base.bitsPerTarget);
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.lowBit += 1;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.compressor = CompressorKind::FoldXor;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.interleave = InterleaveKind::PingPong;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.keyMix = KeyMix::Concat;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.tableSharing += 1;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.includeBranchAddress = !base.includeBranchAddress;
+    EXPECT_NE(specHash(mutated), hash);
+}
+
+TEST(SpecCodecTest, EveryTwoLevelFieldChangesTheHash)
+{
+    const TwoLevelConfig base = sampleTwoLevel();
+    const std::uint64_t hash = specHash(base);
+
+    TwoLevelConfig mutated = base;
+    mutated.pattern.pathLength += 1;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.historySharing -= 1;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.table.entries *= 2;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.hysteresis = !base.hysteresis;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.includeConditionalTargets =
+        !base.includeConditionalTargets;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.historyElement = HistoryElement::TargetAndAddress;
+    EXPECT_NE(specHash(mutated), hash);
+
+    mutated = base;
+    mutated.confidenceBits += 1;
+    EXPECT_NE(specHash(mutated), hash);
+}
+
+TEST(SpecCodecTest, CompositeFamiliesSeeEveryField)
+{
+    HybridConfig hybrid = HybridConfig::twoComponent(
+        paperTwoLevel(1, TableSpec::setAssoc(512, 4)),
+        paperTwoLevel(7, TableSpec::setAssoc(512, 4)));
+    const std::uint64_t hybrid_hash = specHash(hybrid);
+    {
+        HybridConfig mutated = hybrid;
+        mutated.components[1].pattern.pathLength = 8;
+        EXPECT_NE(specHash(mutated), hybrid_hash);
+        mutated = hybrid;
+        mutated.confidenceBits += 1;
+        EXPECT_NE(specHash(mutated), hybrid_hash);
+        mutated = hybrid;
+        mutated.selectorEntries = 256;
+        EXPECT_NE(specHash(mutated), hybrid_hash);
+    }
+
+    SharedHybridConfig shared;
+    const std::uint64_t shared_hash = specHash(shared);
+    {
+        SharedHybridConfig mutated = shared;
+        mutated.pathLengths.push_back(12);
+        EXPECT_NE(specHash(mutated), shared_hash);
+        mutated = shared;
+        mutated.entries *= 2;
+        EXPECT_NE(specHash(mutated), shared_hash);
+        mutated = shared;
+        mutated.chosenBits += 1;
+        EXPECT_NE(specHash(mutated), shared_hash);
+        mutated = shared;
+        mutated.hysteresis = !shared.hysteresis;
+        EXPECT_NE(specHash(mutated), shared_hash);
+    }
+
+    CascadedConfig cascaded = CascadedConfig::classic(1024);
+    const std::uint64_t cascaded_hash = specHash(cascaded);
+    {
+        CascadedConfig mutated = cascaded;
+        mutated.stages[0].pathLength += 1;
+        EXPECT_NE(specHash(mutated), cascaded_hash);
+        mutated = cascaded;
+        mutated.stages[0].table.ways += 1;
+        EXPECT_NE(specHash(mutated), cascaded_hash);
+        mutated = cascaded;
+        mutated.filterAllocation = !cascaded.filterAllocation;
+        EXPECT_NE(specHash(mutated), cascaded_hash);
+        mutated = cascaded;
+        mutated.hysteresis = !cascaded.hysteresis;
+        EXPECT_NE(specHash(mutated), cascaded_hash);
+    }
+
+    IttageConfig ittage;
+    const std::uint64_t ittage_hash = specHash(ittage);
+    {
+        IttageConfig mutated = ittage;
+        mutated.baseEntries *= 2;
+        EXPECT_NE(specHash(mutated), ittage_hash);
+        mutated = ittage;
+        mutated.componentEntries *= 2;
+        EXPECT_NE(specHash(mutated), ittage_hash);
+        mutated = ittage;
+        mutated.historyLengths.push_back(64);
+        EXPECT_NE(specHash(mutated), ittage_hash);
+        mutated = ittage;
+        mutated.tagBits += 1;
+        EXPECT_NE(specHash(mutated), ittage_hash);
+    }
+
+    const std::uint64_t btb_hash =
+        btbSpecHash(TableSpec::fullyAssoc(256), true);
+    EXPECT_NE(btbSpecHash(TableSpec::fullyAssoc(512), true),
+              btb_hash);
+    EXPECT_NE(btbSpecHash(TableSpec::fullyAssoc(256), false),
+              btb_hash);
+}
+
+TEST(SpecCodecTest, FamiliesNeverAlias)
+{
+    // A hybrid wrapping one component must not encode to the same
+    // bytes as the bare component, and the BTB's table+flag pair
+    // must not alias a raw TableSpec: family tags separate them.
+    const TwoLevelConfig component = sampleTwoLevel();
+    HybridConfig wrapper;
+    wrapper.components = {component};
+    EXPECT_NE(specHash(wrapper), specHash(component));
+
+    const TableSpec table = TableSpec::fullyAssoc(256);
+    EXPECT_NE(btbSpecHash(table, false), specHash(table));
+}
+
+/** A randomized TwoLevelConfig drawn from small domains, so equal
+ *  pairs actually occur across draws. */
+TwoLevelConfig
+randomTwoLevel(std::mt19937_64 &rng)
+{
+    TwoLevelConfig config;
+    config.pattern.pathLength = 1 + rng() % 3;
+    config.pattern.precision = (rng() % 2) ? PrecisionMode::Full
+                                           : PrecisionMode::Limited;
+    config.pattern.bitsPerTarget = rng() % 3;
+    config.pattern.tableSharing = 2 + (rng() % 2) * 30;
+    config.historySharing = 2 + (rng() % 2) * 30;
+    config.table =
+        TableSpec::setAssoc(256u << (rng() % 2), 1u << (rng() % 2));
+    config.hysteresis = rng() % 2;
+    config.confidenceBits = 1 + rng() % 2;
+    return config;
+}
+
+TEST(SpecCodecTest, RandomizedHashEqualityMatchesOperatorEquals)
+{
+    std::mt19937_64 rng(20260808);
+    std::vector<TwoLevelConfig> configs;
+    for (int draw = 0; draw < 200; ++draw)
+        configs.push_back(randomTwoLevel(rng));
+
+    std::size_t equal_pairs = 0;
+    for (std::size_t a = 0; a < configs.size(); ++a) {
+        for (std::size_t b = a + 1; b < configs.size(); ++b) {
+            const bool equal = configs[a] == configs[b];
+            equal_pairs += equal;
+            ASSERT_EQ(specHash(configs[a]) == specHash(configs[b]),
+                      equal)
+                << "hash/equality disagreement between draws " << a
+                << " and " << b;
+        }
+    }
+    // The domains are small enough that the iff check above is not
+    // vacuous on the "equal" side.
+    EXPECT_GT(equal_pairs, 0u);
+}
+
+TEST(SpecCodecTest, GoldenHashesArePinnedPerFamily)
+{
+    // Pinned against codec version 1. A legitimate encoding change
+    // bumps kSpecCodecVersion and repins ALL of these in the same
+    // commit; anything else tripping this test is a silent
+    // result-store cache-key break.
+    EXPECT_EQ(kSpecCodecVersion, 1u);
+    EXPECT_EQ(specHash(TableSpec::setAssoc(1024, 4)),
+              0xe938ce1008d10e7full);
+    EXPECT_EQ(specHash(PatternSpec{}),
+              0x281a0ae902266446ull);
+    EXPECT_EQ(specHash(sampleTwoLevel()),
+              0x02b05a281870ad95ull);
+    EXPECT_EQ(specHash(HybridConfig::twoComponent(
+                  paperTwoLevel(1, TableSpec::setAssoc(512, 4)),
+                  paperTwoLevel(7, TableSpec::setAssoc(512, 4)))),
+              0xc51d57be82f406f2ull);
+    EXPECT_EQ(specHash(SharedHybridConfig{}),
+              0x4d0109b30bb4f870ull);
+    EXPECT_EQ(specHash(CascadedConfig::classic(1024)),
+              0x53141436ed90b6f8ull);
+    EXPECT_EQ(specHash(IttageConfig{}),
+              0x0a8664fbcebeed31ull);
+    EXPECT_EQ(btbSpecHash(TableSpec::unconstrained(), true),
+              0x269eed097b981d2dull);
+}
+
+} // namespace
+} // namespace ibp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the size-capped cache sweep (robust/cache_sweep.hh):
+ * LRU-by-mtime eviction down to the byte budget, the off-by-default
+ * environment arming, tolerance of missing directories, and the
+ * guarantee that eviction is atomic unlink only - a concurrent
+ * reader holding an open descriptor keeps reading its entry after
+ * the sweep removed the name.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "robust/cache_sweep.hh"
+
+namespace ibp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacheSweepTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        unsetenv("IBP_CACHE_MAX_BYTES");
+        _dir = testing::TempDir() + "/ibp_cache_sweep_test";
+        fs::remove_all(_dir);
+        fs::create_directories(_dir);
+    }
+    void
+    TearDown() override
+    {
+        unsetenv("IBP_CACHE_MAX_BYTES");
+        fs::remove_all(_dir);
+    }
+
+    /** Create a file of @p bytes, with mtime @p age_rank steps in
+     *  the past (larger = older), so eviction order is explicit. */
+    std::string
+    addEntry(const std::string &name, std::size_t bytes,
+             int age_rank)
+    {
+        const std::string path = _dir + "/" + name;
+        std::ofstream out(path, std::ios::binary);
+        out << std::string(bytes, 'x');
+        out.close();
+        fs::last_write_time(
+            path, fs::file_time_type::clock::now() -
+                      std::chrono::hours(age_rank));
+        return path;
+    }
+
+    std::string _dir;
+};
+
+TEST_F(CacheSweepTest, EvictsOldestFirstDownToTheBudget)
+{
+    addEntry("oldest", 100, 3);
+    addEntry("middle", 100, 2);
+    addEntry("newest", 100, 1);
+
+    const auto swept = sweepDirectoryToBudget(_dir, 250);
+    ASSERT_TRUE(swept.ok());
+    EXPECT_EQ(swept.value().bytesBefore, 300u);
+    EXPECT_EQ(swept.value().bytesAfter, 200u);
+    EXPECT_EQ(swept.value().filesRemoved, 1u);
+
+    EXPECT_FALSE(fs::exists(_dir + "/oldest"));
+    EXPECT_TRUE(fs::exists(_dir + "/middle"));
+    EXPECT_TRUE(fs::exists(_dir + "/newest"));
+}
+
+TEST_F(CacheSweepTest, UnderBudgetRemovesNothing)
+{
+    addEntry("a", 100, 2);
+    addEntry("b", 100, 1);
+    const auto swept = sweepDirectoryToBudget(_dir, 500);
+    ASSERT_TRUE(swept.ok());
+    EXPECT_EQ(swept.value().filesRemoved, 0u);
+    EXPECT_EQ(swept.value().bytesAfter, 200u);
+}
+
+TEST_F(CacheSweepTest, MissingDirectoryIsANoop)
+{
+    const auto swept =
+        sweepDirectoryToBudget(_dir + "/nonexistent", 10);
+    ASSERT_TRUE(swept.ok());
+    EXPECT_EQ(swept.value().bytesBefore, 0u);
+    EXPECT_EQ(swept.value().filesRemoved, 0u);
+}
+
+TEST_F(CacheSweepTest, EnvUnsetMeansNoSweep)
+{
+    addEntry("a", 100, 2);
+    addEntry("b", 100, 1);
+    EXPECT_EQ(cacheMaxBytesFromEnv(), 0u);
+    maybeSweepCacheDirectory(_dir);
+    EXPECT_TRUE(fs::exists(_dir + "/a"));
+    EXPECT_TRUE(fs::exists(_dir + "/b"));
+}
+
+TEST_F(CacheSweepTest, EnvArmsTheSweep)
+{
+    addEntry("old", 100, 2);
+    addEntry("new", 100, 1);
+    setenv("IBP_CACHE_MAX_BYTES", "150", 1);
+    EXPECT_EQ(cacheMaxBytesFromEnv(), 150u);
+    maybeSweepCacheDirectory(_dir);
+    EXPECT_FALSE(fs::exists(_dir + "/old"));
+    EXPECT_TRUE(fs::exists(_dir + "/new"));
+}
+
+TEST_F(CacheSweepTest, EvictionNeverCorruptsAConcurrentReader)
+{
+    // Eviction is unlink only - never truncation or rewrite - so a
+    // reader that opened an entry before the sweep keeps a fully
+    // intact view through its descriptor even though the name is
+    // gone (the POSIX open-unlink contract both caches rely on).
+    const std::string path = addEntry("held", 64, 2);
+    addEntry("fresh", 64, 1);
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    ASSERT_GE(fd, 0);
+
+    const auto swept = sweepDirectoryToBudget(_dir, 64);
+    ASSERT_TRUE(swept.ok());
+    EXPECT_FALSE(fs::exists(path));
+
+    std::string read_back(64, '\0');
+    ASSERT_EQ(::read(fd, read_back.data(), read_back.size()), 64);
+    EXPECT_EQ(read_back, std::string(64, 'x'));
+    ::close(fd);
+}
+
+} // namespace
+} // namespace ibp

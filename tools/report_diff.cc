@@ -35,6 +35,12 @@
  *                         a silent in-process fallback (the CI
  *                         daemon-smoke job uses this; see
  *                         docs/SERVICE.md)
+ *   --require-result-cached
+ *                         fail unless the fresh artifact shows that
+ *                         every cell was loaded from the result
+ *                         store (hits > 0, zero misses, zero
+ *                         invalidations; the CI warm-store job uses
+ *                         this, see docs/PERFORMANCE.md)
  *
  * Exits 0 when the fresh artifact is within tolerance, 1 on a
  * regression or unreadable artifact, 2 on usage errors. See
@@ -64,7 +70,7 @@ usage(const char *argv0, int code)
         "          [--min-throughput=B] [--throughput-ratio=R]\n"
         "          [--no-manifest] [--allow-partial]\n"
         "          [--require-cached] [--require-mmap]\n"
-        "          [--require-served]\n",
+        "          [--require-served] [--require-result-cached]\n",
         argv0);
     std::exit(code);
 }
@@ -91,6 +97,7 @@ main(int argc, char **argv)
     bool require_cached = false;
     bool require_mmap = false;
     bool require_served = false;
+    bool require_result_cached = false;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
@@ -116,6 +123,8 @@ main(int argc, char **argv)
             require_mmap = true;
         } else if (arg == "--require-served") {
             require_served = true;
+        } else if (arg == "--require-result-cached") {
+            require_result_cached = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
             usage(argv[0], 2);
@@ -194,6 +203,32 @@ main(int argc, char **argv)
                          "telemetry; the run fell back to in-process "
                          "execution (is ibpd up?)\n",
                          paths[0].c_str());
+            return 1;
+        }
+    }
+
+    if (require_result_cached) {
+        // The warm-store gate: every cell must have come out of the
+        // content-addressed result store, with nothing simulated and
+        // nothing quarantined.
+        if (!fresh.metrics.hasResultStore()) {
+            std::fprintf(stderr,
+                         "--require-result-cached: %s records no "
+                         "result-store telemetry (run with "
+                         "--result-store)\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        const auto &store = fresh.metrics.resultStore();
+        if (store.hits == 0 || store.misses != 0 ||
+            store.invalidated != 0) {
+            std::fprintf(stderr,
+                         "--require-result-cached: %s loaded %u "
+                         "cell(s) from the result store with %u "
+                         "miss(es) and %u invalidation(s); expected "
+                         "a fully warm store\n",
+                         paths[0].c_str(), store.hits, store.misses,
+                         store.invalidated);
             return 1;
         }
     }
