@@ -16,7 +16,17 @@
  *    that follows the hole (Knuth's Algorithm R), so probe distance
  *    never degrades under erase/insert churn;
  *  - one allocation per growth holding tag array + slot array,
- *    rehashed at 7/8 load.
+ *    rehashed at 7/8 load;
+ *  - group probing (the Swiss-table trick): find()/findOrInsert()
+ *    scan the tag array 16 or 32 bytes at a time with SSE2/AVX2
+ *    compare+movemask (core/simd.hh picks the width at runtime;
+ *    IBP_SIMD=off forces the original scalar scan). The tag array
+ *    carries a 32-byte wrap-around mirror of its first bytes so a
+ *    group load never branches on the table boundary. Candidate
+ *    slots are visited in exactly the scalar probe order and the
+ *    scan still stops at the first empty tag, so every outcome —
+ *    hit, miss, insert position — is bit-identical to the scalar
+ *    loop (the fuzz test in tests/core pins this).
  *
  * Slots are stored by value and moved with plain assignment, so both
  * Key and Value must be trivially copyable and default-constructible
@@ -36,6 +46,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/simd.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -83,10 +94,11 @@ class FlatMap
             _capacity = 0;
             _mask = 0;
             _size = 0;
+            _probeWidth = 0;
             return *this;
         }
         allocate(other._capacity);
-        std::memcpy(_tags, other._tags, _capacity);
+        std::memcpy(_tags, other._tags, _capacity + kTagMirror);
         std::memcpy(static_cast<void *>(_slots), other._slots,
                     _capacity * sizeof(Slot));
         _size = other._size;
@@ -111,6 +123,7 @@ class FlatMap
         std::swap(_capacity, other._capacity);
         std::swap(_mask, other._mask);
         std::swap(_size, other._size);
+        std::swap(_probeWidth, other._probeWidth);
         std::swap(_hasher, other._hasher);
     }
 
@@ -125,7 +138,7 @@ class FlatMap
         // Stale slot payloads behind a zero tag are never compared,
         // so clearing the tag array alone empties the map.
         if (_capacity != 0)
-            std::memset(_tags, 0, _capacity);
+            std::memset(_tags, 0, _capacity + kTagMirror);
         _size = 0;
     }
 
@@ -151,6 +164,8 @@ class FlatMap
         const std::size_t hash = _hasher(key);
         const std::uint8_t tag = tagFor(hash);
         std::size_t index = hash & _mask;
+        if (_probeWidth != 0)
+            return findGrouped(key, tag, index);
         while (true) {
             const std::uint8_t t = _tags[index];
             if (t == kEmptyTag)
@@ -183,17 +198,12 @@ class FlatMap
         const std::size_t hash = _hasher(key);
         const std::uint8_t tag = tagFor(hash);
         std::size_t index = hash & _mask;
+        if (_probeWidth != 0)
+            return findOrInsertGrouped(key, tag, index, inserted);
         while (true) {
             const std::uint8_t t = _tags[index];
-            if (t == kEmptyTag) {
-                _tags[index] = tag;
-                Slot &slot = _slots[index];
-                slot.key = key;
-                slot.value = V{};
-                ++_size;
-                inserted = true;
-                return slot.value;
-            }
+            if (t == kEmptyTag)
+                return insertAt(index, tag, key, inserted);
             if (t == tag && _slots[index].key == key) {
                 inserted = false;
                 return _slots[index].value;
@@ -238,6 +248,12 @@ class FlatMap
     static constexpr std::uint8_t kEmptyTag = 0;
     static constexpr std::size_t kMinCapacity = 16;
 
+    /** Wrap-around tag mirror behind the real array: byte
+     *  capacity+m always equals byte (capacity+m) & mask, so a 16/32
+     *  wide group load starting anywhere in [0, capacity) stays in
+     *  bounds and sees exactly the wrapped tag sequence. */
+    static constexpr std::size_t kTagMirror = 32;
+
     static std::uint8_t
     tagFor(std::size_t hash)
     {
@@ -245,6 +261,100 @@ class FlatMap
         // high bit keeps any real tag distinct from kEmptyTag.
         return static_cast<std::uint8_t>(
             0x80u | (hash >> (sizeof(std::size_t) * 8 - 7)));
+    }
+
+    /** Store a tag and keep the mirror coherent. Every tag write
+     *  after allocate() must go through here. */
+    void
+    setTag(std::size_t index, std::uint8_t tag)
+    {
+        _tags[index] = tag;
+        for (std::size_t m = index + _capacity; m < _capacity + kTagMirror;
+             m += _capacity)
+            _tags[m] = tag;
+    }
+
+    V &
+    insertAt(std::size_t index, std::uint8_t tag, const K &key,
+             bool &inserted)
+    {
+        setTag(index, tag);
+        Slot &slot = _slots[index];
+        slot.key = key;
+        slot.value = V{};
+        ++_size;
+        inserted = true;
+        return slot.value;
+    }
+
+    /** Candidate lanes of one tag group, in scalar probe order: tag
+     *  matches strictly before the first empty slot. Sets
+     *  @p emptyLane to the first empty lane (or the group width when
+     *  the group holds none). */
+    std::uint32_t
+    groupCandidates(std::size_t index, std::uint8_t tag,
+                    unsigned &emptyLane) const
+    {
+        const simd::TagGroup group =
+            _probeWidth == 32 ? simd::scanTags32(_tags + index, tag)
+                              : simd::scanTags16(_tags + index, tag);
+        std::uint32_t matches = group.matches;
+        if (group.empties != 0) {
+            emptyLane = static_cast<unsigned>(
+                std::countr_zero(group.empties));
+            matches &= (std::uint32_t{1} << emptyLane) - 1;
+        } else {
+            emptyLane = _probeWidth;
+        }
+        return matches;
+    }
+
+    const V *
+    findGrouped(const K &key, std::uint8_t tag,
+                std::size_t index) const
+    {
+        while (true) {
+            unsigned empty_lane = 0;
+            std::uint32_t matches =
+                groupCandidates(index, tag, empty_lane);
+            while (matches != 0) {
+                const unsigned lane = static_cast<unsigned>(
+                    std::countr_zero(matches));
+                const std::size_t slot = (index + lane) & _mask;
+                if (_slots[slot].key == key)
+                    return &_slots[slot].value;
+                matches &= matches - 1;
+            }
+            if (empty_lane != _probeWidth)
+                return nullptr;
+            index = (index + _probeWidth) & _mask;
+        }
+    }
+
+    V &
+    findOrInsertGrouped(const K &key, std::uint8_t tag,
+                        std::size_t index, bool &inserted)
+    {
+        while (true) {
+            unsigned empty_lane = 0;
+            std::uint32_t matches =
+                groupCandidates(index, tag, empty_lane);
+            while (matches != 0) {
+                const unsigned lane = static_cast<unsigned>(
+                    std::countr_zero(matches));
+                const std::size_t slot = (index + lane) & _mask;
+                if (_slots[slot].key == key) {
+                    inserted = false;
+                    return _slots[slot].value;
+                }
+                matches &= matches - 1;
+            }
+            if (empty_lane != _probeWidth) {
+                return insertAt((index + empty_lane) & _mask, tag,
+                                key, inserted);
+            }
+            index = (index + _probeWidth) & _mask;
+        }
     }
 
     void
@@ -264,17 +374,28 @@ class FlatMap
                    capacity);
         static_assert(alignof(Slot) <= alignof(std::max_align_t),
                       "arena relies on operator new[] alignment");
+        const std::size_t tag_bytes = capacity + kTagMirror;
         const std::size_t slots_offset =
-            (capacity + alignof(Slot) - 1) & ~(alignof(Slot) - 1);
+            (tag_bytes + alignof(Slot) - 1) & ~(alignof(Slot) - 1);
         _arena = std::make_unique_for_overwrite<std::byte[]>(
             slots_offset + capacity * sizeof(Slot));
         _tags = reinterpret_cast<std::uint8_t *>(_arena.get());
-        std::memset(_tags, 0, capacity);
+        std::memset(_tags, 0, tag_bytes);
         _slots = reinterpret_cast<Slot *>(_arena.get() + slots_offset);
         for (std::size_t i = 0; i < capacity; ++i)
             new (&_slots[i]) Slot();
         _capacity = capacity;
         _mask = capacity - 1;
+        // Probe width for this arena's lifetime: AVX2 32-wide only
+        // when a group cannot lap the table twice, else the SSE2
+        // 16-wide baseline; 0 keeps the scalar loops (IBP_SIMD=off
+        // or a non-x86 build).
+        const SimdLevel level = simdLevel();
+        _probeWidth =
+            level == SimdLevel::Scalar
+                ? 0
+                : ((level == SimdLevel::Avx2 && capacity >= 32) ? 32
+                                                                : 16);
     }
 
     void
@@ -300,7 +421,7 @@ class FlatMap
         std::size_t index = hash & _mask;
         while (_tags[index] != kEmptyTag)
             index = (index + 1) & _mask;
-        _tags[index] = tagFor(hash);
+        setTag(index, tagFor(hash));
         _slots[index] = slot;
         ++_size;
     }
@@ -325,11 +446,11 @@ class FlatMap
                                       : (home > i || home <= j);
             if (!stays) {
                 _slots[i] = _slots[j];
-                _tags[i] = _tags[j];
+                setTag(i, _tags[j]);
                 i = j;
             }
         }
-        _tags[i] = kEmptyTag;
+        setTag(i, kEmptyTag);
         --_size;
     }
 
@@ -339,6 +460,8 @@ class FlatMap
     std::size_t _capacity = 0;
     std::size_t _mask = 0;
     std::size_t _size = 0;
+    /** Group-probe width for this arena: 0 (scalar), 16 or 32. */
+    std::uint32_t _probeWidth = 0;
     [[no_unique_address]] Hasher _hasher{};
 };
 

@@ -88,10 +88,25 @@ class HybridPredictor final : public IndirectPredictor
     std::uint64_t tableCapacity() const override;
     std::uint64_t tableOccupancy() const override;
 
+    bool
+    consumesConditionals() const override
+    {
+        for (const auto &component : _components) {
+            if (component->consumesConditionals())
+                return true;
+        }
+        return false;
+    }
+
     unsigned numComponents() const
     {
         return static_cast<unsigned>(_components.size());
     }
+
+    const HybridConfig &config() const { return _config; }
+
+    /** Component @p i in tie-break priority order (lane engine). */
+    TwoLevelPredictor &component(unsigned i) { return *_components[i]; }
 
     /** Which component the last predict() chose (for diagnostics). */
     int lastChosen() const { return _lastChosen; }

@@ -4,6 +4,7 @@
 #include <array>
 #include <sstream>
 
+#include "core/simd.hh"
 #include "core/table_spec.hh"
 #include "util/logging.hh"
 
@@ -111,9 +112,7 @@ PatternSpec::describe() const
 
 namespace {
 
-#if defined(__x86_64__) && defined(__GNUC__)
-#define IBP_HAVE_PDEP 1
-#include <immintrin.h>
+#if IBP_X86_SIMD
 
 [[gnu::target("bmi2")]] std::uint64_t
 scatterPdep(std::uint64_t value, std::uint64_t mask)
@@ -121,23 +120,24 @@ scatterPdep(std::uint64_t value, std::uint64_t mask)
     return _pdep_u64(value, mask);
 }
 
-// One CPUID probe per process; BMI2 has been ubiquitous since
-// Haswell but the build stays generic x86-64.
-const bool kHavePdep = __builtin_cpu_supports("bmi2") != 0;
-#endif
+#endif // IBP_X86_SIMD
 
 /**
  * Deposit the low bits of @p value into the set bit positions of
  * @p mask, lowest first (PDEP semantics; hardware PDEP when the CPU
- * has BMI2). The masks here have at most b bits set, so the
- * portable loop is short and branch-light.
+ * has BMI2 and the IBP_SIMD override allows it — core/simd.hh owns
+ * both checks, so non-x86/non-GNU builds compile the portable loop
+ * only). The masks here have at most b bits set, so the portable
+ * loop is short and branch-light.
  */
 std::uint64_t
-scatterBits(std::uint64_t value, std::uint64_t mask)
+scatterBits(std::uint64_t value, std::uint64_t mask, bool hw)
 {
-#if defined(IBP_HAVE_PDEP)
-    if (kHavePdep)
+#if IBP_X86_SIMD
+    if (hw)
         return scatterPdep(value, mask);
+#else
+    (void)hw;
 #endif
     std::uint64_t out = 0;
     while (mask != 0) {
@@ -154,6 +154,7 @@ scatterBits(std::uint64_t value, std::uint64_t mask)
 
 PatternBuilder::PatternBuilder(const PatternSpec &spec)
     : _spec(spec), _bits(spec.resolvedBitsPerTarget()),
+      _scatterHw(simdScatterEnabled()),
       _flat(tableImplementation() == TableImpl::Flat)
 {
     _spec.validate();
@@ -280,8 +281,8 @@ PatternBuilder::interleavedPattern(const HistoryBuffer &history) const
     // per target (this runs once per simulated branch).
     std::uint64_t pattern = 0;
     for (unsigned i = 0; i < p; ++i)
-        pattern |=
-            scatterBits(compressTarget(history.at(i)), _scatter[i]);
+        pattern |= scatterBits(compressTarget(history.at(i)),
+                               _scatter[i], _scatterHw);
     return pattern;
 }
 
@@ -365,25 +366,64 @@ PatternBuilder::assembleFromCompressed(
     // bits in a wider-than-b cache entry are never deposited.
     std::uint64_t pattern = 0;
     for (unsigned i = 0; i < p; ++i)
-        pattern |= scatterBits(compressed[i], _scatter[i]);
+        pattern |= scatterBits(compressed[i], _scatter[i], _scatterHw);
     return pattern;
 }
 
-Key
-PatternBuilder::keyFromPattern(Addr pc, std::uint64_t pattern) const
+bool
+PatternBuilder::incrementalAdvanceEligible() const
 {
-    if (!_spec.includeBranchAddress)
-        return makeExactKey(pattern);
+    if (!_flat || _spec.precision != PrecisionMode::Limited ||
+        _spec.pathLength == 0)
+        return false;
+    // ShiftXor is a shift-and-xor by construction (the interleave
+    // kind does not apply to it); the interleaves are uniform shifts
+    // except PingPong, whose schedule alternates ends.
+    if (_spec.compressor == CompressorKind::ShiftXor)
+        return true;
+    return _spec.interleave != InterleaveKind::PingPong;
+}
 
-    // The address part of the key: bits h.. of the branch address
-    // (h = 2 keeps the full word-aligned address and gives the
-    // per-address tables the paper settles on).
-    const std::uint64_t addr_part =
-        _spec.tableSharing >= 32 ? 0 : (pc >> _spec.tableSharing);
-    const std::uint64_t addr30 = addr_part & lowMask(30);
-    if (_spec.keyMix == KeyMix::Xor)
-        return makeExactKey(pattern ^ addr30);
-    return makeExactKey((pattern << 30) | addr30);
+std::uint64_t
+PatternBuilder::advancePattern(std::uint64_t pattern, Addr element) const
+{
+    IBP_ASSERT(incrementalAdvanceEligible(),
+               "incremental advance ineligible");
+
+    if (_spec.compressor == CompressorKind::ShiftXor) {
+        // Identical to one step of shiftXorPattern(); a dropped-out
+        // element's contribution has shifted past the <= 54-bit
+        // pattern width after p pushes, so the running value equals
+        // the windowed recompute.
+        const std::uint64_t mask =
+            lowMask(std::min(_spec.patternBits(), 54u));
+        return ((pattern << _bits) ^ (element >> 2)) & mask;
+    }
+
+    const std::uint64_t bits = compressTarget(element);
+    if (_spec.interleave == InterleaveKind::Concat) {
+        // Every target moves up one b-bit group; the oldest falls
+        // off the masked top, the new element takes the low group.
+        return ((pattern << _bits) &
+                lowMask(_bits * _spec.pathLength)) |
+               bits;
+    }
+
+    // Round-robin: a push moves each target one slot along the
+    // scheme order. For Straight (slot q holds target q) that is a
+    // uniform +1 position shift of the whole pattern; for Reverse
+    // (slot q holds target p-1-q) a -1 shift. The newest target's
+    // scatter positions are cleared of shifted-in remnants of the
+    // dropped oldest target and refilled from the new element.
+    const std::uint64_t newest = _scatter[0];
+    if (_spec.interleave == InterleaveKind::Straight) {
+        const std::uint64_t total =
+            lowMask(_bits * _spec.pathLength);
+        return ((pattern << 1) & total & ~newest) |
+               scatterBits(bits, newest, _scatterHw);
+    }
+    return ((pattern >> 1) & ~newest) |
+           scatterBits(bits, newest, _scatterHw);
 }
 
 unsigned

@@ -164,8 +164,48 @@ class PatternBuilder
     /**
      * Mix an already-assembled limited-precision pattern with the
      * branch address into the final key (the tail of buildKey()).
+     * Inline: this is the whole per-branch key work of an
+     * incremental sweep variant, so it must fold into the lane
+     * engine's key-resolution loop.
      */
-    Key keyFromPattern(Addr pc, std::uint64_t pattern) const;
+    Key
+    keyFromPattern(Addr pc, std::uint64_t pattern) const
+    {
+        if (!_spec.includeBranchAddress)
+            return makeExactKey(pattern);
+
+        // The address part of the key: bits h.. of the branch address
+        // (h = 2 keeps the full word-aligned address and gives the
+        // per-address tables the paper settles on).
+        const std::uint64_t addr_part =
+            _spec.tableSharing >= 32 ? 0
+                                     : (pc >> _spec.tableSharing);
+        const std::uint64_t addr30 = addr_part & lowMask(30);
+        if (_spec.keyMix == KeyMix::Xor)
+            return makeExactKey(pattern ^ addr30);
+        return makeExactKey((pattern << 30) | addr30);
+    }
+
+    /**
+     * True when the pattern can be maintained *incrementally*: given
+     * the pattern over targets (t0..tp-1), one call to
+     * advancePattern() produces the pattern over (new, t0..tp-2)
+     * without revisiting the history buffer. Holds for every flat
+     * limited-precision recipe whose assembly is a per-push shift -
+     * Concat/Straight/Reverse interleaves and ShiftXor (PingPong's
+     * schedule is not a uniform shift). Sweep kernels use this to
+     * advance a global-history pattern once per commit instead of
+     * re-assembling it per branch.
+     */
+    bool incrementalAdvanceEligible() const;
+
+    /**
+     * The pattern after pushing @p element as the new most-recent
+     * history entry (see incrementalAdvanceEligible()); bit-identical
+     * to re-running assemblePattern() over the shifted history.
+     */
+    std::uint64_t advancePattern(std::uint64_t pattern,
+                                 Addr element) const;
 
     /**
      * Number of low key bits that index a table of @p sets sets; the
@@ -181,6 +221,13 @@ class PatternBuilder
 
     PatternSpec _spec;
     unsigned _bits; // resolved bits per target
+
+    /**
+     * simdScatterEnabled() captured at construction, so the per-call
+     * scatter dispatch is one predictable member-byte branch instead
+     * of a global config load in the hottest assembly loop.
+     */
+    bool _scatterHw;
 
     /**
      * Captured from tableImplementation() at construction: the

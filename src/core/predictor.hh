@@ -70,6 +70,17 @@ class IndirectPredictor
     }
 
     /**
+     * True when observeConditional() has any observable effect right
+     * now (Target Cache; the section 3.3 conditional-history variant
+     * while it still owns its history). The block engine skips
+     * conditional records wholesale when no predictor in the
+     * traversal consumes them and no shared history group folds them
+     * in, so the answer must reflect the *current* binding state -
+     * query after joinSweepKernel() offers are done.
+     */
+    virtual bool consumesConditionals() const { return false; }
+
+    /**
      * Offer this predictor a fused sweep kernel (sweep_kernel.hh):
      * a predictor that accepts delegates its first-level history to
      * the kernel (the simulation loop then calls the kernel's

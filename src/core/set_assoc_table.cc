@@ -21,92 +21,6 @@ SetAssocTable::SetAssocTable(std::uint64_t entries, unsigned ways,
 }
 
 std::uint64_t
-SetAssocTable::indexOf(const Key &key) const
-{
-    return key.lo & lowMask(_indexBits);
-}
-
-std::uint64_t
-SetAssocTable::tagOf(const Key &key) const
-{
-    // Everything above the index bits participates in the tag. The
-    // 128-bit hashed keys of unconstrained predictors fold their high
-    // half in so full-precision patterns can also run on small tables.
-    return (key.lo >> _indexBits) ^ (key.hi * 0x9e3779b97f4a7c15ULL);
-}
-
-std::uint8_t
-SetAssocTable::digestOf(std::uint64_t tag)
-{
-    // Seven well-mixed tag bits; the high bit distinguishes every
-    // allocated way from the never-allocated zero digest.
-    return static_cast<std::uint8_t>(
-        0x80u | (mix64(tag) >> 57));
-}
-
-const TableEntry *
-SetAssocTable::probe(const Key &key) const
-{
-    const std::uint64_t set = indexOf(key);
-    const std::uint64_t tag = tagOf(key);
-    const std::uint8_t digest = digestOf(tag);
-    const Way *base = &_storage[set * _ways];
-    const std::uint8_t *digests = &_digests[set * _ways];
-    for (unsigned w = 0; w < _ways; ++w) {
-        // Digest-first: a mismatching way is rejected on one byte
-        // without loading its Way record at all.
-        if (digests[w] != digest)
-            continue;
-        const Way &way = base[w];
-        if (way.entry.valid && way.tag == tag)
-            return &way.entry;
-    }
-    return nullptr;
-}
-
-TableEntry &
-SetAssocTable::access(const Key &key, bool &replaced)
-{
-    const std::uint64_t set = indexOf(key);
-    const std::uint64_t tag = tagOf(key);
-    const std::uint8_t digest = digestOf(tag);
-    Way *base = &_storage[set * _ways];
-    std::uint8_t *digests = &_digests[set * _ways];
-    ++_clock;
-
-    Way *victim = &base[0];
-    unsigned victim_way = 0;
-    for (unsigned w = 0; w < _ways; ++w) {
-        Way &way = base[w];
-        if (digests[w] == digest && way.entry.valid &&
-            way.tag == tag) {
-            way.lastUse = _clock;
-            replaced = false;
-            return way.entry;
-        }
-        // Prefer an invalid way; otherwise the least recently used.
-        if (!way.entry.valid) {
-            if (victim->entry.valid || way.lastUse < victim->lastUse) {
-                victim = &way;
-                victim_way = w;
-            }
-        } else if (victim->entry.valid &&
-                   way.lastUse < victim->lastUse) {
-            victim = &way;
-            victim_way = w;
-        }
-    }
-
-    victim->tag = tag;
-    victim->lastUse = _clock;
-    victim->entry.resetFor(_counters.confidenceBits,
-                           _counters.chosenBits);
-    digests[victim_way] = digest;
-    replaced = true;
-    return victim->entry;
-}
-
-std::uint64_t
 SetAssocTable::occupancy() const
 {
     std::uint64_t count = 0;
@@ -125,6 +39,7 @@ SetAssocTable::reset()
     }
     std::fill(_digests.begin(), _digests.end(), 0);
     _clock = 0;
+    _memoArmed = false;
 }
 
 std::string

@@ -23,12 +23,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/simd.hh"
 #include "core/table.hh"
 #include "util/logging.hh"
 
 namespace ibp {
 
-class SetAssocTable : public TargetTable
+class SetAssocTable final : public TargetTable
 {
   public:
     /**
@@ -38,8 +39,13 @@ class SetAssocTable : public TargetTable
     SetAssocTable(std::uint64_t entries, unsigned ways,
                   EntryCounterSpec counters = {});
 
+    // probe/access/prefetch are defined inline below: the lane
+    // engine (sim/simulator.cc) calls them devirtualized in its
+    // hottest loops, where inlining lets the compiler overlap the
+    // set scans of a dozen independent tables.
     const TableEntry *probe(const Key &key) const override;
     TableEntry &access(const Key &key, bool &replaced) override;
+    void prefetch(const Key &key) const override;
 
     std::uint64_t occupancy() const override;
     std::uint64_t capacity() const override { return _ways * _sets; }
@@ -71,7 +77,142 @@ class SetAssocTable : public TargetTable
     /** One-byte tag digest per way, same set-major layout. */
     std::vector<std::uint8_t> _digests;
     std::uint64_t _clock = 0;
+
+    /**
+     * Probe-to-access fusion: the simulation protocol is always
+     * probe(key) in predict() followed by access(key) in update(),
+     * so a probe hit remembers which way it found and the next
+     * access consumes the memo instead of rescanning the set. The
+     * memo is one-shot (cleared by any access) and revalidated
+     * against the live way (valid + tag match) before use, so a
+     * stale memo can only fall back to the scan, never misroute.
+     * mutable because probe() is const; behaviour-neutral cache.
+     */
+    mutable bool _memoArmed = false;
+    mutable std::uint32_t _memoWay = 0;
+    mutable std::uint64_t _memoSet = 0;
+    mutable std::uint64_t _memoTag = 0;
 };
+
+inline std::uint64_t
+SetAssocTable::indexOf(const Key &key) const
+{
+    return key.lo & lowMask(_indexBits);
+}
+
+inline std::uint64_t
+SetAssocTable::tagOf(const Key &key) const
+{
+    // Everything above the index bits participates in the tag. The
+    // 128-bit hashed keys of unconstrained predictors fold their high
+    // half in so full-precision patterns can also run on small tables.
+    return (key.lo >> _indexBits) ^ (key.hi * 0x9e3779b97f4a7c15ULL);
+}
+
+inline std::uint8_t
+SetAssocTable::digestOf(std::uint64_t tag)
+{
+    // Seven well-mixed tag bits; the high bit distinguishes every
+    // allocated way from the never-allocated zero digest.
+    return static_cast<std::uint8_t>(0x80u | (mix64(tag) >> 57));
+}
+
+inline void
+SetAssocTable::prefetch(const Key &key) const
+{
+    // One set spans one digest byte run plus up to two cache lines
+    // of Way records (32 bytes each); touch the digest line and both
+    // ends of the way span so the following probe scan never stalls.
+    const std::uint64_t set = indexOf(key);
+    IBP_PREFETCH(&_digests[set * _ways]);
+    IBP_PREFETCH(&_storage[set * _ways]);
+    IBP_PREFETCH(&_storage[set * _ways + (_ways - 1)]);
+}
+
+inline const TableEntry *
+SetAssocTable::probe(const Key &key) const
+{
+    const std::uint64_t set = indexOf(key);
+    const std::uint64_t tag = tagOf(key);
+    const std::uint8_t digest = digestOf(tag);
+    const Way *base = &_storage[set * _ways];
+    const std::uint8_t *digests = &_digests[set * _ways];
+    for (unsigned w = 0; w < _ways; ++w) {
+        // Digest-first: a mismatching way is rejected on one byte
+        // without loading its Way record at all.
+        if (digests[w] != digest)
+            continue;
+        const Way &way = base[w];
+        if (way.entry.valid && way.tag == tag) {
+            _memoArmed = true;
+            _memoWay = w;
+            _memoSet = set;
+            _memoTag = tag;
+            return &way.entry;
+        }
+    }
+    _memoArmed = false;
+    return nullptr;
+}
+
+inline TableEntry &
+SetAssocTable::access(const Key &key, bool &replaced)
+{
+    const std::uint64_t set = indexOf(key);
+    const std::uint64_t tag = tagOf(key);
+    const std::uint8_t digest = digestOf(tag);
+    Way *base = &_storage[set * _ways];
+    std::uint8_t *digests = &_digests[set * _ways];
+
+    // Fused fast path: the preceding probe() hit and remembered the
+    // way; revalidate it (the memo could be stale if an access to
+    // this set intervened) and skip the scan. Same clock bump, same
+    // lastUse write as the scan's hit path - bit-identical LRU.
+    if (_memoArmed) {
+        _memoArmed = false;
+        if (_memoSet == set && _memoTag == tag) {
+            Way &way = _storage[set * _ways + _memoWay];
+            if (way.entry.valid && way.tag == tag) {
+                ++_clock;
+                way.lastUse = _clock;
+                replaced = false;
+                return way.entry;
+            }
+        }
+    }
+    ++_clock;
+
+    Way *victim = &base[0];
+    unsigned victim_way = 0;
+    for (unsigned w = 0; w < _ways; ++w) {
+        Way &way = base[w];
+        if (digests[w] == digest && way.entry.valid &&
+            way.tag == tag) {
+            way.lastUse = _clock;
+            replaced = false;
+            return way.entry;
+        }
+        // Prefer an invalid way; otherwise the least recently used.
+        if (!way.entry.valid) {
+            if (victim->entry.valid || way.lastUse < victim->lastUse) {
+                victim = &way;
+                victim_way = w;
+            }
+        } else if (victim->entry.valid &&
+                   way.lastUse < victim->lastUse) {
+            victim = &way;
+            victim_way = w;
+        }
+    }
+
+    victim->tag = tag;
+    victim->lastUse = _clock;
+    victim->entry.resetFor(_counters.confidenceBits,
+                           _counters.chosenBits);
+    digests[victim_way] = digest;
+    replaced = true;
+    return victim->entry;
+}
 
 } // namespace ibp
 

@@ -11,7 +11,12 @@ Key
 SweepKeyVariant::rebuild(Addr pc, SweepHistoryGroup &group)
 {
     Key key;
-    if (_fast) {
+    if (_incremental) {
+        // Global-history incremental mode: the pattern is maintained
+        // push-by-push (step()), so the per-branch work is just the
+        // address mix.
+        key = _builder.keyFromPattern(pc, _pattern);
+    } else if (_fast) {
         const std::uint64_t *compressed = group.compressedFor(pc);
         key = _builder.keyFromPattern(
             pc, _builder.assembleFromCompressed(compressed));
@@ -142,6 +147,21 @@ SweepKernel::finalize()
                 spec.lowBit == group._cacheLowBit &&
                 spec.pathLength <= group._cacheDepth &&
                 spec.resolvedBitsPerTarget() <= group._cacheBits;
+        }
+
+        // Incremental patterns require a *global* history: a push
+        // must advance the one pattern every branch reads. Per-set
+        // groups keep the rebuild paths (a push into set A must not
+        // disturb set B's pattern). Cold history is all zeros, whose
+        // assembled pattern is 0 - the running values start correct.
+        if (group._signature.sharingBits >= 32) {
+            for (const auto &variant : group._variants) {
+                if (!variant->_builder.incrementalAdvanceEligible())
+                    continue;
+                variant->_incremental = true;
+                variant->_pattern = 0;
+                group._incremental.push_back(variant.get());
+            }
         }
     }
 }

@@ -115,17 +115,49 @@ class SweepKeyVariant
      *  record (predict then update). */
     Key key(Addr pc, SweepHistoryGroup &group);
 
+    /** Lane-engine key: the same value as key(), skipping the
+     *  (version, pc) memo - the lane engine resolves each variant
+     *  exactly once per record, so the memo could never hit there.
+     *  Incremental variants reduce to the inline address mix. */
+    Key
+    laneKey(Addr pc, SweepHistoryGroup &group)
+    {
+        if (_incremental)
+            return _builder.keyFromPattern(pc, _pattern);
+        return key(pc, group);
+    }
+
   private:
     friend class SweepKernel;
+    friend class SweepHistoryGroup;
 
     /** The memo-miss slow path of key(): assemble and store. */
     Key rebuild(Addr pc, SweepHistoryGroup &group);
+
+    /** Fold one pushed history element into the running pattern
+     *  (incremental variants only; see _incremental). */
+    void
+    step(Addr element)
+    {
+        _pattern = _builder.advancePattern(_pattern, element);
+    }
 
     PatternBuilder _builder;
     /** Derive the pattern from the group's shared compressed-target
      *  cache instead of re-compressing per variant (set by
      *  finalize(); requires flat bit-select with the group's a). */
     bool _fast = false;
+
+    /**
+     * Incremental mode (set by finalize()): the group's history is
+     * global, so every branch reads the same pattern and each push
+     * advances it by one uniform shift
+     * (PatternBuilder::advancePattern). The group calls step() once
+     * per pushed element and rebuild() collapses to mixing _pattern
+     * with the branch address - no per-branch history walk at all.
+     */
+    bool _incremental = false;
+    std::uint64_t _pattern = 0;
 
     std::uint64_t _memoVersion = 0;
     Addr _memoPc = 0;
@@ -163,11 +195,24 @@ class SweepHistoryGroup
     friend class SweepKernel;
     friend class SweepKeyVariant;
 
+    /** One resolved element enters @p pc's history: push it into the
+     *  shared buffer and advance the incremental patterns. */
+    void
+    pushElement(Addr pc, Addr element)
+    {
+        _history->push(pc, element);
+        for (SweepKeyVariant *variant : _incremental)
+            variant->step(element);
+    }
+
     SweepGroupSignature _signature;
     unsigned _maxDepth = 0;
     std::uint64_t _version = 1;
     std::unique_ptr<HistoryRegister> _history;
     std::vector<std::unique_ptr<SweepKeyVariant>> _variants;
+    /** The subset of _variants in incremental mode (global-history
+     *  groups only; filled by finalize()). */
+    std::vector<SweepKeyVariant *> _incremental;
 
     // Shared compressed-target cache (see compressedFor).
     bool _cacheEnabled = false;
@@ -234,8 +279,8 @@ class SweepKernel
     {
         for (const auto &group : _groups) {
             if (group->_signature.targetAndAddress)
-                group->_history->push(pc, pc);
-            group->_history->push(pc, target);
+                group->pushElement(pc, pc);
+            group->pushElement(pc, target);
             ++group->_version;
         }
     }
@@ -250,10 +295,24 @@ class SweepKernel
             if (!group->_signature.includeConditionalTargets)
                 continue;
             if (group->_signature.targetAndAddress)
-                group->_history->push(pc, pc);
-            group->_history->push(pc, target);
+                group->pushElement(pc, pc);
+            group->pushElement(pc, target);
             ++group->_version;
         }
+    }
+
+    /** True when any group folds taken conditional targets into its
+     *  shared history (section 3.3 columns): the traversal must then
+     *  feed conditional records to observeConditional() even if no
+     *  individual predictor consumes them directly. */
+    bool
+    hasConditionalGroups() const
+    {
+        for (const auto &group : _groups) {
+            if (group->_signature.includeConditionalTargets)
+                return true;
+        }
+        return false;
     }
 
     /** Top-level predictors that joined / declined (telemetry). */

@@ -86,6 +86,16 @@ class TargetTable
      */
     virtual TableEntry &access(const Key &key, bool &replaced) = 0;
 
+    /**
+     * Hint that probe(key) is imminent: start pulling the storage
+     * this key indexes toward the cache. Purely advisory - no
+     * observable state changes - so batch engines can issue one
+     * prefetch per table before the probe loop and overlap the
+     * misses (simulateMany runs a dozen-plus tables per record; their
+     * combined working set does not fit L2).
+     */
+    virtual void prefetch(const Key &key) const { (void)key; }
+
     /** Number of valid entries currently stored. */
     virtual std::uint64_t occupancy() const = 0;
 

@@ -49,6 +49,7 @@ class TargetCachePredictor : public IndirectPredictor
     Prediction predict(Addr pc) override;
     void update(Addr pc, Addr actual) override;
     void observeConditional(Addr pc, bool taken, Addr target) override;
+    bool consumesConditionals() const override { return true; }
     void reset() override;
     std::string name() const override;
 

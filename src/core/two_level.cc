@@ -96,6 +96,16 @@ TwoLevelPredictor::lookup(Addr pc)
                       static_cast<int>(entry->confidence.value())};
 }
 
+void
+TwoLevelPredictor::primeSharedPrediction(Addr pc,
+                                         const Prediction &pred)
+{
+    _predMemo = pred;
+    _predMemoVersion = _sweepGroup->version();
+    _predMemoPc = pc;
+    _predMemoValid = true;
+}
+
 Prediction
 TwoLevelPredictor::sharedPredict(Addr pc)
 {

@@ -86,6 +86,22 @@ class TwoLevelPredictor final : public IndirectPredictor
     void observeConditional(Addr pc, bool taken, Addr target) override;
     bool joinSweepKernel(SweepKernel &kernel) override;
 
+    /** Conditionals only matter while the 3.3 variant still owns its
+     *  history; bound columns fold them in through the kernel. */
+    bool
+    consumesConditionals() const override
+    {
+        return _config.includeConditionalTargets &&
+               _sweepGroup == nullptr;
+    }
+
+    /** Bound to a sweep kernel (joinSweepKernel accepted). */
+    bool sweepBound() const { return _sweepGroup != nullptr; }
+
+    /** The dedup primary this column mirrors, nullptr when it owns
+     *  its own state (see _sweepPrimary). For the lane engine. */
+    TwoLevelPredictor *sweepPrimary() const { return _sweepPrimary; }
+
     void reset() override;
     std::string name() const override;
 
@@ -102,6 +118,28 @@ class TwoLevelPredictor final : public IndirectPredictor
 
     /** The key the predictor would use for @p pc right now. */
     Key currentKey(Addr pc);
+
+    /**
+     * Direct state access for the lane engine (sim/simulator.cc),
+     * which drives bound machines table-first: one key per shared
+     * variant per record, then prefetch/probe/access on the owning
+     * table without re-entering predict()/update(). Only meaningful
+     * on a state owner (sweepPrimary() == nullptr).
+     */
+    SweepKeyVariant *sweepVariant() const { return _sweepVariant; }
+    SweepHistoryGroup *sweepGroup() const { return _sweepGroup; }
+    TargetTable &table() { return *_table; }
+    bool replicated() const { return _replicated; }
+
+    /**
+     * Store @p pred as this record's memoized shared prediction, as
+     * if predict() had just produced it (lane engine only). Keeps
+     * the dedup contract alive when the lane engine probes the table
+     * directly: any replica or generic reader consulting
+     * sharedPredict() later in the record still sees the pre-update
+     * answer.
+     */
+    void primeSharedPrediction(Addr pc, const Prediction &pred);
 
   private:
     void pushHistory(Addr pc, Addr target);

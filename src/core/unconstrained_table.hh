@@ -33,12 +33,26 @@ class UnconstrainedTable : public TargetTable
     const TableEntry *
     probe(const Key &key) const override
     {
-        return _entries.find(key);
+        // Probe-to-access fusion: predict() always probes the key
+        // update() is about to access, and find() never mutates the
+        // map, so a hit's slot pointer is still valid (no rehash can
+        // intervene) when access() consumes the memo below.
+        const TableEntry *entry = _entries.find(key);
+        _memoEntry = const_cast<TableEntry *>(entry);
+        _memoKey = key;
+        return entry;
     }
 
     TableEntry &
     access(const Key &key, bool &replaced) override
     {
+        if (_memoEntry != nullptr && _memoKey == key) {
+            TableEntry &entry = *_memoEntry;
+            _memoEntry = nullptr;
+            replaced = false;
+            return entry;
+        }
+        _memoEntry = nullptr;
         bool inserted = false;
         TableEntry &entry = _entries.findOrInsert(key, inserted);
         if (inserted) {
@@ -51,12 +65,24 @@ class UnconstrainedTable : public TargetTable
 
     std::uint64_t occupancy() const override { return _entries.size(); }
     std::uint64_t capacity() const override { return 0; }
-    void reset() override { _entries.clear(); }
+
+    void
+    reset() override
+    {
+        _entries.clear();
+        _memoEntry = nullptr;
+    }
+
     std::string name() const override { return "unconstrained"; }
 
   private:
     EntryCounterSpec _counters;
     FlatMap<Key, TableEntry, KeyHash> _entries;
+
+    /** One-shot probe memo (see probe()); mutable because probe() is
+     *  const. Invalidated by any access and by reset(). */
+    mutable TableEntry *_memoEntry = nullptr;
+    mutable Key _memoKey{};
 };
 
 } // namespace ibp

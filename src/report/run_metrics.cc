@@ -28,6 +28,8 @@ RunMetrics::operator=(const RunMetrics &other)
     _tableImpl = other._tableImpl;
     _hasSweepKernel = other._hasSweepKernel;
     _sweepKernel = other._sweepKernel;
+    _hasSimd = other._hasSimd;
+    _simd = other._simd;
     _hasServe = other._hasServe;
     _serve = other._serve;
     _hasResultStore = other._hasResultStore;
@@ -112,6 +114,37 @@ RunMetrics::recordSweepKernel(const SweepKernelStats &stats)
     _sweepKernel.fallbackInjected += stats.fallbackInjected;
     _sweepKernel.fallbackInjectorArmed += stats.fallbackInjectorArmed;
     _sweepKernel.fallbackError += stats.fallbackError;
+}
+
+void
+RunMetrics::recordSimd(const SimdStats &stats)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _hasSimd = true;
+    // The dispatch level describes the process, not one run: the
+    // most recent record is as good as any earlier one.
+    _simd.dispatchLevel = stats.dispatchLevel;
+    _simd.fallbackReason = stats.fallbackReason;
+    _simd.columnarBlocks += stats.columnarBlocks;
+    _simd.transposedBlocks += stats.transposedBlocks;
+    _simd.skippedRecords += stats.skippedRecords;
+    _simd.laneColumns += stats.laneColumns;
+    _simd.genericColumns += stats.genericColumns;
+    _simd.laneMachines += stats.laneMachines;
+}
+
+bool
+RunMetrics::hasSimd() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hasSimd;
+}
+
+SimdStats
+RunMetrics::simd() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _simd;
 }
 
 void
@@ -393,6 +426,25 @@ RunMetrics::toJson() const
         json.set("sweep_kernel", std::move(kernel));
     }
 
+    // Likewise emitted only when recorded, so artifacts produced
+    // before the SIMD/SoA engine keep their schema. The table diff
+    // never compares this block: a columnar warm run and a
+    // transposing cold run legitimately differ here while their
+    // simulation results are bit-identical.
+    if (hasSimd()) {
+        const SimdStats stats = simd();
+        Json block = Json::object();
+        block.set("dispatch_level", stats.dispatchLevel);
+        block.set("fallback_reason", stats.fallbackReason);
+        block.set("columnar_blocks", stats.columnarBlocks);
+        block.set("transposed_blocks", stats.transposedBlocks);
+        block.set("skipped_records", stats.skippedRecords);
+        block.set("lane_columns", stats.laneColumns);
+        block.set("generic_columns", stats.genericColumns);
+        block.set("lane_machines", stats.laneMachines);
+        json.set("simd", std::move(block));
+    }
+
     // Likewise emitted only when the run went through the ibpd
     // daemon; in-process artifacts stay byte-identical to their
     // pre-daemon schema, which is also what lets report_diff hold
@@ -516,6 +568,25 @@ RunMetrics::fromJson(const Json &json)
         sweep.fallbackError = static_cast<unsigned>(
             kernel.numberOr("fallback_error", 0));
         metrics.recordSweepKernel(sweep);
+    }
+    if (json.contains("simd")) {
+        const Json &block = json.at("simd");
+        SimdStats stats;
+        stats.dispatchLevel = block.stringOr("dispatch_level", "");
+        stats.fallbackReason = block.stringOr("fallback_reason", "");
+        stats.columnarBlocks = static_cast<std::uint64_t>(
+            block.numberOr("columnar_blocks", 0));
+        stats.transposedBlocks = static_cast<std::uint64_t>(
+            block.numberOr("transposed_blocks", 0));
+        stats.skippedRecords = static_cast<std::uint64_t>(
+            block.numberOr("skipped_records", 0));
+        stats.laneColumns = static_cast<std::uint64_t>(
+            block.numberOr("lane_columns", 0));
+        stats.genericColumns = static_cast<std::uint64_t>(
+            block.numberOr("generic_columns", 0));
+        stats.laneMachines = static_cast<std::uint64_t>(
+            block.numberOr("lane_machines", 0));
+        metrics.recordSimd(stats);
     }
     if (json.contains("serve")) {
         const Json &served = json.at("serve");

@@ -134,6 +134,42 @@ struct ResultStoreStats
 };
 
 /**
+ * Telemetry of the SIMD/SoA batch engine (docs/PERFORMANCE.md): the
+ * vector dispatch level the process resolved, why it is not at full
+ * width, and how the fused traversals fed their records (zero-copy
+ * columnar blocks vs per-block transposes) and partitioned their
+ * predictor columns (batched lane engine vs generic
+ * record-at-a-time). Counters are cumulative across run() calls of
+ * one session, mirroring the sweep-kernel counters; the strings are
+ * process-global and simply kept current.
+ */
+struct SimdStats
+{
+    /** Resolved dispatch level: "scalar", "sse2" or "avx2". */
+    std::string dispatchLevel;
+    /** Why the process is below full width ("" at full width,
+     *  else e.g. "IBP_SIMD=off" or "cpu-lacks-avx2"). */
+    std::string fallbackReason;
+    /** Trace blocks served zero-copy from columnar (v3 mmap)
+     *  storage. */
+    std::uint64_t columnarBlocks = 0;
+    /** Trace blocks transposed from record storage into scratch
+     *  columns. */
+    std::uint64_t transposedBlocks = 0;
+    /** Records skipped wholesale by the vectorized block
+     *  classifier. */
+    std::uint64_t skippedRecords = 0;
+    /** Predictor columns executed by the batched lane engine,
+     *  summed over fused traversals. */
+    std::uint64_t laneColumns = 0;
+    /** Columns that ran the generic record-at-a-time path. */
+    std::uint64_t genericColumns = 0;
+    /** Distinct state machines (dedup owners) the lane engine
+     *  drove, summed over fused traversals. */
+    std::uint64_t laneMachines = 0;
+};
+
+/**
  * Record of one cell that permanently failed (all retries
  * exhausted, or a non-retryable error). Artifacts carrying any of
  * these are *partial*: report_diff rejects them unless explicitly
@@ -257,6 +293,19 @@ class RunMetrics
     SweepKernelStats sweepKernel() const;
 
     /**
+     * Record SIMD/SoA engine telemetry for one grid run. Counters
+     * add up across calls; the dispatch strings are overwritten
+     * (they describe the process, not the run). Thread-safe.
+     */
+    void recordSimd(const SimdStats &stats);
+
+    /** True when recordSimd() was ever called. */
+    bool hasSimd() const;
+
+    /** SIMD/SoA engine telemetry (zeros if never recorded). */
+    SimdStats simd() const;
+
+    /**
      * Record daemon-service telemetry for this run. Counters add up
      * across calls (a coalesced request layers onto the job's own
      * record); `warm` and `queueSeconds` keep the maximum.
@@ -302,6 +351,8 @@ class RunMetrics
     std::string _tableImpl;
     bool _hasSweepKernel = false;
     SweepKernelStats _sweepKernel;
+    bool _hasSimd = false;
+    SimdStats _simd;
     bool _hasServe = false;
     ServeMetrics _serve;
     bool _hasResultStore = false;

@@ -1,20 +1,22 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <unordered_map>
 
+#include "core/hybrid.hh"
+#include "core/set_assoc_table.hh"
+#include "core/simd.hh"
 #include "core/sweep_kernel.hh"
+#include "core/two_level.hh"
 #include "robust/error.hh"
+#include "trace/trace_block.hh"
 #include "util/logging.hh"
 
-// Pull upcoming records toward L1 while the predictor works on the
-// current one. The records are a dense read-only array (often a view
-// of an mmap'ed cache file, so the first touch is a page-cache read,
-// not a generator store), which makes a modest lookahead worthwhile.
-#if defined(__GNUC__) || defined(__clang__)
-#define IBP_PREFETCH(address) __builtin_prefetch((address), 0, 1)
-#else
-#define IBP_PREFETCH(address) ((void)0)
-#endif
+// IBP_PREFETCH (core/simd.hh) pulls upcoming records toward L1 while
+// the predictor works on the current one. The records are a dense
+// read-only array (often a view of an mmap'ed cache file, so the
+// first touch is a page-cache read, not a generator store), which
+// makes a modest lookahead worthwhile.
 
 namespace ibp {
 
@@ -27,6 +29,189 @@ throwCancelled(const Trace &trace)
 {
     throw RunException(RunError::timeout(
         "simulation of '" + trace.name() + "' cancelled by watchdog"));
+}
+
+/**
+ * The lane engine's execution plan for a fused traversal.
+ *
+ * Columns whose per-record work is a pure function of bound
+ * two-level component predictions - plain bound TwoLevelPredictor
+ * columns and confidence-metaprediction hybrids with every component
+ * bound - are executed in *phases* across the whole column set:
+ * first every distinct state machine is probed, then each column
+ * combines its members' predictions into counters, then every
+ * machine trains, and only then do the remaining (generic) columns
+ * run their usual predict/update pairs.
+ *
+ * A *machine* is one dedup state owner (TwoLevelPredictor whose
+ * table actually holds state); columns reference machines by index,
+ * so a fig17 row's dozen hybrids sharing a p1 component probe that
+ * component once per record instead of once per column. The phase
+ * split is bit-identical to the interleaved order because columns
+ * are state-disjoint: the only couplings are the dedup prediction
+ * memo (written by the machine probe phase, version-gated, and
+ * deliberately surviving the machine's own update until the kernel
+ * commit bumps the version) and the shared history (advanced only
+ * by the commit after all phases).
+ *
+ * The machine's driver object is the first-encountered component
+ * referencing that owner, upgraded to the owner itself whenever the
+ * owner appears in a lane column - so update() trains the state
+ * exactly once per record: through the driver when the owner's
+ * column is a lane column (driver == owner), through the owner's
+ * own generic column otherwise (driver is a replica whose update()
+ * is a no-op).
+ */
+struct LanePlan
+{
+    struct Column
+    {
+        std::size_t result;    ///< index into the results array
+        bool hybrid;           ///< confidence combine vs passthrough
+        std::uint32_t first;   ///< offset into memberPool
+        std::uint32_t count;   ///< member machines (1 for plain)
+    };
+
+    /**
+     * One machine's flattened per-record execution recipe: the lane
+     * engine drives the state-owning table directly (prefetch, probe,
+     * access plus the verbatim two-level update rule) with the key of
+     * the machine's shared variant, resolved once per record per
+     * *slot* (distinct variant). This removes the whole
+     * predict()/update()/currentKey() call stack from the hot loop;
+     * the dedup contract survives because replicated owners get their
+     * prediction memo primed with the probed answer (see prime).
+     */
+    struct Machine
+    {
+        TargetTable *table;        ///< the owner's second-level table
+        /** table when it is a SetAssocTable (the sweep workhorse),
+         *  else nullptr: SetAssocTable is final with inline
+         *  probe/access, so this pointer devirtualizes the per-record
+         *  table work and lets it inline into the lane loops. */
+        SetAssocTable *setAssoc;
+        std::uint32_t keySlot;     ///< index into keySlots/laneKeys
+        TwoLevelPredictor *owner;  ///< state owner (memo priming)
+        /** Phase 3 trains this table (driver == owner). When the
+         *  owner's own column is generic, its update() there is the
+         *  one real training pass and phase 3 must not add another. */
+        bool train;
+        bool hysteresis;           ///< owner's 2bc update rule flag
+        /** Owner has replicas or out-of-plan readers: mirror the
+         *  probed prediction into its sharedPredict() memo. */
+        bool prime;
+    };
+
+    /** One distinct (variant, group) key source among the machines. */
+    struct KeySlot
+    {
+        SweepKeyVariant *variant;
+        SweepHistoryGroup *group;
+    };
+
+    std::vector<TwoLevelPredictor *> machines; ///< driver objects
+    std::vector<Machine> exec;                 ///< parallel to machines
+    std::vector<KeySlot> keySlots;
+    std::vector<Key> laneKeys;                 ///< per-slot scratch
+    std::vector<std::uint16_t> memberPool;     ///< column members
+    std::vector<Column> columns;               ///< lane columns
+    std::vector<IndirectPredictor *> generic;  ///< record-at-a-time
+    std::vector<std::size_t> genericResult;
+    std::vector<Prediction> lanePred;          ///< per-machine scratch
+};
+
+LanePlan
+buildLanePlan(std::span<IndirectPredictor *const> predictors,
+              bool fused)
+{
+    LanePlan plan;
+    std::unordered_map<const TwoLevelPredictor *, std::uint16_t>
+        machineOf;
+    auto machineIndex = [&plan, &machineOf](
+                            TwoLevelPredictor &component) {
+        TwoLevelPredictor *owner = component.sweepPrimary() != nullptr
+                                       ? component.sweepPrimary()
+                                       : &component;
+        auto [it, inserted] = machineOf.try_emplace(
+            owner, static_cast<std::uint16_t>(plan.machines.size()));
+        if (inserted)
+            plan.machines.push_back(&component);
+        else if (&component == owner)
+            plan.machines[it->second] = owner;
+        return it->second;
+    };
+
+    for (std::size_t i = 0; i < predictors.size(); ++i) {
+        IndirectPredictor *predictor = predictors[i];
+        if (fused) {
+            if (auto *two =
+                    dynamic_cast<TwoLevelPredictor *>(predictor);
+                two != nullptr && two->sweepBound()) {
+                plan.columns.push_back(
+                    {i, false,
+                     static_cast<std::uint32_t>(
+                         plan.memberPool.size()),
+                     1});
+                plan.memberPool.push_back(machineIndex(*two));
+                continue;
+            }
+            if (auto *hybrid =
+                    dynamic_cast<HybridPredictor *>(predictor);
+                hybrid != nullptr &&
+                hybrid->config().meta == MetaKind::Confidence) {
+                bool all_bound = true;
+                for (unsigned c = 0; c < hybrid->numComponents(); ++c)
+                    all_bound &= hybrid->component(c).sweepBound();
+                if (all_bound) {
+                    const LanePlan::Column column{
+                        i, true,
+                        static_cast<std::uint32_t>(
+                            plan.memberPool.size()),
+                        hybrid->numComponents()};
+                    for (unsigned c = 0; c < hybrid->numComponents();
+                         ++c) {
+                        plan.memberPool.push_back(
+                            machineIndex(hybrid->component(c)));
+                    }
+                    plan.columns.push_back(column);
+                    continue;
+                }
+            }
+        }
+        plan.generic.push_back(predictor);
+        plan.genericResult.push_back(i);
+    }
+    plan.lanePred.resize(plan.machines.size());
+
+    // Resolve the flattened execution recipes now that every driver
+    // upgrade has happened. Machines sharing a PatternSpec share a
+    // key slot, so a fig17 row resolves each distinct key exactly
+    // once per record no matter how many tables consume it.
+    plan.exec.reserve(plan.machines.size());
+    for (TwoLevelPredictor *driver : plan.machines) {
+        TwoLevelPredictor *owner = driver->sweepPrimary() != nullptr
+                                       ? driver->sweepPrimary()
+                                       : driver;
+        SweepKeyVariant *variant = owner->sweepVariant();
+        SweepHistoryGroup *group = owner->sweepGroup();
+        IBP_ASSERT(variant != nullptr && group != nullptr,
+                   "lane machine not sweep-bound");
+        std::uint32_t slot = 0;
+        while (slot < plan.keySlots.size() &&
+               plan.keySlots[slot].variant != variant) {
+            ++slot;
+        }
+        if (slot == plan.keySlots.size())
+            plan.keySlots.push_back({variant, group});
+        const bool train = driver == owner;
+        plan.exec.push_back(
+            {&owner->table(),
+             dynamic_cast<SetAssocTable *>(&owner->table()), slot,
+             owner, train, owner->config().hysteresis,
+             owner->replicated()});
+    }
+    plan.laneKeys.resize(plan.keySlots.size());
+    return plan;
 }
 
 } // namespace
@@ -125,61 +310,227 @@ simulateMany(std::span<IndirectPredictor *const> predictors,
     const auto start = std::chrono::steady_clock::now();
 
     const CancelToken *const cancel = options.cancel;
-    const BranchRecord *const records = trace.data();
-    const std::size_t count = trace.size();
-    const std::size_t predictor_count = predictors.size();
     SweepKernel *const kernel = options.kernel;
 
-    // The record stream is walked once; the per-predictor work is
-    // the inner loop, so every predictor sees exactly the sequence
-    // simulate() would have fed it and the counters must match it
-    // bit for bit.
+    // Partition the columns between the batched lane engine and the
+    // generic path (see LanePlan), and decide whether conditional
+    // records matter to anyone: bound predictors fold conditional
+    // targets in through the kernel's groups, so when no generic
+    // column consumes them either, the block classifier drops them
+    // without ever dispatching a record.
+    LanePlan plan = buildLanePlan(predictors, kernel != nullptr);
+    bool need_conditionals =
+        kernel != nullptr && kernel->hasConditionalGroups();
+    for (IndirectPredictor *predictor : predictors)
+        need_conditionals |= predictor->consumesConditionals();
+
+    const std::size_t machine_count = plan.machines.size();
+    const LanePlan::Machine *const machines = plan.exec.data();
+    const std::size_t key_slot_count = plan.keySlots.size();
+    const LanePlan::KeySlot *const key_slots = plan.keySlots.data();
+    Key *const lane_keys = plan.laneKeys.data();
+    Prediction *const lane_pred = plan.lanePred.data();
+    const std::uint16_t *const members = plan.memberPool.data();
+
+    if (options.traversal != nullptr) {
+        options.traversal->laneColumns =
+            static_cast<std::uint32_t>(plan.columns.size());
+        options.traversal->genericColumns =
+            static_cast<std::uint32_t>(plan.generic.size());
+        options.traversal->laneMachines =
+            static_cast<std::uint32_t>(machine_count);
+    }
+
+    // The trace is consumed in cache-resident SoA blocks (zero-copy
+    // for columnar traces); the classifier turns each block into the
+    // index list of records anyone cares about. Every predictor
+    // still sees exactly the sequence simulate() would have fed it,
+    // so the counters must match it bit for bit.
+    TraceBlockCursor cursor(trace);
+    std::vector<std::uint32_t> selected(kTraceBlockRecords);
     std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < count; ++i) {
-        if (((i + 1) & 0x3ffu) == 0 && cancel && cancel->cancelled())
+    std::uint64_t polled = 0;
+    TraceBlock block;
+    while (cursor.next(block)) {
+        if (cancel && cancel->cancelled())
             throwCancelled(trace);
-        if (i + kPrefetchDistance < count)
-            IBP_PREFETCH(records + i + kPrefetchDistance);
-
-        const BranchRecord &record = records[i];
-        if (record.kind == BranchKind::Conditional) {
-            for (std::size_t p = 0; p < predictor_count; ++p) {
-                predictors[p]->observeConditional(record.pc,
-                                                  record.taken,
-                                                  record.target);
-            }
-            // Bound predictors suppressed their own pushes; advance
-            // the shared histories once, after all of them looked.
-            if (kernel != nullptr)
-                kernel->observeConditional(record.pc, record.taken,
-                                           record.target);
-            continue;
+        const std::size_t selected_count = simd::classifyMeta(
+            block.meta, block.count, 0, need_conditionals,
+            selected.data());
+        if (options.traversal != nullptr) {
+            if (cursor.columnarSource())
+                ++options.traversal->columnarBlocks;
+            else
+                ++options.traversal->transposedBlocks;
+            options.traversal->skippedRecords +=
+                block.count - selected_count;
         }
-        if (!record.isPredictedIndirect())
-            continue; // returns are handled by a return-address stack
 
-        ++seen;
-        const bool counted = seen > options.warmupBranches;
-        for (std::size_t p = 0; p < predictor_count; ++p) {
-            IndirectPredictor *predictor = predictors[p];
-            const Prediction prediction = predictor->predict(record.pc);
+        for (std::size_t s = 0; s < selected_count; ++s) {
+            if ((++polled & 0x3ffu) == 0 && cancel &&
+                cancel->cancelled()) {
+                throwCancelled(trace);
+            }
+            const std::uint32_t index = selected[s];
+            const Addr pc = block.pc[index];
+            const Addr target = block.target[index];
+            const std::uint8_t meta = block.meta[index];
+
+            if (branchMetaKind(meta) == BranchKind::Conditional) {
+                // Lane columns are fully bound - their
+                // observeConditional() chains are no-ops - so only
+                // generic columns need the record itself.
+                const bool taken = branchMetaTaken(meta);
+                for (IndirectPredictor *predictor : plan.generic)
+                    predictor->observeConditional(pc, taken, target);
+                if (kernel != nullptr)
+                    kernel->observeConditional(pc, taken, target);
+                continue;
+            }
+
+            ++seen;
+            const bool counted = seen > options.warmupBranches;
+
+            // Phase 0: resolve each distinct key once (incremental
+            // variants collapse this to an address mix), then start
+            // pulling every machine's table set toward the cache -
+            // the dozen-plus tables of a sweep row do not fit L2 and
+            // their probe misses would otherwise stall back to back.
+            for (std::size_t v = 0; v < key_slot_count; ++v) {
+                lane_keys[v] = key_slots[v].variant->laneKey(
+                    pc, *key_slots[v].group);
+            }
+            for (std::size_t m = 0; m < machine_count; ++m) {
+                const LanePlan::Machine &machine = machines[m];
+                if (machine.setAssoc != nullptr)
+                    machine.setAssoc->prefetch(
+                        lane_keys[machine.keySlot]);
+            }
+
+            // Phase 1: probe every distinct state machine once -
+            // directly on the owning table, reproducing lookup()
+            // verbatim. The probes are pre-update by construction;
+            // replicated owners get their prediction memo primed so
+            // replicas and generic readers later in the record still
+            // mirror this pre-update answer.
+            for (std::size_t m = 0; m < machine_count; ++m) {
+                const LanePlan::Machine &machine = machines[m];
+                const TableEntry *entry =
+                    machine.setAssoc != nullptr
+                        ? machine.setAssoc->probe(
+                              lane_keys[machine.keySlot])
+                        : machine.table->probe(
+                              lane_keys[machine.keySlot]);
+                if (entry == nullptr || !entry->valid) {
+                    lane_pred[m] = Prediction{};
+                } else {
+                    lane_pred[m] = Prediction{
+                        true, entry->target,
+                        static_cast<int>(entry->confidence.value())};
+                }
+                if (machine.prime)
+                    machine.owner->primeSharedPrediction(pc,
+                                                         lane_pred[m]);
+            }
+
+            // Phase 2: per-column combine into counters (pure
+            // arithmetic - skipped wholesale during warm-up).
             if (counted) {
-                SimResult &result = results[p];
-                ++result.branches;
-                if (!prediction.correctFor(record.target)) {
-                    ++result.misses;
-                    if (!prediction.valid)
-                        ++result.noPrediction;
+                for (const LanePlan::Column &column : plan.columns) {
+                    const std::uint16_t *member =
+                        members + column.first;
+                    Prediction combined;
+                    if (!column.hybrid) {
+                        combined = lane_pred[member[0]];
+                    } else {
+                        // The confidence metapredictor, verbatim:
+                        // highest confidence wins, ties to the
+                        // earlier component, an invalid winner means
+                        // no prediction (HybridPredictor::predict).
+                        int chosen = -1;
+                        int best = -2;
+                        for (std::uint32_t k = 0; k < column.count;
+                             ++k) {
+                            const Prediction &pred =
+                                lane_pred[member[k]];
+                            if (pred.confidence > best) {
+                                best = pred.confidence;
+                                chosen = static_cast<int>(k);
+                            }
+                        }
+                        if (chosen >= 0 &&
+                            lane_pred[member[chosen]].valid) {
+                            combined = lane_pred[member[chosen]];
+                        }
+                    }
+                    SimResult &result = results[column.result];
+                    ++result.branches;
+                    if (!combined.correctFor(target)) {
+                        ++result.misses;
+                        if (!combined.valid)
+                            ++result.noPrediction;
+                    }
                 }
             }
-            predictor->update(record.pc, record.target);
+
+            // Phase 3: train every machine whose driver is its owner
+            // exactly once, with the verbatim two-level update rule
+            // (TwoLevelPredictor::update); the access consumes the
+            // probe's way memo, and bound owners push no history
+            // (the kernel commit below advances the shared groups).
+            // Machines owned by a generic column are trained there,
+            // in phase 4.
+            for (std::size_t m = 0; m < machine_count; ++m) {
+                const LanePlan::Machine &machine = machines[m];
+                if (!machine.train)
+                    continue;
+                bool replaced = false;
+                TableEntry &entry =
+                    machine.setAssoc != nullptr
+                        ? machine.setAssoc->access(
+                              lane_keys[machine.keySlot], replaced)
+                        : machine.table->access(
+                              lane_keys[machine.keySlot], replaced);
+                if (replaced || !entry.valid) {
+                    entry.target = target;
+                    entry.valid = true;
+                } else if (entry.target == target) {
+                    entry.hysteresis.hit();
+                    entry.confidence.increment();
+                } else {
+                    entry.confidence.decrement();
+                    if (!machine.hysteresis || entry.hysteresis.miss())
+                        entry.target = target;
+                }
+            }
+
+            // Phase 4: generic columns run their usual interleaved
+            // predict/update. Reads of shared machine state hit the
+            // version-gated prediction memo, which still holds the
+            // pre-update answer until the commit below.
+            for (std::size_t g = 0; g < plan.generic.size(); ++g) {
+                IndirectPredictor *predictor = plan.generic[g];
+                const Prediction prediction = predictor->predict(pc);
+                if (counted) {
+                    SimResult &result =
+                        results[plan.genericResult[g]];
+                    ++result.branches;
+                    if (!prediction.correctFor(target)) {
+                        ++result.misses;
+                        if (!prediction.valid)
+                            ++result.noPrediction;
+                    }
+                }
+                predictor->update(pc, target);
+            }
+
+            // Solo predictors push history inside update() *after*
+            // consuming the key they cached pre-push; committing the
+            // shared histories once, after every bound predictor
+            // trained, reproduces exactly that order.
+            if (kernel != nullptr)
+                kernel->commit(pc, target);
         }
-        // Solo predictors push history inside update() *after*
-        // consuming the key they cached pre-push; committing the
-        // shared histories once, after every bound predictor
-        // trained, reproduces exactly that order.
-        if (kernel != nullptr)
-            kernel->commit(record.pc, record.target);
     }
 
     // One traversal produced all results, so the wall time is shared

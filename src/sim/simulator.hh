@@ -104,6 +104,32 @@ struct CancelToken
     }
 };
 
+/**
+ * Telemetry of one simulateMany() block traversal (see
+ * SimOptions::traversal): how the records were fed (zero-copy
+ * columnar blocks vs per-block transposes) and how the predictor
+ * columns were partitioned between the batched lane engine and the
+ * generic record-at-a-time path.
+ */
+struct TraversalStats
+{
+    /** Blocks served zero-copy from a columnar (v3 mmap) trace. */
+    std::uint64_t columnarBlocks = 0;
+    /** Blocks transposed from record storage into scratch columns. */
+    std::uint64_t transposedBlocks = 0;
+    /** Records skipped wholesale by the block classifier (returns,
+     *  plus conditionals when nothing in the traversal consumes
+     *  them). */
+    std::uint64_t skippedRecords = 0;
+    /** Predictor columns executed by the batched lane engine. */
+    std::uint32_t laneColumns = 0;
+    /** Columns that ran the generic record-at-a-time path. */
+    std::uint32_t genericColumns = 0;
+    /** Distinct state machines (dedup owners) the lane engine
+     *  probes and trains once per record. */
+    std::uint32_t laneMachines = 0;
+};
+
 /** Extra knobs for a simulation run. */
 struct SimOptions
 {
@@ -135,6 +161,10 @@ struct SimOptions
      * (SweepKernel::tryJoin) and called finalize(). nullptr disables.
      */
     SweepKernel *kernel = nullptr;
+
+    /** Optional out-parameter: simulateMany() fills it with block
+     *  traversal telemetry (metrics.simd). nullptr disables. */
+    TraversalStats *traversal = nullptr;
 };
 
 /**

@@ -11,6 +11,7 @@
 #include <system_error>
 #include <thread>
 
+#include "core/simd.hh"
 #include "core/sweep_kernel.hh"
 #include "robust/fault_injection.hh"
 #include "sim/result_store.hh"
@@ -663,6 +664,14 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
     std::atomic<unsigned> predictors_unbound{0};
     std::atomic<unsigned> predictors_deduped{0};
     unsigned fallback_injector_armed = 0;
+    // Block-traversal telemetry summed over successful fused chunks
+    // (metrics.simd; see TraversalStats).
+    std::atomic<std::uint64_t> simd_columnar_blocks{0};
+    std::atomic<std::uint64_t> simd_transposed_blocks{0};
+    std::atomic<std::uint64_t> simd_skipped_records{0};
+    std::atomic<std::uint64_t> simd_lane_columns{0};
+    std::atomic<std::uint64_t> simd_generic_columns{0};
+    std::atomic<std::uint64_t> simd_lane_machines{0};
 
     // Phase 1 (opportunistic): feed all pending columns of a
     // benchmark from ONE trace traversal with a fused sweep kernel,
@@ -797,9 +806,29 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                         SimOptions options;
                         options.cancel = &slot.token;
                         options.kernel = &kernel;
+                        TraversalStats traversal;
+                        options.traversal = &traversal;
                         const std::vector<SimResult> results =
                             simulateMany(raw, *chunk_trace, options);
                         slot.disarm();
+                        simd_columnar_blocks.fetch_add(
+                            traversal.columnarBlocks,
+                            std::memory_order_relaxed);
+                        simd_transposed_blocks.fetch_add(
+                            traversal.transposedBlocks,
+                            std::memory_order_relaxed);
+                        simd_skipped_records.fetch_add(
+                            traversal.skippedRecords,
+                            std::memory_order_relaxed);
+                        simd_lane_columns.fetch_add(
+                            traversal.laneColumns,
+                            std::memory_order_relaxed);
+                        simd_generic_columns.fetch_add(
+                            traversal.genericColumns,
+                            std::memory_order_relaxed);
+                        simd_lane_machines.fetch_add(
+                            traversal.laneMachines,
+                            std::memory_order_relaxed);
                         for (std::size_t i = 0; i < members.size();
                              ++i) {
                             finishCell(jobs[members[i]], results[i]);
@@ -1031,6 +1060,28 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             sweep.predictorsDeduped =
                 predictors_deduped.load(std::memory_order_relaxed);
             metrics->recordSweepKernel(sweep);
+        }
+        // SIMD/SoA observability: the process-wide dispatch level is
+        // always worth recording; the traversal counters are summed
+        // over the fused chunks above (zero for per-cell runs, which
+        // is itself informative).
+        {
+            SimdStats simd;
+            simd.dispatchLevel = simdLevelName(simdLevel());
+            simd.fallbackReason = simdFallbackReason();
+            simd.columnarBlocks =
+                simd_columnar_blocks.load(std::memory_order_relaxed);
+            simd.transposedBlocks = simd_transposed_blocks.load(
+                std::memory_order_relaxed);
+            simd.skippedRecords =
+                simd_skipped_records.load(std::memory_order_relaxed);
+            simd.laneColumns =
+                simd_lane_columns.load(std::memory_order_relaxed);
+            simd.genericColumns =
+                simd_generic_columns.load(std::memory_order_relaxed);
+            simd.laneMachines =
+                simd_lane_machines.load(std::memory_order_relaxed);
+            metrics->recordSimd(simd);
         }
         // Result-store observability: recorded whenever the store
         // was armed for this run (even an all-miss cold pass), so

@@ -78,6 +78,38 @@ struct BranchRecord
     bool operator==(const BranchRecord &other) const = default;
 };
 
+/**
+ * One-byte columnar form of (kind, taken): the meta stream of the
+ * v3 `.ibpm` layout and of in-memory trace blocks (trace_block.hh).
+ * Low 7 bits hold the kind, the high bit the taken flag, so a block
+ * classifier can test kinds with one masked byte compare per record.
+ */
+constexpr std::uint8_t
+packBranchMeta(BranchKind kind, bool taken)
+{
+    return static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(kind) | (taken ? 0x80u : 0u));
+}
+
+constexpr BranchKind
+branchMetaKind(std::uint8_t meta)
+{
+    return static_cast<BranchKind>(meta & 0x7fu);
+}
+
+constexpr bool
+branchMetaTaken(std::uint8_t meta)
+{
+    return (meta & 0x80u) != 0;
+}
+
+/** Meta-byte mirror of BranchRecord::isPredictedIndirect(). */
+constexpr bool
+branchMetaIsPredictedIndirect(std::uint8_t meta)
+{
+    return static_cast<std::uint8_t>((meta & 0x7fu) - 1u) < 3u;
+}
+
 } // namespace ibp
 
 #endif // IBP_TRACE_BRANCH_RECORD_HH

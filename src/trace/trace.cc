@@ -18,6 +18,14 @@ traceReadPathName(TraceReadPath path)
 std::uint64_t
 Trace::countPredictedIndirect() const
 {
+    // Columnar traces answer from the meta stream so a statistics
+    // pass does not force the AoS shadow into memory.
+    if (_columnar) {
+        std::uint64_t count = 0;
+        for (std::size_t i = 0; i < _columnar->count; ++i)
+            count += branchMetaIsPredictedIndirect(_columnar->meta[i]);
+        return count;
+    }
     std::uint64_t count = 0;
     for (const auto &record : records())
         count += record.isPredictedIndirect() ? 1 : 0;
@@ -27,10 +35,32 @@ Trace::countPredictedIndirect() const
 std::uint64_t
 Trace::countKind(BranchKind kind) const
 {
+    if (_columnar) {
+        std::uint64_t count = 0;
+        for (std::size_t i = 0; i < _columnar->count; ++i)
+            count += branchMetaKind(_columnar->meta[i]) == kind;
+        return count;
+    }
     std::uint64_t count = 0;
     for (const auto &record : records())
         count += record.kind == kind ? 1 : 0;
     return count;
+}
+
+const BranchRecord *
+Trace::columnarAos() const
+{
+    ColumnarStorage &cols = *_columnar;
+    std::call_once(cols.aosOnce, [&cols] {
+        cols.aos.resize(cols.count);
+        for (std::size_t i = 0; i < cols.count; ++i) {
+            cols.aos[i] = BranchRecord{
+                cols.pc[i], cols.target[i],
+                branchMetaKind(cols.meta[i]),
+                branchMetaTaken(cols.meta[i])};
+        }
+    });
+    return cols.aos.data();
 }
 
 bool

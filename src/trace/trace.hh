@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -29,20 +30,55 @@ enum class TraceReadPath : std::uint8_t
 const char *traceReadPathName(TraceReadPath path);
 
 /**
+ * Borrowed column pointers of a columnar trace (see
+ * Trace::fromColumnarView): parallel pc/target arrays and the packed
+ * meta byte per record (packBranchMeta). Valid while the Trace that
+ * produced them (or a copy) is alive.
+ */
+struct TraceColumns
+{
+    const Addr *pc = nullptr;
+    const Addr *target = nullptr;
+    const std::uint8_t *meta = nullptr;
+};
+
+/**
  * A branch trace: an ordered sequence of BranchRecord plus metadata
  * identifying the (synthetic) benchmark it came from. Traces are
  * value types; the simulator only ever reads them.
  *
- * Records live in one of two places: an owned vector (generated or
- * parsed traces) or a borrowed read-only view whose lifetime is held
- * by a shared backing object (the mmap'ed cache file — see
- * trace/trace_mmap.hh). Readers only ever touch data()/size(), so
- * the two are indistinguishable; a mutation (append/reserve) on a
- * view-backed trace first materialises a private copy.
+ * Records live in one of three places: an owned vector (generated or
+ * parsed traces), a borrowed read-only record view whose lifetime is
+ * held by a shared backing object (the mmap'ed v2 cache file — see
+ * trace/trace_mmap.hh), or borrowed *columns* (separate pc/target/
+ * meta streams, the mmap'ed v3 layout). Readers that touch
+ * data()/size() see all three identically — a columnar trace
+ * materialises an AoS shadow on first such demand (once, shared
+ * across copies) — while block consumers (trace_block.hh) read the
+ * columns zero-copy. A mutation (append/reserve) on any borrowed
+ * form first materialises a private owned copy.
  */
 class Trace
 {
   public:
+    /**
+     * Shared storage of a columnar trace: borrowed column pointers,
+     * the backing object that keeps them alive, and a lazily built
+     * AoS shadow for record-oriented readers. Shared (not copied)
+     * between copies of the owning Trace so the shadow is transposed
+     * at most once per underlying file.
+     */
+    struct ColumnarStorage
+    {
+        std::shared_ptr<const void> backing;
+        const Addr *pc = nullptr;
+        const Addr *target = nullptr;
+        const std::uint8_t *meta = nullptr;
+        std::size_t count = 0;
+        std::once_flag aosOnce;
+        std::vector<BranchRecord> aos;
+    };
+
     Trace() = default;
     explicit Trace(std::string name) : _name(std::move(name)) {}
 
@@ -82,12 +118,16 @@ class Trace
     const BranchRecord *
     data() const
     {
+        if (_columnar)
+            return columnarAos();
         return _backing ? _view : _owned.data();
     }
 
     std::size_t
     size() const
     {
+        if (_columnar)
+            return _columnar->count;
         return _backing ? _viewSize : _owned.size();
     }
 
@@ -125,6 +165,45 @@ class Trace
         return trace;
     }
 
+    /**
+     * Build a trace over borrowed SoA columns (the v3 `.ibpm`
+     * layout): parallel @p pc / @p target arrays and a packed meta
+     * byte per record (packBranchMeta). @p backing keeps the columns
+     * alive as long as any copy of the returned trace exists.
+     */
+    static Trace
+    fromColumnarView(std::string name, std::uint64_t seed,
+                     std::shared_ptr<const void> backing,
+                     const Addr *pc, const Addr *target,
+                     const std::uint8_t *meta, std::size_t count)
+    {
+        Trace trace(std::move(name));
+        trace._seed = seed;
+        trace._columnar = std::make_shared<ColumnarStorage>();
+        trace._columnar->backing = std::move(backing);
+        trace._columnar->pc = pc;
+        trace._columnar->target = target;
+        trace._columnar->meta = meta;
+        trace._columnar->count = count;
+        return trace;
+    }
+
+    /** True when the records live as SoA columns (see columns()). */
+    bool isColumnar() const { return _columnar != nullptr; }
+
+    /**
+     * Borrowed column pointers; only meaningful when isColumnar().
+     * Block consumers read these zero-copy instead of forcing the
+     * AoS shadow through data().
+     */
+    TraceColumns
+    columns() const
+    {
+        if (!_columnar)
+            return {};
+        return {_columnar->pc, _columnar->target, _columnar->meta};
+    }
+
     /** Count records of the kinds predicted as indirect branches. */
     std::uint64_t countPredictedIndirect() const;
 
@@ -144,6 +223,12 @@ class Trace
     void
     materialise()
     {
+        if (_columnar) {
+            const BranchRecord *aos = columnarAos();
+            _owned.assign(aos, aos + _columnar->count);
+            _columnar.reset();
+            return;
+        }
         if (!_backing)
             return;
         _owned.assign(_view, _view + _viewSize);
@@ -151,6 +236,9 @@ class Trace
         _view = nullptr;
         _viewSize = 0;
     }
+
+    /** Transpose the columns into the shared AoS shadow (once). */
+    const BranchRecord *columnarAos() const;
 
     std::string _name;
     std::uint64_t _seed = 0;
@@ -160,6 +248,7 @@ class Trace
     std::shared_ptr<const void> _backing;
     const BranchRecord *_view = nullptr;
     std::size_t _viewSize = 0;
+    std::shared_ptr<ColumnarStorage> _columnar;
 };
 
 } // namespace ibp

@@ -2,8 +2,10 @@
 
 #include <bit>
 #include <cstddef>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 
@@ -24,22 +26,32 @@ namespace ibp {
 
 namespace {
 
-constexpr char kMagic[8] = {'I', 'B', 'P', 'M', 'A', 'P', '2', '\0'};
-constexpr std::uint32_t kVersion = 2;
+constexpr char kMagicV2[8] = {'I', 'B', 'P', 'M', 'A', 'P', '2', '\0'};
+constexpr char kMagicV3[8] = {'I', 'B', 'P', 'M', 'A', 'P', '3', '\0'};
 constexpr std::uint32_t kEndianTag = 0x01020304u;
-constexpr std::size_t kHeaderBytes = 64;
-constexpr std::size_t kChecksumOffset = 56;
+
+// v2 (record-array) layout constants.
+constexpr std::uint32_t kVersionV2 = 2;
+constexpr std::size_t kHeaderBytesV2 = 64;
+constexpr std::size_t kChecksumOffsetV2 = 56;
 constexpr std::size_t kRecordAlign = 16;
 
-// The on-disk record is BranchRecord's in-memory layout. Pin that
-// layout down so a compiler/ABI change fails the build, not the
-// reader.
+// v3 (columnar) layout constants.
+constexpr std::uint32_t kVersionV3 = 3;
+constexpr std::size_t kHeaderBytesV3 = 128;
+constexpr std::size_t kChecksumOffsetV3 = 80;
+constexpr std::size_t kColumnAlign = 64;
+
+// The v2 on-disk record is BranchRecord's in-memory layout, and the
+// v3 columns assume 4-byte addresses. Pin both down so a
+// compiler/ABI change fails the build, not the reader.
 static_assert(sizeof(BranchRecord) == 12);
 static_assert(offsetof(BranchRecord, pc) == 0);
 static_assert(offsetof(BranchRecord, target) == 4);
 static_assert(offsetof(BranchRecord, kind) == 8);
 static_assert(offsetof(BranchRecord, taken) == 9);
 static_assert(std::is_trivially_copyable_v<BranchRecord>);
+static_assert(sizeof(Addr) == 4);
 
 constexpr std::size_t
 alignUp(std::size_t value, std::size_t align)
@@ -75,19 +87,118 @@ getU64(const char *base, std::size_t offset)
     return value;
 }
 
-/** FNV-1a over the first 56 header bytes (7 little-endian words). */
+/** FNV-1a over the header bytes before the checksum field
+ * (little-endian words; @p words is 7 for v2, 10 for v3). */
 [[maybe_unused]] std::uint64_t
-headerChecksum(const char *base)
+headerChecksum(const char *base, std::size_t words)
 {
-    std::uint64_t words[7];
-    std::memcpy(words, base, kChecksumOffset);
-    return fnv1a64(words, 7, 0xcbf29ce484222325ULL);
+    std::uint64_t buffer[10];
+    std::memcpy(buffer, base, words * sizeof(std::uint64_t));
+    return fnv1a64(buffer, words, 0xcbf29ce484222325ULL);
 }
 
 [[maybe_unused]] RunError
 badFile(const std::string &path, const std::string &what)
 {
     return RunError::permanent("mmap trace '" + path + "': " + what);
+}
+
+std::string
+encodeV2(const Trace &trace)
+{
+    const std::size_t name_bytes = trace.name().size();
+    const std::size_t records_offset =
+        alignUp(kHeaderBytesV2 + name_bytes, kRecordAlign);
+    const std::size_t count = trace.size();
+
+    // Zero-filled up front so padding (header gap, name tail, record
+    // tail bytes) is deterministic: storing the same trace twice
+    // must produce byte-identical files.
+    std::string blob(records_offset + count * sizeof(BranchRecord),
+                     '\0');
+    std::memcpy(blob.data(), kMagicV2, sizeof(kMagicV2));
+    putU32(blob, 8, kVersionV2);
+    putU32(blob, 12, kEndianTag);
+    putU32(blob, 16, sizeof(BranchRecord));
+    putU32(blob, 20, kHeaderBytesV2);
+    putU64(blob, 24, trace.seed());
+    putU64(blob, 32, count);
+    putU32(blob, 40, static_cast<std::uint32_t>(name_bytes));
+    putU32(blob, 44, trace.siteCountHint());
+    putU64(blob, 48, records_offset);
+    putU64(blob, kChecksumOffsetV2, headerChecksum(blob.data(), 7));
+    std::memcpy(blob.data() + kHeaderBytesV2, trace.name().data(),
+                name_bytes);
+
+    // Field-by-field rather than one bulk memcpy of the array, so
+    // the two padding bytes of every record stay zero even if the
+    // in-memory copies carry garbage there.
+    char *out = blob.data() + records_offset;
+    for (const BranchRecord &record : trace.records()) {
+        std::memcpy(out + 0, &record.pc, sizeof(record.pc));
+        std::memcpy(out + 4, &record.target, sizeof(record.target));
+        out[8] = static_cast<char>(record.kind);
+        out[9] = record.taken ? 1 : 0;
+        out += sizeof(BranchRecord);
+    }
+    return blob;
+}
+
+std::string
+encodeV3(const Trace &trace)
+{
+    const std::size_t name_bytes = trace.name().size();
+    const std::size_t count = trace.size();
+    const std::size_t pc_offset =
+        alignUp(kHeaderBytesV3 + name_bytes, kColumnAlign);
+    const std::size_t target_offset =
+        alignUp(pc_offset + count * sizeof(Addr), kColumnAlign);
+    const std::size_t meta_offset =
+        alignUp(target_offset + count * sizeof(Addr), kColumnAlign);
+    const std::size_t file_size = meta_offset + count;
+
+    // Zero-filled so all padding gaps are deterministic.
+    std::string blob(file_size, '\0');
+    std::memcpy(blob.data(), kMagicV3, sizeof(kMagicV3));
+    putU32(blob, 8, kVersionV3);
+    putU32(blob, 12, kEndianTag);
+    putU32(blob, 16, sizeof(Addr));
+    putU32(blob, 20, kHeaderBytesV3);
+    putU64(blob, 24, trace.seed());
+    putU64(blob, 32, count);
+    putU32(blob, 40, static_cast<std::uint32_t>(name_bytes));
+    putU32(blob, 44, trace.siteCountHint());
+    putU64(blob, 48, pc_offset);
+    putU64(blob, 56, target_offset);
+    putU64(blob, 64, meta_offset);
+    putU64(blob, 72, file_size);
+    putU64(blob, kChecksumOffsetV3, headerChecksum(blob.data(), 10));
+    std::memcpy(blob.data() + kHeaderBytesV3, trace.name().data(),
+                name_bytes);
+
+    char *pc_out = blob.data() + pc_offset;
+    char *target_out = blob.data() + target_offset;
+    char *meta_out = blob.data() + meta_offset;
+    if (trace.isColumnar()) {
+        // Re-storing an already columnar trace: bulk column copies,
+        // no AoS shadow needed.
+        const TraceColumns columns = trace.columns();
+        std::memcpy(pc_out, columns.pc, count * sizeof(Addr));
+        std::memcpy(target_out, columns.target, count * sizeof(Addr));
+        std::memcpy(meta_out, columns.meta, count);
+    } else {
+        const BranchRecord *records = trace.data();
+        for (std::size_t i = 0; i < count; ++i) {
+            const BranchRecord &record = records[i];
+            std::memcpy(pc_out + i * sizeof(Addr), &record.pc,
+                        sizeof(Addr));
+            std::memcpy(target_out + i * sizeof(Addr), &record.target,
+                        sizeof(Addr));
+            meta_out[i] = static_cast<char>(
+                packBranchMeta(record.kind, record.taken));
+        }
+    }
+    return blob;
 }
 
 #if IBP_HAVE_MMAP
@@ -114,6 +225,113 @@ struct Mapping
     }
 };
 
+Result<Trace>
+loadV2(const std::string &path, std::shared_ptr<Mapping> mapping,
+       const char *bytes, std::size_t file_size)
+{
+    if (file_size < kHeaderBytesV2)
+        return badFile(path, "truncated header");
+    if (getU32(bytes, 8) != kVersionV2)
+        return badFile(path, "version skew");
+    if (getU32(bytes, 12) != kEndianTag)
+        return badFile(path, "foreign endianness");
+    if (getU32(bytes, 16) != sizeof(BranchRecord))
+        return badFile(path, "record size mismatch");
+    if (getU32(bytes, 20) != kHeaderBytesV2)
+        return badFile(path, "header size mismatch");
+    if (getU64(bytes, kChecksumOffsetV2) != headerChecksum(bytes, 7))
+        return badFile(path, "header checksum mismatch");
+
+    const std::uint64_t seed = getU64(bytes, 24);
+    const std::uint64_t count = getU64(bytes, 32);
+    const std::uint32_t name_bytes = getU32(bytes, 40);
+    const std::uint32_t site_hint = getU32(bytes, 44);
+    const std::uint64_t records_offset = getU64(bytes, 48);
+
+    if (records_offset % kRecordAlign != 0)
+        return badFile(path, "misaligned record array");
+    if (records_offset != alignUp(kHeaderBytesV2 + name_bytes,
+                                  kRecordAlign) ||
+        records_offset > file_size) {
+        return badFile(path, "bad records offset");
+    }
+    if (count > (file_size - records_offset) / sizeof(BranchRecord))
+        return badFile(path, "truncated record array");
+
+    std::string name(bytes + kHeaderBytesV2, name_bytes);
+    const auto *records = reinterpret_cast<const BranchRecord *>(
+        bytes + records_offset);
+    Trace trace = Trace::fromView(std::move(name), seed,
+                                  std::move(mapping), records,
+                                  static_cast<std::size_t>(count));
+    trace.setSiteCountHint(site_hint);
+    trace.setReadPath(TraceReadPath::Mmap);
+    return trace;
+}
+
+Result<Trace>
+loadV3(const std::string &path, std::shared_ptr<Mapping> mapping,
+       const char *bytes, std::size_t file_size)
+{
+    if (file_size < kHeaderBytesV3)
+        return badFile(path, "truncated header");
+    if (getU32(bytes, 8) != kVersionV3)
+        return badFile(path, "version skew");
+    if (getU32(bytes, 12) != kEndianTag)
+        return badFile(path, "foreign endianness");
+    if (getU32(bytes, 16) != sizeof(Addr))
+        return badFile(path, "address size mismatch");
+    if (getU32(bytes, 20) != kHeaderBytesV3)
+        return badFile(path, "header size mismatch");
+    if (getU64(bytes, kChecksumOffsetV3) != headerChecksum(bytes, 10))
+        return badFile(path, "header checksum mismatch");
+
+    const std::uint64_t seed = getU64(bytes, 24);
+    const std::uint64_t count = getU64(bytes, 32);
+    const std::uint32_t name_bytes = getU32(bytes, 40);
+    const std::uint32_t site_hint = getU32(bytes, 44);
+    const std::uint64_t pc_offset = getU64(bytes, 48);
+    const std::uint64_t target_offset = getU64(bytes, 56);
+    const std::uint64_t meta_offset = getU64(bytes, 64);
+    const std::uint64_t stored_size = getU64(bytes, 72);
+
+    // The real file size bounds the count, which keeps the offset
+    // recomputation below free of overflow.
+    if (count > file_size)
+        return badFile(path, "truncated column arrays");
+    const std::size_t records = static_cast<std::size_t>(count);
+    if (pc_offset !=
+        alignUp(kHeaderBytesV3 + name_bytes, kColumnAlign)) {
+        return badFile(path, "bad pc column offset");
+    }
+    if (target_offset !=
+        alignUp(pc_offset + records * sizeof(Addr), kColumnAlign))
+        return badFile(path, "bad target column offset");
+    if (meta_offset !=
+        alignUp(target_offset + records * sizeof(Addr), kColumnAlign))
+        return badFile(path, "bad meta column offset");
+    // Strict equality: a tail-truncated or tail-padded file is
+    // rejected rather than partially served.
+    if (stored_size != meta_offset + records ||
+        stored_size != file_size) {
+        return badFile(path, "file size mismatch");
+    }
+
+    std::string name(bytes + kHeaderBytesV3, name_bytes);
+    const auto *pc =
+        reinterpret_cast<const Addr *>(bytes + pc_offset);
+    const auto *target =
+        reinterpret_cast<const Addr *>(bytes + target_offset);
+    const auto *meta =
+        reinterpret_cast<const std::uint8_t *>(bytes + meta_offset);
+    Trace trace = Trace::fromColumnarView(std::move(name), seed,
+                                          std::move(mapping), pc,
+                                          target, meta, records);
+    trace.setSiteCountHint(site_hint);
+    trace.setReadPath(TraceReadPath::Mmap);
+    return trace;
+}
+
 #endif // IBP_HAVE_MMAP
 
 } // namespace
@@ -132,43 +350,13 @@ encodeTraceMmap(const Trace &trace)
         return RunError::permanent(
             "mmap trace format unsupported on this platform");
     }
-
-    const std::size_t name_bytes = trace.name().size();
-    const std::size_t records_offset =
-        alignUp(kHeaderBytes + name_bytes, kRecordAlign);
-    const std::size_t count = trace.size();
-
-    // Zero-filled up front so padding (header gap, name tail, record
-    // tail bytes) is deterministic: storing the same trace twice
-    // must produce byte-identical files.
-    std::string blob(records_offset + count * sizeof(BranchRecord),
-                     '\0');
-    std::memcpy(blob.data(), kMagic, sizeof(kMagic));
-    putU32(blob, 8, kVersion);
-    putU32(blob, 12, kEndianTag);
-    putU32(blob, 16, sizeof(BranchRecord));
-    putU32(blob, 20, kHeaderBytes);
-    putU64(blob, 24, trace.seed());
-    putU64(blob, 32, count);
-    putU32(blob, 40, static_cast<std::uint32_t>(name_bytes));
-    putU32(blob, 44, trace.siteCountHint());
-    putU64(blob, 48, records_offset);
-    putU64(blob, kChecksumOffset, headerChecksum(blob.data()));
-    std::memcpy(blob.data() + kHeaderBytes, trace.name().data(),
-                name_bytes);
-
-    // Field-by-field rather than one bulk memcpy of the array, so
-    // the two padding bytes of every record stay zero even if the
-    // in-memory copies carry garbage there.
-    char *out = blob.data() + records_offset;
-    for (const BranchRecord &record : trace.records()) {
-        std::memcpy(out + 0, &record.pc, sizeof(record.pc));
-        std::memcpy(out + 4, &record.target, sizeof(record.target));
-        out[8] = static_cast<char>(record.kind);
-        out[9] = record.taken ? 1 : 0;
-        out += sizeof(BranchRecord);
-    }
-    return blob;
+    // IBP_TRACE_FORMAT=v2 pins the writer to the record-array layout
+    // (used by the migration smoke test to seed a v2 cache; handy as
+    // an escape hatch if a v3 consumer regresses).
+    const char *format = std::getenv("IBP_TRACE_FORMAT");
+    if (format != nullptr && std::string_view(format) == "v2")
+        return encodeV2(trace);
+    return encodeV3(trace);
 }
 
 Result<void>
@@ -198,7 +386,7 @@ loadTraceMmap(const std::string &path)
         return badFile(path, "cannot stat");
     }
     const std::size_t file_size = static_cast<std::size_t>(info.st_size);
-    if (file_size < kHeaderBytes) {
+    if (file_size < sizeof(kMagicV3)) {
         ::close(fd);
         return badFile(path, "truncated header");
     }
@@ -210,45 +398,15 @@ loadTraceMmap(const std::string &path)
         return badFile(path, "mmap failed");
     auto mapping = std::make_shared<Mapping>(base, file_size);
 
+    // The magic selects the layout: v3 columnar is what we write
+    // today, v2 record arrays stay readable so a warm cache carries
+    // across the format change without regeneration.
     const char *bytes = static_cast<const char *>(base);
-    if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0)
-        return badFile(path, "bad magic");
-    if (getU32(bytes, 8) != kVersion)
-        return badFile(path, "version skew");
-    if (getU32(bytes, 12) != kEndianTag)
-        return badFile(path, "foreign endianness");
-    if (getU32(bytes, 16) != sizeof(BranchRecord))
-        return badFile(path, "record size mismatch");
-    if (getU32(bytes, 20) != kHeaderBytes)
-        return badFile(path, "header size mismatch");
-    if (getU64(bytes, kChecksumOffset) != headerChecksum(bytes))
-        return badFile(path, "header checksum mismatch");
-
-    const std::uint64_t seed = getU64(bytes, 24);
-    const std::uint64_t count = getU64(bytes, 32);
-    const std::uint32_t name_bytes = getU32(bytes, 40);
-    const std::uint32_t site_hint = getU32(bytes, 44);
-    const std::uint64_t records_offset = getU64(bytes, 48);
-
-    if (records_offset % kRecordAlign != 0)
-        return badFile(path, "misaligned record array");
-    if (records_offset != alignUp(kHeaderBytes + name_bytes,
-                                  kRecordAlign) ||
-        records_offset > file_size) {
-        return badFile(path, "bad records offset");
-    }
-    if (count > (file_size - records_offset) / sizeof(BranchRecord))
-        return badFile(path, "truncated record array");
-
-    std::string name(bytes + kHeaderBytes, name_bytes);
-    const auto *records = reinterpret_cast<const BranchRecord *>(
-        bytes + records_offset);
-    Trace trace = Trace::fromView(std::move(name), seed,
-                                  std::move(mapping), records,
-                                  static_cast<std::size_t>(count));
-    trace.setSiteCountHint(site_hint);
-    trace.setReadPath(TraceReadPath::Mmap);
-    return trace;
+    if (std::memcmp(bytes, kMagicV3, sizeof(kMagicV3)) == 0)
+        return loadV3(path, std::move(mapping), bytes, file_size);
+    if (std::memcmp(bytes, kMagicV2, sizeof(kMagicV2)) == 0)
+        return loadV2(path, std::move(mapping), bytes, file_size);
+    return badFile(path, "bad magic");
 }
 
 #else // !IBP_HAVE_MMAP

@@ -1,18 +1,26 @@
 /**
  * @file
- * Zero-copy mmap trace format (`.ibpm`, cache format v2).
+ * Zero-copy mmap trace formats (`.ibpm`, cache formats v2 and v3).
  *
  * The legacy `.ibpt` stream format deserialises every record through
  * an istream, so a warm trace-cache hit still pays a full parse plus
- * a vector copy per benchmark. The v2 format instead lays the record
- * array out on disk exactly as BranchRecord is laid out in memory
- * (little-endian, 12 bytes per record, explicitly zeroed padding),
- * 16-byte aligned behind a 64-byte header, so a reader can mmap the
- * file read-only and hand the simulator a borrowed view of the page
- * cache - no parse, no copy, and the records are shared between
- * concurrent worker processes by the kernel.
+ * a vector copy per benchmark. The mmap formats instead lay the
+ * records out on disk in directly consumable shape, so a reader can
+ * mmap the file read-only and hand the simulator a borrowed view of
+ * the page cache - no parse, no copy, and the bytes are shared
+ * between concurrent worker processes by the kernel.
  *
- * Layout (all integers little-endian):
+ * v2 stores one 12-byte BranchRecord per branch (the in-memory
+ * layout, explicitly zeroed padding), 16-byte aligned behind a
+ * 64-byte header. v3 - what the writer produces today - stores the
+ * same branches as three separate 64-byte-aligned columns (pc,
+ * target, packed meta byte; see packBranchMeta), which is the shape
+ * the SIMD block engine (trace/trace_block.hh) consumes zero-copy.
+ * The reader sniffs the magic and accepts both, so a warm v2 cache
+ * keeps serving across the format change. Setting IBP_TRACE_FORMAT=v2
+ * in the environment pins the writer back to v2.
+ *
+ * v2 layout (all integers little-endian):
  *
  *   offset  size  field
  *        0     8  magic "IBPMAP2\0"
@@ -29,9 +37,29 @@
  *       64     -  name bytes, zero padding to the records offset,
  *                 then the record array
  *
+ * v3 layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *        0     8  magic "IBPMAP3\0"
+ *        8     4  version (3)
+ *       12     4  endian tag (0x01020304 as stored)
+ *       16     4  address size in bytes (sizeof(Addr) == 4)
+ *       20     4  header size in bytes (128)
+ *       24     8  generator seed
+ *       32     8  record count
+ *       40     4  benchmark-name byte count
+ *       44     4  site-count hint
+ *       48     8  pc column offset (align64(128 + nameBytes))
+ *       56     8  target column offset (align64(pc + 4*count))
+ *       64     8  meta column offset (align64(target + 4*count))
+ *       72     8  file size (meta + count; must equal st_size)
+ *       80     8  FNV-1a checksum of the first 80 header bytes
+ *       88    40  zero padding to the 128-byte header boundary
+ *      128     -  name bytes, then the zero-padded aligned columns
+ *
  * Every validation failure (bad magic, version skew, foreign
  * endianness, checksum mismatch, truncation, misaligned or
- * out-of-bounds records) is a permanent RunError; the trace cache
+ * out-of-bounds arrays) is a permanent RunError; the trace cache
  * treats all of them as a miss and falls back to the `.ibpt` stream
  * reader or regeneration. See docs/PERFORMANCE.md.
  */
@@ -54,15 +82,17 @@ namespace ibp {
 bool traceMmapSupported();
 
 /**
- * Serialise @p trace to the v2 byte layout. Deterministic: the same
- * trace always encodes to the same bytes (padding is zeroed).
- * Fails (permanent) when the platform is unsupported.
+ * Serialise @p trace to the v3 columnar byte layout (or v2 when
+ * IBP_TRACE_FORMAT=v2 is set). Deterministic: the same trace always
+ * encodes to the same bytes (padding is zeroed). Fails (permanent)
+ * when the platform is unsupported.
  */
 Result<std::string> encodeTraceMmap(const Trace &trace);
 
 /**
- * Map @p path read-only and wrap its record array in a Trace view
- * (readPath() == TraceReadPath::Mmap). The mapping stays alive for
+ * Map @p path read-only and wrap its records in a Trace view
+ * (readPath() == TraceReadPath::Mmap): a columnar view for v3
+ * files, a record-array view for v2. The mapping stays alive for
  * as long as any copy of the returned Trace does. Any validation
  * failure is a permanent RunError.
  */

@@ -128,5 +128,45 @@ TEST(RunMetricsTest, JsonRoundTripPreservesEverything)
     }
 }
 
+TEST(RunMetricsTest, SimdBlockRoundTripsAndStaysOptional)
+{
+    RunMetrics metrics;
+    metrics.recordCell(makeCell("BTB", "idl", 123456, 0.75, 1844));
+    // Artifacts from before the SIMD engine carry no simd block and
+    // must keep parsing that way.
+    EXPECT_FALSE(metrics.hasSimd());
+    const RunMetrics legacy = RunMetrics::fromJson(
+        Json::parse(metrics.toJson().dump(2)));
+    EXPECT_FALSE(legacy.hasSimd());
+
+    SimdStats stats;
+    stats.dispatchLevel = "sse2";
+    stats.fallbackReason = "cpu-lacks-avx2";
+    stats.columnarBlocks = 1687;
+    stats.transposedBlocks = 3;
+    stats.skippedRecords = 41;
+    stats.laneColumns = 637;
+    stats.genericColumns = 7;
+    stats.laneMachines = 728;
+    metrics.recordSimd(stats);
+    // A second record accumulates counters but keeps the dispatch
+    // strings as a process-wide fact.
+    metrics.recordSimd(stats);
+    ASSERT_TRUE(metrics.hasSimd());
+
+    const RunMetrics parsed = RunMetrics::fromJson(
+        Json::parse(metrics.toJson().dump(2)));
+    ASSERT_TRUE(parsed.hasSimd());
+    const SimdStats simd = parsed.simd();
+    EXPECT_EQ(simd.dispatchLevel, "sse2");
+    EXPECT_EQ(simd.fallbackReason, "cpu-lacks-avx2");
+    EXPECT_EQ(simd.columnarBlocks, 2u * 1687);
+    EXPECT_EQ(simd.transposedBlocks, 2u * 3);
+    EXPECT_EQ(simd.skippedRecords, 2u * 41);
+    EXPECT_EQ(simd.laneColumns, 2u * 637);
+    EXPECT_EQ(simd.genericColumns, 2u * 7);
+    EXPECT_EQ(simd.laneMachines, 2u * 728);
+}
+
 } // namespace
 } // namespace ibp

@@ -1,16 +1,19 @@
 /**
  * @file
- * Tests of the zero-copy mmap trace format (`.ibpm`): round trips,
- * deterministic encoding, and — most importantly — that every class
- * of damaged input (truncation, bad magic, version skew, misaligned
- * record arrays, record-size mismatch, torn headers) is rejected as
- * a clean error rather than read out of bounds. The sanitizer CI
+ * Tests of the zero-copy mmap trace formats (`.ibpm` v2 and v3):
+ * round trips of the columnar v3 writer and the v2-pinned writer,
+ * deterministic encoding, v2→v3 migration (a warm v2 cache keeps
+ * serving), and — most importantly — that every class of damaged
+ * input (truncation, bad magic, version skew, misaligned arrays,
+ * record-size mismatch, torn headers) in either format is rejected
+ * as a clean error rather than read out of bounds. The sanitizer CI
  * jobs run these same cases under ASan+UBSan.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -38,6 +41,7 @@ class TraceMmapTest : public ::testing::Test
     void
     TearDown() override
     {
+        unsetenv("IBP_TRACE_FORMAT");
         std::filesystem::remove_all(_dir);
     }
 
@@ -74,11 +78,11 @@ writeFile(const std::string &path, const std::string &bytes)
               static_cast<std::streamsize>(bytes.size()));
 }
 
-/** Recompute the header checksum (fnv1a64 over the first 56 bytes)
+/** Recompute a v2 header checksum (fnv1a64 over the first 56 bytes)
  *  after a deliberate header patch, so validation failures exercise
  *  the intended field check rather than the checksum. */
 void
-fixupChecksum(std::string &bytes)
+fixupChecksumV2(std::string &bytes)
 {
     ASSERT_GE(bytes.size(), 64u);
     std::uint64_t words[7];
@@ -86,6 +90,18 @@ fixupChecksum(std::string &bytes)
     const std::uint64_t sum =
         fnv1a64(words, 7, 0xcbf29ce484222325ULL);
     std::memcpy(bytes.data() + 56, &sum, 8);
+}
+
+/** Same for a v3 header (fnv1a64 over the first 80 bytes). */
+void
+fixupChecksumV3(std::string &bytes)
+{
+    ASSERT_GE(bytes.size(), 128u);
+    std::uint64_t words[10];
+    std::memcpy(words, bytes.data(), 80);
+    const std::uint64_t sum =
+        fnv1a64(words, 10, 0xcbf29ce484222325ULL);
+    std::memcpy(bytes.data() + 80, &sum, 8);
 }
 
 TEST_F(TraceMmapTest, RoundTripPreservesEverything)
@@ -102,11 +118,53 @@ TEST_F(TraceMmapTest, RoundTripPreservesEverything)
     EXPECT_EQ(trace.seed(), 0x5eedu);
     EXPECT_EQ(trace.siteCountHint(), 3u);
     EXPECT_EQ(trace.readPath(), TraceReadPath::Mmap);
+    // The default writer produces the columnar v3 layout, which the
+    // reader serves as zero-copy columns (trace_block.hh slices
+    // them without a transpose).
+    EXPECT_TRUE(trace.isColumnar());
     ASSERT_EQ(trace.size(), 4u);
     EXPECT_EQ(trace[1].target, 0x3000u);
     EXPECT_EQ(trace[2].kind, BranchKind::Conditional);
     EXPECT_FALSE(trace[2].taken);
     EXPECT_EQ(trace[3].kind, BranchKind::Return);
+}
+
+TEST_F(TraceMmapTest, V2PinnedWriterRoundTrips)
+{
+    if (!traceMmapSupported())
+        GTEST_SKIP() << "mmap traces unsupported on this platform";
+    const Trace original = sampleTrace();
+    setenv("IBP_TRACE_FORMAT", "v2", 1);
+    ASSERT_TRUE(saveTraceMmap(original, _path).ok());
+    unsetenv("IBP_TRACE_FORMAT");
+
+    const std::string bytes = readFile(_path);
+    ASSERT_GE(bytes.size(), 8u);
+    EXPECT_EQ(bytes.substr(0, 7), "IBPMAP2");
+
+    const auto loaded = loadTraceMmap(_path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value(), original);
+    EXPECT_FALSE(loaded.value().isColumnar());
+    EXPECT_EQ(loaded.value().readPath(), TraceReadPath::Mmap);
+}
+
+TEST_F(TraceMmapTest, WarmV2CacheServesAcrossFormatChange)
+{
+    if (!traceMmapSupported())
+        GTEST_SKIP() << "mmap traces unsupported on this platform";
+    // A cache populated before the columnar format must keep serving
+    // after the upgrade: same trace, still through the mmap reader.
+    const TraceCache cache(_dir);
+    const Trace original = sampleTrace();
+    setenv("IBP_TRACE_FORMAT", "v2", 1);
+    ASSERT_TRUE(cache.store("k", original).ok());
+    unsetenv("IBP_TRACE_FORMAT");
+
+    const auto served = cache.load("k");
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served.value(), original);
+    EXPECT_EQ(served.value().readPath(), TraceReadPath::Mmap);
 }
 
 TEST_F(TraceMmapTest, EmptyTraceRoundTrips)
@@ -130,12 +188,15 @@ TEST_F(TraceMmapTest, EncodeIsDeterministic)
     ASSERT_TRUE(first.ok());
     ASSERT_TRUE(second.ok());
     EXPECT_EQ(first.value(), second.value());
-    // Records start 16-byte aligned.
+    // v3 columns start 64-byte aligned (cache-line / widest-vector
+    // alignment) and the stored file size matches the blob exactly.
     const std::string &bytes = first.value();
-    std::uint64_t records_offset = 0;
-    std::memcpy(&records_offset, bytes.data() + 48, 8);
-    EXPECT_EQ(records_offset % 16, 0u);
-    EXPECT_GE(bytes.size(), records_offset + 4 * 12);
+    std::uint64_t pc_offset = 0;
+    std::memcpy(&pc_offset, bytes.data() + 48, 8);
+    EXPECT_EQ(pc_offset % 64, 0u);
+    std::uint64_t stored_size = 0;
+    std::memcpy(&stored_size, bytes.data() + 72, 8);
+    EXPECT_EQ(stored_size, bytes.size());
 }
 
 TEST_F(TraceMmapTest, MissingFileFails)
@@ -166,7 +227,7 @@ TEST_F(TraceMmapTest, CorruptMagicFails)
     ASSERT_TRUE(saveTraceMmap(sampleTrace(), _path).ok());
     std::string bytes = readFile(_path);
     bytes[0] = 'X';
-    fixupChecksum(bytes);
+    fixupChecksumV3(bytes);
     writeFile(_path, bytes);
     EXPECT_FALSE(loadTraceMmap(_path).ok());
 }
@@ -177,9 +238,9 @@ TEST_F(TraceMmapTest, VersionSkewFails)
         GTEST_SKIP() << "mmap traces unsupported on this platform";
     ASSERT_TRUE(saveTraceMmap(sampleTrace(), _path).ok());
     std::string bytes = readFile(_path);
-    const std::uint32_t future_version = 3;
+    const std::uint32_t future_version = 9;
     std::memcpy(bytes.data() + 8, &future_version, 4);
-    fixupChecksum(bytes);
+    fixupChecksumV3(bytes);
     writeFile(_path, bytes);
     // A version we do not understand must be rejected even though
     // its checksum is self-consistent.
@@ -190,13 +251,15 @@ TEST_F(TraceMmapTest, MisalignedRecordsOffsetFails)
 {
     if (!traceMmapSupported())
         GTEST_SKIP() << "mmap traces unsupported on this platform";
+    // v2 field semantics: byte 48 is the record-array offset.
+    setenv("IBP_TRACE_FORMAT", "v2", 1);
     ASSERT_TRUE(saveTraceMmap(sampleTrace(), _path).ok());
     std::string bytes = readFile(_path);
     std::uint64_t records_offset = 0;
     std::memcpy(&records_offset, bytes.data() + 48, 8);
     records_offset += 4; // no longer 16-byte aligned
     std::memcpy(bytes.data() + 48, &records_offset, 8);
-    fixupChecksum(bytes);
+    fixupChecksumV2(bytes);
     writeFile(_path, bytes);
     EXPECT_FALSE(loadTraceMmap(_path).ok());
 }
@@ -205,11 +268,47 @@ TEST_F(TraceMmapTest, RecordSizeMismatchFails)
 {
     if (!traceMmapSupported())
         GTEST_SKIP() << "mmap traces unsupported on this platform";
+    // v2 field semantics: byte 16 is the per-record byte size.
+    setenv("IBP_TRACE_FORMAT", "v2", 1);
     ASSERT_TRUE(saveTraceMmap(sampleTrace(), _path).ok());
     std::string bytes = readFile(_path);
     const std::uint32_t wrong_record_bytes = 16;
     std::memcpy(bytes.data() + 16, &wrong_record_bytes, 4);
-    fixupChecksum(bytes);
+    fixupChecksumV2(bytes);
+    writeFile(_path, bytes);
+    EXPECT_FALSE(loadTraceMmap(_path).ok());
+}
+
+TEST_F(TraceMmapTest, MisalignedColumnOffsetFails)
+{
+    if (!traceMmapSupported())
+        GTEST_SKIP() << "mmap traces unsupported on this platform";
+    ASSERT_TRUE(saveTraceMmap(sampleTrace(), _path).ok());
+    std::string bytes = readFile(_path);
+    std::uint64_t pc_offset = 0;
+    std::memcpy(&pc_offset, bytes.data() + 48, 8);
+    pc_offset += 4; // no longer 64-byte aligned
+    std::memcpy(bytes.data() + 48, &pc_offset, 8);
+    fixupChecksumV3(bytes);
+    writeFile(_path, bytes);
+    EXPECT_FALSE(loadTraceMmap(_path).ok());
+}
+
+TEST_F(TraceMmapTest, ColumnFileSizeMismatchFails)
+{
+    if (!traceMmapSupported())
+        GTEST_SKIP() << "mmap traces unsupported on this platform";
+    ASSERT_TRUE(saveTraceMmap(sampleTrace(), _path).ok());
+
+    // A stored size that disagrees with the actual file must be
+    // rejected (tail truncation or padding), even with the header
+    // checksum made self-consistent.
+    std::string bytes = readFile(_path);
+    std::uint64_t stored_size = 0;
+    std::memcpy(&stored_size, bytes.data() + 72, 8);
+    stored_size += 64;
+    std::memcpy(bytes.data() + 72, &stored_size, 8);
+    fixupChecksumV3(bytes);
     writeFile(_path, bytes);
     EXPECT_FALSE(loadTraceMmap(_path).ok());
 }

@@ -244,6 +244,27 @@ main(int argc, char **argv)
                 baseline.manifest.slug.c_str(),
                 baseline.manifest.gitSha.c_str(),
                 baseline.metrics.branchesPerSecond());
+    if (fresh.metrics.hasSimd()) {
+        // Context only, never gated: how the fresh run's engine
+        // dispatched (docs/PERFORMANCE.md, metrics.simd).
+        const SimdStats simd = fresh.metrics.simd();
+        std::printf("fresh simd: %s%s%s%s, %llu columnar / %llu "
+                    "transposed blocks, %llu lane + %llu generic "
+                    "columns (%llu machines)\n",
+                    simd.dispatchLevel.c_str(),
+                    simd.fallbackReason.empty() ? "" : " (",
+                    simd.fallbackReason.c_str(),
+                    simd.fallbackReason.empty() ? "" : ")",
+                    static_cast<unsigned long long>(
+                        simd.columnarBlocks),
+                    static_cast<unsigned long long>(
+                        simd.transposedBlocks),
+                    static_cast<unsigned long long>(simd.laneColumns),
+                    static_cast<unsigned long long>(
+                        simd.genericColumns),
+                    static_cast<unsigned long long>(
+                        simd.laneMachines));
+    }
     std::fputs(report.summary().c_str(), stdout);
     return report.passed() ? 0 : 1;
 }
