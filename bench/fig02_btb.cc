@@ -42,6 +42,7 @@ fig02Experiment()
                 grid, columns));
             context.note("Paper anchors: AVG 28.1 (BTB) / 24.9 "
                          "(BTB-2bc); BTB-2bc wins nearly everywhere.");
-        }});
+        },
+        /*shardable=*/true});
     return def;
 }

@@ -78,6 +78,7 @@ fig17Experiment()
             context.note(
                 "Paper anchors: best cells pair short (1..3) with "
                 "long (5..12) paths; the grid is nearly symmetric.");
-        }});
+        },
+        /*shardable=*/true});
     return def;
 }

@@ -110,6 +110,7 @@ fig18Experiment()
                 "for 1K+ tables; the winning path length grows with "
                 "size; fullassoc < assoc4 < assoc2 < tagless at "
                 "every size.");
-        }});
+        },
+        /*shardable=*/true});
     return def;
 }

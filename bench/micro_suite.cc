@@ -15,6 +15,9 @@
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -24,6 +27,7 @@
 #include "core/factory.hh"
 #include "core/sweep_kernel.hh"
 #include "sim/experiment.hh"
+#include "sim/result_store.hh"
 #include "sim/simulator.hh"
 #include "synth/benchmark_suite.hh"
 #include "util/format.hh"
@@ -306,6 +310,93 @@ microThroughputExperiment()
                                 std::max(fused_seconds, 1e-12),
                             2) +
                 "x vs 13 per-column traversals.");
+
+            // ---------------------------------------------------
+            // The grid sharder's cell-claim layer (docs/SERVICE.md):
+            // flock-backed claim round-trips, durable entry stores
+            // (tmp+fsync+rename), warm loads, and contended-claim
+            // probes on a throwaway store. These rates bound the
+            // per-cell coordination overhead a sharded fan-out pays
+            // on top of the simulation itself. CI's micro tolerances
+            // gate the table's structure, not the exact rates (pure
+            // filesystem noise on shared runners).
+            char claim_dir[] = "/tmp/ibpmicroclaimXXXXXX";
+            if (::mkdtemp(claim_dir) != nullptr) {
+                const ResultStore store{std::string(claim_dir)};
+                const auto kops = [](std::size_t ops,
+                                     double seconds) {
+                    return static_cast<double>(ops) /
+                           std::max(seconds, 1e-12) / 1e3;
+                };
+                const auto since =
+                    [](std::chrono::steady_clock::time_point then) {
+                        return std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   then)
+                            .count();
+                    };
+                ResultTable claim_table(
+                    "Cell-claim layer on a throwaway store (kops/s)",
+                    "operation");
+                claim_table.addColumn("kops/s");
+
+                const std::size_t claim_ops = 2048;
+                auto t0 = std::chrono::steady_clock::now();
+                for (std::size_t i = 0; i < claim_ops; ++i) {
+                    CellClaim claim = store.tryClaim("bench-claim");
+                    claim.release();
+                }
+                claim_table.set("claim-roundtrip", "kops/s",
+                                kops(claim_ops, since(t0)));
+
+                const std::size_t store_ops = 128;
+                StoredResult cell;
+                cell.benchmark = "porky-100k";
+                cell.predictor = "bench";
+                cell.branches = 100000;
+                cell.misses = 12345;
+                t0 = std::chrono::steady_clock::now();
+                for (std::size_t i = 0; i < store_ops; ++i) {
+                    (void)store.store(
+                        "bench-cell-" + std::to_string(i), cell);
+                }
+                claim_table.set("store-put", "kops/s",
+                                kops(store_ops, since(t0)));
+
+                std::size_t hits = 0;
+                t0 = std::chrono::steady_clock::now();
+                for (std::size_t i = 0; i < store_ops; ++i) {
+                    hits += store
+                                .load("bench-cell-" +
+                                      std::to_string(i))
+                                    .status ==
+                            ResultStore::LoadStatus::Hit;
+                }
+                claim_table.set("load-hit", "kops/s",
+                                kops(store_ops, since(t0)));
+
+                CellClaim held = store.tryClaim("bench-contended");
+                t0 = std::chrono::steady_clock::now();
+                for (std::size_t i = 0; i < claim_ops; ++i) {
+                    const CellClaim probe =
+                        store.tryClaim("bench-contended");
+                    (void)probe;
+                }
+                claim_table.set("busy-probe", "kops/s",
+                                kops(claim_ops, since(t0)));
+                held.release();
+
+                context.emit(claim_table);
+                context.note(
+                    "Cell-claim coordination: " +
+                    std::to_string(hits) + "/" +
+                    std::to_string(store_ops) +
+                    " warm loads hit; claim round-trip and busy "
+                    "probe are flock(2) on a sidecar, store-put "
+                    "pays the durable tmp+fsync+rename path.");
+                std::error_code ec;
+                std::filesystem::remove_all(claim_dir, ec);
+            }
         }});
     return def;
 }

@@ -158,6 +158,24 @@ RunMetrics::recordServe(const ServeMetrics &stats)
     _serve.warm = _serve.warm || stats.warm;
     _serve.queueSeconds =
         std::max(_serve.queueSeconds, stats.queueSeconds);
+    _serve.jobSeconds =
+        std::max(_serve.jobSeconds, stats.jobSeconds);
+    _serve.shard.planned += stats.shard.planned;
+    _serve.shard.requeued += stats.shard.requeued;
+    _serve.shard.abandoned += stats.shard.abandoned;
+    _serve.shard.stolenCells += stats.shard.stolenCells;
+    _serve.shard.overlapCoalesced += stats.shard.overlapCoalesced;
+    if (_serve.shard.laneCells.size() <
+        stats.shard.laneCells.size()) {
+        _serve.shard.laneCells.resize(stats.shard.laneCells.size());
+    }
+    for (std::size_t i = 0; i < stats.shard.laneCells.size(); ++i)
+        _serve.shard.laneCells[i] += stats.shard.laneCells[i];
+    _serve.shard.fanoutSeconds =
+        std::max(_serve.shard.fanoutSeconds,
+                 stats.shard.fanoutSeconds);
+    _serve.shard.mergeSeconds =
+        std::max(_serve.shard.mergeSeconds, stats.shard.mergeSeconds);
 }
 
 bool
@@ -184,6 +202,10 @@ RunMetrics::recordResultStore(const ResultStoreStats &stats)
     _resultStore.stores += stats.stores;
     _resultStore.invalidated += stats.invalidated;
     _resultStore.journalWritebacks += stats.journalWritebacks;
+    _resultStore.claims += stats.claims;
+    _resultStore.claimBusy += stats.claimBusy;
+    _resultStore.claimServed += stats.claimServed;
+    _resultStore.stolen += stats.stolen;
 }
 
 bool
@@ -458,6 +480,25 @@ RunMetrics::toJson() const
         served.set("admission_rejects", stats.admissionRejects);
         served.set("warm", stats.warm);
         served.set("queue_seconds", stats.queueSeconds);
+        served.set("job_seconds", stats.jobSeconds);
+        // The shard sub-block only exists for sharded jobs, so
+        // unsharded served artifacts keep their schema.
+        if (stats.shard.planned > 0) {
+            Json shard = Json::object();
+            shard.set("shards_planned", stats.shard.planned);
+            shard.set("shards_requeued", stats.shard.requeued);
+            shard.set("shards_abandoned", stats.shard.abandoned);
+            shard.set("stolen_cells", stats.shard.stolenCells);
+            shard.set("overlap_cells_coalesced",
+                      stats.shard.overlapCoalesced);
+            Json lanes = Json::array();
+            for (const auto cells : stats.shard.laneCells)
+                lanes.push(Json(cells));
+            shard.set("lane_cells", std::move(lanes));
+            shard.set("fanout_seconds", stats.shard.fanoutSeconds);
+            shard.set("merge_seconds", stats.shard.mergeSeconds);
+            served.set("shard", std::move(shard));
+        }
         json.set("serve", std::move(served));
     }
 
@@ -472,6 +513,15 @@ RunMetrics::toJson() const
         store.set("stores", stats.stores);
         store.set("invalidated", stats.invalidated);
         store.set("journal_writebacks", stats.journalWritebacks);
+        // Claim counters appear only once the claim layer engaged,
+        // so claim-free store artifacts keep their schema.
+        if (stats.claims > 0 || stats.claimBusy > 0 ||
+            stats.claimServed > 0 || stats.stolen > 0) {
+            store.set("claims", stats.claims);
+            store.set("claims_busy", stats.claimBusy);
+            store.set("claims_served", stats.claimServed);
+            store.set("cells_stolen", stats.stolen);
+        }
         json.set("result_store", std::move(store));
     }
 
@@ -600,6 +650,32 @@ RunMetrics::fromJson(const Json &json)
         stats.warm = served.contains("warm") &&
                      served.at("warm").asBool();
         stats.queueSeconds = served.numberOr("queue_seconds", 0.0);
+        stats.jobSeconds = served.numberOr("job_seconds", 0.0);
+        if (served.contains("shard")) {
+            const Json &shard = served.at("shard");
+            stats.shard.planned = static_cast<unsigned>(
+                shard.numberOr("shards_planned", 0));
+            stats.shard.requeued = static_cast<unsigned>(
+                shard.numberOr("shards_requeued", 0));
+            stats.shard.abandoned = static_cast<unsigned>(
+                shard.numberOr("shards_abandoned", 0));
+            stats.shard.stolenCells = static_cast<std::uint64_t>(
+                shard.numberOr("stolen_cells", 0));
+            stats.shard.overlapCoalesced =
+                static_cast<std::uint64_t>(
+                    shard.numberOr("overlap_cells_coalesced", 0));
+            if (shard.contains("lane_cells")) {
+                const Json &lanes = shard.at("lane_cells");
+                for (std::size_t i = 0; i < lanes.size(); ++i) {
+                    stats.shard.laneCells.push_back(
+                        lanes.at(i).asUint());
+                }
+            }
+            stats.shard.fanoutSeconds =
+                shard.numberOr("fanout_seconds", 0.0);
+            stats.shard.mergeSeconds =
+                shard.numberOr("merge_seconds", 0.0);
+        }
         metrics.recordServe(stats);
     }
     if (json.contains("result_store")) {
@@ -615,6 +691,14 @@ RunMetrics::fromJson(const Json &json)
             static_cast<unsigned>(store.numberOr("invalidated", 0));
         stats.journalWritebacks = static_cast<unsigned>(
             store.numberOr("journal_writebacks", 0));
+        stats.claims =
+            static_cast<unsigned>(store.numberOr("claims", 0));
+        stats.claimBusy =
+            static_cast<unsigned>(store.numberOr("claims_busy", 0));
+        stats.claimServed = static_cast<unsigned>(
+            store.numberOr("claims_served", 0));
+        stats.stolen = static_cast<unsigned>(
+            store.numberOr("cells_stolen", 0));
         metrics.recordResultStore(stats);
     }
     metrics._tableImpl = json.stringOr("table_impl", "");

@@ -89,6 +89,36 @@ struct SweepKernelStats
  * --require-served gates on it); everything else about a served
  * artifact is bit-identical to the in-process run.
  */
+/**
+ * Telemetry of the grid sharder (docs/SERVICE.md): how the daemon
+ * split one job's cells across worker lanes, what the steal/requeue
+ * machinery did, and how much of the grid overlapping concurrent
+ * requests shared through the cell-claim layer. Recorded by the
+ * server onto the artifacts of sharded jobs only; lanes that run a
+ * whole job leave it empty (planned == 0 means absent).
+ */
+struct ShardServeStats
+{
+    /** Shards the planner fanned out for this job. */
+    unsigned planned = 0;
+    /** Shard re-dispatches after a lane failure. */
+    unsigned requeued = 0;
+    /** Shards abandoned after the re-queue budget; their cells were
+     *  swept up by the merge pass instead. */
+    unsigned abandoned = 0;
+    /** Cells a shard stole from a slower peer's partition. */
+    std::uint64_t stolenCells = 0;
+    /** Cells served from the store after deferring to another
+     *  claimer (the cross-request overlap win). */
+    std::uint64_t overlapCoalesced = 0;
+    /** Cells simulated per lane index during the fan-out. */
+    std::vector<std::uint64_t> laneCells;
+    /** Wall time of the parallel shard fan-out. */
+    double fanoutSeconds = 0.0;
+    /** Wall time of the single-lane merge pass. */
+    double mergeSeconds = 0.0;
+};
+
 struct ServeMetrics
 {
     /** Requests this run absorbed: 1 for a dedicated job, more when
@@ -105,6 +135,12 @@ struct ServeMetrics
     bool warm = false;
     /** Wall time the request spent queued before its job started. */
     double queueSeconds = 0.0;
+    /** Server-side wall time from job start to terminal state (the
+     *  lane-scaling gates compare this across --lanes values). */
+    double jobSeconds = 0.0;
+    /** Grid-sharder telemetry; planned == 0 when the job ran
+     *  unsharded. */
+    ShardServeStats shard;
 };
 
 /**
@@ -131,6 +167,19 @@ struct ResultStoreStats
      *  once each); these are NOT hits - the checkpoint journal, not
      *  the store, resurrected them. */
     unsigned journalWritebacks = 0;
+    /** Cell claims this run acquired (then simulated the cell). */
+    unsigned claims = 0;
+    /** Claim attempts that lost to a live peer (the cell was
+     *  deferred instead of simulated). */
+    unsigned claimBusy = 0;
+    /** Deferred cells eventually served from the entry the claim
+     *  owner persisted - each one a simulation NOT repeated. The
+     *  overlapping-request test asserts the intersection shows up
+     *  here, not in `stores`. */
+    unsigned claimServed = 0;
+    /** Foreign-partition cells this runner claimed and simulated in
+     *  its steal sweep (shard rebalancing). */
+    unsigned stolen = 0;
 };
 
 /**

@@ -13,7 +13,13 @@
  *   ibpd [--socket=PATH] [--state=DIR] [--queue-depth=N]
  *        [--lanes=N] [--cell-ceiling=SECONDS]
  *        [--job-ceiling=SECONDS] [--heartbeat-timeout=SECONDS]
- *        [--lane-retries=N] [--quiet]
+ *        [--lane-retries=N] [--no-shard] [--shard-requeues=N]
+ *        [--quiet]
+ *   ibpd --stats [--socket=PATH]
+ *
+ * --stats is a CLIENT subcommand: it connects to the running daemon
+ * at the socket, prints its lane/shard/coalescing counters, and
+ * exits (0 on success, 1 when no daemon answers).
  *
  * The socket defaults to $IBP_DAEMON, else out/ibpd.sock - the same
  * resolution every bench's --daemon flag uses. Exit code 0 after a
@@ -69,6 +75,74 @@ parseFlag(const std::string &arg, const char *name,
     return true;
 }
 
+/** The --stats client: query the running daemon and pretty-print
+ *  its counters. Returns the process exit code. */
+int
+runStatsClient(const std::string &socket_override)
+{
+    const std::string path = ibp::daemonSocketPath(socket_override);
+    const auto fd = ibp::connectDaemon(path);
+    if (!fd.ok()) {
+        std::fprintf(stderr, "ibpd: no daemon at %s: %s\n",
+                     path.c_str(),
+                     fd.error().describe().c_str());
+        return 1;
+    }
+    ibp::Json request = ibp::Json::object();
+    request.set("type", "stats");
+    const auto written = ibp::writeFrame(fd.value(), request);
+    auto reply = written.ok()
+                     ? ibp::readFrame(fd.value(), 10.0)
+                     : ibp::Result<ibp::Json>(written.error());
+    ::close(fd.value());
+    if (!reply.ok()) {
+        std::fprintf(stderr, "ibpd: stats request failed: %s\n",
+                     reply.error().describe().c_str());
+        return 1;
+    }
+    const ibp::Json &stats = reply.value();
+    const auto count = [&stats](const char *key) {
+        return static_cast<unsigned long long>(
+            stats.numberOr(key, 0));
+    };
+    std::printf("ibpd at %s\n", path.c_str());
+    std::printf("jobs:      accepted %llu, completed %llu, "
+                "drained %llu, restored %llu, warm %llu\n",
+                count("jobs_accepted"), count("jobs_completed"),
+                count("jobs_drained"), count("jobs_restored"),
+                count("warm_hits"));
+    std::printf("requests:  coalesced %llu, rejected %llu, "
+                "incompatible %llu\n",
+                count("requests_coalesced"),
+                count("requests_rejected"),
+                count("requests_incompatible"));
+    std::printf("lanes:     %llu (forked %llu, crashes %llu, "
+                "kills %llu, job retries %llu)\n",
+                count("lanes"), count("lanes_forked"),
+                count("lane_crashes"), count("lane_kills"),
+                count("jobs_retried"));
+    std::printf("shards:    jobs sharded %llu, planned %llu, "
+                "requeued %llu, abandoned %llu\n",
+                count("jobs_sharded"), count("shards_planned"),
+                count("shards_requeued"),
+                count("shards_abandoned"));
+    std::printf("overlap:   cells stolen %llu, "
+                "overlap cells coalesced %llu\n",
+                count("shard_cells_stolen"),
+                count("overlap_cells_coalesced"));
+    std::printf("queue:     depth %llu", count("queue_depth"));
+    if (stats.contains("running_jobs") &&
+        stats.at("running_jobs").isArray() &&
+        stats.at("running_jobs").size() > 0) {
+        std::printf(", running:");
+        const ibp::Json &running = stats.at("running_jobs");
+        for (std::size_t i = 0; i < running.size(); ++i)
+            std::printf(" %s", running.at(i).asString().c_str());
+    }
+    std::printf("\n");
+    return 0;
+}
+
 void
 printUsage()
 {
@@ -78,7 +152,12 @@ printUsage()
         "            [--cell-ceiling=SECONDS]\n"
         "            [--job-ceiling=SECONDS]\n"
         "            [--heartbeat-timeout=SECONDS]\n"
-        "            [--lane-retries=N] [--quiet]\n"
+        "            [--lane-retries=N] [--no-shard]\n"
+        "            [--shard-requeues=N] [--quiet]\n"
+        "       ibpd --stats [--socket=PATH]\n"
+        "\n"
+        "--stats asks the RUNNING daemon for its lane, shard and\n"
+        "coalescing counters and exits.\n"
         "\n"
         "Resident sweep daemon: serves bench runs over a unix\n"
         "socket (see docs/SERVICE.md). Clients connect via the\n"
@@ -102,10 +181,13 @@ main(int argc, char **argv)
 {
     ibp::ServerConfig config;
     config.lanes = 2; // the daemon defaults to crash isolation
+    bool stats_mode = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
-        if (parseFlag(arg, "--socket", &value)) {
+        if (arg == "--stats") {
+            stats_mode = true;
+        } else if (parseFlag(arg, "--socket", &value)) {
             config.socketPath = value;
         } else if (parseFlag(arg, "--state", &value)) {
             config.stateDir = value;
@@ -125,6 +207,11 @@ main(int argc, char **argv)
         } else if (parseFlag(arg, "--lane-retries", &value)) {
             config.laneMaxRetries =
                 static_cast<unsigned>(std::atoi(value.c_str()));
+        } else if (arg == "--no-shard") {
+            config.shardJobs = false;
+        } else if (parseFlag(arg, "--shard-requeues", &value)) {
+            config.shardRequeueBudget =
+                static_cast<unsigned>(std::atoi(value.c_str()));
         } else if (arg == "--quiet") {
             config.echo = false;
         } else if (arg == "--help" || arg == "-h") {
@@ -137,6 +224,9 @@ main(int argc, char **argv)
             return 1;
         }
     }
+
+    if (stats_mode)
+        return runStatsClient(config.socketPath);
 
     ibp::registerAllBenchExperiments();
 

@@ -13,6 +13,8 @@
 #include <unistd.h>
 
 #include "robust/atomic_file.hh"
+#include "robust/fault_injection.hh"
+#include "sim/result_store.hh"
 
 namespace ibp {
 
@@ -33,6 +35,14 @@ drainedFrame()
     Json json = Json::object();
     json.set("type", "drained");
     return json;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point then)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - then)
+        .count();
 }
 
 } // namespace
@@ -230,9 +240,16 @@ SweepServer::handleStats(int fd)
     reply.set("lane_crashes", counters.laneCrashes);
     reply.set("lane_kills", counters.laneKills);
     reply.set("jobs_retried", counters.jobsRetried);
+    reply.set("jobs_sharded", counters.jobsSharded);
+    reply.set("shards_planned", counters.shardsPlanned);
+    reply.set("shards_requeued", counters.shardsRequeued);
+    reply.set("shards_abandoned", counters.shardsAbandoned);
+    reply.set("shard_cells_stolen", counters.shardCellsStolen);
+    reply.set("overlap_cells_coalesced",
+              counters.overlapCellsCoalesced);
     {
         std::lock_guard<std::mutex> lock(_queueMutex);
-        reply.set("queue_depth", _queue.size());
+        reply.set("queue_depth", queuedJobCountLocked());
         // "running": first busy runner's slug (compat with the
         // single-runner era); "running_jobs" lists all of them.
         Json running_jobs = Json::array();
@@ -312,14 +329,14 @@ SweepServer::handleRun(int fd, const RunRequest &request)
         }
         if (!coalesced) {
             for (const auto &queued : _queue) {
-                if (try_attach(queued)) {
+                if (try_attach(queued.job)) {
                     coalesced = true;
                     break;
                 }
             }
         }
         if (!coalesced) {
-            if (_queue.size() >= _config.maxQueueDepth) {
+            if (queuedJobCountLocked() >= _config.maxQueueDepth) {
                 {
                     std::lock_guard<std::mutex> stats_lock(
                         _statsMutex);
@@ -338,10 +355,9 @@ SweepServer::handleRun(int fd, const RunRequest &request)
             job->subscribers = 1;
             job->clientRejects = request.rejects;
             job->enqueuedAt = std::chrono::steady_clock::now();
-            _queue.push_back(job);
-            _queueCv.notify_one();
+            enqueueJobLocked(job);
         }
-        queue_depth = _queue.size();
+        queue_depth = queuedJobCountLocked();
     }
     {
         std::lock_guard<std::mutex> lock(_statsMutex);
@@ -413,7 +429,7 @@ void
 SweepServer::runnerLoop(unsigned lane_index)
 {
     for (;;) {
-        std::shared_ptr<Job> job;
+        Task task;
         {
             std::unique_lock<std::mutex> lock(_queueMutex);
             _queueCv.wait(lock, [&] {
@@ -421,21 +437,39 @@ SweepServer::runnerLoop(unsigned lane_index)
             });
             if (_draining)
                 break;
+            // Highest priority first, then oldest job, then shard
+            // order - so every lane converges on the same fan-out
+            // instead of interleaving unrelated jobs.
+            const auto better = [](const Task &a, const Task &b) {
+                if (a.job->request.priority !=
+                    b.job->request.priority)
+                    return a.job->request.priority >
+                           b.job->request.priority;
+                if (a.job->id != b.job->id)
+                    return a.job->id < b.job->id;
+                return a.shardIndex < b.shardIndex;
+            };
             auto best = _queue.begin();
             for (auto it = std::next(best); it != _queue.end();
                  ++it) {
-                if ((*it)->request.priority >
-                        (*best)->request.priority ||
-                    ((*it)->request.priority ==
-                         (*best)->request.priority &&
-                     (*it)->id < (*best)->id))
+                if (better(*it, *best))
                     best = it;
             }
-            job = *best;
+            task = *best;
             _queue.erase(best);
-            _runningJobs[lane_index] = job;
+            _runningJobs[lane_index] = task.job;
         }
-        runJob(job, lane_index);
+        switch (task.kind) {
+        case TaskKind::Whole:
+            runJob(task.job, lane_index);
+            break;
+        case TaskKind::Shard:
+            runShardTask(task, lane_index);
+            break;
+        case TaskKind::Merge:
+            runMergeTask(task.job, lane_index);
+            break;
+        }
         {
             std::lock_guard<std::mutex> lock(_queueMutex);
             _runningJobs[lane_index].reset();
@@ -447,14 +481,7 @@ void
 SweepServer::runJob(const std::shared_ptr<Job> &job,
                     unsigned lane_index)
 {
-    {
-        std::lock_guard<std::mutex> lock(job->mutex);
-        job->state = JobState::Running;
-        job->queueSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - job->enqueuedAt)
-                .count();
-    }
+    markJobStarted(job);
     logLine("running job %llu: %s%s",
             static_cast<unsigned long long>(job->id),
             job->request.slug.c_str(),
@@ -467,6 +494,11 @@ SweepServer::runJob(const std::shared_ptr<Job> &job,
         // streams progress + the artifact back; the monitor loop
         // below us handles crashes, deadlines and retries. Progress
         // counts restart per lane incarnation, so only move forward.
+        // Cell claims are on whenever a store is armed: two lanes
+        // running overlapping whole jobs then compute each shared
+        // cell exactly once (the laggard defers and is served).
+        LaneShard whole;
+        whole.cellClaims = ResultStore::global() != nullptr;
         const LaneJobOutcome outcome = _supervisor->runJob(
             lane_index, job->request, checkpointPathFor(job->request),
             [job](std::size_t cells) {
@@ -475,7 +507,8 @@ SweepServer::runJob(const std::shared_ptr<Job> &job,
                     job->cellsDone = cells;
                     job->cv.notify_all();
                 }
-            });
+            },
+            whole);
         result = outcome.result;
         lane_drained = outcome.drained;
     } else {
@@ -520,6 +553,7 @@ SweepServer::runJob(const std::shared_ptr<Job> &job,
             serve.coalesced = job->coalesced;
             serve.admissionRejects = job->clientRejects;
             serve.queueSeconds = job->queueSeconds;
+            serve.jobSeconds = secondsSince(job->startedAt);
             serve.warm = metrics.hasTraceSource() &&
                          metrics.tracesGenerated() == 0 &&
                          metrics.traceCacheHits() > 0;
@@ -555,6 +589,307 @@ SweepServer::runJob(const std::shared_ptr<Job> &job,
 }
 
 void
+SweepServer::markJobStarted(const std::shared_ptr<Job> &job)
+{
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->state != JobState::Queued)
+        return;
+    job->state = JobState::Running;
+    job->startedAt = std::chrono::steady_clock::now();
+    job->queueSeconds = std::chrono::duration<double>(
+                            job->startedAt - job->enqueuedAt)
+                            .count();
+}
+
+std::size_t
+SweepServer::queuedJobCountLocked() const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < _queue.size(); ++i) {
+        bool seen = false;
+        for (std::size_t j = 0; j < i && !seen; ++j)
+            seen = _queue[j].job == _queue[i].job;
+        if (!seen)
+            ++count;
+    }
+    return count;
+}
+
+void
+SweepServer::enqueueJobLocked(const std::shared_ptr<Job> &job)
+{
+    // Shard when the grid can be reassembled from the store: a
+    // supervised pool of at least two lanes, a shardable experiment
+    // (every cell store-keyed) and an armed result store. Everything
+    // else runs as one whole job on one lane, exactly as before.
+    // Fault injection disarms the store inside SuiteRunner, so a
+    // sharded fan-out would just repeat the whole grid per lane -
+    // don't plan one.
+    const ExperimentDef *def = findExperiment(job->request.slug);
+    const bool shard = _supervisor != nullptr && _config.shardJobs &&
+                       _config.lanes >= 2 && def != nullptr &&
+                       def->shardable &&
+                       ResultStore::global() != nullptr &&
+                       !FaultInjector::global().armed();
+    if (!shard) {
+        Task task;
+        task.job = job;
+        _queue.push_back(task);
+        _queueCv.notify_one();
+        return;
+    }
+    job->shardCount = _config.lanes;
+    job->shardCells.assign(job->shardCount, 0);
+    job->shardDispatches.assign(job->shardCount, 0);
+    for (unsigned k = 0; k < job->shardCount; ++k) {
+        Task task;
+        task.job = job;
+        task.kind = TaskKind::Shard;
+        task.shardIndex = k;
+        _queue.push_back(task);
+    }
+    {
+        std::lock_guard<std::mutex> stats_lock(_statsMutex);
+        ++_stats.jobsSharded;
+        _stats.shardsPlanned += job->shardCount;
+    }
+    _queueCv.notify_all();
+}
+
+void
+SweepServer::runShardTask(const Task &task, unsigned lane_index)
+{
+    const std::shared_ptr<Job> &job = task.job;
+    const unsigned shard_index = task.shardIndex;
+    markJobStarted(job);
+    unsigned shard_count = 0;
+    unsigned dispatch = 0;
+    {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        shard_count = job->shardCount;
+        dispatch = ++job->shardDispatches[shard_index];
+    }
+    logLine("running job %llu shard %u/%u: %s%s",
+            static_cast<unsigned long long>(job->id), shard_index,
+            shard_count, job->request.slug.c_str(),
+            job->request.quick ? " (quick)" : "");
+
+    LaneShard shard;
+    shard.index = shard_index;
+    shard.count = shard_count;
+    shard.steal = true;
+    shard.cellClaims = true;
+    const LaneJobOutcome outcome = _supervisor->runJob(
+        lane_index, job->request,
+        shardCheckpointPathFor(job->request, shard_index,
+                               shard_count),
+        [job, shard_index](std::size_t cells) {
+            // Aggregated progress: the sum of per-shard monotonic
+            // maxima, so lane restarts (whose counts reset) and
+            // out-of-order shard ticks never move the stream
+            // backwards.
+            std::lock_guard<std::mutex> lock(job->mutex);
+            if (cells <= job->shardCells[shard_index])
+                return;
+            job->shardCells[shard_index] = cells;
+            std::size_t sum = 0;
+            for (const std::size_t done : job->shardCells)
+                sum += done;
+            if (sum > job->cellsDone) {
+                job->cellsDone = sum;
+                job->cv.notify_all();
+            }
+        },
+        shard);
+
+    const bool drained =
+        outcome.drained || _drainFlag.load(std::memory_order_acquire);
+    bool requeue = false;
+    bool enqueue_merge = false;
+    {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        if (drained) {
+            job->shardDrained = true;
+            ++job->shardsTerminal;
+        } else if (outcome.result.exitCode == 1) {
+            // The lane pool gave up on this shard (bounded crash
+            // retries exhausted, or a hard failure). Re-dispatch it
+            // within budget - its journal already holds whatever
+            // finished, so only the remaining cells rerun - else
+            // abandon it and let the merge pass sweep its cells.
+            if (job->shardDispatches[shard_index] <=
+                _config.shardRequeueBudget) {
+                requeue = true;
+                ++job->shardServe.requeued;
+            } else {
+                ++job->shardServe.abandoned;
+                ++job->shardsTerminal;
+            }
+        } else {
+            ++job->shardsTerminal;
+            if (outcome.result.artifact) {
+                const ResultStoreStats cells =
+                    outcome.result.artifact->metrics.resultStore();
+                job->shardServe.stolenCells += cells.stolen;
+                job->shardServe.overlapCoalesced += cells.claimServed;
+            }
+        }
+        if (!drained && !requeue &&
+            job->shardsTerminal == job->shardCount) {
+            enqueue_merge = true;
+            job->shardServe.fanoutSeconds =
+                secondsSince(job->startedAt);
+        }
+    }
+    if (requeue || outcome.result.exitCode == 1) {
+        std::lock_guard<std::mutex> stats_lock(_statsMutex);
+        if (requeue)
+            ++_stats.shardsRequeued;
+        else if (!drained)
+            ++_stats.shardsAbandoned;
+    }
+    if (!requeue && !enqueue_merge && !drained) {
+        logLine("job %llu shard %u/%u done",
+                static_cast<unsigned long long>(job->id), shard_index,
+                shard_count);
+    }
+
+    const auto markDrained = [&] {
+        bool counted = false;
+        {
+            std::lock_guard<std::mutex> lock(job->mutex);
+            if (job->state != JobState::Drained) {
+                job->state = JobState::Drained;
+                job->cv.notify_all();
+                counted = true;
+            }
+        }
+        if (counted) {
+            std::lock_guard<std::mutex> stats_lock(_statsMutex);
+            ++_stats.jobsDrained;
+        }
+    };
+    if (drained) {
+        markDrained();
+        return;
+    }
+    if (requeue || enqueue_merge) {
+        Task next;
+        next.job = job;
+        next.kind = requeue ? TaskKind::Shard : TaskKind::Merge;
+        next.shardIndex = requeue ? shard_index : 0;
+        bool queued = false;
+        {
+            std::lock_guard<std::mutex> lock(_queueMutex);
+            if (!_draining) {
+                _queue.push_back(next);
+                _queueCv.notify_one();
+                queued = true;
+            }
+        }
+        if (!queued) {
+            // Drain won the race for the queue: the job was already
+            // persisted (this lane still holds its running slot), so
+            // it resumes after restart instead of running on.
+            markDrained();
+            return;
+        }
+        if (requeue) {
+            logLine("re-queued job %llu shard %u/%u (dispatch %u)",
+                    static_cast<unsigned long long>(job->id),
+                    shard_index, shard_count, dispatch);
+        }
+    }
+}
+
+void
+SweepServer::runMergeTask(const std::shared_ptr<Job> &job,
+                          unsigned lane_index)
+{
+    logLine("merging job %llu: %s",
+            static_cast<unsigned long long>(job->id),
+            job->request.slug.c_str());
+    // The merge IS the job, run unsharded on one lane against the
+    // store the fan-out just warmed: every cell the shards finished
+    // is served bit-identically from the store, and any straggler
+    // cells of drained, abandoned or failed shards are simulated
+    // here - shard failures degrade to slowness, never to a wrong
+    // or partial artifact. Claims stay on so a concurrent
+    // overlapping job still shares cells with the merge.
+    LaneShard merge;
+    merge.cellClaims = true;
+    const LaneJobOutcome outcome = _supervisor->runJob(
+        lane_index, job->request, checkpointPathFor(job->request),
+        [job](std::size_t cells) {
+            std::lock_guard<std::mutex> lock(job->mutex);
+            if (cells > job->cellsDone) {
+                job->cellsDone = cells;
+                job->cv.notify_all();
+            }
+        },
+        merge);
+    ExperimentRunResult result = outcome.result;
+
+    bool drained = false;
+    bool counted_drained = false;
+    std::uint64_t stolen = 0;
+    std::uint64_t overlap = 0;
+    {
+        std::lock_guard<std::mutex> lock(job->mutex);
+        drained = outcome.drained ||
+                  _drainFlag.load(std::memory_order_acquire);
+        if (!drained && result.artifact) {
+            ServeMetrics serve;
+            serve.requests = job->subscribers;
+            serve.coalesced = job->coalesced;
+            serve.admissionRejects = job->clientRejects;
+            serve.queueSeconds = job->queueSeconds;
+            serve.jobSeconds = secondsSince(job->startedAt);
+            const RunMetrics &metrics = result.artifact->metrics;
+            serve.warm = metrics.hasTraceSource() &&
+                         metrics.tracesGenerated() == 0 &&
+                         metrics.traceCacheHits() > 0;
+            job->shardServe.planned = job->shardCount;
+            job->shardServe.mergeSeconds = result.seconds;
+            job->shardServe.laneCells.assign(job->shardCells.begin(),
+                                             job->shardCells.end());
+            serve.shard = job->shardServe;
+            stolen = job->shardServe.stolenCells;
+            overlap = job->shardServe.overlapCoalesced;
+            result.artifact->metrics.recordServe(serve);
+        }
+        job->result = result;
+        if (job->state != JobState::Drained) {
+            job->state =
+                drained ? JobState::Drained : JobState::Done;
+            counted_drained = drained;
+        }
+        job->cv.notify_all();
+    }
+
+    if (!drained && result.exitCode == 0) {
+        std::error_code ec;
+        std::filesystem::remove(checkpointPathFor(job->request), ec);
+        removeShardCheckpoints(job->request);
+    }
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        if (drained) {
+            if (counted_drained)
+                ++_stats.jobsDrained;
+        } else {
+            ++_stats.jobsCompleted;
+            _stats.shardCellsStolen += stolen;
+            _stats.overlapCellsCoalesced += overlap;
+        }
+    }
+    logLine("job %llu %s (%zu cells, sharded x%u)",
+            static_cast<unsigned long long>(job->id),
+            drained ? "drained" : "finished", job->cellsDone,
+            job->shardCount);
+}
+
+void
 SweepServer::requestDrain()
 {
     if (_drainFlag.exchange(true, std::memory_order_acq_rel))
@@ -565,8 +900,21 @@ SweepServer::requestDrain()
         std::lock_guard<std::mutex> lock(_queueMutex);
         _draining = true;
         persistPendingLocked();
-        for (const auto &job : _queue) {
+        // Mark every job still holding queue tasks drained, once per
+        // job: a sharded job contributes several tasks, and one with
+        // a shard mid-flight on a lane is marked here too - the lane
+        // reports that shard drained shortly, and the runner's own
+        // terminal path sees the state already set.
+        for (std::size_t i = 0; i < _queue.size(); ++i) {
+            bool seen = false;
+            for (std::size_t j = 0; j < i && !seen; ++j)
+                seen = _queue[j].job == _queue[i].job;
+            if (seen)
+                continue;
+            const auto &job = _queue[i].job;
             std::lock_guard<std::mutex> job_lock(job->mutex);
+            if (job->state == JobState::Drained)
+                continue;
             job->state = JobState::Drained;
             job->cv.notify_all();
             ++drained_queued;
@@ -681,24 +1029,70 @@ SweepServer::checkpointPathFor(const RunRequest &request) const
            (request.quick ? "-quick" : "") + ".ckpt";
 }
 
+std::string
+SweepServer::shardCheckpointPathFor(const RunRequest &request,
+                                    unsigned shard_index,
+                                    unsigned shard_count) const
+{
+    // The shard count is part of the name: a restart that re-plans
+    // against a different lane count starts fresh journals, and the
+    // cells the old plan finished are still served by the store.
+    return _config.stateDir + "/" + request.slug +
+           (request.quick ? "-quick" : "") + ".shard" +
+           std::to_string(shard_index) + "of" +
+           std::to_string(shard_count) + ".ckpt";
+}
+
+void
+SweepServer::removeShardCheckpoints(const RunRequest &request) const
+{
+    const std::string prefix =
+        request.slug + (request.quick ? "-quick" : "") + ".shard";
+    std::error_code ec;
+    std::filesystem::directory_iterator it(_config.stateDir, ec);
+    if (ec)
+        return;
+    for (const auto &entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(prefix, 0) == 0 &&
+            name.size() > prefix.size() + 5 &&
+            name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+            std::error_code remove_ec;
+            std::filesystem::remove(entry.path(), remove_ec);
+        }
+    }
+}
+
 void
 SweepServer::persistPendingLocked()
 {
     const std::string path = _config.stateDir + "/pending.json";
     Json jobs = Json::array();
+    // ONE entry per job, however many shard/merge tasks it has in
+    // flight: the entry is just the request, and the restarted
+    // daemon re-plans shards against its then-current lane count.
+    // The union of the job's unfinished cells needs no persisting -
+    // finished cells live in the result store (and the journals),
+    // so the re-planned run serves them and simulates only the rest.
+    std::vector<const Job *> seen;
     auto persist = [&](const std::shared_ptr<Job> &job) {
         if (!job)
             return;
+        for (const Job *prior : seen) {
+            if (prior == job.get())
+                return;
+        }
         std::lock_guard<std::mutex> job_lock(job->mutex);
         if (job->state == JobState::Done ||
             job->state == JobState::Drained)
             return;
+        seen.push_back(job.get());
         jobs.push(job->request.toJson());
     };
     for (const auto &job : _runningJobs)
         persist(job);
-    for (const auto &job : _queue)
-        persist(job);
+    for (const auto &task : _queue)
+        persist(task.job);
     if (jobs.size() == 0) {
         std::error_code ec;
         std::filesystem::remove(path, ec);
@@ -785,7 +1179,10 @@ SweepServer::restorePending()
         job->request = request.value();
         job->subscribers = 0; // original clients are long gone
         job->enqueuedAt = std::chrono::steady_clock::now();
-        _queue.push_back(job);
+        // Re-plans the shard fan-out against the CURRENT lane
+        // count; a drain under the old plan left its cells in the
+        // store, so only unfinished work reruns.
+        enqueueJobLocked(job);
         ++restored;
     }
     if (restored > 0) {

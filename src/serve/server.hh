@@ -87,6 +87,16 @@ struct ServerConfig
     unsigned laneMaxRetries = 3;
     /** Pause before re-dispatching a crashed job to a fresh lane. */
     double laneRetryBackoffSeconds = 0.1;
+    /** Shard shardable jobs across the lane pool (lanes >= 2): each
+     *  lane simulates one benchmark partition of the grid into the
+     *  result store, then a single-lane merge pass assembles the
+     *  artifact (bit-identical to an unsharded run). Requires an
+     *  armed result store; off, every job owns one whole lane. */
+    bool shardJobs = true;
+    /** Re-dispatches allowed per shard after its lane pool gives up,
+     *  before the shard is abandoned (the merge pass then simulates
+     *  its unfinished cells on one lane). */
+    unsigned shardRequeueBudget = 2;
 };
 
 /** Cumulative counters, exposed over the "stats" request. */
@@ -106,6 +116,15 @@ struct ServerStats
     std::uint64_t laneCrashes = 0;
     std::uint64_t laneKills = 0;
     std::uint64_t jobsRetried = 0;
+    /** Grid-sharder counters (all zero unless jobs were sharded). */
+    std::uint64_t jobsSharded = 0;
+    std::uint64_t shardsPlanned = 0;
+    std::uint64_t shardsRequeued = 0;
+    std::uint64_t shardsAbandoned = 0;
+    std::uint64_t shardCellsStolen = 0;
+    /** Cells one job deferred on and another claimant simulated
+     *  (the cross-request overlap win of the cell-claim layer). */
+    std::uint64_t overlapCellsCoalesced = 0;
 };
 
 class SweepServer
@@ -168,7 +187,40 @@ class SweepServer
         unsigned clientRejects = 0;
         double queueSeconds = 0.0;
         std::chrono::steady_clock::time_point enqueuedAt;
+        /** Stamped when the first task of the job starts running;
+         *  meaningful only while state is Running or later. */
+        std::chrono::steady_clock::time_point startedAt;
         ExperimentRunResult result;
+
+        // ---- grid-sharder bookkeeping (zero for unsharded jobs;
+        // guarded by mutex like everything above) ----
+        /** Shards planned for this job; 0 = runs as one whole job. */
+        unsigned shardCount = 0;
+        /** Shards that reached a terminal state (finished, drained
+         *  or abandoned); the merge pass is enqueued when this hits
+         *  shardCount with no drain in flight. */
+        unsigned shardsTerminal = 0;
+        /** Any shard stopped for drain. */
+        bool shardDrained = false;
+        /** Monotonic per-shard resolved-cell maxima; streamed
+         *  progress is their sum. */
+        std::vector<std::size_t> shardCells;
+        /** Dispatch count per shard (first run + re-queues), checked
+         *  against ServerConfig::shardRequeueBudget. */
+        std::vector<unsigned> shardDispatches;
+        /** Aggregated fan-out telemetry, stamped onto the merge
+         *  artifact's serve metrics. */
+        ShardServeStats shardServe;
+    };
+
+    /** What a runner thread dequeues: a whole job, one shard of a
+     *  sharded job's fan-out, or the final single-lane merge pass. */
+    enum class TaskKind { Whole, Shard, Merge };
+    struct Task
+    {
+        std::shared_ptr<Job> job;
+        TaskKind kind = TaskKind::Whole;
+        unsigned shardIndex = 0;
     };
 
     /** One client connection and the thread serving it. */
@@ -187,7 +239,24 @@ class SweepServer
     void handleStats(int fd);
     void runnerLoop(unsigned laneIndex);
     void runJob(const std::shared_ptr<Job> &job, unsigned laneIndex);
+    void runShardTask(const Task &task, unsigned laneIndex);
+    void runMergeTask(const std::shared_ptr<Job> &job,
+                      unsigned laneIndex);
+    /** Plan the job (shard fan-out or whole) and push its task(s);
+     *  caller holds _queueMutex. */
+    void enqueueJobLocked(const std::shared_ptr<Job> &job);
+    /** Distinct jobs with tasks in the queue (admission bound);
+     *  caller holds _queueMutex. */
+    std::size_t queuedJobCountLocked() const;
+    /** Transition Queued -> Running once, stamping queue/start
+     *  times; later tasks of the same job are no-ops. */
+    void markJobStarted(const std::shared_ptr<Job> &job);
     std::string checkpointPathFor(const RunRequest &request) const;
+    std::string shardCheckpointPathFor(const RunRequest &request,
+                                       unsigned shardIndex,
+                                       unsigned shardCount) const;
+    /** Remove every shard journal of @p request (any shard count). */
+    void removeShardCheckpoints(const RunRequest &request) const;
     void persistPendingLocked();
     void restorePending();
     void logLine(const char *format, ...) const;
@@ -211,8 +280,10 @@ class SweepServer
     /** Guards the queue, _runningJobs, _draining and _nextJobId. */
     mutable std::mutex _queueMutex;
     std::condition_variable _queueCv;
-    std::vector<std::shared_ptr<Job>> _queue;
-    /** Job each runner thread is executing (index = lane). */
+    /** Pending tasks; a sharded job contributes several. */
+    std::vector<Task> _queue;
+    /** Job each runner thread is executing (index = lane); shards of
+     *  one job can occupy several slots at once. */
     std::vector<std::shared_ptr<Job>> _runningJobs;
     bool _draining = false;
     std::uint64_t _nextJobId = 1;

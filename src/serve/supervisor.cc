@@ -144,7 +144,8 @@ LaneJobOutcome
 LaneSupervisor::runJob(
     unsigned lane_index, const RunRequest &request,
     const std::string &checkpoint_path,
-    const std::function<void(std::size_t)> &on_progress)
+    const std::function<void(std::size_t)> &on_progress,
+    const LaneShard &shard)
 {
     Lane &lane = *_lanes.at(lane_index);
 
@@ -177,6 +178,17 @@ LaneSupervisor::runJob(
         job.set("type", "job");
         job.set("checkpoint", checkpoint_path);
         job.set("request", request.toJson());
+        // Shard fields ride on the lane frame, not the client
+        // request: sharding is a daemon scheduling decision and must
+        // not perturb RunRequest::signature() coalescing.
+        if (shard.count > 1) {
+            job.set("shard_index", static_cast<double>(shard.index));
+            job.set("shard_count", static_cast<double>(shard.count));
+            if (shard.steal)
+                job.set("shard_steal", true);
+        }
+        if (shard.cellClaims)
+            job.set("cell_claims", true);
         bool dispatched;
         {
             std::lock_guard<std::mutex> guard(lane.writeMutex);

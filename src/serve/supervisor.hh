@@ -91,6 +91,25 @@ struct LaneStats
     std::uint64_t jobsRetried = 0;
 };
 
+/**
+ * Shard assignment riding on one dispatched job. Defaults mean "run
+ * the whole job". With count > 1 the lane simulates only its
+ * benchmark partition of the grid into the shared result store
+ * (sim/suite_runner.hh); cellClaims arms the store's cell-claim
+ * layer so concurrent shards and overlapping jobs each compute a
+ * cell exactly once.
+ */
+struct LaneShard
+{
+    unsigned index = 0;
+    unsigned count = 1;
+    /** Steal unclaimed foreign cells after finishing the
+     *  partition. */
+    bool steal = false;
+    /** Claim store cells before simulating them. */
+    bool cellClaims = false;
+};
+
 /** What one supervised job run came to. */
 struct LaneJobOutcome
 {
@@ -136,7 +155,8 @@ class LaneSupervisor
     LaneJobOutcome
     runJob(unsigned laneIndex, const RunRequest &request,
            const std::string &checkpointPath,
-           const std::function<void(std::size_t)> &onProgress);
+           const std::function<void(std::size_t)> &onProgress,
+           const LaneShard &shard = {});
 
     /**
      * Ask every lane to stop at its next cell boundary. Idempotent;

@@ -150,6 +150,16 @@ runLaneJob(LaneState &state, const Json &frame)
     options.checkpointPath = frame.stringOr("checkpoint", "");
     options.echo = false;
     options.abort = &state.abort;
+    // Shard assignment from the supervisor frame (absent for a
+    // whole-job dispatch; see serve/supervisor.hh LaneShard).
+    options.shardCount = static_cast<unsigned>(
+        frame.numberOr("shard_count", 1));
+    options.shardIndex = static_cast<unsigned>(
+        frame.numberOr("shard_index", 0));
+    options.shardSteal = frame.contains("shard_steal") &&
+                         frame.at("shard_steal").asBool();
+    options.cellClaims = frame.contains("cell_claims") &&
+                         frame.at("cell_claims").asBool();
     std::atomic<std::size_t> cells{0};
     options.onCellFinished = [&state, &cells] {
         const std::size_t done =

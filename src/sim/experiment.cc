@@ -136,6 +136,11 @@ ExperimentContext::ExperimentContext(std::string slug,
     _session.retry = _options.retry;
     _session.abort = _options.abort;
     _session.onCellFinished = _options.onCellFinished;
+    _session.shardIndex = _options.shardIndex;
+    _session.shardCount =
+        std::max(1u, _options.shardCount);
+    _session.shardSteal = _options.shardSteal;
+    _session.cellClaims = _options.cellClaims;
 
     _metrics.recordThreads(simulationThreads());
     _metrics.recordTableImpl(tableImplName());

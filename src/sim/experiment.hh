@@ -68,6 +68,18 @@ struct ExperimentOptions
     /** Invoked after every resolved cell (done or failed), from
      *  worker threads; the serve layer streams progress with it. */
     std::function<void()> onCellFinished;
+    /** Grid sharding (see RunSession): with shardCount > 1 and an
+     *  armed result store, SuiteRunner simulates only this shard's
+     *  benchmark partition into the store. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    /** Steal unclaimed foreign cells after finishing the
+     *  partition. */
+    bool shardSteal = false;
+    /** Claim cells in the result store before simulating, so
+     *  concurrent shards and overlapping requests compute each cell
+     *  exactly once (see RunSession::cellClaims). */
+    bool cellClaims = false;
 };
 
 /** Parsed experiment state plus table sink, handed to the body. */
@@ -126,6 +138,14 @@ struct ExperimentDef
     std::string slug;
     std::string title;
     std::function<void(ExperimentContext &)> body;
+    /**
+     * True when the body is a pure store-keyed sweep grid: every
+     * cell flows through the content-addressed result store, so the
+     * daemon may fan the job out across worker lanes as shards
+     * (docs/SERVICE.md). Leave false for bodies with unkeyed
+     * columns or cross-cell state - they still run, just unsharded.
+     */
+    bool shardable = false;
 };
 
 /**

@@ -7,6 +7,11 @@
 #include <sstream>
 #include <utility>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "core/spec_codec.hh"
 #include "core/table_spec.hh"
 #include "robust/atomic_file.hh"
@@ -61,6 +66,83 @@ payloadJson(const std::string &key, const StoredResult &result)
 }
 
 } // namespace
+
+CellClaim::CellClaim(CellClaim &&other) noexcept
+    : _state(other._state), _fd(other._fd),
+      _path(std::move(other._path))
+{
+    other._state = State::None;
+    other._fd = -1;
+    other._path.clear();
+}
+
+CellClaim &
+CellClaim::operator=(CellClaim &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        _state = other._state;
+        _fd = other._fd;
+        _path = std::move(other._path);
+        other._state = State::None;
+        other._fd = -1;
+        other._path.clear();
+    }
+    return *this;
+}
+
+CellClaim::~CellClaim()
+{
+    release();
+}
+
+void
+CellClaim::release()
+{
+    if (_state == State::Acquired && _fd >= 0) {
+        // Unlink BEFORE closing: a contender that already open()ed
+        // this inode fails its post-flock identity check and retries
+        // against a fresh sidecar instead of "winning" a lock nobody
+        // else can see.
+        ::unlink(_path.c_str());
+    }
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = -1;
+    _state = State::None;
+    _path.clear();
+}
+
+CellClaim
+ResultStore::tryClaim(const std::string &key) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_directory, ec);
+    const std::string path = pathFor(key) + ".claim";
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const int fd = ::open(path.c_str(),
+                              O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd < 0)
+            break; // degrade to lockless (see header)
+        if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+            ::close(fd);
+            return CellClaim(CellClaim::State::Busy, -1, "");
+        }
+        // The previous holder may have unlinked the sidecar between
+        // our open() and flock(): we would then hold a lock on an
+        // orphaned inode invisible to later contenders. Verify the
+        // path still names our inode; retry on a fresh open if not.
+        struct stat locked, current;
+        if (::fstat(fd, &locked) == 0 &&
+            ::stat(path.c_str(), &current) == 0 &&
+            locked.st_ino == current.st_ino &&
+            locked.st_dev == current.st_dev) {
+            return CellClaim(CellClaim::State::Acquired, fd, path);
+        }
+        ::close(fd);
+    }
+    return CellClaim(CellClaim::State::Acquired, -1, "");
+}
 
 ResultStore::ResultStore(std::string directory)
     : _directory(std::move(directory))

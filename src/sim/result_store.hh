@@ -43,6 +43,58 @@
 
 namespace ibp {
 
+/**
+ * Exclusive right to simulate one store cell, held while the owner
+ * computes it (sharded lanes and overlapping requests race for it;
+ * losers defer and serve the cell from the store once the owner
+ * persists it). Backed by an flock(2) on a `<cell>.claim` sidecar
+ * file, so the kernel releases a dead owner's claim automatically -
+ * no pid files, no TTLs, no stale-claim reaping.
+ *
+ * flock locks the open file description, not the process, so two
+ * runners inside ONE process exclude each other exactly like two
+ * lane processes do. Move-only; the destructor releases.
+ */
+class CellClaim
+{
+  public:
+    enum class State
+    {
+        /** Default-constructed: no claim was attempted. */
+        None,
+        /** We hold the cell; simulate it, then release(). */
+        Acquired,
+        /** Someone else holds it; defer and poll the store. */
+        Busy,
+    };
+
+    CellClaim() = default;
+    CellClaim(CellClaim &&other) noexcept;
+    CellClaim &operator=(CellClaim &&other) noexcept;
+    CellClaim(const CellClaim &) = delete;
+    CellClaim &operator=(const CellClaim &) = delete;
+    ~CellClaim();
+
+    State state() const { return _state; }
+    bool acquired() const { return _state == State::Acquired; }
+    bool busy() const { return _state == State::Busy; }
+
+    /** Drop the claim (unlink the sidecar, then close the lock).
+     *  Idempotent; called by the destructor. */
+    void release();
+
+  private:
+    friend class ResultStore;
+    CellClaim(State state, int fd, std::string path)
+        : _state(state), _fd(fd), _path(std::move(path))
+    {
+    }
+
+    State _state = State::None;
+    int _fd = -1;
+    std::string _path;
+};
+
 /** One persisted simulation cell. */
 struct StoredResult
 {
@@ -160,6 +212,17 @@ class ResultStore
     /** True when an entry file for @p key exists (no validation);
      *  the exactly-once journal write-back check. */
     bool contains(const std::string &key) const;
+
+    /**
+     * Try to acquire the exclusive simulate-this-cell claim for
+     * @p key (non-blocking). Returns an Acquired claim on success,
+     * a Busy one when a live peer holds it. An I/O failure (store
+     * directory gone, fd exhaustion) degrades to a lockless
+     * Acquired claim: the worst case is a duplicate simulation
+     * whose duplicate store() is made benign by the atomic-rename
+     * write path - availability over exclusivity.
+     */
+    CellClaim tryClaim(const std::string &key) const;
 
   private:
     std::string _directory;

@@ -31,6 +31,20 @@ nowNs()
         .count();
 }
 
+/** How long a deferred cell waits for its claim owner to persist it
+ *  before this runner simulates it anyway (IBP_CLAIM_WAIT seconds;
+ *  duplicate simulations are benign, the store write is atomic). */
+double
+claimWaitCeilingSeconds()
+{
+    if (const char *env = std::getenv("IBP_CLAIM_WAIT")) {
+        const double parsed = std::atof(env);
+        if (parsed > 0.0)
+            return parsed;
+    }
+    return 300.0;
+}
+
 } // namespace
 
 void
@@ -345,6 +359,13 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         /** Result-store cell key; empty = don't probe or persist
          *  (store disabled, column unkeyed, or injector armed). */
         std::string storeKey;
+        /** Claimed by a live peer at construction time: skipped by
+         *  both phases, resolved by the deferred-wait loop (served
+         *  from the store, or simulated if the owner gave up). */
+        bool deferred = false;
+        /** Another shard's cell, tracked only as a work-stealing
+         *  candidate; skipped by both phases. */
+        bool foreign = false;
     };
 
     // Content-addressed result store (docs/PERFORMANCE.md): keyed
@@ -355,11 +376,23 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
     ResultStore *store = ResultStore::global();
     if (FaultInjector::global().armed())
         store = nullptr;
+    // Shard fan-out and cell claims both communicate through the
+    // store; without one they degrade to a plain full run (correct,
+    // just unshared). See the RunSession field docs.
+    const bool shard_active = store != nullptr &&
+                              session.shardCount > 1 &&
+                              !_names.empty();
+    const unsigned shard_count =
+        shard_active ? session.shardCount : 1;
+    const unsigned shard_index =
+        shard_active ? session.shardIndex % shard_count : 0;
+    const bool claims_active = store != nullptr && session.cellClaims;
     // hits/misses/invalidated/journalWritebacks are only touched in
     // the single-threaded construction loop below; stores happen on
     // worker threads and are counted separately via an atomic.
     ResultStoreStats store_stats;
     std::atomic<unsigned> store_writes{0};
+    std::atomic<unsigned> stolen_cells{0};
     // Cell keys need each benchmark's trace cache key, computable
     // from the name alone (no need to wait for acquisition); cached
     // because profile hashing is per-benchmark work, not per-cell.
@@ -379,8 +412,56 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
     GridResult grid;
     std::vector<Job> jobs;
     jobs.reserve(columns.size() * _names.size());
+    // Claim handles, index-aligned with jobs (CellClaim is move-only
+    // and Job is an aggregate; a parallel vector keeps Job cheap).
+    // Never resized after construction, so finishCell can release a
+    // cell's claim from its worker thread without locking; whatever
+    // is still held at return (drained / deferred / failed cells)
+    // releases via the destructors.
+    std::vector<CellClaim> cell_claims;
+    cell_claims.reserve(columns.size() * _names.size());
+    const auto pushJob = [&](Job job, CellClaim claim = {}) {
+        jobs.push_back(std::move(job));
+        cell_claims.push_back(std::move(claim));
+    };
+    // Serve one cell from a stored entry: identical bookkeeping to
+    // the warm-probe hit path, reused by the post-claim re-probe and
+    // the deferred-wait loop (stored integer counters make the
+    // restored miss rate bit-identical to a cold computation).
+    const auto serveStored = [&](const SweepColumn &column,
+                                 const std::string &name,
+                                 const StoredResult &cell) {
+        grid.set(column.label, name, cell.missPercent);
+        if (metrics && cell.hasCounters) {
+            CellMetrics restored_cell;
+            restored_cell.column = column.label;
+            restored_cell.benchmark = name;
+            restored_cell.branches = cell.branches;
+            restored_cell.seconds = cell.seconds;
+            restored_cell.groupSeconds = cell.groupSeconds;
+            restored_cell.secondsSynthetic = cell.sharedTraversal;
+            restored_cell.tableOccupancy = cell.tableOccupancy;
+            restored_cell.tableCapacity = cell.tableCapacity;
+            metrics->recordCell(restored_cell);
+        }
+        if (journal) {
+            // Journalled like any finished cell, so a
+            // drained-and-resumed sweep stays coherent.
+            const auto appended = journal->append(
+                CheckpointCell{grid_id, column.label, name,
+                               cell.missPercent});
+            if (!appended.ok()) {
+                warn("checkpoint append failed for %s/%s: %s",
+                     column.label.c_str(), name.c_str(),
+                     appended.error().describe().c_str());
+            }
+        }
+        notifyCell();
+    };
     for (const auto &column : columns) {
-        for (const auto &name : _names) {
+        for (std::size_t name_index = 0;
+             name_index < _names.size(); ++name_index) {
+            const std::string &name = _names[name_index];
             // Resume: a journalled cell is restored verbatim, not
             // recomputed (it carries the full-precision miss rate).
             // Benchmarks whose acquisition fails are resolved after
@@ -450,52 +531,42 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                     continue;
                 }
             }
+            std::string store_key;
+            if (store && column.specHash != 0) {
+                store_key = ResultStore::cellKey(traceKeyOf(name),
+                                                 column.specHash);
+            }
+            // Shard filter: only the owner shard simulates a cell;
+            // other shards either track it as a steal candidate or
+            // skip it outright (the merge pass restores it from the
+            // store). Unkeyed cells cannot flow through the store,
+            // so every shard leaves them for the merge.
+            if (shard_active) {
+                if (store_key.empty())
+                    continue;
+                const unsigned owner = static_cast<unsigned>(
+                    (name_index + grid_id) % shard_count);
+                if (owner != shard_index) {
+                    if (session.shardSteal) {
+                        pushJob(Job{&column, nullptr, &name, 0.0,
+                                    false, false, {},
+                                    std::move(store_key), false,
+                                    true});
+                    }
+                    continue;
+                }
+            }
             // Warm probe: a keyed cell whose inputs (trace key x
             // spec hash x simulator version x table impl) match a
             // stored entry is loaded instead of simulated - the
             // stored integer counters make the restored miss rate
             // bit-identical to a cold computation. A quarantined
             // entry counts as invalidated and the cell re-simulates.
-            std::string store_key;
-            if (store && column.specHash != 0) {
-                store_key = ResultStore::cellKey(traceKeyOf(name),
-                                                 column.specHash);
+            if (!store_key.empty()) {
                 const auto loaded = store->load(store_key);
                 if (loaded.status == ResultStore::LoadStatus::Hit) {
-                    const StoredResult &cell = loaded.result;
-                    grid.set(column.label, name, cell.missPercent);
                     ++store_stats.hits;
-                    if (metrics && cell.hasCounters) {
-                        CellMetrics restored_cell;
-                        restored_cell.column = column.label;
-                        restored_cell.benchmark = name;
-                        restored_cell.branches = cell.branches;
-                        restored_cell.seconds = cell.seconds;
-                        restored_cell.groupSeconds =
-                            cell.groupSeconds;
-                        restored_cell.secondsSynthetic =
-                            cell.sharedTraversal;
-                        restored_cell.tableOccupancy =
-                            cell.tableOccupancy;
-                        restored_cell.tableCapacity =
-                            cell.tableCapacity;
-                        metrics->recordCell(restored_cell);
-                    }
-                    if (journal) {
-                        // Journalled like any finished cell, so a
-                        // drained-and-resumed sweep stays coherent.
-                        const auto appended =
-                            journal->append(CheckpointCell{
-                                grid_id, column.label, name,
-                                cell.missPercent});
-                        if (!appended.ok()) {
-                            warn("checkpoint append failed for "
-                                 "%s/%s: %s",
-                                 column.label.c_str(), name.c_str(),
-                                 appended.error().describe().c_str());
-                        }
-                    }
-                    notifyCell();
+                    serveStored(column, name, loaded.result);
                     continue;
                 }
                 if (loaded.status ==
@@ -504,9 +575,38 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                 } else {
                     ++store_stats.misses;
                 }
+                if (claims_active) {
+                    CellClaim claim = store->tryClaim(store_key);
+                    if (claim.busy()) {
+                        // A live peer is computing this cell right
+                        // now: defer it and serve it from the store
+                        // once the peer persists it (the cross-shard
+                        // / cross-request exactly-once path).
+                        ++store_stats.claimBusy;
+                        pushJob(Job{&column, nullptr, &name, 0.0,
+                                    false, false, {},
+                                    std::move(store_key), true});
+                        continue;
+                    }
+                    // The previous owner may have stored the entry
+                    // and released between our probe and this claim;
+                    // re-probe so we serve instead of re-simulating.
+                    const auto raced = store->load(store_key);
+                    if (raced.status ==
+                        ResultStore::LoadStatus::Hit) {
+                        ++store_stats.claimServed;
+                        serveStored(column, name, raced.result);
+                        continue;
+                    }
+                    ++store_stats.claims;
+                    pushJob(Job{&column, nullptr, &name, 0.0, false,
+                                false, {}, std::move(store_key)},
+                            std::move(claim));
+                    continue;
+                }
             }
-            jobs.push_back(Job{&column, nullptr, &name, 0.0, false,
-                               false, {}, std::move(store_key)});
+            pushJob(Job{&column, nullptr, &name, 0.0, false, false,
+                        {}, std::move(store_key)});
         }
     }
 
@@ -648,6 +748,14 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
                      written.error().describe().c_str());
             }
         }
+        // Release the cell claim AFTER the store write, so a peer
+        // that wins the next claim finds the entry instead of
+        // re-simulating. Jobs never reallocate after construction,
+        // so the index is stable and each element has one owner.
+        const auto job_index =
+            static_cast<std::size_t>(&job - jobs.data());
+        if (job_index < cell_claims.size())
+            cell_claims[job_index].release();
         notifyCell();
     };
 
@@ -689,6 +797,10 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         std::vector<std::vector<std::size_t>> groups;
         std::map<std::string, std::size_t> group_of;
         for (std::size_t j = 0; j < jobs.size(); ++j) {
+            // Deferred cells resolve through the store; foreign
+            // cells only through the steal sweep.
+            if (jobs[j].deferred || jobs[j].foreign)
+                continue;
             const auto [it, fresh] = group_of.try_emplace(
                 *jobs[j].benchmark, groups.size());
             if (fresh)
@@ -907,6 +1019,11 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
             job.failed = true;
             job.error = cause;
             job.error.message = cause.describe();
+            // A foreign steal candidate was never this shard's work:
+            // mark it unstealable without charging this shard a
+            // failure record or a progress tick.
+            if (job.foreign)
+                continue;
             if (metrics) {
                 metrics->recordFailure(
                     FailureRecord{job.column->label, *job.benchmark,
@@ -920,90 +1037,192 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         job.trace = &_traces.at(*job.benchmark);
     }
 
+    // One isolated cell attempt, shared by phase 2, the steal sweep
+    // and the deferred-wait loop: the full per-cell machinery
+    // (journal start records, retry policy, watchdog deadline, fault
+    // injection). record_failure=false leaves a failed cell pending
+    // instead of failing the grid - a stolen cell's owner (or the
+    // merge pass) remains responsible for it.
+    const auto attemptCell = [&](Job &job, bool record_failure) {
+        WorkerSlot &slot = slotFor();
+        const std::string fault_key = std::to_string(grid_id) + "/" +
+                                      job.column->label + "/" +
+                                      *job.benchmark;
+        // Attempts of dead incarnations count: seeding the
+        // fault-injection attempt with the journalled start
+        // count lets a deterministic injected crash/hang
+        // clear when a fresh process retries the cell.
+        const unsigned prior_starts =
+            journal ? journal->startedCountPrior(
+                          grid_id, job.column->label, *job.benchmark)
+                    : 0;
+        auto outcome = runWithRetries(
+            session.retry, [&](unsigned attempt) {
+                if (journal) {
+                    const auto marked = journal->appendStart(
+                        CheckpointStart{grid_id, job.column->label,
+                                        *job.benchmark});
+                    if (!marked.ok()) {
+                        warn("checkpoint start append failed"
+                             " for %s/%s: %s",
+                             job.column->label.c_str(),
+                             job.benchmark->c_str(),
+                             marked.error().describe().c_str());
+                    }
+                }
+                if (deadline_ns > 0)
+                    slot.arm(nowNs() + deadline_ns);
+                // The attempt must disarm on every exit path
+                // or the watchdog would target a dead epoch
+                // (and the old plain-bool design would have
+                // cancelled the *next* attempt).
+                struct Disarm
+                {
+                    WorkerSlot &slot;
+                    ~Disarm() { slot.disarm(); }
+                } disarm{slot};
+                FaultInjector::global().check("sim", fault_key,
+                                              prior_starts + attempt);
+                auto predictor = job.column->make();
+                if (!predictor) {
+                    throw RunException(RunError::permanent(
+                        "predictor factory for '" +
+                        job.column->label + "' returned null"));
+                }
+                SimOptions options;
+                options.cancel = &slot.token;
+                return simulate(*predictor, *job.trace, options);
+            });
+        if (!outcome.ok()) {
+            if (!record_failure)
+                return;
+            job.failed = true;
+            job.error = outcome.error();
+            if (metrics) {
+                metrics->recordFailure(FailureRecord{
+                    job.column->label, *job.benchmark,
+                    job.error.message, errorKindName(job.error.kind),
+                    job.error.attempts});
+            }
+            notifyCell();
+            return;
+        }
+        finishCell(job, outcome.value());
+    };
+
     // Phase 2: per-cell isolation for everything still pending.
     {
         Executor::Batch batch(executor);
         for (std::size_t j = 0; j < jobs.size(); ++j) {
-            if (jobs[j].done || jobs[j].failed)
+            if (jobs[j].done || jobs[j].failed ||
+                jobs[j].deferred || jobs[j].foreign) {
                 continue;
+            }
             batch.spawn([&, j]() {
                 // Draining: leave the cell unstarted (not failed),
                 // so the resumed run picks it up.
                 if (aborted())
                     return;
-                Job &job = jobs[j];
-                WorkerSlot &slot = slotFor();
-                const std::string fault_key =
-                    std::to_string(grid_id) + "/" +
-                    job.column->label + "/" + *job.benchmark;
-                // Attempts of dead incarnations count: seeding the
-                // fault-injection attempt with the journalled start
-                // count lets a deterministic injected crash/hang
-                // clear when a fresh process retries the cell.
-                const unsigned prior_starts =
-                    journal ? journal->startedCountPrior(
-                                  grid_id, job.column->label,
-                                  *job.benchmark)
-                            : 0;
-                auto outcome = runWithRetries(
-                    session.retry, [&](unsigned attempt) {
-                        if (journal) {
-                            const auto marked = journal->appendStart(
-                                CheckpointStart{grid_id,
-                                                job.column->label,
-                                                *job.benchmark});
-                            if (!marked.ok()) {
-                                warn("checkpoint start append failed"
-                                     " for %s/%s: %s",
-                                     job.column->label.c_str(),
-                                     job.benchmark->c_str(),
-                                     marked.error()
-                                         .describe()
-                                         .c_str());
-                            }
-                        }
-                        if (deadline_ns > 0)
-                            slot.arm(nowNs() + deadline_ns);
-                        // The attempt must disarm on every exit path
-                        // or the watchdog would target a dead epoch
-                        // (and the old plain-bool design would have
-                        // cancelled the *next* attempt).
-                        struct Disarm
-                        {
-                            WorkerSlot &slot;
-                            ~Disarm() { slot.disarm(); }
-                        } disarm{slot};
-                        FaultInjector::global().check(
-                            "sim", fault_key, prior_starts + attempt);
-                        auto predictor = job.column->make();
-                        if (!predictor) {
-                            throw RunException(RunError::permanent(
-                                "predictor factory for '" +
-                                job.column->label +
-                                "' returned null"));
-                        }
-                        SimOptions options;
-                        options.cancel = &slot.token;
-                        return simulate(*predictor, *job.trace,
-                                        options);
-                    });
-                if (!outcome.ok()) {
-                    job.failed = true;
-                    job.error = outcome.error();
-                    if (metrics) {
-                        metrics->recordFailure(FailureRecord{
-                            job.column->label, *job.benchmark,
-                            job.error.message,
-                            errorKindName(job.error.kind),
-                            job.error.attempts});
-                    }
-                    notifyCell();
-                    return;
-                }
-                finishCell(job, outcome.value());
+                attemptCell(jobs[j], true);
             });
         }
         batch.wait();
+    }
+
+    // Steal sweep: with our own partition done, pick up foreign
+    // cells whose owner shard has neither stored nor claimed them
+    // (it crashed, or is simply slower). Claim-gated, so a live
+    // owner mid-cell is never duplicated; a stolen cell's store
+    // entry is what the merge pass (and the owner's own warm probe)
+    // serves.
+    if (shard_active && session.shardSteal) {
+        Executor::Batch batch(executor);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            if (!jobs[j].foreign || jobs[j].failed)
+                continue;
+            batch.spawn([&, j]() {
+                if (aborted())
+                    return;
+                Job &job = jobs[j];
+                if (store->contains(job.storeKey))
+                    return; // the owner already persisted it
+                CellClaim claim = store->tryClaim(job.storeKey);
+                if (!claim.acquired())
+                    return; // the owner is computing it right now
+                if (store->contains(job.storeKey))
+                    return; // it landed while we claimed
+                attemptCell(job, false);
+                if (job.done) {
+                    stolen_cells.fetch_add(1,
+                                           std::memory_order_relaxed);
+                }
+                // ~CellClaim releases AFTER finishCell's store
+                // write, so the next claimant finds the entry.
+            });
+        }
+        batch.wait();
+    }
+
+    // Deferred-wait loop: cells another claimant was computing when
+    // we started. Poll the store (the owner's finishCell persists
+    // there), and retry the claim each round - acquiring it means
+    // the owner gave up (drained, crashed) without storing, making
+    // the cell ours. Past the wait ceiling, simulate regardless:
+    // a duplicate simulation is benign (atomic store writes),
+    // a grid hole is not.
+    if (store != nullptr) {
+        std::vector<std::size_t> waiting;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            if (jobs[j].deferred && !jobs[j].done && !jobs[j].failed)
+                waiting.push_back(j);
+        }
+        const auto give_up_at =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    claimWaitCeilingSeconds()));
+        bool force = false;
+        while (!waiting.empty() && !aborted()) {
+            std::vector<std::size_t> still;
+            for (const std::size_t j : waiting) {
+                Job &job = jobs[j];
+                const auto loaded = store->load(job.storeKey);
+                if (loaded.status == ResultStore::LoadStatus::Hit) {
+                    // The owner delivered: one simulation, N
+                    // consumers.
+                    ++store_stats.claimServed;
+                    serveStored(*job.column, *job.benchmark,
+                                loaded.result);
+                    job.done = true;
+                    job.missPercent = loaded.result.missPercent;
+                    continue;
+                }
+                if (force) {
+                    attemptCell(job, true);
+                    continue;
+                }
+                CellClaim claim = store->tryClaim(job.storeKey);
+                if (!claim.acquired()) {
+                    still.push_back(j);
+                    continue;
+                }
+                // The owner is gone without storing; the cell is
+                // ours now (~CellClaim releases after the store
+                // write inside finishCell).
+                ++store_stats.claims;
+                attemptCell(job, true);
+            }
+            waiting = std::move(still);
+            if (waiting.empty())
+                break;
+            if (std::chrono::steady_clock::now() >= give_up_at) {
+                force = true;
+                continue;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
     }
 
     const unsigned threads_used = std::max(
@@ -1090,11 +1309,19 @@ SuiteRunner::run(const std::vector<SweepColumn> &columns,
         if (store) {
             store_stats.stores =
                 store_writes.load(std::memory_order_relaxed);
+            store_stats.stolen =
+                stolen_cells.load(std::memory_order_relaxed);
             metrics->recordResultStore(store_stats);
         }
     }
 
     for (auto &job : jobs) {
+        if (job.foreign && !job.done) {
+            // Unstolen foreign cells are the owner's (or the merge
+            // pass's) problem, failed traces included; they must not
+            // mark this shard's grid partial.
+            continue;
+        }
         if (job.failed) {
             grid.setFailed(FailedCell{
                 job.column->label, *job.benchmark, job.error.message,

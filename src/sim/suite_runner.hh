@@ -155,6 +155,40 @@ struct RunSession
      * the per-cell reference path.
      */
     bool singlePass = true;
+    /**
+     * Grid sharding (docs/SERVICE.md): when shardCount > 1 AND a
+     * result store is armed, run() simulates only the cells whose
+     * benchmark this shard owns - owner = (benchmark index +
+     * grid id) % shardCount - persisting them into the store;
+     * foreign keyed cells stay absent from the grid (a later merge
+     * pass restores everything from the store), and unkeyed cells
+     * are left for the merge outright (they cannot flow through the
+     * store). Sharding on the BENCHMARK axis keeps every fused
+     * chunk (one benchmark, all pending columns) whole, so the
+     * shared trace traversal and the equal-config predictor dedup
+     * survive the split; the grid-id rotation keeps repeated run()
+     * calls from starving the same shard. With no store armed the
+     * shard spec is ignored and every cell simulates (correct,
+     * just unshared).
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    /**
+     * Work stealing: after finishing its own partition, claim and
+     * simulate foreign keyed cells that no peer has stored or
+     * claimed yet, so a crashed or slow shard degrades the fan-out
+     * to slack, never to missing cells.
+     */
+    bool shardSteal = false;
+    /**
+     * Acquire an exclusive store claim (ResultStore::tryClaim) per
+     * keyed cell before simulating it; cells claimed by a live peer
+     * are deferred and served from the store once the owner
+     * persists them. This is what lets concurrent shards - and
+     * concurrent OVERLAPPING requests - simulate every shared cell
+     * exactly once. Ignored when no store is armed.
+     */
+    bool cellClaims = false;
 };
 
 /** How this runner's traces were obtained (cache vs generator). */

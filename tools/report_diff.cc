@@ -41,6 +41,13 @@
  *                         store (hits > 0, zero misses, zero
  *                         invalidations; the CI warm-store job uses
  *                         this, see docs/PERFORMANCE.md)
+ *   --min-job-speedup=R   fail unless the fresh artifact's server-
+ *                         side job wall time (metrics.serve.
+ *                         job_seconds) beats the BASELINE artifact's
+ *                         by at least a factor R - the lane-scaling
+ *                         gate: fresh from --lanes=N, baseline from
+ *                         --lanes=1 (default: off; see
+ *                         docs/SERVICE.md)
  *
  * Exits 0 when the fresh artifact is within tolerance, 1 on a
  * regression or unreadable artifact, 2 on usage errors. See
@@ -70,7 +77,8 @@ usage(const char *argv0, int code)
         "          [--min-throughput=B] [--throughput-ratio=R]\n"
         "          [--no-manifest] [--allow-partial]\n"
         "          [--require-cached] [--require-mmap]\n"
-        "          [--require-served] [--require-result-cached]\n",
+        "          [--require-served] [--require-result-cached]\n"
+        "          [--min-job-speedup=R]\n",
         argv0);
     std::exit(code);
 }
@@ -98,6 +106,7 @@ main(int argc, char **argv)
     bool require_mmap = false;
     bool require_served = false;
     bool require_result_cached = false;
+    double min_job_speedup = 0.0;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
@@ -125,6 +134,8 @@ main(int argc, char **argv)
             require_served = true;
         } else if (arg == "--require-result-cached") {
             require_result_cached = true;
+        } else if (arg.rfind("--min-job-speedup=", 0) == 0) {
+            min_job_speedup = parseNumber(arg, arg.substr(18));
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
             usage(argv[0], 2);
@@ -233,6 +244,45 @@ main(int argc, char **argv)
         }
     }
 
+    if (min_job_speedup > 0.0) {
+        // The lane-scaling gate: both artifacts must carry server-
+        // side job timing, and the fresh one (sharded across lanes)
+        // must be at least min_job_speedup times faster than the
+        // baseline (single lane).
+        if (!fresh.metrics.hasServe() ||
+            fresh.metrics.serve().jobSeconds <= 0.0) {
+            std::fprintf(stderr,
+                         "--min-job-speedup: %s records no serve "
+                         "job_seconds (not served by ibpd?)\n",
+                         paths[0].c_str());
+            return 1;
+        }
+        if (!baseline.metrics.hasServe() ||
+            baseline.metrics.serve().jobSeconds <= 0.0) {
+            std::fprintf(stderr,
+                         "--min-job-speedup: %s records no serve "
+                         "job_seconds (not served by ibpd?)\n",
+                         paths[1].c_str());
+            return 1;
+        }
+        const double fresh_seconds =
+            fresh.metrics.serve().jobSeconds;
+        const double baseline_seconds =
+            baseline.metrics.serve().jobSeconds;
+        const double speedup = baseline_seconds / fresh_seconds;
+        std::printf("job speedup: %.2fx (%.2fs -> %.2fs, floor "
+                    "%.2fx)\n",
+                    speedup, baseline_seconds, fresh_seconds,
+                    min_job_speedup);
+        if (speedup < min_job_speedup) {
+            std::fprintf(stderr,
+                         "--min-job-speedup: %.2fx is below the "
+                         "%.2fx floor\n",
+                         speedup, min_job_speedup);
+            return 1;
+        }
+    }
+
     const DiffReport report =
         diffArtifacts(fresh, baseline, options);
     std::printf("%s vs %s\n", paths[0].c_str(), paths[1].c_str());
@@ -264,6 +314,27 @@ main(int argc, char **argv)
                         simd.genericColumns),
                     static_cast<unsigned long long>(
                         simd.laneMachines));
+    }
+    if (fresh.metrics.hasServe() &&
+        fresh.metrics.serve().shard.planned > 0) {
+        // Context only, never gated: how the daemon sharded the
+        // fresh run across its lanes (docs/SERVICE.md).
+        const ShardServeStats &shard = fresh.metrics.serve().shard;
+        std::printf("fresh shard: %u planned, %u requeued, %u "
+                    "abandoned, %llu stolen, %llu overlap-coalesced, "
+                    "fanout %.2fs + merge %.2fs, lane cells [",
+                    shard.planned, shard.requeued, shard.abandoned,
+                    static_cast<unsigned long long>(
+                        shard.stolenCells),
+                    static_cast<unsigned long long>(
+                        shard.overlapCoalesced),
+                    shard.fanoutSeconds, shard.mergeSeconds);
+        for (std::size_t i = 0; i < shard.laneCells.size(); ++i) {
+            std::printf("%s%llu", i == 0 ? "" : " ",
+                        static_cast<unsigned long long>(
+                            shard.laneCells[i]));
+        }
+        std::printf("]\n");
     }
     std::fputs(report.summary().c_str(), stdout);
     return report.passed() ? 0 : 1;
